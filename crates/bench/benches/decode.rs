@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the decoders: union-find vs exact MWPM on
+//! surface-code syndromes of growing distance and defect density.
+
+use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+use caliqec_match::{graph_for_circuit, Decoder, MatchingGraph, MwpmDecoder, UnionFindDecoder};
+use caliqec_stab::FrameSampler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a matching graph and a stream of sampled syndromes for distance d.
+fn setup(d: usize, shots: usize) -> (MatchingGraph, Vec<Vec<usize>>) {
+    let mem = memory_circuit(
+        &rotated_patch(d, d),
+        &NoiseModel::uniform(3e-3),
+        d,
+        MemoryBasis::Z,
+    );
+    let graph = graph_for_circuit(&mem.circuit);
+    let mut sampler = FrameSampler::new(&mem.circuit);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut syndromes = Vec::new();
+    while syndromes.len() < shots {
+        let ev = sampler.sample_batch(&mut rng);
+        for s in 0..caliqec_stab::BATCH {
+            let defects: Vec<usize> = ev
+                .detectors
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| (*w >> s) & 1 == 1)
+                .map(|(i, _)| i)
+                .collect();
+            if !defects.is_empty() {
+                syndromes.push(defects);
+            }
+            if syndromes.len() >= shots {
+                break;
+            }
+        }
+    }
+    (graph, syndromes)
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union_find_decode");
+    for d in [3usize, 5, 7, 9] {
+        let (graph, syndromes) = setup(d, 64);
+        group.bench_with_input(BenchmarkId::new("d", d), &(), |b, _| {
+            let mut dec = UnionFindDecoder::new(graph.clone());
+            let mut i = 0;
+            b.iter(|| {
+                let s = &syndromes[i % syndromes.len()];
+                i += 1;
+                dec.decode(s)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mwpm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwpm_decode");
+    for d in [3usize, 5, 7] {
+        let (graph, syndromes) = setup(d, 64);
+        group.bench_with_input(BenchmarkId::new("d", d), &(), |b, _| {
+            let mut dec = MwpmDecoder::new(graph.clone());
+            let mut i = 0;
+            b.iter(|| {
+                let s = &syndromes[i % syndromes.len()];
+                i += 1;
+                dec.decode(s)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_union_find, bench_mwpm);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the deformation instruction set: instruction
+//! application (layout rewrite + validation), distance computation, and
+//! memory-circuit generation on deformed layouts.
+
+use caliqec_code::{
+    code_distance, data_coord, memory_circuit, DeformInstruction, DeformedPatch, Lattice,
+    MemoryBasis, NoiseModel, Side,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_data_q_rm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_q_rm");
+    for d in [5usize, 9, 13, 17] {
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            b.iter(|| {
+                let mut patch = DeformedPatch::new(Lattice::Square, d, d);
+                patch
+                    .apply(DeformInstruction::DataQRm {
+                        qubit: data_coord(d / 2, d / 2),
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_enlargement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("patch_q_ad");
+    for d in [5usize, 9, 13] {
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            b.iter(|| {
+                let mut patch = DeformedPatch::new(Lattice::Square, d, d);
+                patch
+                    .apply(DeformInstruction::DataQRm {
+                        qubit: data_coord(d / 2, d / 2),
+                    })
+                    .unwrap();
+                patch
+                    .apply(DeformInstruction::PatchQAd { side: Side::Right })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("code_distance");
+    for d in [5usize, 11, 17, 25] {
+        let layout = caliqec_code::rotated_patch(d, d);
+        group.bench_with_input(BenchmarkId::new("pristine", d), &layout, |b, layout| {
+            b.iter(|| code_distance(layout));
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_circuit");
+    group.sample_size(20);
+    for d in [5usize, 9, 13] {
+        let layout = caliqec_code::rotated_patch(d, d);
+        let noise = NoiseModel::uniform(1e-3);
+        group.bench_with_input(BenchmarkId::new("square", d), &layout, |b, layout| {
+            b.iter(|| memory_circuit(layout, &noise, d, MemoryBasis::Z));
+        });
+    }
+    let hex = caliqec_code::heavy_hex_patch(5, 5);
+    let noise = NoiseModel::uniform(1e-3);
+    group.bench_function("heavy_hex_d5", |b| {
+        b.iter(|| memory_circuit(&hex, &noise, 5, MemoryBasis::Z));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_data_q_rm,
+    bench_enlargement,
+    bench_distance,
+    bench_memory_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! End-to-end benchmarks: full LER estimation (sample + decode) on memory
+//! experiments, and Table 2 policy evaluation.
+
+use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+use caliqec_ftqc::{evaluate, BenchProgram, EvalConfig, Policy};
+use caliqec_match::{estimate_ler, graph_for_circuit, SampleOptions, UnionFindDecoder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ler_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ler_estimation");
+    group.sample_size(10);
+    for d in [3usize, 5, 7] {
+        let mem = memory_circuit(
+            &rotated_patch(d, d),
+            &NoiseModel::uniform(2e-3),
+            d,
+            MemoryBasis::Z,
+        );
+        let graph = graph_for_circuit(&mem.circuit);
+        let shots = 6400;
+        group.throughput(Throughput::Elements(shots as u64));
+        group.bench_with_input(BenchmarkId::new("d", d), &mem, |b, mem| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let mut dec = UnionFindDecoder::new(graph.clone());
+                estimate_ler(
+                    &mem.circuit,
+                    &mut dec,
+                    SampleOptions {
+                        min_shots: shots,
+                        ..Default::default()
+                    },
+                    &mut rng,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_evaluation");
+    group.sample_size(10);
+    let program = BenchProgram::hubbard(10, 10);
+    let config = EvalConfig::default();
+    for policy in [
+        Policy::NoCalibration,
+        Policy::Lsc,
+        Policy::Qecali { delta_d: 4 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("policy", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let mut rng = StdRng::seed_from_u64(8);
+                b.iter(|| evaluate(&program, 25, policy, &config, &mut rng));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ler_estimation, bench_policy_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the scheduler: Algorithm 1 grouping, workload
+//! clustering, and adaptive intra-group batching on devices of growing size.
+
+use caliqec_device::{DeviceConfig, DeviceModel, DriftDistribution};
+use caliqec_sched::{
+    adaptive_schedule, assign_groups, build_plan, cluster_workloads, GateDrift, PlanConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn device(side: usize) -> DeviceModel {
+    let mut rng = StdRng::seed_from_u64(5);
+    DeviceModel::synthetic(
+        &DeviceConfig {
+            rows: side,
+            cols: side,
+            drift: DriftDistribution::current(),
+            ..DeviceConfig::default()
+        },
+        &mut rng,
+    )
+}
+
+fn drifts(device: &DeviceModel) -> Vec<GateDrift> {
+    device
+        .gates
+        .iter()
+        .enumerate()
+        .map(|(gate, info)| GateDrift {
+            gate,
+            drift_hours: info.drift.time_to_reach(5e-3).max(1e-3),
+        })
+        .collect()
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_grouping");
+    for side in [8usize, 16, 24] {
+        let dev = device(side);
+        let g = drifts(&dev);
+        group.bench_with_input(BenchmarkId::new("gates", g.len()), &g, |b, g| {
+            b.iter(|| assign_groups(g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_schedule");
+    group.sample_size(20);
+    for side in [8usize, 12, 16] {
+        let dev = device(side);
+        let gates: Vec<usize> = (0..dev.gates.len()).step_by(4).collect();
+        let workloads = cluster_workloads(&dev, &gates);
+        group.bench_with_input(
+            BenchmarkId::new("workloads", workloads.len()),
+            &workloads,
+            |b, w| {
+                b.iter(|| adaptive_schedule(w, 8));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_plan");
+    group.sample_size(10);
+    for side in [8usize, 12] {
+        let dev = device(side);
+        group.bench_with_input(BenchmarkId::new("side", side), &dev, |b, dev| {
+            b.iter(|| build_plan(dev, &PlanConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm1, bench_adaptive_schedule, bench_full_plan);
+criterion_main!(benches);

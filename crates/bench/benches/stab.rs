@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the stabilizer-simulation substrate: Pauli-frame
+//! sampling throughput, tableau execution, and detector-error-model
+//! extraction on surface-code memory circuits.
+
+use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+use caliqec_stab::{extract_dem, noiseless_shot, FrameSampler, BATCH};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn memory(d: usize) -> caliqec_code::MemoryCircuit {
+    memory_circuit(
+        &rotated_patch(d, d),
+        &NoiseModel::uniform(1e-3),
+        d,
+        MemoryBasis::Z,
+    )
+}
+
+fn bench_frame_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_sampler");
+    for d in [3usize, 5, 7, 9] {
+        let mem = memory(d);
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(BenchmarkId::new("memory_z", d), &mem, |b, mem| {
+            let mut sampler = FrameSampler::new(&mem.circuit);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sampler.sample_batch(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tableau_shot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_shot");
+    for d in [3usize, 5] {
+        let mem = memory(d);
+        group.bench_with_input(BenchmarkId::new("memory_z", d), &mem, |b, mem| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| noiseless_shot(&mem.circuit, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dem_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dem_extraction");
+    group.sample_size(10);
+    for d in [3usize, 5, 7] {
+        let mem = memory(d);
+        group.bench_with_input(BenchmarkId::new("memory_z", d), &mem, |b, mem| {
+            b.iter(|| extract_dem(&mem.circuit));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frame_sampler,
+    bench_tableau_shot,
+    bench_dem_extraction
+);
+criterion_main!(benches);

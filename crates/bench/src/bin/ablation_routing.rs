@@ -1,0 +1,4 @@
+//! Regenerates the routing experiment (see the experiments module docs).
+fn main() {
+    println!("{}", caliqec_bench::experiments::routing::run(&Default::default()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the sharing experiment (see the experiments module docs).
+fn main() {
+    println!("{}", caliqec_bench::experiments::sharing::run(&Default::default()));
+}

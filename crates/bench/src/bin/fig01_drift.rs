@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 01 (see the experiments module docs).
+fn main() {
+    println!("{}", caliqec_bench::experiments::fig01::run(&Default::default()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the fig06 experiment (see the experiments module docs).
+fn main() {
+    println!("{}", caliqec_bench::experiments::fig06::run(&Default::default()));
+}

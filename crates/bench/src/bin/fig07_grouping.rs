@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 07 (see the experiments module docs).
+fn main() {
+    println!("{}", caliqec_bench::experiments::fig07::run(&Default::default()));
+}

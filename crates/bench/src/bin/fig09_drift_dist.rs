@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 09 (see the experiments module docs).
+fn main() {
+    println!("{}", caliqec_bench::experiments::fig09::run(&Default::default()));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 10: d = 11 LER dynamics through calibration cycles.
+//!
+//! Full stabilizer simulation + union-find decoding per time sample; expect
+//! several minutes in release mode.
+fn main() {
+    let params = caliqec_bench::experiments::fig10::Fig10Params::default();
+    eprintln!(
+        "fig10: d={}, {} points x 3 scenarios, up to {} shots each...",
+        params.d,
+        params.cycles * params.points_per_cycle,
+        params.max_shots
+    );
+    println!("{}", caliqec_bench::experiments::fig10::run(&params));
+}

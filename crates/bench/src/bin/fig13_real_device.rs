@@ -1,0 +1,6 @@
+//! Regenerates Figure 13: d = 3 LER under drift and isolation on the square
+//! and heavy-hex lattices (the paper's hardware experiment, simulated).
+fn main() {
+    let params = caliqec_bench::experiments::fig13::Fig13Params::default();
+    println!("{}", caliqec_bench::experiments::fig13::run(&params));
+}

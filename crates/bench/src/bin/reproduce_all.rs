@@ -1,0 +1,24 @@
+//! Runs every experiment in paper order and prints the combined report.
+//!
+//! `cargo run --release -p caliqec-bench --bin reproduce_all`
+use caliqec_bench::experiments::*;
+
+fn main() {
+    let sep = "=".repeat(78);
+    println!("{sep}\n{}", fig01::run(&Default::default()));
+    println!("{sep}\n{}", fig07::run(&Default::default()));
+    println!("{sep}\n{}", fig09::run(&Default::default()));
+    eprintln!("running fig06 crosstalk probes...");
+    println!("{sep}\n{}", fig06::run(&Default::default()));
+    println!("{sep}\n{}", table1::run());
+    println!("{sep}\n{}", fig11::run(&Default::default()));
+    println!("{sep}\n{}", fig12::run(&Default::default()));
+    println!("{sep}\n{}", sharing::run(&Default::default()));
+    println!("{sep}\n{}", routing::run(&Default::default()));
+    eprintln!("running fig13 Monte-Carlo (a minute or two)...");
+    println!("{sep}\n{}", fig13::run(&Default::default()));
+    eprintln!("running table 2 evaluation...");
+    println!("{sep}\n{}", table2::run(&Default::default()));
+    eprintln!("running fig10 Monte-Carlo (several minutes)...");
+    println!("{sep}\n{}", fig10::run(&Default::default()));
+}

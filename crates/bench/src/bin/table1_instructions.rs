@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 (see the experiments module docs).
+fn main() {
+    println!("{}", caliqec_bench::experiments::table1::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2: the No-Calibration / LSC / QECali comparison across
+//! all benchmark rows and both drift eras.
+fn main() {
+    let params = caliqec_bench::experiments::table2::Table2Params::default();
+    println!("{}", caliqec_bench::experiments::table2::run(&params));
+}

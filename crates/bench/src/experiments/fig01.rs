@@ -1,0 +1,188 @@
+//! Figure 1: error drift on a (synthetic) device.
+//!
+//! Reproduces both panels: (a) error-rate trajectories with and without
+//! periodic calibration; (b) the fraction of gates whose error exceeds the
+//! surface-code threshold as a function of time — the paper observes > 90 %
+//! of single-qubit gates above threshold after 24 h without calibration.
+
+use crate::report::{fmt_num, fmt_pct, TextTable};
+use caliqec_device::{DeviceConfig, DeviceModel, DriftDistribution, GateKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Parameters of the drift study.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig01Params {
+    /// Device grid rows.
+    pub rows: usize,
+    /// Device grid columns.
+    pub cols: usize,
+    /// Horizon in hours.
+    pub horizon_hours: f64,
+    /// Trace samples.
+    pub steps: usize,
+    /// Surface-code threshold.
+    pub threshold: f64,
+    /// Calibration period of the maintained device (panel a).
+    pub calibration_period_hours: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig01Params {
+    fn default() -> Self {
+        // 127-qubit-class device (IBM Eagle is 12x11-ish).
+        Fig01Params {
+            rows: 11,
+            cols: 12,
+            horizon_hours: 24.0,
+            steps: 24,
+            threshold: 0.01,
+            calibration_period_hours: 6.0,
+            seed: 1,
+        }
+    }
+}
+
+impl Fig01Params {
+    /// Reduced parameters for fast tests.
+    pub fn quick() -> Self {
+        Fig01Params {
+            rows: 4,
+            cols: 4,
+            steps: 8,
+            ..Fig01Params::default()
+        }
+    }
+}
+
+/// One time sample of the drift study.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig01Point {
+    /// Hours since the full calibration.
+    pub hours: f64,
+    /// Mean gate error without calibration.
+    pub mean_p_uncalibrated: f64,
+    /// Mean gate error with periodic calibration.
+    pub mean_p_calibrated: f64,
+    /// Fraction of 1-qubit gates above threshold (uncalibrated).
+    pub frac_1q_above: f64,
+    /// Fraction of all gates above threshold (uncalibrated).
+    pub frac_all_above: f64,
+}
+
+/// Result of the Figure 1 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig01Result {
+    /// Time series.
+    pub points: Vec<Fig01Point>,
+    /// Fraction of 1q gates above threshold at the horizon.
+    pub final_frac_1q_above: f64,
+}
+
+/// Runs the Figure 1 drift study.
+pub fn run(params: &Fig01Params) -> Fig01Result {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let device = DeviceModel::synthetic(
+        &DeviceConfig {
+            rows: params.rows,
+            cols: params.cols,
+            drift: DriftDistribution::current(),
+            ..DeviceConfig::default()
+        },
+        &mut rng,
+    );
+    let one_q: Vec<usize> = device
+        .gates
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| matches!(g.kind, GateKind::OneQubit(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let mut points = Vec::new();
+    for k in 0..=params.steps {
+        let t = params.horizon_hours * k as f64 / params.steps as f64;
+        let t_cal = t % params.calibration_period_hours;
+        let ps: Vec<f64> = device.gates.iter().map(|g| g.drift.p_at(t)).collect();
+        let ps_cal: Vec<f64> = device.gates.iter().map(|g| g.drift.p_at(t_cal)).collect();
+        let above_1q = one_q
+            .iter()
+            .filter(|&&i| ps[i] > params.threshold)
+            .count() as f64
+            / one_q.len() as f64;
+        let above_all =
+            ps.iter().filter(|&&p| p > params.threshold).count() as f64 / ps.len() as f64;
+        points.push(Fig01Point {
+            hours: t,
+            mean_p_uncalibrated: ps.iter().sum::<f64>() / ps.len() as f64,
+            mean_p_calibrated: ps_cal.iter().sum::<f64>() / ps_cal.len() as f64,
+            frac_1q_above: above_1q,
+            frac_all_above: above_all,
+        });
+    }
+    let final_frac_1q_above = points.last().map(|p| p.frac_1q_above).unwrap_or(0.0);
+    Fig01Result {
+        points,
+        final_frac_1q_above,
+    }
+}
+
+impl fmt::Display for Fig01Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new([
+            "hours",
+            "mean p (no cal)",
+            "mean p (calibrated)",
+            "1q gates > threshold",
+            "all gates > threshold",
+        ]);
+        for p in &self.points {
+            t.row([
+                format!("{:.1}", p.hours),
+                fmt_num(p.mean_p_uncalibrated),
+                fmt_num(p.mean_p_calibrated),
+                fmt_pct(p.frac_1q_above),
+                fmt_pct(p.frac_all_above),
+            ]);
+        }
+        writeln!(f, "Figure 1: error drift (threshold = 1%)")?;
+        write!(f, "{}", t.render())?;
+        writeln!(
+            f,
+            "After 24h without calibration, {} of 1q gates exceed the threshold (paper: >90%).",
+            fmt_pct(self.final_frac_1q_above)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_crosses_threshold_for_most_gates() {
+        let r = run(&Fig01Params::default());
+        // The paper reports >90%; the log-normal shape parameter we infer
+        // from its Fig. 9 puts the sampled fraction at ~86-91%.
+        assert!(
+            r.final_frac_1q_above > 0.8,
+            "only {} above threshold after 24h",
+            r.final_frac_1q_above
+        );
+    }
+
+    #[test]
+    fn calibration_keeps_mean_error_low() {
+        let r = run(&Fig01Params::quick());
+        let last = r.points.last().unwrap();
+        assert!(last.mean_p_calibrated < last.mean_p_uncalibrated);
+    }
+
+    #[test]
+    fn display_renders() {
+        let r = run(&Fig01Params::quick());
+        let s = r.to_string();
+        assert!(s.contains("Figure 1"));
+    }
+}

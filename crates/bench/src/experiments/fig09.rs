@@ -1,0 +1,147 @@
+//! Figure 9: probability distribution of drift-time constants.
+//!
+//! Samples the log-normal model fitted to the paper's IBM Eagle measurements
+//! (mean 14.08 h; the future model doubles it to 28.016 h) and tabulates the
+//! histogram and summary statistics.
+
+use crate::report::TextTable;
+use caliqec_device::DriftDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Parameters of the distribution study.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig09Params {
+    /// Number of samples.
+    pub samples: usize,
+    /// Histogram bin width in hours.
+    pub bin_hours: f64,
+    /// Number of histogram bins.
+    pub bins: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig09Params {
+    fn default() -> Self {
+        Fig09Params {
+            samples: 10_000,
+            bin_hours: 4.0,
+            bins: 16,
+            seed: 9,
+        }
+    }
+}
+
+impl Fig09Params {
+    /// Reduced parameters for fast tests.
+    pub fn quick() -> Self {
+        Fig09Params {
+            samples: 1000,
+            ..Fig09Params::default()
+        }
+    }
+}
+
+/// Histogram + statistics for one drift model.
+#[derive(Clone, Debug)]
+pub struct DriftHistogram {
+    /// Model label.
+    pub label: String,
+    /// Per-bin sample fractions.
+    pub density: Vec<f64>,
+    /// Sample mean (hours).
+    pub mean: f64,
+    /// Sample median (hours).
+    pub median: f64,
+}
+
+/// Result of the Figure 9 study.
+#[derive(Clone, Debug)]
+pub struct Fig09Result {
+    /// Bin width.
+    pub bin_hours: f64,
+    /// Current and future model histograms.
+    pub models: Vec<DriftHistogram>,
+}
+
+fn histogram(label: &str, dist: &DriftDistribution, params: &Fig09Params, seed: u64) -> DriftHistogram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = dist.sample_many(params.samples, &mut rng);
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut density = vec![0.0; params.bins];
+    for &s in &samples {
+        let bin = ((s / params.bin_hours) as usize).min(params.bins - 1);
+        density[bin] += 1.0 / params.samples as f64;
+    }
+    DriftHistogram {
+        label: label.to_string(),
+        density,
+        mean: samples.iter().sum::<f64>() / samples.len() as f64,
+        median: samples[samples.len() / 2],
+    }
+}
+
+/// Runs the Figure 9 study.
+pub fn run(params: &Fig09Params) -> Fig09Result {
+    Fig09Result {
+        bin_hours: params.bin_hours,
+        models: vec![
+            histogram("current (mean 14.08h)", &DriftDistribution::current(), params, params.seed),
+            histogram("future (mean 28.016h)", &DriftDistribution::future(), params, params.seed + 1),
+        ],
+    }
+}
+
+impl fmt::Display for Fig09Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 9: distribution of drift time constants T(G)")?;
+        let mut header = vec!["bin (h)".to_string()];
+        header.extend(self.models.iter().map(|m| m.label.clone()));
+        let mut t = TextTable::new(header);
+        for b in 0..self.models[0].density.len() {
+            let mut row = vec![format!(
+                "{:.0}-{:.0}",
+                b as f64 * self.bin_hours,
+                (b + 1) as f64 * self.bin_hours
+            )];
+            for m in &self.models {
+                let bar = "#".repeat((m.density[b] * 100.0).round() as usize);
+                row.push(format!("{:5.1}% {bar}", m.density[b] * 100.0));
+            }
+            t.row(row);
+        }
+        write!(f, "{}", t.render())?;
+        for m in &self.models {
+            writeln!(
+                f,
+                "{}: sample mean {:.2} h, median {:.2} h",
+                m.label, m.mean, m.median
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_match_models() {
+        let r = run(&Fig09Params::default());
+        assert!((r.models[0].mean - 14.08).abs() < 1.0);
+        assert!((r.models[1].mean - 28.016).abs() < 2.0);
+    }
+
+    #[test]
+    fn histograms_are_normalized_and_skewed() {
+        let r = run(&Fig09Params::quick());
+        for m in &r.models {
+            let total: f64 = m.density.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(m.median < m.mean, "{}", m.label);
+        }
+    }
+}

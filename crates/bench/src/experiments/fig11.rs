@@ -1,0 +1,168 @@
+//! Figure 11: reduction in calibration count through adaptive calibration
+//! assignment.
+//!
+//! Compares three grouping strategies over devices of growing size:
+//! *uniform* (calibrate everything whenever the most fragile gate is due),
+//! *QECali's adaptive grouping* (Algorithm 1), and the *ideal* lower bound
+//! (each gate exactly at its drift deadline, ignoring crosstalk). The paper
+//! reports 3.63×–11.1× fewer calibration operations than uniform.
+
+use crate::report::TextTable;
+use caliqec_device::{DeviceConfig, DeviceModel, DriftDistribution};
+use caliqec_sched::{assign_groups, ideal_frequency, uniform_frequency, GateDrift};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Parameters of the grouping-reduction study.
+#[derive(Clone, Debug)]
+pub struct Fig11Params {
+    /// Device sizes (grid side lengths) to sweep.
+    pub device_sides: Vec<usize>,
+    /// Targeted physical error rate determining drift deadlines.
+    pub p_tar: f64,
+    /// Drift model.
+    pub drift: DriftDistribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig11Params {
+    fn default() -> Self {
+        Fig11Params {
+            device_sides: vec![4, 6, 8, 12, 16, 20, 24],
+            p_tar: 5e-3,
+            drift: DriftDistribution::current(),
+            seed: 11,
+        }
+    }
+}
+
+impl Fig11Params {
+    /// Reduced parameters for fast tests.
+    pub fn quick() -> Self {
+        Fig11Params {
+            device_sides: vec![4, 6],
+            ..Fig11Params::default()
+        }
+    }
+}
+
+/// One device-size sample.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig11Point {
+    /// Gates on the device.
+    pub num_gates: usize,
+    /// Uniform-strategy calibrations per hour.
+    pub uniform: f64,
+    /// QECali adaptive-grouping calibrations per hour.
+    pub adaptive: f64,
+    /// Ideal lower bound.
+    pub ideal: f64,
+}
+
+impl Fig11Point {
+    /// Reduction factor of adaptive grouping over uniform calibration.
+    pub fn reduction(&self) -> f64 {
+        self.uniform / self.adaptive
+    }
+}
+
+/// Result of the Figure 11 study.
+#[derive(Clone, Debug)]
+pub struct Fig11Result {
+    /// One point per swept device size.
+    pub points: Vec<Fig11Point>,
+}
+
+/// Runs the Figure 11 study.
+pub fn run(params: &Fig11Params) -> Fig11Result {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut points = Vec::new();
+    for &side in &params.device_sides {
+        let device = DeviceModel::synthetic(
+            &DeviceConfig {
+                rows: side,
+                cols: side,
+                drift: params.drift,
+                ..DeviceConfig::default()
+            },
+            &mut rng,
+        );
+        let gates: Vec<GateDrift> = device
+            .gates
+            .iter()
+            .enumerate()
+            .map(|(gate, info)| GateDrift {
+                gate,
+                drift_hours: info.drift.time_to_reach(params.p_tar).max(1e-3),
+            })
+            .collect();
+        let groups = assign_groups(&gates);
+        points.push(Fig11Point {
+            num_gates: gates.len(),
+            uniform: uniform_frequency(&gates),
+            adaptive: groups.frequency(),
+            ideal: ideal_frequency(&gates),
+        });
+    }
+    Fig11Result { points }
+}
+
+impl fmt::Display for Fig11Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 11: calibration operations per hour by grouping strategy"
+        )?;
+        let mut t = TextTable::new([
+            "gates",
+            "uniform (cal/h)",
+            "adaptive (cal/h)",
+            "ideal (cal/h)",
+            "reduction vs uniform",
+        ]);
+        for p in &self.points {
+            t.row([
+                p.num_gates.to_string(),
+                format!("{:.2}", p.uniform),
+                format!("{:.2}", p.adaptive),
+                format!("{:.2}", p.ideal),
+                format!("{:.2}x", p.reduction()),
+            ]);
+        }
+        write!(f, "{}", t.render())?;
+        let min = self.points.iter().map(|p| p.reduction()).fold(f64::MAX, f64::min);
+        let max = self.points.iter().map(|p| p.reduction()).fold(0.0, f64::max);
+        writeln!(
+            f,
+            "reduction range {min:.2}x - {max:.2}x (paper: 3.63x - 11.1x)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_sits_between_ideal_and_uniform() {
+        let r = run(&Fig11Params::quick());
+        for p in &r.points {
+            assert!(p.adaptive <= p.uniform + 1e-12);
+            assert!(p.adaptive >= p.ideal - 1e-12);
+        }
+    }
+
+    #[test]
+    fn reduction_grows_with_device_size() {
+        let r = run(&Fig11Params::default());
+        let first = r.points.first().unwrap().reduction();
+        let last = r.points.last().unwrap().reduction();
+        assert!(
+            last > first,
+            "reduction should grow with size: {first:.2} -> {last:.2}"
+        );
+        assert!(last > 3.0, "large devices should exceed 3x ({last:.2})");
+    }
+}

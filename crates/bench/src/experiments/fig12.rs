@@ -1,0 +1,183 @@
+//! Figure 12: space-time overhead of calibration scheduling strategies
+//! across code distances.
+//!
+//! For each code distance, the data qubits of a `d × d` window accumulate
+//! calibration workloads; the sequential, bulk, and adaptive intra-group
+//! schedulers are compared on the space-time metric `Δd × T(Cal)` (paper
+//! Sec. 8.2.3, reporting 2.89× over sequential and 3.8× over bulk).
+
+use crate::report::TextTable;
+use caliqec_device::{DeviceConfig, DeviceModel, DriftDistribution};
+use caliqec_sched::{
+    adaptive_schedule, bulk_schedule, cluster_workloads, sequential_schedule,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// Parameters of the scheduling-overhead study.
+#[derive(Clone, Debug)]
+pub struct Fig12Params {
+    /// Code distances to sweep (each induces a `d × d` device window).
+    pub distances: Vec<usize>,
+    /// Fraction of gates due in the studied interval.
+    pub due_fraction: f64,
+    /// Maximum tolerable Δd for the adaptive scheduler.
+    pub delta_d_max: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig12Params {
+    fn default() -> Self {
+        Fig12Params {
+            distances: vec![9, 13, 17, 21, 25, 31],
+            // Sparse enough that the due gates of an interval form several
+            // independent workloads (dense sets all cluster together and
+            // every strategy degenerates to one batch).
+            due_fraction: 0.06,
+            delta_d_max: 8,
+            seed: 12,
+        }
+    }
+}
+
+impl Fig12Params {
+    /// Reduced parameters for fast tests.
+    pub fn quick() -> Self {
+        Fig12Params {
+            distances: vec![9, 13],
+            ..Fig12Params::default()
+        }
+    }
+}
+
+/// One distance sample.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig12Point {
+    /// Code distance.
+    pub d: usize,
+    /// Workloads scheduled.
+    pub workloads: usize,
+    /// Sequential space-time cost (Δd·hours).
+    pub sequential: f64,
+    /// Bulk space-time cost.
+    pub bulk: f64,
+    /// Adaptive space-time cost.
+    pub adaptive: f64,
+    /// The Δd the adaptive scheduler chose.
+    pub chosen_delta_d: usize,
+}
+
+/// Result of the Figure 12 study.
+#[derive(Clone, Debug)]
+pub struct Fig12Result {
+    /// One point per distance.
+    pub points: Vec<Fig12Point>,
+}
+
+impl Fig12Result {
+    /// Geometric-mean improvement of adaptive over sequential.
+    pub fn improvement_vs_sequential(&self) -> f64 {
+        geo_mean(self.points.iter().map(|p| p.sequential / p.adaptive))
+    }
+
+    /// Geometric-mean improvement of adaptive over bulk.
+    pub fn improvement_vs_bulk(&self) -> f64 {
+        geo_mean(self.points.iter().map(|p| p.bulk / p.adaptive))
+    }
+}
+
+fn geo_mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+}
+
+/// Runs the Figure 12 study.
+pub fn run(params: &Fig12Params) -> Fig12Result {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut points = Vec::new();
+    for &d in &params.distances {
+        let device = DeviceModel::synthetic(
+            &DeviceConfig {
+                rows: d,
+                cols: d,
+                drift: DriftDistribution::current(),
+                ..DeviceConfig::default()
+            },
+            &mut rng,
+        );
+        // A random subset of gates comes due in the studied interval.
+        let due: Vec<usize> = (0..device.gates.len())
+            .filter(|_| rng.random::<f64>() < params.due_fraction)
+            .collect();
+        let workloads = cluster_workloads(&device, &due);
+        let seq = sequential_schedule(&workloads);
+        let bulk = bulk_schedule(&workloads);
+        let (adaptive, chosen) = adaptive_schedule(&workloads, params.delta_d_max);
+        points.push(Fig12Point {
+            d,
+            workloads: workloads.len(),
+            sequential: seq.space_time_cost(),
+            bulk: bulk.space_time_cost(),
+            adaptive: adaptive.space_time_cost(),
+            chosen_delta_d: chosen,
+        });
+    }
+    Fig12Result { points }
+}
+
+impl fmt::Display for Fig12Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 12: space-time overhead (Δd x hours) of intra-group scheduling"
+        )?;
+        let mut t = TextTable::new([
+            "d",
+            "workloads",
+            "sequential",
+            "bulk",
+            "adaptive",
+            "chosen Δd",
+        ]);
+        for p in &self.points {
+            t.row([
+                p.d.to_string(),
+                p.workloads.to_string(),
+                format!("{:.2}", p.sequential),
+                format!("{:.2}", p.bulk),
+                format!("{:.2}", p.adaptive),
+                p.chosen_delta_d.to_string(),
+            ]);
+        }
+        write!(f, "{}", t.render())?;
+        writeln!(
+            f,
+            "adaptive improves {:.2}x over sequential and {:.2}x over bulk (paper: 2.89x, 3.8x)",
+            self.improvement_vs_sequential(),
+            self.improvement_vs_bulk()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_never_loses() {
+        let r = run(&Fig12Params::quick());
+        for p in &r.points {
+            assert!(p.adaptive <= p.sequential + 1e-9, "d={}", p.d);
+            assert!(p.adaptive <= p.bulk + 1e-9, "d={}", p.d);
+        }
+    }
+
+    #[test]
+    fn improvements_exceed_one() {
+        let r = run(&Fig12Params::default());
+        assert!(r.improvement_vs_sequential() > 1.0);
+        assert!(r.improvement_vs_bulk() >= 1.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Parameterized reproductions of every table and figure in the paper's
+//! evaluation. Each module exposes a `Params` struct (defaults at paper
+//! scale, `quick()` for tests), a `run` function, and a `Display`able
+//! result; the `src/bin/` wrappers print them.
+
+pub mod fig01;
+pub mod fig06;
+pub mod fig07;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod routing;
+pub mod sharing;
+pub mod table1;
+pub mod table2;

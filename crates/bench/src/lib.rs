@@ -1,0 +1,13 @@
+//! # caliqec-bench — experiment harness for the CaliQEC reproduction
+//!
+//! One module per table/figure of the paper's evaluation (see
+//! [`experiments`]), plus Criterion micro-benchmarks over the substrates
+//! (`cargo bench`). Run an individual experiment with e.g.
+//! `cargo run --release -p caliqec-bench --bin fig10_ler_dynamics`, or all
+//! of them with `--bin reproduce_all`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;

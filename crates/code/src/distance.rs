@@ -1,0 +1,218 @@
+//! Code distance of (deformed) patch layouts.
+//!
+//! The Z-distance is the minimum weight of an undetectable Z-error chain
+//! connecting the two Z-boundaries (left↔right): each data qubit is an edge
+//! between the (at most two) X-type stabilizers containing it, or between an
+//! X-stabilizer and a boundary terminal; the distance is the shortest
+//! terminal-to-terminal path. The X-distance is the dual construction over
+//! Z-type stabilizers and the top/bottom boundaries.
+//!
+//! Qubits contained in exactly one X-stabilizer but not on an original
+//! boundary (which happens next to deformation holes whose neighbouring
+//! stabilizer was absorbed) are treated as free chain terminals and assigned
+//! to the geometrically nearest side; see DESIGN.md for the discussion.
+
+use crate::layout::{Coord, PatchLayout, StabKind};
+use std::collections::{HashMap, VecDeque};
+
+/// Distances of a patch layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodeDistance {
+    /// Minimum weight of a logical Z (left↔right chain).
+    pub z: usize,
+    /// Minimum weight of a logical X (top↔bottom chain).
+    pub x: usize,
+}
+
+impl CodeDistance {
+    /// The code distance `min(d_x, d_z)`.
+    pub fn min(&self) -> usize {
+        self.z.min(self.x)
+    }
+}
+
+/// Computes both code distances of `layout`.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_code::{code_distance, rotated_patch};
+///
+/// let patch = rotated_patch(5, 5);
+/// let d = code_distance(&patch);
+/// assert_eq!(d.z, 5);
+/// assert_eq!(d.x, 5);
+/// ```
+pub fn code_distance(layout: &PatchLayout) -> CodeDistance {
+    CodeDistance {
+        z: directional_distance(layout, StabKind::Z),
+        x: directional_distance(layout, StabKind::X),
+    }
+}
+
+/// Shortest undetectable `chain_kind` error chain between the matching pair
+/// of boundaries.
+fn directional_distance(layout: &PatchLayout, chain_kind: StabKind) -> usize {
+    // A Z-chain is detected by X-stabilizers, and vice versa.
+    let detector_kind = chain_kind.opposite();
+    let stabs: Vec<usize> = layout
+        .stabilizers_of(detector_kind)
+        .map(|(i, _)| i)
+        .collect();
+    let index_of: HashMap<usize, usize> = stabs.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+    // Node ids: 0..n = detector stabilizers, n = terminal A, n+1 = terminal B.
+    let n = stabs.len();
+    let (term_a, term_b) = (n, n + 1);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n + 2];
+
+    // Boundary membership for this chain direction.
+    let (side_a, side_b) = match chain_kind {
+        StabKind::Z => (&layout.boundary.left, &layout.boundary.right),
+        StabKind::X => (&layout.boundary.top, &layout.boundary.bottom),
+    };
+    // Geometric midline for free-terminal assignment.
+    let coords: Vec<Coord> = layout.data.iter().copied().collect();
+    let mid = match chain_kind {
+        StabKind::Z => {
+            let (lo, hi) = coords
+                .iter()
+                .fold((i32::MAX, i32::MIN), |(lo, hi), q| (lo.min(q.c), hi.max(q.c)));
+            (lo + hi) / 2
+        }
+        StabKind::X => {
+            let (lo, hi) = coords
+                .iter()
+                .fold((i32::MAX, i32::MIN), |(lo, hi), q| (lo.min(q.r), hi.max(q.r)));
+            (lo + hi) / 2
+        }
+    };
+
+    for &q in &layout.data {
+        let containing = layout.stabilizers_containing(q, detector_kind);
+        let endpoints: Vec<usize> = match containing.len() {
+            2 => containing.iter().map(|i| index_of[i]).collect(),
+            1 => {
+                let s = index_of[&containing[0]];
+                let terminal = if side_a.contains(&q) {
+                    term_a
+                } else if side_b.contains(&q) {
+                    term_b
+                } else {
+                    // Free terminal next to an absorbed stabilizer: assign
+                    // by geometry.
+                    let pos = match chain_kind {
+                        StabKind::Z => q.c,
+                        StabKind::X => q.r,
+                    };
+                    if pos <= mid {
+                        term_a
+                    } else {
+                        term_b
+                    }
+                };
+                vec![s, terminal]
+            }
+            // A qubit in zero detector stabilizers cannot carry a chain
+            // segment usefully (errors on it are invisible but disconnected).
+            _ => continue,
+        };
+        adj[endpoints[0]].push(endpoints[1]);
+        adj[endpoints[1]].push(endpoints[0]);
+    }
+
+    // BFS from terminal A to terminal B (unit edge weights = qubit count).
+    let mut dist = vec![usize::MAX; n + 2];
+    let mut queue = VecDeque::new();
+    dist[term_a] = 0;
+    queue.push_back(term_a);
+    while let Some(u) = queue.pop_front() {
+        if u == term_b {
+            return dist[u];
+        }
+        for &v in &adj[u] {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    // Disconnected: no logical of this orientation exists (e.g. the patch
+    // was measured out). Report the trivial upper bound.
+    layout.data.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deform::{DeformInstruction, DeformedPatch, Lattice, Side};
+    use crate::heavyhex::heavy_hex_patch;
+    use crate::square::{data_coord, rotated_patch};
+
+    #[test]
+    fn pristine_distances_match_dimensions() {
+        for d in [3usize, 5, 7, 9] {
+            let dist = code_distance(&rotated_patch(d, d));
+            assert_eq!(dist.z, d, "z distance at d={d}");
+            assert_eq!(dist.x, d, "x distance at d={d}");
+        }
+    }
+
+    #[test]
+    fn rectangular_patch_distances() {
+        let dist = code_distance(&rotated_patch(3, 7));
+        assert_eq!(dist.x, 3); // top-bottom chain crosses 3 rows
+        assert_eq!(dist.z, 7); // left-right chain crosses 7 columns
+        assert_eq!(dist.min(), 3);
+    }
+
+    #[test]
+    fn heavy_hex_distances_match_square() {
+        let dist = code_distance(&heavy_hex_patch(5, 5));
+        assert_eq!(dist.z, 5);
+        assert_eq!(dist.x, 5);
+    }
+
+    #[test]
+    fn hole_reduces_distance() {
+        let mut patch = DeformedPatch::new(Lattice::Square, 7, 7);
+        let pristine = code_distance(&patch.layout().unwrap());
+        assert_eq!(pristine.min(), 7);
+        // Punch a hole in the middle row: Z-chains can route through the
+        // merged superstabilizer region more cheaply.
+        patch
+            .apply(DeformInstruction::DataQRm {
+                qubit: data_coord(3, 3),
+            })
+            .unwrap();
+        let after = code_distance(&patch.layout().unwrap());
+        assert!(after.min() < 7, "distance after hole: {after:?}");
+        assert!(after.min() >= 5, "single hole costs at most ~2: {after:?}");
+    }
+
+    #[test]
+    fn enlargement_restores_distance() {
+        let mut patch = DeformedPatch::new(Lattice::Square, 7, 7);
+        patch
+            .apply(DeformInstruction::DataQRm {
+                qubit: data_coord(3, 3),
+            })
+            .unwrap();
+        let hurt = code_distance(&patch.layout().unwrap());
+        // Grow the patch until the lost distance is recovered.
+        patch.apply(DeformInstruction::PatchQAd { side: Side::Right }).unwrap();
+        patch.apply(DeformInstruction::PatchQAd { side: Side::Right }).unwrap();
+        patch.apply(DeformInstruction::PatchQAd { side: Side::Bottom }).unwrap();
+        patch.apply(DeformInstruction::PatchQAd { side: Side::Bottom }).unwrap();
+        let healed = code_distance(&patch.layout().unwrap());
+        assert!(healed.min() >= 7, "enlarged distance {healed:?} vs hurt {hurt:?}");
+    }
+
+    #[test]
+    fn shrink_reduces_distance() {
+        let mut patch = DeformedPatch::new(Lattice::Square, 5, 5);
+        patch.apply(DeformInstruction::PatchQRm { side: Side::Right }).unwrap();
+        let dist = code_distance(&patch.layout().unwrap());
+        assert_eq!(dist.z, 4);
+        assert_eq!(dist.x, 5);
+    }
+}

@@ -1,0 +1,109 @@
+//! ASCII rendering of patch layouts.
+//!
+//! Draws data qubits, ancillas (square syndrome qubits or heavy-hex bridge
+//! nodes), superstabilizer markers, and the logical operators — handy for
+//! debugging deformations and for documentation.
+//!
+//! Legend:
+//!
+//! | glyph | meaning |
+//! |---|---|
+//! | `o` | data qubit |
+//! | `Z` | data qubit on the logical Z chain |
+//! | `X` | data qubit on the logical X chain |
+//! | `B` | data qubit on both logicals |
+//! | `.` | ancilla (syndrome or bridge node) |
+//! | `*` | ancilla of a merged superstabilizer |
+//! | ` ` | empty (isolated/removed sites leave gaps) |
+
+use crate::layout::{Coord, PatchLayout};
+use std::collections::BTreeMap;
+
+/// Renders `layout` as ASCII art.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_code::{draw_layout, rotated_patch};
+///
+/// let art = draw_layout(&rotated_patch(3, 3));
+/// assert!(art.contains('o'));
+/// assert!(art.contains('B')); // the corner shared by both logicals
+/// ```
+pub fn draw_layout(layout: &PatchLayout) -> String {
+    let mut glyphs: BTreeMap<Coord, char> = BTreeMap::new();
+    for s in &layout.stabilizers {
+        let mark = if s.is_super() { '*' } else { '.' };
+        for a in s.readout.ancillas() {
+            glyphs.insert(a, mark);
+        }
+    }
+    for &d in &layout.data {
+        let on_z = layout.logical_z.contains(&d);
+        let on_x = layout.logical_x.contains(&d);
+        let g = match (on_z, on_x) {
+            (true, true) => 'B',
+            (true, false) => 'Z',
+            (false, true) => 'X',
+            (false, false) => 'o',
+        };
+        glyphs.insert(d, g);
+    }
+    if glyphs.is_empty() {
+        return String::new();
+    }
+    let min_r = glyphs.keys().map(|c| c.r).min().expect("nonempty");
+    let max_r = glyphs.keys().map(|c| c.r).max().expect("nonempty");
+    let min_c = glyphs.keys().map(|c| c.c).min().expect("nonempty");
+    let max_c = glyphs.keys().map(|c| c.c).max().expect("nonempty");
+    let mut out = String::new();
+    for r in min_r..=max_r {
+        let mut line = String::new();
+        for c in min_c..=max_c {
+            line.push(glyphs.get(&Coord::new(r, c)).copied().unwrap_or(' '));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deform::{DeformInstruction, DeformedPatch, Lattice};
+    use crate::heavyhex::heavy_hex_patch;
+    use crate::square::{data_coord, rotated_patch};
+
+    #[test]
+    fn pristine_square_draws_grid() {
+        let art = draw_layout(&rotated_patch(3, 3));
+        // 3 data columns separated by the pitch, plus logical markers.
+        assert!(art.lines().count() >= 9);
+        assert_eq!(art.matches('B').count(), 1);
+        assert_eq!(art.matches('Z').count(), 2); // top row minus the corner
+        assert_eq!(art.matches('X').count(), 2);
+        assert_eq!(art.matches('o').count(), 4);
+        assert_eq!(art.matches('.').count(), 8); // one ancilla per stabilizer
+    }
+
+    #[test]
+    fn heavy_hex_draws_bridges() {
+        let art = draw_layout(&heavy_hex_patch(3, 3));
+        // 4 interior bridges x 7 + 4 boundary bridges x 3 ancillas.
+        assert_eq!(art.matches('.').count(), 40);
+    }
+
+    #[test]
+    fn deformation_leaves_hole_and_superstab_marker() {
+        let mut patch = DeformedPatch::new(Lattice::Square, 5, 5);
+        patch
+            .apply(DeformInstruction::DataQRm {
+                qubit: data_coord(2, 2),
+            })
+            .unwrap();
+        let art = draw_layout(&patch.layout().unwrap());
+        assert!(art.contains('*'), "superstabilizer marker expected");
+        assert_eq!(art.matches('o').count() + 5 + 4 + 1, 25); // one qubit gone
+    }
+}

@@ -1,0 +1,264 @@
+//! Heavy-hexagon surface-code patch generation.
+//!
+//! Follows the paper's description (Sec. 2.1, Fig. 3c): the stabilizer
+//! pattern is that of the rotated surface code, but each stabilizer is read
+//! out through an "S"-shaped bridge of seven ancilla qubits (three for the
+//! weight-2 boundary stabilizers). Alternating bridge nodes attach to the
+//! stabilizer's data qubits (the paper's degree-3 nodes `qa, qc, qe, qg`);
+//! the nodes between them are pure bridges (degree-2 nodes `qb, qd, qf`).
+//!
+//! The parity collector is SWAP-relayed along the bridge, so errors on bridge
+//! ancillas propagate into the syndrome — the mechanism behind the paper's
+//! observation that heavy-hex devices are *more* sensitive to drifted
+//! two-qubit gates (Sec. 8.3).
+//!
+//! Substitution note (see DESIGN.md): on IBM hardware bridges are shared
+//! between neighbouring stabilizers; here each stabilizer owns its bridge.
+//! The deformation instructions reproduce the paper's stabilizer-group
+//! updates on this model.
+
+use crate::layout::{BoundaryInfo, ChainPart, Coord, PatchLayout, Readout, Stabilizer};
+use crate::square::{data_coord, faces, PITCH};
+use std::collections::BTreeSet;
+
+/// Role of an ancilla within a heavy-hex bridge.
+///
+/// Roles are named after the paper's instruction taxonomy: removing the
+/// paper's *horizontal* degree-2 node `qd` splits the stabilizer into two
+/// weight-2 gauges (our mid-chain node), while removing a *vertical*
+/// degree-2 node (`qb`/`qf`) splits off a weight-1 gauge (our outer bridge
+/// nodes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BridgeRole {
+    /// Attached to a data qubit (the paper's degree-3 nodes
+    /// `qa, qc, qe, qg`; target of `AncQ_RM_Deg3`).
+    Attach,
+    /// The mid-chain bridge whose removal splits the stabilizer into two
+    /// equal gauges (the paper's `qd`; target of `AncQ_RM_HorDeg2`).
+    MidBridge,
+    /// An outer bridge whose removal splits off a single-qubit gauge (the
+    /// paper's `qb`/`qf`; target of `AncQ_RM_VerDeg2`).
+    OuterBridge,
+}
+
+/// Builds the 7-node S-shaped bridge for an interior (weight-4) face.
+///
+/// Chain order: `p0 p1 p2 p3 p4 p5 p6` with attachments
+/// `p0↔top-left, p2↔top-right, p4↔bottom-right, p6↔bottom-left`.
+fn interior_bridge(fr: i32, fc: i32, corners: &[Coord]) -> ChainPart {
+    let base_r = PITCH * fr;
+    let base_c = PITCH * fc;
+    let chain = vec![
+        Coord::new(base_r + 1, base_c + 1),
+        Coord::new(base_r + 1, base_c + 2),
+        Coord::new(base_r + 1, base_c + 3),
+        Coord::new(base_r + 2, base_c + 3),
+        Coord::new(base_r + 3, base_c + 3),
+        Coord::new(base_r + 3, base_c + 2),
+        Coord::new(base_r + 3, base_c + 1),
+    ];
+    // Corner coordinates.
+    let tl = Coord::new(base_r, base_c);
+    let tr = Coord::new(base_r, base_c + PITCH);
+    let br = Coord::new(base_r + PITCH, base_c + PITCH);
+    let bl = Coord::new(base_r + PITCH, base_c);
+    for corner in [tl, tr, br, bl] {
+        debug_assert!(corners.contains(&corner), "interior face has 4 corners");
+    }
+    ChainPart {
+        chain,
+        attach: vec![(0, tl), (2, tr), (4, br), (6, bl)],
+    }
+}
+
+/// Builds the 3-node bridge for a weight-2 boundary face.
+fn boundary_bridge(fr: i32, fc: i32, corners: &[Coord]) -> ChainPart {
+    debug_assert_eq!(corners.len(), 2);
+    let (a, b) = (corners[0], corners[1]);
+    // Place the bridge between the face center and the data pair, outside the
+    // data grid. Midpoint (in lattice units) offset perpendicular to the pair.
+    let chain = if a.r == b.r {
+        // Horizontal pair (top/bottom boundary): bridge row sits toward the
+        // face center row.
+        let row = PITCH * fr + PITCH / 2;
+        let c0 = a.c.min(b.c);
+        vec![
+            Coord::new(row, c0 + 1),
+            Coord::new(row, c0 + 2),
+            Coord::new(row, c0 + 3),
+        ]
+    } else {
+        // Vertical pair (left/right boundary).
+        let col = PITCH * fc + PITCH / 2;
+        let r0 = a.r.min(b.r);
+        vec![
+            Coord::new(r0 + 1, col),
+            Coord::new(r0 + 2, col),
+            Coord::new(r0 + 3, col),
+        ]
+    };
+    let (first, second) = if a < b { (a, b) } else { (b, a) };
+    ChainPart {
+        chain,
+        attach: vec![(0, first), (2, second)],
+    }
+}
+
+/// Generates a pristine heavy-hexagon surface-code patch.
+///
+/// Same stabilizer pattern and logical operators as
+/// [`crate::rotated_patch`], but with bridge readouts.
+///
+/// # Panics
+///
+/// Panics unless `rows` and `cols` are at least 2.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_code::heavy_hex_patch;
+///
+/// let patch = heavy_hex_patch(3, 3);
+/// assert_eq!(patch.data.len(), 9);
+/// assert_eq!(patch.stabilizers.len(), 8);
+/// patch.validate().unwrap();
+/// // Heavy-hex needs far more ancillas than the square lattice.
+/// assert!(patch.ancillas().len() > patch.stabilizers.len());
+/// ```
+pub fn heavy_hex_patch(rows: usize, cols: usize) -> PatchLayout {
+    assert!(
+        rows >= 2 && cols >= 2,
+        "heavy-hex patch requires dimensions >= 2 (got {rows}x{cols})"
+    );
+    let data: BTreeSet<Coord> = (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| data_coord(r, c)))
+        .collect();
+    let stabilizers = faces(rows, cols)
+        .into_iter()
+        .map(|(fr, fc, kind, corners)| {
+            let part = if corners.len() == 4 {
+                interior_bridge(fr, fc, &corners)
+            } else {
+                boundary_bridge(fr, fc, &corners)
+            };
+            Stabilizer {
+                kind,
+                support: corners.into_iter().collect(),
+                readout: Readout::Chain { parts: vec![part] },
+                merged_from: 1,
+            }
+        })
+        .collect();
+    let logical_z: BTreeSet<Coord> = (0..cols).map(|c| data_coord(0, c)).collect();
+    let logical_x: BTreeSet<Coord> = (0..rows).map(|r| data_coord(r, 0)).collect();
+    let boundary = BoundaryInfo {
+        left: (0..rows).map(|r| data_coord(r, 0)).collect(),
+        right: (0..rows).map(|r| data_coord(r, cols - 1)).collect(),
+        top: (0..cols).map(|c| data_coord(0, c)).collect(),
+        bottom: (0..cols).map(|c| data_coord(rows - 1, c)).collect(),
+    };
+    PatchLayout {
+        data,
+        stabilizers,
+        logical_z,
+        logical_x,
+        boundary,
+    }
+}
+
+/// Classifies a bridge ancilla of `stab` by its role.
+///
+/// Returns `None` when the coordinate is not part of the stabilizer's bridge.
+pub fn bridge_role(stab: &Stabilizer, ancilla: Coord) -> Option<BridgeRole> {
+    let Readout::Chain { parts } = &stab.readout else {
+        return None;
+    };
+    for part in parts {
+        if let Some(idx) = part.chain.iter().position(|&a| a == ancilla) {
+            if part.attach.iter().any(|&(k, _)| k == idx) {
+                return Some(BridgeRole::Attach);
+            }
+            // The middle node of a 7-chain splits the stabilizer 2+2;
+            // every other bridge node splits off a singleton gauge.
+            if part.chain.len() == 7 && idx == 3 {
+                return Some(BridgeRole::MidBridge);
+            }
+            return Some(BridgeRole::OuterBridge);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d3_heavy_hex_counts() {
+        let p = heavy_hex_patch(3, 3);
+        p.validate().expect("heavy-hex d=3 valid");
+        // 4 interior faces * 7 + 4 boundary faces * 3 ancillas.
+        assert_eq!(p.ancillas().len(), 4 * 7 + 4 * 3);
+    }
+
+    #[test]
+    fn larger_patches_validate() {
+        for d in [3usize, 5, 7] {
+            heavy_hex_patch(d, d)
+                .validate()
+                .unwrap_or_else(|e| panic!("d={d}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bridge_roles_classified() {
+        let p = heavy_hex_patch(3, 3);
+        let interior = p
+            .stabilizers
+            .iter()
+            .find(|s| s.weight() == 4)
+            .expect("interior stabilizer");
+        let Readout::Chain { parts } = &interior.readout else {
+            panic!("heavy-hex uses chains");
+        };
+        let chain = &parts[0].chain;
+        assert_eq!(bridge_role(interior, chain[0]), Some(BridgeRole::Attach));
+        assert_eq!(
+            bridge_role(interior, chain[1]),
+            Some(BridgeRole::OuterBridge)
+        );
+        assert_eq!(
+            bridge_role(interior, chain[3]),
+            Some(BridgeRole::MidBridge)
+        );
+        assert_eq!(bridge_role(interior, Coord::new(999, 999)), None);
+    }
+
+    #[test]
+    fn bridges_do_not_collide() {
+        let p = heavy_hex_patch(5, 5);
+        // All ancillas distinct and disjoint from data.
+        let mut seen = BTreeSet::new();
+        for s in &p.stabilizers {
+            for a in s.readout.ancillas() {
+                assert!(seen.insert(a), "duplicate ancilla {a}");
+                assert!(!p.data.contains(&a), "ancilla {a} collides with data");
+            }
+        }
+    }
+
+    #[test]
+    fn attachments_cover_support() {
+        let p = heavy_hex_patch(5, 5);
+        for s in &p.stabilizers {
+            let Readout::Chain { parts } = &s.readout else {
+                panic!("chain readout expected");
+            };
+            let attached: BTreeSet<Coord> = parts
+                .iter()
+                .flat_map(|p| p.attach.iter().map(|&(_, q)| q))
+                .collect();
+            assert_eq!(attached, s.support);
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Generic surface-code patch layouts.
+//!
+//! A [`PatchLayout`] is the lattice-agnostic description of a (possibly
+//! deformed) surface-code patch: data qubits, stabilizers with their readout
+//! hardware, logical operators, and boundary membership. Both the square and
+//! heavy-hexagon generators produce this representation, and the deformation
+//! instructions rewrite it.
+//!
+//! ## Coordinates
+//!
+//! All qubits live on an integer grid with data qubits at multiples of 4
+//! (`(4r, 4c)`), leaving room for square-lattice ancillas at face centers
+//! (`(4r+2, 4c+2)`) and for the heavy-hex 7-ancilla bridges inside faces.
+//!
+//! ## Conventions
+//!
+//! - Z-type weight-2 boundary stabilizers sit on the **left/right** edges;
+//!   the **logical Z** is a horizontal chain connecting left to right.
+//! - X-type weight-2 boundary stabilizers sit on the **top/bottom** edges;
+//!   the **logical X** is a vertical chain connecting top to bottom.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A lattice coordinate (row, column).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Coord {
+    /// Row (grows downward).
+    pub r: i32,
+    /// Column (grows rightward).
+    pub c: i32,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub const fn new(r: i32, c: i32) -> Coord {
+        Coord { r, c }
+    }
+
+    /// Manhattan distance to `other`.
+    pub fn manhattan(self, other: Coord) -> i32 {
+        (self.r - other.r).abs() + (self.c - other.c).abs()
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.r, self.c)
+    }
+}
+
+/// The Pauli type of a stabilizer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum StabKind {
+    /// Product of X on the support.
+    X,
+    /// Product of Z on the support.
+    Z,
+}
+
+impl StabKind {
+    /// The opposite stabilizer type.
+    pub fn opposite(self) -> StabKind {
+        match self {
+            StabKind::X => StabKind::Z,
+            StabKind::Z => StabKind::X,
+        }
+    }
+}
+
+/// One contiguous segment of a heavy-hex ancilla bridge.
+///
+/// A pristine stabilizer has a single part; removing a bridge ancilla splits
+/// the chain into parts, each measuring a *gauge* operator over its attached
+/// data qubits. The stabilizer outcome is the XOR of the part outcomes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChainPart {
+    /// Bridge ancillas in relay order.
+    pub chain: Vec<Coord>,
+    /// `(chain index, data qubit)` attachment points, in relay order.
+    pub attach: Vec<(usize, Coord)>,
+}
+
+impl ChainPart {
+    /// The qubit whose measurement yields this part's gauge outcome.
+    pub fn measured_qubit(&self) -> Coord {
+        *self.chain.last().expect("chain is never empty")
+    }
+
+    /// The data qubits this part is attached to (the gauge support).
+    pub fn gauge_support(&self) -> BTreeSet<Coord> {
+        self.attach.iter().map(|&(_, q)| q).collect()
+    }
+}
+
+/// How a stabilizer's parity is read out.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Readout {
+    /// A single syndrome ancilla directly coupled to every support qubit
+    /// (square lattice, and merged superstabilizers).
+    Direct {
+        /// The syndrome qubit.
+        ancilla: Coord,
+    },
+    /// A heavy-hex ancilla bridge, possibly split into several gauge parts
+    /// whose outcomes are XORed to give the stabilizer value.
+    Chain {
+        /// Gauge parts in measurement order (one part when pristine).
+        parts: Vec<ChainPart>,
+    },
+}
+
+impl Readout {
+    /// Convenience constructor for a single-part chain readout.
+    pub fn single_chain(chain: Vec<Coord>, attach: Vec<(usize, Coord)>) -> Readout {
+        Readout::Chain {
+            parts: vec![ChainPart { chain, attach }],
+        }
+    }
+
+    /// All ancilla qubits used by this readout.
+    pub fn ancillas(&self) -> Vec<Coord> {
+        match self {
+            Readout::Direct { ancilla } => vec![*ancilla],
+            Readout::Chain { parts } => parts.iter().flat_map(|p| p.chain.clone()).collect(),
+        }
+    }
+
+    /// The qubit(s) whose measurements are XORed into the stabilizer outcome.
+    pub fn measured_qubits(&self) -> Vec<Coord> {
+        match self {
+            Readout::Direct { ancilla } => vec![*ancilla],
+            Readout::Chain { parts } => parts.iter().map(|p| p.measured_qubit()).collect(),
+        }
+    }
+}
+
+/// One stabilizer generator of a patch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Stabilizer {
+    /// Pauli type.
+    pub kind: StabKind,
+    /// Data qubits in the support.
+    pub support: BTreeSet<Coord>,
+    /// Readout hardware.
+    pub readout: Readout,
+    /// Number of original stabilizers merged into this one (1 = pristine;
+    /// ≥ 2 = superstabilizer).
+    pub merged_from: usize,
+}
+
+impl Stabilizer {
+    /// Whether this is a merged superstabilizer.
+    pub fn is_super(&self) -> bool {
+        self.merged_from > 1
+    }
+
+    /// The stabilizer weight (support size).
+    pub fn weight(&self) -> usize {
+        self.support.len()
+    }
+}
+
+/// Which patch boundary a qubit belongs to.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BoundaryInfo {
+    /// Data qubits on the left (Z-type) boundary.
+    pub left: BTreeSet<Coord>,
+    /// Data qubits on the right (Z-type) boundary.
+    pub right: BTreeSet<Coord>,
+    /// Data qubits on the top (X-type) boundary.
+    pub top: BTreeSet<Coord>,
+    /// Data qubits on the bottom (X-type) boundary.
+    pub bottom: BTreeSet<Coord>,
+}
+
+/// Validation failure for a [`PatchLayout`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A stabilizer's support is not a subset of the data qubits.
+    SupportOutsideData {
+        /// Index of the offending stabilizer.
+        stabilizer: usize,
+    },
+    /// Two opposite-type stabilizers overlap on an odd number of qubits.
+    Anticommuting {
+        /// Indices of the offending pair.
+        pair: (usize, usize),
+    },
+    /// A stabilizer has an empty support.
+    EmptySupport {
+        /// Index of the offending stabilizer.
+        stabilizer: usize,
+    },
+    /// A logical operator anticommutes with a stabilizer.
+    LogicalAnticommutes {
+        /// Index of the offending stabilizer.
+        stabilizer: usize,
+        /// Which logical operator ("Z" or "X").
+        logical: StabKind,
+    },
+    /// The logical X and Z operators do not anticommute with each other.
+    LogicalsCommute,
+    /// A data qubit appears in more than two same-type stabilizers.
+    OvercrowdedQubit {
+        /// The offending data qubit.
+        qubit: Coord,
+    },
+    /// Ancilla and data coordinates collide.
+    AncillaCollision {
+        /// The clashing coordinate.
+        qubit: Coord,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::SupportOutsideData { stabilizer } => {
+                write!(f, "stabilizer {stabilizer} acts outside the data set")
+            }
+            LayoutError::Anticommuting { pair } => {
+                write!(f, "stabilizers {} and {} anticommute", pair.0, pair.1)
+            }
+            LayoutError::EmptySupport { stabilizer } => {
+                write!(f, "stabilizer {stabilizer} has empty support")
+            }
+            LayoutError::LogicalAnticommutes { stabilizer, logical } => write!(
+                f,
+                "logical {logical:?} anticommutes with stabilizer {stabilizer}"
+            ),
+            LayoutError::LogicalsCommute => write!(f, "logical X and Z do not anticommute"),
+            LayoutError::OvercrowdedQubit { qubit } => {
+                write!(f, "qubit {qubit} is in more than two same-type stabilizers")
+            }
+            LayoutError::AncillaCollision { qubit } => {
+                write!(f, "coordinate {qubit} is both data and ancilla")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// A (possibly deformed) surface-code patch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PatchLayout {
+    /// Data qubits.
+    pub data: BTreeSet<Coord>,
+    /// Stabilizer generators.
+    pub stabilizers: Vec<Stabilizer>,
+    /// Support of the logical Z operator (left↔right chain).
+    pub logical_z: BTreeSet<Coord>,
+    /// Support of the logical X operator (top↔bottom chain).
+    pub logical_x: BTreeSet<Coord>,
+    /// Boundary membership.
+    pub boundary: BoundaryInfo,
+}
+
+impl PatchLayout {
+    /// All ancilla qubits of every stabilizer readout.
+    pub fn ancillas(&self) -> BTreeSet<Coord> {
+        self.stabilizers
+            .iter()
+            .flat_map(|s| s.readout.ancillas())
+            .collect()
+    }
+
+    /// Total physical qubits (data + ancilla).
+    pub fn num_physical_qubits(&self) -> usize {
+        self.data.len() + self.ancillas().len()
+    }
+
+    /// Stabilizers of the given type, with their indices.
+    pub fn stabilizers_of(&self, kind: StabKind) -> impl Iterator<Item = (usize, &Stabilizer)> {
+        self.stabilizers
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| s.kind == kind)
+    }
+
+    /// Indices of the `kind`-type stabilizers containing `qubit`.
+    pub fn stabilizers_containing(&self, qubit: Coord, kind: StabKind) -> Vec<usize> {
+        self.stabilizers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind == kind && s.support.contains(&qubit))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of merged superstabilizers.
+    pub fn num_superstabilizers(&self) -> usize {
+        self.stabilizers.iter().filter(|s| s.is_super()).count()
+    }
+
+    /// Validates the layout invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: support containment, pairwise
+    /// stabilizer commutation, logical-operator commutation/anticommutation,
+    /// per-qubit stabilizer crowding, and data/ancilla coordinate collisions.
+    pub fn validate(&self) -> Result<(), LayoutError> {
+        for (i, s) in self.stabilizers.iter().enumerate() {
+            if s.support.is_empty() {
+                return Err(LayoutError::EmptySupport { stabilizer: i });
+            }
+            if !s.support.is_subset(&self.data) {
+                return Err(LayoutError::SupportOutsideData { stabilizer: i });
+            }
+        }
+        // Pairwise commutation: opposite types must overlap evenly.
+        for (i, a) in self.stabilizers.iter().enumerate() {
+            for (j, b) in self.stabilizers.iter().enumerate().skip(i + 1) {
+                if a.kind != b.kind && a.support.intersection(&b.support).count() % 2 == 1 {
+                    return Err(LayoutError::Anticommuting { pair: (i, j) });
+                }
+            }
+        }
+        // Logical operators commute with every stabilizer of opposite type.
+        for (i, s) in self.stabilizers.iter().enumerate() {
+            let overlap_z = s.support.intersection(&self.logical_z).count();
+            let overlap_x = s.support.intersection(&self.logical_x).count();
+            if s.kind == StabKind::X && overlap_z % 2 == 1 {
+                return Err(LayoutError::LogicalAnticommutes {
+                    stabilizer: i,
+                    logical: StabKind::Z,
+                });
+            }
+            if s.kind == StabKind::Z && overlap_x % 2 == 1 {
+                return Err(LayoutError::LogicalAnticommutes {
+                    stabilizer: i,
+                    logical: StabKind::X,
+                });
+            }
+        }
+        if !self.logical_z.is_empty()
+            && self
+                .logical_z
+                .intersection(&self.logical_x)
+                .count()
+                % 2
+                == 0
+        {
+            return Err(LayoutError::LogicalsCommute);
+        }
+        // Per-qubit crowding (needed by the distance graphs).
+        let mut count: BTreeMap<(Coord, StabKind), usize> = BTreeMap::new();
+        for s in &self.stabilizers {
+            for &q in &s.support {
+                *count.entry((q, s.kind)).or_default() += 1;
+            }
+        }
+        for ((q, _), n) in count {
+            if n > 2 {
+                return Err(LayoutError::OvercrowdedQubit { qubit: q });
+            }
+        }
+        // Coordinate collisions.
+        let ancillas = self.ancillas();
+        if let Some(&q) = ancillas.intersection(&self.data).next() {
+            return Err(LayoutError::AncillaCollision { qubit: q });
+        }
+        Ok(())
+    }
+}
+
+/// Symmetric difference of two supports (the support of the operator
+/// product).
+pub(crate) fn support_product(a: &BTreeSet<Coord>, b: &BTreeSet<Coord>) -> BTreeSet<Coord> {
+    a.symmetric_difference(b).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_layout() -> PatchLayout {
+        // Two data qubits, one ZZ stabilizer, logicals Z0 (weird but legal
+        // for testing) and X0 X1.
+        let d0 = Coord::new(0, 0);
+        let d1 = Coord::new(0, 4);
+        PatchLayout {
+            data: [d0, d1].into_iter().collect(),
+            stabilizers: vec![Stabilizer {
+                kind: StabKind::Z,
+                support: [d0, d1].into_iter().collect(),
+                readout: Readout::Direct {
+                    ancilla: Coord::new(0, 2),
+                },
+                merged_from: 1,
+            }],
+            logical_z: [d0].into_iter().collect(),
+            logical_x: [d0, d1].into_iter().collect(),
+            boundary: BoundaryInfo::default(),
+        }
+    }
+
+    #[test]
+    fn tiny_layout_is_valid() {
+        tiny_layout().validate().expect("valid layout");
+    }
+
+    #[test]
+    fn detects_support_outside_data() {
+        let mut l = tiny_layout();
+        l.data.remove(&Coord::new(0, 4));
+        assert!(matches!(
+            l.validate(),
+            Err(LayoutError::SupportOutsideData { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_anticommutation() {
+        let mut l = tiny_layout();
+        let d0 = Coord::new(0, 0);
+        l.stabilizers.push(Stabilizer {
+            kind: StabKind::X,
+            support: [d0].into_iter().collect(),
+            readout: Readout::Direct {
+                ancilla: Coord::new(2, 0),
+            },
+            merged_from: 1,
+        });
+        assert!(matches!(
+            l.validate(),
+            Err(LayoutError::Anticommuting { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_logical_anticommutation() {
+        let mut l = tiny_layout();
+        l.logical_x = [Coord::new(0, 0)].into_iter().collect(); // overlaps ZZ once
+        assert!(matches!(
+            l.validate(),
+            Err(LayoutError::LogicalAnticommutes { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_commuting_logicals() {
+        let mut l = tiny_layout();
+        l.logical_z = [Coord::new(0, 0), Coord::new(0, 4)].into_iter().collect();
+        assert!(matches!(l.validate(), Err(LayoutError::LogicalsCommute)));
+    }
+
+    #[test]
+    fn detects_ancilla_collision() {
+        let mut l = tiny_layout();
+        l.stabilizers[0].readout = Readout::Direct {
+            ancilla: Coord::new(0, 0),
+        };
+        assert!(matches!(
+            l.validate(),
+            Err(LayoutError::AncillaCollision { .. })
+        ));
+    }
+
+    #[test]
+    fn support_product_cancels_shared() {
+        let a: BTreeSet<_> = [Coord::new(0, 0), Coord::new(0, 4)].into_iter().collect();
+        let b: BTreeSet<_> = [Coord::new(0, 4), Coord::new(4, 0)].into_iter().collect();
+        let p = support_product(&a, &b);
+        assert_eq!(
+            p,
+            [Coord::new(0, 0), Coord::new(4, 0)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn readout_measured_qubit() {
+        let chain = Readout::single_chain(
+            vec![Coord::new(1, 1), Coord::new(1, 2)],
+            vec![(0, Coord::new(0, 0))],
+        );
+        assert_eq!(chain.measured_qubits(), vec![Coord::new(1, 2)]);
+        assert_eq!(chain.ancillas().len(), 2);
+    }
+
+    #[test]
+    fn coord_ordering_and_distance() {
+        assert!(Coord::new(0, 0) < Coord::new(0, 1));
+        assert_eq!(Coord::new(1, 2).manhattan(Coord::new(3, 0)), 4);
+    }
+}

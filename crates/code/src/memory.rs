@@ -1,0 +1,489 @@
+//! Memory-experiment circuit generation for (possibly deformed) patches.
+//!
+//! Turns a [`PatchLayout`] into a noisy Clifford circuit: repeated rounds of
+//! stabilizer extraction with circuit-level noise, detector annotations
+//! comparing consecutive rounds (per gauge part), and a final transversal
+//! data measurement carrying the logical observable.
+//!
+//! Noise follows the paper's standard circuit-level model (Sec. 7.2):
+//! depolarizing errors after one- and two-qubit gates, flip errors on
+//! measurement and reset, and a per-round idle depolarization on data qubits.
+//! Per-qubit and per-pair overrides express *drifted* gates for the
+//! calibration experiments (Figs. 10 and 13).
+
+use crate::layout::{Coord, PatchLayout, Readout, StabKind};
+use caliqec_stab::{Basis, Circuit, MeasIdx, Noise1, Noise2, Qubit};
+use std::collections::{BTreeMap, HashMap};
+
+/// Circuit-level noise parameters with per-site drift overrides.
+#[derive(Clone, Debug, Default)]
+pub struct NoiseModel {
+    /// Depolarizing probability after each one-qubit gate.
+    pub p1: f64,
+    /// Two-qubit depolarizing probability after each two-qubit gate.
+    pub p2: f64,
+    /// Classical flip probability on each measurement.
+    pub p_meas: f64,
+    /// Pauli flip probability after each reset.
+    pub p_reset: f64,
+    /// Per-round depolarizing probability on idle data qubits.
+    pub p_idle: f64,
+    /// Absolute overrides of the one-qubit gate error on specific qubits
+    /// (drifted single-qubit gates).
+    pub qubit_override: HashMap<Coord, f64>,
+    /// Absolute overrides of the two-qubit gate error on specific couplers
+    /// (drifted two-qubit gates); keys are normalized with
+    /// [`NoiseModel::pair_key`].
+    pub pair_override: HashMap<(Coord, Coord), f64>,
+}
+
+impl NoiseModel {
+    /// Uniform circuit-level noise at rate `p` on every channel.
+    pub fn uniform(p: f64) -> NoiseModel {
+        NoiseModel {
+            p1: p,
+            p2: p,
+            p_meas: p,
+            p_reset: p,
+            p_idle: p,
+            ..NoiseModel::default()
+        }
+    }
+
+    /// Noiseless model.
+    pub fn ideal() -> NoiseModel {
+        NoiseModel::default()
+    }
+
+    /// Normalized (ordered) key for a coupler.
+    pub fn pair_key(a: Coord, b: Coord) -> (Coord, Coord) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Marks the one-qubit gate on `q` as drifted to error rate `p`.
+    pub fn drift_qubit(&mut self, q: Coord, p: f64) -> &mut Self {
+        self.qubit_override.insert(q, p);
+        self
+    }
+
+    /// Marks the two-qubit gate on `(a, b)` as drifted to error rate `p`.
+    pub fn drift_pair(&mut self, a: Coord, b: Coord, p: f64) -> &mut Self {
+        self.pair_override.insert(Self::pair_key(a, b), p);
+        self
+    }
+
+    /// Effective one-qubit gate error on `q`.
+    pub fn p1_at(&self, q: Coord) -> f64 {
+        self.qubit_override.get(&q).copied().unwrap_or(self.p1)
+    }
+
+    /// Effective idle depolarization on `q` per round (drifted qubits idle
+    /// worse too).
+    pub fn idle_at(&self, q: Coord) -> f64 {
+        self.qubit_override.get(&q).copied().unwrap_or(self.p_idle)
+    }
+
+    /// Effective two-qubit gate error on the coupler `(a, b)`.
+    pub fn p2_at(&self, a: Coord, b: Coord) -> f64 {
+        self.pair_override
+            .get(&Self::pair_key(a, b))
+            .copied()
+            .unwrap_or(self.p2)
+    }
+}
+
+/// Which logical memory is being protected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemoryBasis {
+    /// Protect `|0⟩`: Z-stabilizer detectors from round 0, logical Z readout.
+    Z,
+    /// Protect `|+⟩`: X-stabilizer detectors from round 0, logical X readout.
+    X,
+}
+
+/// A generated memory experiment.
+#[derive(Clone, Debug)]
+pub struct MemoryCircuit {
+    /// The noisy circuit with detectors and one logical observable.
+    pub circuit: Circuit,
+    /// Coordinate → circuit qubit index.
+    pub qubit_at: BTreeMap<Coord, Qubit>,
+    /// Number of stabilizer-extraction rounds.
+    pub rounds: usize,
+}
+
+struct Builder<'a> {
+    circuit: Circuit,
+    noise: &'a NoiseModel,
+    qubit_at: BTreeMap<Coord, Qubit>,
+}
+
+impl Builder<'_> {
+    fn q(&self, c: Coord) -> Qubit {
+        self.qubit_at[&c]
+    }
+
+    /// Reset into a basis, with reset noise (and H noise for the X basis).
+    fn reset_in(&mut self, c: Coord, basis: Basis) {
+        let q = self.q(c);
+        self.circuit.reset(Basis::Z, &[q]);
+        self.circuit.noise1(Noise1::XError, self.noise.p_reset, &[q]);
+        if basis == Basis::X {
+            self.circuit.h(q);
+            self.circuit
+                .noise1(Noise1::Depolarize1, self.noise.p1_at(c), &[q]);
+        }
+    }
+
+    /// Measure in a basis (H expansion creates a 1q-gate noise site for the
+    /// X basis), with classical flip noise.
+    fn measure_in(&mut self, c: Coord, basis: Basis) -> MeasIdx {
+        let q = self.q(c);
+        if basis == Basis::X {
+            self.circuit.h(q);
+            self.circuit
+                .noise1(Noise1::Depolarize1, self.noise.p1_at(c), &[q]);
+        }
+        self.circuit.measure(q, Basis::Z, self.noise.p_meas)
+    }
+
+    fn cx(&mut self, control: Coord, target: Coord) {
+        let (c, t) = (self.q(control), self.q(target));
+        self.circuit.cx(c, t);
+        self.circuit
+            .noise2(Noise2::Depolarize2, self.noise.p2_at(control, target), &[(c, t)]);
+    }
+
+    fn swap(&mut self, a: Coord, b: Coord) {
+        let (qa, qb) = (self.q(a), self.q(b));
+        self.circuit.g2(caliqec_stab::Gate2::Swap, qa, qb);
+        self.circuit
+            .noise2(Noise2::Depolarize2, self.noise.p2_at(a, b), &[(qa, qb)]);
+    }
+
+    /// Measures a direct-readout stabilizer over `support`.
+    fn measure_direct(
+        &mut self,
+        kind: StabKind,
+        ancilla: Coord,
+        support: &[Coord],
+    ) -> MeasIdx {
+        match kind {
+            StabKind::Z => {
+                self.reset_in(ancilla, Basis::Z);
+                for &d in support {
+                    self.cx(d, ancilla);
+                }
+                self.measure_in(ancilla, Basis::Z)
+            }
+            StabKind::X => {
+                // CX conjugates the collector's X onto the data, so the final
+                // X-basis readout measures the X-parity of the support.
+                self.reset_in(ancilla, Basis::X);
+                for &d in support {
+                    self.cx(ancilla, d);
+                }
+                self.measure_in(ancilla, Basis::X)
+            }
+        }
+    }
+
+    /// Measures one gauge part of a chain-readout stabilizer: the parity
+    /// collector is SWAP-relayed along the bridge, interacting with each
+    /// attached data qubit in order, and is measured at the chain end.
+    fn measure_chain_part(
+        &mut self,
+        kind: StabKind,
+        chain: &[Coord],
+        attach: &[(usize, Coord)],
+    ) -> MeasIdx {
+        let basis = match kind {
+            StabKind::Z => Basis::Z,
+            StabKind::X => Basis::X,
+        };
+        for &a in chain {
+            self.reset_in(a, if a == chain[0] { basis } else { Basis::Z });
+        }
+        let mut pos = 0usize;
+        for &(k, d) in attach {
+            while pos < k {
+                self.swap(chain[pos], chain[pos + 1]);
+                pos += 1;
+            }
+            match kind {
+                StabKind::Z => self.cx(d, chain[pos]),
+                StabKind::X => self.cx(chain[pos], d),
+            }
+        }
+        while pos + 1 < chain.len() {
+            self.swap(chain[pos], chain[pos + 1]);
+            pos += 1;
+        }
+        self.measure_in(chain[pos], basis)
+    }
+}
+
+/// Generates a `rounds`-round memory experiment for `layout`.
+///
+/// Detectors compare each stabilizer gauge part with its previous-round
+/// value; same-basis stabilizers additionally anchor to the initial state
+/// (round 0) and to the final transversal readout. Observable 0 is the
+/// logical operator of the protected basis.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0` or the layout has no data qubits.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+/// use caliqec_stab::check_deterministic_detectors;
+/// use rand::SeedableRng;
+///
+/// let mem = memory_circuit(
+///     &rotated_patch(3, 3),
+///     &NoiseModel::uniform(0.001),
+///     3,
+///     MemoryBasis::Z,
+/// );
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// check_deterministic_detectors(&mem.circuit, 4, &mut rng).unwrap();
+/// ```
+pub fn memory_circuit(
+    layout: &PatchLayout,
+    noise: &NoiseModel,
+    rounds: usize,
+    basis: MemoryBasis,
+) -> MemoryCircuit {
+    assert!(rounds > 0, "memory experiment needs at least one round");
+    assert!(!layout.data.is_empty(), "layout has no data qubits");
+    // Qubit index assignment: data first, then ancillas.
+    let mut qubit_at: BTreeMap<Coord, Qubit> = BTreeMap::new();
+    for &d in &layout.data {
+        let n = qubit_at.len() as Qubit;
+        qubit_at.insert(d, n);
+    }
+    for a in layout.ancillas() {
+        let n = qubit_at.len() as Qubit;
+        qubit_at.entry(a).or_insert(n);
+    }
+    let mut b = Builder {
+        circuit: Circuit::new(qubit_at.len()),
+        noise,
+        qubit_at,
+    };
+
+    let init_basis = match basis {
+        MemoryBasis::Z => Basis::Z,
+        MemoryBasis::X => Basis::X,
+    };
+    let anchored_kind = match basis {
+        MemoryBasis::Z => StabKind::Z,
+        MemoryBasis::X => StabKind::X,
+    };
+    let data: Vec<Coord> = layout.data.iter().copied().collect();
+    for &d in &data {
+        b.reset_in(d, init_basis);
+    }
+
+    // prev[s] = measurement records of stabilizer s's parts, previous round.
+    let mut prev: Vec<Vec<MeasIdx>> = vec![Vec::new(); layout.stabilizers.len()];
+    for round in 0..rounds {
+        // Idle depolarization on data qubits (per-qubit drift overrides).
+        for &d in &data {
+            let p = noise.idle_at(d);
+            let q = b.q(d);
+            b.circuit.noise1(Noise1::Depolarize1, p, &[q]);
+        }
+        for (si, stab) in layout.stabilizers.iter().enumerate() {
+            let meas: Vec<MeasIdx> = match &stab.readout {
+                Readout::Direct { ancilla } => {
+                    let support: Vec<Coord> = stab.support.iter().copied().collect();
+                    vec![b.measure_direct(stab.kind, *ancilla, &support)]
+                }
+                Readout::Chain { parts } => parts
+                    .iter()
+                    .map(|p| b.measure_chain_part(stab.kind, &p.chain, &p.attach))
+                    .collect(),
+            };
+            if round == 0 {
+                if stab.kind == anchored_kind {
+                    // Anchored to the initial product state: each gauge part
+                    // is individually deterministic.
+                    for &m in &meas {
+                        b.circuit.detector(&[m]);
+                    }
+                }
+            } else {
+                for (m, pm) in meas.iter().zip(&prev[si]) {
+                    b.circuit.detector(&[*m, *pm]);
+                }
+            }
+            prev[si] = meas;
+        }
+    }
+
+    // Final transversal readout.
+    let mut final_meas: BTreeMap<Coord, MeasIdx> = BTreeMap::new();
+    for &d in &data {
+        let m = b.measure_in(d, init_basis);
+        final_meas.insert(d, m);
+    }
+    // Anchor same-basis stabilizers to the data readout.
+    for (si, stab) in layout.stabilizers.iter().enumerate() {
+        if stab.kind != anchored_kind {
+            continue;
+        }
+        let mut records: Vec<MeasIdx> = stab.support.iter().map(|d| final_meas[d]).collect();
+        records.extend(prev[si].iter().copied());
+        b.circuit.detector(&records);
+    }
+    // Logical observable.
+    let logical = match basis {
+        MemoryBasis::Z => &layout.logical_z,
+        MemoryBasis::X => &layout.logical_x,
+    };
+    let obs: Vec<MeasIdx> = logical.iter().map(|d| final_meas[d]).collect();
+    b.circuit.observable(0, &obs);
+
+    MemoryCircuit {
+        circuit: b.circuit,
+        qubit_at: b.qubit_at,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deform::{DeformInstruction, DeformedPatch, Lattice};
+    use crate::heavyhex::heavy_hex_patch;
+    use crate::square::{data_coord, rotated_patch};
+    use caliqec_stab::check_deterministic_detectors;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_deterministic(circuit: &Circuit) {
+        let mut rng = StdRng::seed_from_u64(11);
+        check_deterministic_detectors(circuit, 4, &mut rng)
+            .unwrap_or_else(|e| panic!("nondeterministic circuit: {e}"));
+    }
+
+    #[test]
+    fn square_memory_z_is_deterministic() {
+        let mem = memory_circuit(
+            &rotated_patch(3, 3),
+            &NoiseModel::ideal(),
+            3,
+            MemoryBasis::Z,
+        );
+        assert_deterministic(&mem.circuit);
+    }
+
+    #[test]
+    fn square_memory_x_is_deterministic() {
+        let mem = memory_circuit(
+            &rotated_patch(3, 3),
+            &NoiseModel::ideal(),
+            3,
+            MemoryBasis::X,
+        );
+        assert_deterministic(&mem.circuit);
+    }
+
+    #[test]
+    fn heavy_hex_memory_both_bases_deterministic() {
+        for basis in [MemoryBasis::Z, MemoryBasis::X] {
+            let mem = memory_circuit(
+                &heavy_hex_patch(3, 3),
+                &NoiseModel::ideal(),
+                2,
+                basis,
+            );
+            assert_deterministic(&mem.circuit);
+        }
+    }
+
+    #[test]
+    fn deformed_square_memory_deterministic() {
+        let mut patch = DeformedPatch::new(Lattice::Square, 5, 5);
+        patch
+            .apply(DeformInstruction::DataQRm {
+                qubit: data_coord(2, 2),
+            })
+            .unwrap();
+        let mem = memory_circuit(
+            &patch.layout().unwrap(),
+            &NoiseModel::ideal(),
+            3,
+            MemoryBasis::Z,
+        );
+        assert_deterministic(&mem.circuit);
+    }
+
+    #[test]
+    fn deformed_heavy_hex_split_chain_deterministic() {
+        let mut patch = DeformedPatch::new(Lattice::HeavyHex, 5, 5);
+        let layout = patch.layout().unwrap();
+        let stab = layout
+            .stabilizers
+            .iter()
+            .find(|s| s.weight() == 4 && s.kind == StabKind::X)
+            .unwrap();
+        let Readout::Chain { parts } = &stab.readout else {
+            panic!()
+        };
+        let mid = parts[0].chain[3];
+        patch
+            .apply(DeformInstruction::AncQRmHorDeg2 { ancilla: mid })
+            .unwrap();
+        for basis in [MemoryBasis::Z, MemoryBasis::X] {
+            let mem = memory_circuit(
+                &patch.layout().unwrap(),
+                &NoiseModel::ideal(),
+                2,
+                basis,
+            );
+            assert_deterministic(&mem.circuit);
+        }
+    }
+
+    #[test]
+    fn detector_count_scales_with_rounds() {
+        let layout = rotated_patch(3, 3);
+        let m2 = memory_circuit(&layout, &NoiseModel::ideal(), 2, MemoryBasis::Z);
+        let m4 = memory_circuit(&layout, &NoiseModel::ideal(), 4, MemoryBasis::Z);
+        // Each extra round adds one detector per stabilizer (8 here).
+        assert_eq!(
+            m4.circuit.num_detectors() - m2.circuit.num_detectors(),
+            2 * 8
+        );
+    }
+
+    #[test]
+    fn noise_sites_present_under_uniform_model() {
+        let mem = memory_circuit(
+            &rotated_patch(3, 3),
+            &NoiseModel::uniform(0.001),
+            2,
+            MemoryBasis::Z,
+        );
+        assert!(mem.circuit.num_noise_sites() > 50);
+    }
+
+    #[test]
+    fn overrides_change_effective_rates() {
+        let mut noise = NoiseModel::uniform(0.001);
+        let q = data_coord(1, 1);
+        noise.drift_qubit(q, 0.05);
+        noise.drift_pair(data_coord(0, 0), data_coord(0, 1), 0.07);
+        assert_eq!(noise.p1_at(q), 0.05);
+        assert_eq!(noise.p1_at(data_coord(0, 0)), 0.001);
+        assert_eq!(noise.p2_at(data_coord(0, 1), data_coord(0, 0)), 0.07);
+    }
+}

@@ -1,0 +1,197 @@
+//! Rotated square-lattice surface-code patch generation.
+//!
+//! The rotated surface code on a `rows × cols` data grid has `rows*cols - 1`
+//! stabilizers: weight-4 checkerboard faces in the interior, weight-2 X faces
+//! on the top/bottom boundaries, and weight-2 Z faces on the left/right
+//! boundaries. For odd `rows == cols == d` this is the standard distance-`d`
+//! rotated code.
+
+use crate::layout::{BoundaryInfo, Coord, PatchLayout, Readout, StabKind, Stabilizer};
+use std::collections::BTreeSet;
+
+/// Grid pitch between adjacent data qubits (room for ancillas in between).
+pub const PITCH: i32 = 4;
+
+/// Coordinate of the data qubit at grid position `(r, c)`.
+pub fn data_coord(r: usize, c: usize) -> Coord {
+    Coord::new(PITCH * r as i32, PITCH * c as i32)
+}
+
+/// Coordinate of the square-lattice syndrome ancilla of face `(fr, fc)`.
+pub fn face_ancilla(fr: i32, fc: i32) -> Coord {
+    Coord::new(PITCH * fr + PITCH / 2, PITCH * fc + PITCH / 2)
+}
+
+/// The Pauli type of face `(fr, fc)` under the checkerboard convention.
+pub fn face_kind(fr: i32, fc: i32) -> StabKind {
+    if (fr + fc).rem_euclid(2) == 0 {
+        StabKind::Z
+    } else {
+        StabKind::X
+    }
+}
+
+/// Enumerates the faces of a `rows × cols` rotated patch as
+/// `(fr, fc, kind, corners)`.
+pub(crate) fn faces(rows: usize, cols: usize) -> Vec<(i32, i32, StabKind, Vec<Coord>)> {
+    let (rows, cols) = (rows as i32, cols as i32);
+    let mut out = Vec::new();
+    for fr in -1..rows {
+        for fc in -1..cols {
+            let corners: Vec<Coord> = [(fr, fc), (fr, fc + 1), (fr + 1, fc), (fr + 1, fc + 1)]
+                .into_iter()
+                .filter(|&(r, c)| r >= 0 && r < rows && c >= 0 && c < cols)
+                .map(|(r, c)| data_coord(r as usize, c as usize))
+                .collect();
+            let kind = face_kind(fr, fc);
+            let include = match corners.len() {
+                4 => true,
+                2 => {
+                    let horizontal_side = fr == -1 || fr == rows - 1;
+                    let vertical_side = fc == -1 || fc == cols - 1;
+                    (horizontal_side && kind == StabKind::X)
+                        || (vertical_side && kind == StabKind::Z)
+                }
+                _ => false,
+            };
+            if include {
+                out.push((fr, fc, kind, corners));
+            }
+        }
+    }
+    out
+}
+
+/// Generates a pristine rotated surface-code patch.
+///
+/// The logical Z is the top data row (left↔right); the logical X is the left
+/// data column (top↔bottom). The code distance is `min(rows, cols)`.
+///
+/// # Panics
+///
+/// Panics unless `rows` and `cols` are at least 2.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_code::rotated_patch;
+///
+/// let patch = rotated_patch(3, 3);
+/// assert_eq!(patch.data.len(), 9);
+/// assert_eq!(patch.stabilizers.len(), 8);
+/// patch.validate().unwrap();
+/// ```
+pub fn rotated_patch(rows: usize, cols: usize) -> PatchLayout {
+    assert!(
+        rows >= 2 && cols >= 2,
+        "rotated patch requires dimensions >= 2 (got {rows}x{cols})"
+    );
+    let data: BTreeSet<Coord> = (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| data_coord(r, c)))
+        .collect();
+    let stabilizers = faces(rows, cols)
+        .into_iter()
+        .map(|(fr, fc, kind, corners)| Stabilizer {
+            kind,
+            support: corners.into_iter().collect(),
+            readout: Readout::Direct {
+                ancilla: face_ancilla(fr, fc),
+            },
+            merged_from: 1,
+        })
+        .collect();
+    let logical_z: BTreeSet<Coord> = (0..cols).map(|c| data_coord(0, c)).collect();
+    let logical_x: BTreeSet<Coord> = (0..rows).map(|r| data_coord(r, 0)).collect();
+    let boundary = BoundaryInfo {
+        left: (0..rows).map(|r| data_coord(r, 0)).collect(),
+        right: (0..rows).map(|r| data_coord(r, cols - 1)).collect(),
+        top: (0..cols).map(|c| data_coord(0, c)).collect(),
+        bottom: (0..cols).map(|c| data_coord(rows - 1, c)).collect(),
+    };
+    PatchLayout {
+        data,
+        stabilizers,
+        logical_z,
+        logical_x,
+        boundary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d3_counts() {
+        let p = rotated_patch(3, 3);
+        assert_eq!(p.data.len(), 9);
+        assert_eq!(p.stabilizers.len(), 8);
+        assert_eq!(p.stabilizers_of(StabKind::X).count(), 4);
+        assert_eq!(p.stabilizers_of(StabKind::Z).count(), 4);
+        p.validate().expect("d=3 patch valid");
+    }
+
+    #[test]
+    fn all_odd_distances_validate() {
+        for d in [3usize, 5, 7, 9, 11] {
+            let p = rotated_patch(d, d);
+            assert_eq!(p.data.len(), d * d);
+            assert_eq!(p.stabilizers.len(), d * d - 1);
+            p.validate().unwrap_or_else(|e| panic!("d={d}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rectangular_patch_validates() {
+        let p = rotated_patch(3, 7);
+        assert_eq!(p.data.len(), 21);
+        assert_eq!(p.stabilizers.len(), 20);
+        p.validate().expect("3x7 patch valid");
+    }
+
+    #[test]
+    fn weight_profile() {
+        let p = rotated_patch(5, 5);
+        let w2 = p.stabilizers.iter().filter(|s| s.weight() == 2).count();
+        let w4 = p.stabilizers.iter().filter(|s| s.weight() == 4).count();
+        assert_eq!(w2 + w4, p.stabilizers.len());
+        // 4 sides * (d-1)/2 weight-2 faces.
+        assert_eq!(w2, 8);
+        assert_eq!(w4, 16);
+    }
+
+    #[test]
+    fn boundary_stabilizer_types() {
+        let p = rotated_patch(5, 5);
+        for s in &p.stabilizers {
+            if s.weight() == 2 {
+                let rows: BTreeSet<i32> = s.support.iter().map(|q| q.r).collect();
+                if rows.len() == 1 {
+                    // Horizontal pair: must be on top/bottom, X-type.
+                    assert_eq!(s.kind, StabKind::X);
+                } else {
+                    assert_eq!(s.kind, StabKind::Z);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn even_dimensions_supported() {
+        // Even dimensions arise transiently during PatchQ_AD enlargement.
+        for (r, c) in [(4usize, 3usize), (4, 4), (6, 5)] {
+            let p = rotated_patch(r, c);
+            assert_eq!(p.stabilizers.len(), r * c - 1);
+            p.validate().unwrap_or_else(|e| panic!("{r}x{c}: {e}"));
+        }
+    }
+
+    #[test]
+    fn ancillas_do_not_collide_with_data() {
+        let p = rotated_patch(7, 7);
+        let anc = p.ancillas();
+        assert!(anc.is_disjoint(&p.data));
+        // One ancilla per stabilizer on the square lattice.
+        assert_eq!(anc.len(), p.stabilizers.len());
+    }
+}

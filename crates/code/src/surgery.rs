@@ -1,0 +1,470 @@
+//! Lattice surgery: the joint `Z⊗Z` measurement underlying logical CNOTs
+//! (paper Sec. 2.1, Fig. 3e/f).
+//!
+//! Two distance-`d` patches sit side by side with a one-column routing
+//! channel between them. A *rough merge* initializes the channel's data
+//! qubits in `|0⟩` and starts measuring the stabilizers of the combined
+//! patch; the product of the first-round outcomes of the **new** Z-type
+//! stabilizers is the eigenvalue of `Z_L ⊗ Z_R`. After `merge_rounds` of
+//! joint stabilization the channel is measured out (a *split*), restoring
+//! two separate patches.
+//!
+//! The circuit carries one logical observable: the *conserved* combination
+//! `Z̄_L ⊕ Z̄_R ⊕ m(channel row-0 qubit)` — the merged logical `Z̄_M`, which
+//! both patches' `|0̄⟩` preparation pins to zero. The joint `Z⊗Z` projection
+//! legitimately randomizes the *individual* final readouts (they are gauge
+//! during the merge and are not fault-tolerant quantities), so only the
+//! conserved combination is decoded; its post-decoding flip rate is the
+//! logical error rate of the surgery operation.
+
+use crate::layout::{PatchLayout, Readout, StabKind};
+use crate::memory::NoiseModel;
+use crate::square::rotated_patch;
+use caliqec_stab::{Basis, Circuit, MeasIdx, Noise1, Noise2, Qubit};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Parameters of a ZZ lattice-surgery experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ZzSurgery {
+    /// Code distance of both patches.
+    pub d: usize,
+    /// Stabilizer rounds before the merge.
+    pub pre_rounds: usize,
+    /// Rounds of joint (merged) stabilization — `d` for full fault tolerance.
+    pub merge_rounds: usize,
+    /// Rounds after the split, before the transversal readout.
+    pub post_rounds: usize,
+}
+
+impl Default for ZzSurgery {
+    fn default() -> Self {
+        ZzSurgery {
+            d: 3,
+            pre_rounds: 2,
+            merge_rounds: 3,
+            post_rounds: 2,
+        }
+    }
+}
+
+/// A generated lattice-surgery circuit.
+#[derive(Clone, Debug)]
+pub struct SurgeryCircuit {
+    /// The noisy circuit with detectors and the three observables.
+    pub circuit: Circuit,
+    /// The merged-phase layout (both patches + channel).
+    pub merged: PatchLayout,
+    /// Number of new (seam) stabilizers whose product gives `Z⊗Z`.
+    pub seam_stabilizers: usize,
+}
+
+/// The two separate patches and the merged patch of a width-`d` surgery.
+///
+/// The left patch occupies data columns `0..d`, the channel column `d`, the
+/// right patch columns `d+1..2d+1`; all on the shared coordinate grid.
+fn layouts(d: usize) -> (PatchLayout, PatchLayout, PatchLayout) {
+    let left = rotated_patch(d, d);
+    let mut right = rotated_patch(d, d);
+    // Shift the right patch past the channel column.
+    right = shift_layout(&right, 0, (d + 1) as i32 * crate::square::PITCH);
+    let merged = rotated_patch(d, 2 * d + 1);
+    (left, right, merged)
+}
+
+fn shift_layout(layout: &PatchLayout, dr: i32, dc: i32) -> PatchLayout {
+    use crate::layout::{BoundaryInfo, Coord, Stabilizer};
+    let mv = |q: Coord| Coord::new(q.r + dr, q.c + dc);
+    let mv_set = |s: &BTreeSet<Coord>| s.iter().map(|&q| mv(q)).collect::<BTreeSet<Coord>>();
+    PatchLayout {
+        data: mv_set(&layout.data),
+        stabilizers: layout
+            .stabilizers
+            .iter()
+            .map(|s| Stabilizer {
+                kind: s.kind,
+                support: mv_set(&s.support),
+                readout: match &s.readout {
+                    Readout::Direct { ancilla } => Readout::Direct { ancilla: mv(*ancilla) },
+                    Readout::Chain { parts } => Readout::Chain {
+                        parts: parts
+                            .iter()
+                            .map(|p| crate::layout::ChainPart {
+                                chain: p.chain.iter().map(|&a| mv(a)).collect(),
+                                attach: p.attach.iter().map(|&(k, q)| (k, mv(q))).collect(),
+                            })
+                            .collect(),
+                    },
+                },
+                merged_from: s.merged_from,
+            })
+            .collect(),
+        logical_z: mv_set(&layout.logical_z),
+        logical_x: mv_set(&layout.logical_x),
+        boundary: BoundaryInfo {
+            left: mv_set(&layout.boundary.left),
+            right: mv_set(&layout.boundary.right),
+            top: mv_set(&layout.boundary.top),
+            bottom: mv_set(&layout.boundary.bottom),
+        },
+    }
+}
+
+/// Generates the full rough-merge (`Z⊗Z`) surgery circuit.
+///
+/// # Panics
+///
+/// Panics if any round count is zero.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_code::{zz_surgery_circuit, NoiseModel, ZzSurgery};
+/// use caliqec_stab::check_deterministic_detectors;
+/// use rand::SeedableRng;
+///
+/// let surgery = zz_surgery_circuit(&ZzSurgery::default(), &NoiseModel::ideal());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// check_deterministic_detectors(&surgery.circuit, 4, &mut rng).unwrap();
+/// ```
+pub fn zz_surgery_circuit(params: &ZzSurgery, noise: &NoiseModel) -> SurgeryCircuit {
+    assert!(
+        params.pre_rounds > 0 && params.merge_rounds > 0 && params.post_rounds > 0,
+        "every surgery phase needs at least one round"
+    );
+    let d = params.d;
+    let (left, right, merged) = layouts(d);
+
+    // Qubit index assignment over the union of all phases' qubits.
+    let mut qubit_at: BTreeMap<crate::layout::Coord, Qubit> = BTreeMap::new();
+    for layout in [&left, &right, &merged] {
+        for &q in &layout.data {
+            let n = qubit_at.len() as Qubit;
+            qubit_at.entry(q).or_insert(n);
+        }
+        for a in layout.ancillas() {
+            let n = qubit_at.len() as Qubit;
+            qubit_at.entry(a).or_insert(n);
+        }
+    }
+    let mut c = Circuit::new(qubit_at.len());
+    let q = |coord: crate::layout::Coord| qubit_at[&coord];
+
+    // --- helpers -----------------------------------------------------------
+    let measure_stab =
+        |c: &mut Circuit, stab: &crate::layout::Stabilizer| -> MeasIdx {
+            let Readout::Direct { ancilla } = stab.readout else {
+                unreachable!("square patches use direct readout")
+            };
+            let a = q(ancilla);
+            match stab.kind {
+                StabKind::Z => {
+                    c.reset(Basis::Z, &[a]);
+                    c.noise1(Noise1::XError, noise.p_reset, &[a]);
+                    for &dq in &stab.support {
+                        c.cx(q(dq), a);
+                        c.noise2(Noise2::Depolarize2, noise.p2_at(dq, ancilla), &[(q(dq), a)]);
+                    }
+                    c.measure(a, Basis::Z, noise.p_meas)
+                }
+                StabKind::X => {
+                    c.reset(Basis::Z, &[a]);
+                    c.noise1(Noise1::XError, noise.p_reset, &[a]);
+                    c.h(a);
+                    c.noise1(Noise1::Depolarize1, noise.p1_at(ancilla), &[a]);
+                    for &dq in &stab.support {
+                        c.cx(a, q(dq));
+                        c.noise2(Noise2::Depolarize2, noise.p2_at(dq, ancilla), &[(a, q(dq))]);
+                    }
+                    c.h(a);
+                    c.noise1(Noise1::Depolarize1, noise.p1_at(ancilla), &[a]);
+                    c.measure(a, Basis::Z, noise.p_meas)
+                }
+            }
+        };
+    let idle = |c: &mut Circuit, layout: &PatchLayout| {
+        for &dq in &layout.data {
+            c.noise1(Noise1::Depolarize1, noise.idle_at(dq), &[q(dq)]);
+        }
+    };
+
+    // Stabilizer identity across phases: keyed by (kind, support).
+    type StabKey = (StabKind, Vec<crate::layout::Coord>);
+    let key_of = |s: &crate::layout::Stabilizer| -> StabKey {
+        (s.kind, s.support.iter().copied().collect())
+    };
+    let mut prev: BTreeMap<StabKey, MeasIdx> = BTreeMap::new();
+
+    // --- phase 1: two separate patches -------------------------------------
+    for layout in [&left, &right] {
+        let data: Vec<Qubit> = layout.data.iter().map(|&dq| q(dq)).collect();
+        c.reset(Basis::Z, &data);
+        c.noise1(Noise1::XError, noise.p_reset, &data);
+    }
+    for round in 0..params.pre_rounds {
+        for layout in [&left, &right] {
+            idle(&mut c, layout);
+            for stab in &layout.stabilizers {
+                let m = measure_stab(&mut c, stab);
+                match prev.get(&key_of(stab)) {
+                    Some(&pm) => {
+                        c.detector(&[m, pm]);
+                    }
+                    None if round == 0 && stab.kind == StabKind::Z => {
+                        c.detector(&[m]);
+                    }
+                    None => {}
+                }
+                prev.insert(key_of(stab), m);
+            }
+        }
+    }
+
+    // --- phase 2: merge -----------------------------------------------------
+    // Initialize the channel column in |0>.
+    let channel: Vec<crate::layout::Coord> = merged
+        .data
+        .iter()
+        .copied()
+        .filter(|dq| !left.data.contains(dq) && !right.data.contains(dq))
+        .collect();
+    let channel_q: Vec<Qubit> = channel.iter().map(|&dq| q(dq)).collect();
+    c.reset(Basis::Z, &channel_q);
+    c.noise1(Noise1::XError, noise.p_reset, &channel_q);
+
+    let mut seam_product: Vec<MeasIdx> = Vec::new();
+    let mut pending_split: Vec<(BTreeSet<crate::layout::Coord>, StabKind, Vec<MeasIdx>)> =
+        Vec::new();
+    for round in 0..params.merge_rounds {
+        idle(&mut c, &merged);
+        for stab in &merged.stabilizers {
+            let m = measure_stab(&mut c, stab);
+            let key = key_of(stab);
+            match prev.get(&key) {
+                Some(&pm) => {
+                    c.detector(&[m, pm]);
+                }
+                None => {
+                    // A stabilizer new to the merged phase.
+                    if round == 0 {
+                        if stab.kind == StabKind::Z {
+                            // New Z stabilizers are deterministic (channel in
+                            // |0>), and those absent from the separate
+                            // patches carry the Z⊗Z information.
+                            c.detector(&[m]);
+                            seam_product.push(m);
+                        }
+                        // New X stabilizers start random: no anchor.
+                    }
+                }
+            }
+            prev.insert(key, m);
+        }
+    }
+    let seam_stabilizers = seam_product.len();
+
+    // --- phase 3: split ------------------------------------------------------
+    // Measure out the channel column in Z (compatible with Z stabilizers).
+    let mut channel_meas: BTreeMap<crate::layout::Coord, MeasIdx> = BTreeMap::new();
+    for &dq in &channel {
+        let m = c.measure(q(dq), Basis::Z, noise.p_meas);
+        channel_meas.insert(dq, m);
+    }
+    // Anchor each merged-phase Z stabilizer overlapping the channel to the
+    // split readout: the surviving patch stabilizers continue, the channel
+    // contribution is measured.
+    for stab in &merged.stabilizers {
+        if stab.kind != StabKind::Z {
+            continue;
+        }
+        let channel_part: Vec<MeasIdx> = stab
+            .support
+            .iter()
+            .filter_map(|dq| channel_meas.get(dq).copied())
+            .collect();
+        if channel_part.is_empty() {
+            continue;
+        }
+        // Detector: last merged measurement ⊕ measured channel qubits ⊕ the
+        // surviving separate-phase stabilizer's next measurement. We anchor
+        // to the *next* round below by re-seeding `prev` for the separate
+        // stabilizers that share the remaining support.
+        let mut records = vec![prev[&key_of(stab)]];
+        records.extend(channel_part);
+        let remaining: BTreeSet<_> = stab
+            .support
+            .iter()
+            .copied()
+            .filter(|dq| !channel_meas.contains_key(dq))
+            .collect();
+        if remaining.is_empty() {
+            c.detector(&records);
+        } else {
+            // The boundary stabilizer that re-emerges after the split was
+            // randomized by the merge's seam X stabilizers: its pre-merge
+            // record must not be compared against. Drop the stale entry so
+            // the post-split round anchors through the split bookkeeping.
+            let stale: StabKey = (stab.kind, remaining.iter().copied().collect());
+            prev.remove(&stale);
+            // The remaining support is exactly a boundary stabilizer of the
+            // left or right patch; fold this anchor into its next round by
+            // remembering the combined parity (handled via a synthetic prev
+            // entry: we cannot store multi-record prevs, so we emit the
+            // cross-phase detector when that stabilizer is next measured).
+            pending_split.push((remaining, stab.kind, records));
+        }
+    }
+
+    // --- phase 4: separate patches again ------------------------------------
+    for round in 0..params.post_rounds {
+        for layout in [&left, &right] {
+            idle(&mut c, layout);
+            for stab in &layout.stabilizers {
+                let m = measure_stab(&mut c, stab);
+                let key = key_of(stab);
+                match prev.get(&key) {
+                    Some(&pm) => {
+                        c.detector(&[m, pm]);
+                    }
+                    None if round == 0 => {
+                        // Re-emerging boundary stabilizer: anchor through the
+                        // split bookkeeping if present.
+                        if let Some(pos) = pending_split
+                            .iter()
+                            .position(|(sup, kind, _)| *kind == stab.kind && *sup == stab.support)
+                        {
+                            let (_, _, mut records) = pending_split.swap_remove(pos);
+                            records.push(m);
+                            c.detector(&records);
+                        }
+                    }
+                    None => {}
+                }
+                prev.insert(key, m);
+            }
+        }
+    }
+
+    // --- final transversal readout ------------------------------------------
+    let mut final_meas: BTreeMap<crate::layout::Coord, MeasIdx> = BTreeMap::new();
+    for layout in [&left, &right] {
+        for &dq in &layout.data {
+            let m = c.measure(q(dq), Basis::Z, noise.p_meas);
+            final_meas.insert(dq, m);
+        }
+    }
+    for layout in [&left, &right] {
+        for stab in &layout.stabilizers {
+            if stab.kind != StabKind::Z {
+                continue;
+            }
+            let mut records: Vec<MeasIdx> =
+                stab.support.iter().map(|dq| final_meas[dq]).collect();
+            records.push(prev[&key_of(stab)]);
+            c.detector(&records);
+        }
+    }
+    // The one protected observable: the conserved merged logical
+    // Z̄_M = Z̄_L · Z_channel(row 0) · Z̄_R, pinned to zero by the |0̄⟩|0̄⟩
+    // preparation. Individual Z̄_L / Z̄_R become gauge during the merge and
+    // are deliberately NOT tracked as observables.
+    let z_left: Vec<MeasIdx> = left.logical_z.iter().map(|dq| final_meas[dq]).collect();
+    let z_right: Vec<MeasIdx> = right.logical_z.iter().map(|dq| final_meas[dq]).collect();
+    let mut consistency: Vec<MeasIdx> = Vec::new();
+    consistency.extend(z_left);
+    consistency.extend(z_right);
+    for (&dq, &m) in &channel_meas {
+        if merged.logical_z.contains(&dq) {
+            consistency.push(m);
+        }
+    }
+    c.observable(0, &consistency);
+
+    SurgeryCircuit {
+        circuit: c,
+        merged,
+        seam_stabilizers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::square::data_coord;
+    use caliqec_match::{estimate_ler, graph_for_circuit, SampleOptions, UnionFindDecoder};
+    use caliqec_stab::check_deterministic_detectors;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn surgery_detectors_are_deterministic() {
+        for d in [3usize, 5] {
+            let s = zz_surgery_circuit(
+                &ZzSurgery {
+                    d,
+                    ..ZzSurgery::default()
+                },
+                &NoiseModel::ideal(),
+            );
+            let mut rng = StdRng::seed_from_u64(1);
+            check_deterministic_detectors(&s.circuit, 4, &mut rng)
+                .unwrap_or_else(|e| panic!("d={d}: {e}"));
+        }
+    }
+
+    #[test]
+    fn consistency_observable_is_noiselessly_deterministic() {
+        let s = zz_surgery_circuit(&ZzSurgery::default(), &NoiseModel::ideal());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..16 {
+            let shot = caliqec_stab::noiseless_shot(&s.circuit, &mut rng);
+            assert!(!shot.observables[0], "conserved observable flipped");
+        }
+    }
+
+    #[test]
+    fn seam_stabilizers_exist() {
+        let s = zz_surgery_circuit(&ZzSurgery::default(), &NoiseModel::ideal());
+        assert!(
+            s.seam_stabilizers >= 2,
+            "merge must introduce new Z stabilizers (got {})",
+            s.seam_stabilizers
+        );
+    }
+
+    #[test]
+    fn consistency_observable_is_protected() {
+        // Under mild noise, the decoded surgery consistency (obs 2) fails
+        // rarely — this is the logical error rate of the ZZ measurement.
+        let s = zz_surgery_circuit(&ZzSurgery::default(), &NoiseModel::uniform(1e-3));
+        let mut dec = UnionFindDecoder::new(graph_for_circuit(&s.circuit));
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = estimate_ler(
+            &s.circuit,
+            &mut dec,
+            SampleOptions {
+                min_shots: 30_000,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(
+            est.per_shot() < 0.05,
+            "surgery LER too high: {}",
+            est.per_shot()
+        );
+    }
+
+    #[test]
+    fn shifted_layout_is_valid() {
+        let (left, right, merged) = layouts(3);
+        left.validate().unwrap();
+        right.validate().unwrap();
+        merged.validate().unwrap();
+        // Right patch occupies the columns past the channel.
+        assert!(right.data.contains(&data_coord(0, 4)));
+        assert!(left.data.is_disjoint(&right.data));
+        assert!(left.data.is_subset(&merged.data));
+        assert!(right.data.is_subset(&merged.data));
+    }
+}

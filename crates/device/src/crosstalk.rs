@@ -1,0 +1,98 @@
+//! Calibration-crosstalk neighbourhoods (paper Sec. 4, Fig. 6).
+//!
+//! The paper identifies `nbr(g)` experimentally: nearby qubits are prepared
+//! in random states, the gate is calibrated, and qubits whose state deviated
+//! beyond a threshold are declared disturbed. On our synthetic devices the
+//! neighbourhood is derived from grid geometry: every qubit within a
+//! configurable grid radius of the gate's qubits is disturbed. Those qubits
+//! are isolated together with the calibrated gate, forming the protective
+//! barrier between calibration and computation.
+
+use crate::model::{GateKind, QubitId};
+
+/// Grid position of qubit `q` on a `cols`-wide row-major grid.
+fn pos(q: QubitId, cols: usize) -> (i64, i64) {
+    ((q as usize / cols) as i64, (q as usize % cols) as i64)
+}
+
+/// Chebyshev distance between two grid positions.
+fn chebyshev(a: (i64, i64), b: (i64, i64)) -> u32 {
+    ((a.0 - b.0).abs().max((a.1 - b.1).abs())) as u32
+}
+
+/// Computes the crosstalk neighbourhood of a gate on a `rows × cols` grid:
+/// all qubits (other than the gate's own) within `radius` grid steps.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_device::{crosstalk_neighbourhood, GateKind};
+///
+/// // Corner qubit on a 3x3 grid: 3 neighbours at radius 1.
+/// let nbr = crosstalk_neighbourhood(&GateKind::OneQubit(0), 3, 3, 1);
+/// assert_eq!(nbr, vec![1, 3, 4]);
+/// ```
+pub fn crosstalk_neighbourhood(
+    gate: &GateKind,
+    rows: usize,
+    cols: usize,
+    radius: u32,
+) -> Vec<QubitId> {
+    let own = gate.qubits();
+    let own_pos: Vec<(i64, i64)> = own.iter().map(|&q| pos(q, cols)).collect();
+    let mut nbr = Vec::new();
+    for q in 0..(rows * cols) as QubitId {
+        if own.contains(&q) {
+            continue;
+        }
+        let p = pos(q, cols);
+        if own_pos.iter().any(|&o| chebyshev(o, p) <= radius) {
+            nbr.push(q);
+        }
+    }
+    nbr
+}
+
+/// Size of the isolation region (gate qubits + neighbourhood) — the quantity
+/// that drives code-distance loss during in-situ calibration.
+pub fn isolation_region_size(gate: &GateKind, nbr: &[QubitId]) -> usize {
+    gate.qubits().len() + nbr.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_qubit_has_eight_neighbours() {
+        let nbr = crosstalk_neighbourhood(&GateKind::OneQubit(4), 3, 3, 1);
+        assert_eq!(nbr.len(), 8);
+    }
+
+    #[test]
+    fn radius_zero_is_empty() {
+        let nbr = crosstalk_neighbourhood(&GateKind::OneQubit(4), 3, 3, 0);
+        assert!(nbr.is_empty());
+    }
+
+    #[test]
+    fn two_qubit_gate_unions_neighbourhoods() {
+        let nbr = crosstalk_neighbourhood(&GateKind::TwoQubit(0, 1), 3, 3, 1);
+        // Row 0: qubits 2; row 1: 3,4,5. Gate's own qubits excluded.
+        assert_eq!(nbr, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn larger_radius_grows_region() {
+        let small = crosstalk_neighbourhood(&GateKind::OneQubit(12), 5, 5, 1);
+        let large = crosstalk_neighbourhood(&GateKind::OneQubit(12), 5, 5, 2);
+        assert!(large.len() > small.len());
+    }
+
+    #[test]
+    fn region_size_counts_gate_qubits() {
+        let gate = GateKind::TwoQubit(0, 1);
+        let nbr = crosstalk_neighbourhood(&gate, 3, 3, 1);
+        assert_eq!(isolation_region_size(&gate, &nbr), 2 + nbr.len());
+    }
+}

@@ -1,0 +1,255 @@
+//! Synthetic quantum device models.
+//!
+//! A [`DeviceModel`] carries the per-gate quantities CaliQEC's
+//! preparation-time characterization extracts (Sec. 4): the freshly
+//! calibrated error rate and drift constant, the calibration duration
+//! `T_cali`, and the calibration-crosstalk neighbourhood `nbr(g)`.
+//!
+//! Devices are generated synthetically (the paper measured IBM Eagle and
+//! Rigetti Ankaa-2; see the substitution table in DESIGN.md): a qubit grid
+//! with nearest-neighbour couplers, log-normal drift constants, and
+//! calibration times in the few-minute range reported by the literature the
+//! paper cites.
+
+use crate::crosstalk::crosstalk_neighbourhood;
+use crate::drift::{DriftDistribution, DriftModel};
+use rand::{Rng, RngExt};
+
+/// Identifier of a physical qubit on a device.
+pub type QubitId = u32;
+
+/// Identifier of a gate (index into [`DeviceModel::gates`]).
+pub type GateId = usize;
+
+/// The kind of a calibratable gate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GateKind {
+    /// Single-qubit gate on one qubit.
+    OneQubit(QubitId),
+    /// Two-qubit gate on a coupler.
+    TwoQubit(QubitId, QubitId),
+}
+
+impl GateKind {
+    /// The qubits the gate acts on.
+    pub fn qubits(&self) -> Vec<QubitId> {
+        match *self {
+            GateKind::OneQubit(q) => vec![q],
+            GateKind::TwoQubit(a, b) => vec![a, b],
+        }
+    }
+}
+
+/// Ground-truth calibration-relevant parameters of one gate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateInfo {
+    /// What the gate is.
+    pub kind: GateKind,
+    /// Error drift model (freshly calibrated rate + drift constant).
+    pub drift: DriftModel,
+    /// Calibration duration in hours.
+    pub t_cali_hours: f64,
+    /// Calibration-crosstalk neighbourhood `nbr(g)`: the qubits disturbed by
+    /// calibrating this gate, isolated together with it (Sec. 4).
+    pub nbr: Vec<QubitId>,
+}
+
+/// A synthetic device: qubit grid, couplers, and per-gate parameters.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceModel {
+    /// Number of physical qubits.
+    pub num_qubits: usize,
+    /// Grid width used to lay out the qubits (row-major).
+    pub grid_cols: usize,
+    /// Couplers (nearest-neighbour pairs).
+    pub couplers: Vec<(QubitId, QubitId)>,
+    /// All calibratable gates.
+    pub gates: Vec<GateInfo>,
+}
+
+/// Parameters for synthetic device generation.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceConfig {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Freshly calibrated error rate (the paper initializes 10× below the
+    /// 1 % surface-code threshold).
+    pub p0: f64,
+    /// Distribution of drift-time constants.
+    pub drift: DriftDistribution,
+    /// Mean single-gate calibration time in hours (a few minutes per gate;
+    /// full-device calibration spans hours — Sec. 4).
+    pub mean_t_cali_hours: f64,
+    /// Crosstalk radius in grid steps (qubits within this distance of the
+    /// gate are disturbed by its calibration).
+    pub crosstalk_radius: u32,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            rows: 8,
+            cols: 8,
+            p0: 1e-3,
+            drift: DriftDistribution::current(),
+            mean_t_cali_hours: 4.0 / 60.0, // ~4 minutes per gate
+            crosstalk_radius: 1,
+        }
+    }
+}
+
+impl DeviceModel {
+    /// Generates a synthetic device.
+    ///
+    /// One single-qubit gate per qubit and one two-qubit gate per coupler,
+    /// each with an independently sampled drift constant and a calibration
+    /// time jittered ±50 % around the configured mean (two-qubit gates take
+    /// 2× longer, following the calibration literature the paper cites).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use caliqec_device::{DeviceConfig, DeviceModel};
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    /// let dev = DeviceModel::synthetic(&DeviceConfig::default(), &mut rng);
+    /// assert_eq!(dev.num_qubits, 64);
+    /// assert!(dev.gates.len() > 64);
+    /// ```
+    pub fn synthetic<R: Rng>(config: &DeviceConfig, rng: &mut R) -> DeviceModel {
+        let num_qubits = config.rows * config.cols;
+        let idx = |r: usize, c: usize| (r * config.cols + c) as QubitId;
+        let mut couplers = Vec::new();
+        for r in 0..config.rows {
+            for c in 0..config.cols {
+                if c + 1 < config.cols {
+                    couplers.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < config.rows {
+                    couplers.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        let mut gates = Vec::new();
+        let mut push_gate = |kind: GateKind, rng: &mut R, scale: f64| {
+            let t_drift = config.drift.sample(rng);
+            let jitter = 0.5 + rng.random::<f64>(); // 0.5..1.5
+            let nbr = crosstalk_neighbourhood(
+                &kind,
+                config.rows,
+                config.cols,
+                config.crosstalk_radius,
+            );
+            gates.push(GateInfo {
+                kind,
+                drift: DriftModel::new(config.p0, t_drift),
+                t_cali_hours: config.mean_t_cali_hours * jitter * scale,
+                nbr,
+            });
+        };
+        for q in 0..num_qubits as QubitId {
+            push_gate(GateKind::OneQubit(q), rng, 1.0);
+        }
+        for &(a, b) in &couplers {
+            push_gate(GateKind::TwoQubit(a, b), rng, 2.0);
+        }
+        DeviceModel {
+            num_qubits,
+            grid_cols: config.cols,
+            couplers,
+            gates,
+        }
+    }
+
+    /// Gates whose error rate exceeds `threshold` after `hours` without
+    /// calibration.
+    pub fn gates_above(&self, threshold: f64, hours: f64) -> Vec<GateId> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.drift.p_at(hours) > threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether calibrating `a` and `b` simultaneously conflicts (their
+    /// disturbed neighbourhoods or acted qubits overlap).
+    pub fn crosstalk_conflict(&self, a: GateId, b: GateId) -> bool {
+        let ga = &self.gates[a];
+        let gb = &self.gates[b];
+        let za: Vec<QubitId> = ga.kind.qubits().into_iter().chain(ga.nbr.iter().copied()).collect();
+        let zb: Vec<QubitId> = gb.kind.qubits().into_iter().chain(gb.nbr.iter().copied()).collect();
+        za.iter().any(|q| zb.contains(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn device() -> DeviceModel {
+        let mut rng = StdRng::seed_from_u64(7);
+        DeviceModel::synthetic(&DeviceConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn gate_counts() {
+        let d = device();
+        // 64 1q gates + 2*8*7 couplers.
+        assert_eq!(d.couplers.len(), 112);
+        assert_eq!(d.gates.len(), 64 + 112);
+    }
+
+    #[test]
+    fn drift_makes_gates_exceed_threshold() {
+        let d = device();
+        let now = d.gates_above(0.01, 0.0);
+        assert!(now.is_empty(), "freshly calibrated device is clean");
+        let later = d.gates_above(0.01, 24.0);
+        // After a day, a large majority exceed the 1% threshold (paper
+        // Fig. 1b: >90% of 1q gates).
+        assert!(
+            later.len() * 10 >= d.gates.len() * 5,
+            "only {}/{} gates drifted",
+            later.len(),
+            d.gates.len()
+        );
+    }
+
+    #[test]
+    fn two_qubit_gates_calibrate_longer_on_average() {
+        let d = device();
+        let avg = |f: &dyn Fn(&GateInfo) -> bool| {
+            let v: Vec<f64> = d
+                .gates
+                .iter()
+                .filter(|g| f(g))
+                .map(|g| g.t_cali_hours)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let one = avg(&|g| matches!(g.kind, GateKind::OneQubit(_)));
+        let two = avg(&|g| matches!(g.kind, GateKind::TwoQubit(..)));
+        assert!(two > one * 1.5);
+    }
+
+    #[test]
+    fn adjacent_gates_conflict_distant_do_not() {
+        let d = device();
+        // Gates 0 and 1 act on adjacent qubits (0 and 1 in the grid).
+        assert!(d.crosstalk_conflict(0, 1));
+        // Qubit 0 and qubit 63 are far apart.
+        assert!(!d.crosstalk_conflict(0, 63));
+    }
+
+    #[test]
+    fn crosstalk_neighbourhoods_nonempty() {
+        let d = device();
+        assert!(d.gates.iter().all(|g| !g.nbr.is_empty()));
+    }
+}

@@ -1,0 +1,303 @@
+//! Experimental crosstalk characterization (paper Sec. 4, Fig. 6).
+//!
+//! The paper measures `nbr(g)` with a state-disturbance circuit: nearby
+//! qubits are initialized to random (stabilizer) states, the gate is
+//! calibrated, the qubits are un-prepared and measured, and any qubit whose
+//! outcome deviates beyond a threshold is declared disturbed.
+//!
+//! We reproduce that protocol against a physical disturbance model: during
+//! calibration of gate `g`, every qubit receives depolarizing noise whose
+//! strength decays with grid distance from `g` (the ground truth the probe
+//! is supposed to discover). The probe itself only sees measurement
+//! outcomes — exactly like the hardware experiment.
+
+use crate::model::{DeviceModel, GateId, QubitId};
+use caliqec_stab::{Basis, Circuit, FrameSampler, Gate1, Noise1, BATCH};
+use rand::{Rng, RngExt};
+
+/// Physical model of how strongly calibrating a gate disturbs each qubit.
+#[derive(Clone, Copy, Debug)]
+pub struct DisturbanceModel {
+    /// Disturbance probability on qubits adjacent to the calibrated gate.
+    pub base: f64,
+    /// Multiplicative decay per additional grid step.
+    pub decay: f64,
+    /// Background disturbance on every qubit (readout noise floor).
+    pub floor: f64,
+}
+
+impl Default for DisturbanceModel {
+    fn default() -> Self {
+        DisturbanceModel {
+            base: 0.25,
+            decay: 0.04,
+            floor: 0.003,
+        }
+    }
+}
+
+impl DisturbanceModel {
+    /// Disturbance probability at `steps` grid steps from the gate:
+    /// adjacent qubits (one step) take the full `base` kick, each further
+    /// step multiplies by `decay`, never dropping below the `floor`.
+    pub fn at_distance(&self, steps: u32) -> f64 {
+        let steps = steps.max(1);
+        (self.base * self.decay.powi(steps as i32 - 1)).max(self.floor)
+    }
+}
+
+/// Options of the crosstalk probe.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeOptions {
+    /// Shots per probed gate (rounded up to 64-shot batches).
+    pub shots: usize,
+    /// Deviation threshold: a qubit whose flip rate exceeds this is added to
+    /// `nbr(g)`.
+    pub threshold: f64,
+    /// The physical disturbance being probed.
+    pub disturbance: DisturbanceModel,
+}
+
+impl Default for ProbeOptions {
+    fn default() -> Self {
+        ProbeOptions {
+            shots: 1024,
+            threshold: 0.02,
+            disturbance: DisturbanceModel::default(),
+        }
+    }
+}
+
+/// Chebyshev grid distance between two qubits.
+fn grid_distance(a: QubitId, b: QubitId, cols: usize) -> u32 {
+    let (ar, ac) = ((a as usize / cols) as i64, (a as usize % cols) as i64);
+    let (br, bc) = ((b as usize / cols) as i64, (b as usize % cols) as i64);
+    ((ar - br).abs().max((ac - bc).abs())) as u32
+}
+
+/// Builds the Fig. 6 probe circuit for `gate`: every other qubit is prepared
+/// in a random stabilizer state (basis + optional flip), disturbed according
+/// to the physical model, un-prepared, and measured; one detector per qubit
+/// reports a deviation.
+fn probe_circuit<R: Rng>(
+    device: &DeviceModel,
+    gate: GateId,
+    disturbance: &DisturbanceModel,
+    rng: &mut R,
+) -> (Circuit, Vec<QubitId>) {
+    let own = device.gates[gate].kind.qubits();
+    let probed: Vec<QubitId> = (0..device.num_qubits as QubitId)
+        .filter(|q| !own.contains(q))
+        .collect();
+    let mut c = Circuit::new(device.num_qubits);
+    // Random state preparation: |0>, |1>, |+>, or |->.
+    let preps: Vec<(bool, bool)> = probed
+        .iter()
+        .map(|_| (rng.random::<bool>(), rng.random::<bool>()))
+        .collect();
+    for (&q, &(x_basis, flipped)) in probed.iter().zip(&preps) {
+        c.reset(Basis::Z, &[q]);
+        if flipped {
+            c.g1(Gate1::X, q);
+        }
+        if x_basis {
+            c.g1(Gate1::H, q);
+        }
+    }
+    // "Calibration" of the gate: the physical disturbance kick.
+    let dist_of = |q: QubitId| {
+        own.iter()
+            .map(|&g| grid_distance(g, q, device.grid_cols))
+            .min()
+            .unwrap_or(u32::MAX)
+    };
+    for &q in &probed {
+        let p = disturbance.at_distance(dist_of(q));
+        c.noise1(Noise1::Depolarize1, p, &[q]);
+    }
+    // Un-prepare and measure; deviation = any flip.
+    for (&q, &(x_basis, flipped)) in probed.iter().zip(&preps) {
+        if x_basis {
+            c.g1(Gate1::H, q);
+        }
+        if flipped {
+            c.g1(Gate1::X, q);
+        }
+        let m = c.measure(q, Basis::Z, 0.0);
+        c.detector(&[m]);
+    }
+    (c, probed)
+}
+
+/// Result of probing one gate.
+#[derive(Clone, Debug)]
+pub struct CrosstalkProbe {
+    /// The probed gate.
+    pub gate: GateId,
+    /// Measured flip rate per probed qubit.
+    pub flip_rates: Vec<(QubitId, f64)>,
+    /// Qubits whose deviation exceeded the threshold — the measured
+    /// `nbr(g)`.
+    pub nbr: Vec<QubitId>,
+}
+
+/// Measures the crosstalk neighbourhood of `gate` with the Fig. 6 protocol.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_device::{measure_crosstalk, DeviceConfig, DeviceModel, ProbeOptions};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let device = DeviceModel::synthetic(
+///     &DeviceConfig { rows: 3, cols: 3, ..DeviceConfig::default() },
+///     &mut rng,
+/// );
+/// let probe = measure_crosstalk(&device, 4, &ProbeOptions::default(), &mut rng);
+/// assert!(!probe.nbr.is_empty()); // adjacent qubits are disturbed
+/// ```
+pub fn measure_crosstalk<R: Rng>(
+    device: &DeviceModel,
+    gate: GateId,
+    options: &ProbeOptions,
+    rng: &mut R,
+) -> CrosstalkProbe {
+    let (circuit, probed) = probe_circuit(device, gate, &options.disturbance, rng);
+    let mut sampler = FrameSampler::new(&circuit);
+    let batches = options.shots.div_ceil(BATCH).max(1);
+    let mut flips = vec![0usize; probed.len()];
+    for _ in 0..batches {
+        let ev = sampler.sample_batch(rng);
+        for (f, w) in flips.iter_mut().zip(&ev.detectors) {
+            *f += w.count_ones() as usize;
+        }
+    }
+    let shots = batches * BATCH;
+    let flip_rates: Vec<(QubitId, f64)> = probed
+        .iter()
+        .zip(&flips)
+        .map(|(&q, &f)| (q, f as f64 / shots as f64))
+        .collect();
+    let nbr = flip_rates
+        .iter()
+        .filter(|&&(_, r)| r > options.threshold)
+        .map(|&(q, _)| q)
+        .collect();
+    CrosstalkProbe {
+        gate,
+        flip_rates,
+        nbr,
+    }
+}
+
+/// Re-derives every gate's `nbr(g)` experimentally and returns, per gate,
+/// the measured neighbourhood (useful to validate the geometric model the
+/// synthetic devices use).
+pub fn measure_all_crosstalk<R: Rng>(
+    device: &DeviceModel,
+    options: &ProbeOptions,
+    rng: &mut R,
+) -> Vec<CrosstalkProbe> {
+    (0..device.gates.len())
+        .map(|g| measure_crosstalk(device, g, options, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DeviceConfig, GateKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn device() -> DeviceModel {
+        let mut rng = StdRng::seed_from_u64(29);
+        DeviceModel::synthetic(
+            &DeviceConfig {
+                rows: 4,
+                cols: 4,
+                ..DeviceConfig::default()
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn probe_finds_adjacent_qubits() {
+        let dev = device();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Gate 5 is the 1q gate on qubit 5 (an interior qubit of the 4x4).
+        let probe = measure_crosstalk(&dev, 5, &ProbeOptions::default(), &mut rng);
+        let expected = &dev.gates[5].nbr;
+        for q in expected {
+            assert!(
+                probe.nbr.contains(q),
+                "geometric neighbour {q} not measured (got {:?})",
+                probe.nbr
+            );
+        }
+    }
+
+    #[test]
+    fn probe_excludes_distant_qubits() {
+        let dev = device();
+        let mut rng = StdRng::seed_from_u64(2);
+        let probe = measure_crosstalk(&dev, 0, &ProbeOptions::default(), &mut rng);
+        // Qubit 15 (far corner) must not be flagged.
+        assert!(!probe.nbr.contains(&15));
+    }
+
+    #[test]
+    fn probe_matches_geometric_model_on_average() {
+        let dev = device();
+        let mut rng = StdRng::seed_from_u64(3);
+        let options = ProbeOptions::default();
+        let mut exact = 0usize;
+        for g in 0..dev.num_qubits {
+            let probe = measure_crosstalk(&dev, g, &options, &mut rng);
+            let mut measured = probe.nbr.clone();
+            measured.sort_unstable();
+            let mut expected = dev.gates[g].nbr.clone();
+            expected.sort_unstable();
+            if measured == expected {
+                exact += 1;
+            }
+        }
+        assert!(
+            exact * 10 >= dev.num_qubits * 8,
+            "only {exact}/{} probes matched the geometric model",
+            dev.num_qubits
+        );
+    }
+
+    #[test]
+    fn disturbance_decays_with_distance() {
+        let d = DisturbanceModel::default();
+        assert_eq!(d.at_distance(0), d.at_distance(1)); // gate's own region
+        assert!(d.at_distance(2) < d.at_distance(1));
+        assert!(d.at_distance(3) < d.at_distance(2));
+        assert!(d.at_distance(5) >= d.floor);
+    }
+
+    #[test]
+    fn flip_rates_reported_for_every_probed_qubit() {
+        let dev = device();
+        let mut rng = StdRng::seed_from_u64(4);
+        let probe = measure_crosstalk(&dev, 3, &ProbeOptions::default(), &mut rng);
+        assert_eq!(probe.flip_rates.len(), dev.num_qubits - 1);
+    }
+
+    #[test]
+    fn two_qubit_gate_probe_covers_both_sides() {
+        let dev = device();
+        let two_q = dev
+            .gates
+            .iter()
+            .position(|g| matches!(g.kind, GateKind::TwoQubit(..)))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let probe = measure_crosstalk(&dev, two_q, &ProbeOptions::default(), &mut rng);
+        assert!(probe.nbr.len() >= dev.gates[two_q].nbr.len() / 2);
+    }
+}

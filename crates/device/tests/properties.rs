@@ -1,0 +1,60 @@
+//! Property-based tests of the device substrate: drift-model algebra,
+//! log-normal sampling sanity, and crosstalk geometry.
+
+use caliqec_device::{
+    crosstalk_neighbourhood, DriftDistribution, DriftModel, GateKind,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `p_at` is monotone in time and `time_to_reach` inverts it.
+    #[test]
+    fn drift_model_inversion(
+        p0 in 1e-6f64..1e-2,
+        t_drift in 0.5f64..100.0,
+        factor in 1.1f64..50.0,
+    ) {
+        let m = DriftModel::new(p0, t_drift);
+        prop_assert!(m.p_at(1.0) > m.p_at(0.0));
+        let target = (p0 * factor).min(0.9);
+        let t = m.time_to_reach(target);
+        prop_assert!((m.p_at(t) - target).abs() / target < 1e-9);
+    }
+
+    /// Log-normal samples are positive and their empirical mean stays near
+    /// the configured mean.
+    #[test]
+    fn lognormal_samples_positive(mean in 2.0f64..50.0, seed in 0u64..100) {
+        let dist = DriftDistribution { mean_hours: mean, sigma: 0.5 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = dist.sample_many(4000, &mut rng);
+        prop_assert!(samples.iter().all(|&s| s > 0.0));
+        let m = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!((m - mean).abs() / mean < 0.25, "mean {m} vs {mean}");
+    }
+
+    /// Crosstalk neighbourhoods never include the gate's own qubits, stay
+    /// on the grid, and grow monotonically with the radius.
+    #[test]
+    fn crosstalk_geometry(
+        rows in 2usize..8,
+        cols in 2usize..8,
+        q in 0u32..64,
+        radius in 0u32..4,
+    ) {
+        let q = q % (rows * cols) as u32;
+        let gate = GateKind::OneQubit(q);
+        let nbr = crosstalk_neighbourhood(&gate, rows, cols, radius);
+        prop_assert!(!nbr.contains(&q));
+        prop_assert!(nbr.iter().all(|&n| (n as usize) < rows * cols));
+        let bigger = crosstalk_neighbourhood(&gate, rows, cols, radius + 1);
+        prop_assert!(bigger.len() >= nbr.len());
+        for n in &nbr {
+            prop_assert!(bigger.contains(n));
+        }
+    }
+}

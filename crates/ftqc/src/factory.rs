@@ -1,0 +1,136 @@
+//! Magic-state distillation factory model (paper Sec. 7.1; T gates are
+//! implemented via magic state distillation following Fowler & Gidney, the
+//! paper's reference [19]).
+//!
+//! The 15-to-1 protocol consumes 15 noisy `|T⟩` states and produces one with
+//! error `≈ 35·p³`; levels stack until the output error supports the
+//! program's total T count. Each level-1 factory occupies a block of surface
+//! code tiles and produces one state per ~6.5 logical timesteps.
+
+/// Error rate of a raw (injected) magic state, conservatively a small
+/// multiple of the physical error rate.
+pub fn injected_error(p_phys: f64) -> f64 {
+    (10.0 * p_phys).min(0.5)
+}
+
+/// Output error of one 15-to-1 round on inputs with error `p_in`.
+pub fn distill_15_to_1(p_in: f64) -> f64 {
+    (35.0 * p_in.powi(3)).min(0.5)
+}
+
+/// A configured distillation pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FactorySpec {
+    /// Distillation levels (1 or 2 in practice).
+    pub levels: u32,
+    /// Output error per magic state.
+    pub output_error: f64,
+    /// Logical timesteps (of `d` cycles) per output state per factory.
+    pub timesteps_per_state: f64,
+    /// Layout tiles per factory.
+    pub tiles: usize,
+}
+
+/// Tiles of one level-1 15-to-1 factory (Litinski-style block estimate).
+pub const LEVEL1_TILES: usize = 11;
+
+/// Logical timesteps for one level-1 15-to-1 round.
+pub const LEVEL1_TIMESTEPS: f64 = 6.5;
+
+impl FactorySpec {
+    /// Chooses the number of 15-to-1 levels so each magic state's error is
+    /// below `target` (the per-T-gate error budget), starting from injected
+    /// states at the physical rate `p_phys`.
+    ///
+    /// Returns `None` if even three levels cannot reach the target.
+    pub fn for_target(p_phys: f64, target: f64) -> Option<FactorySpec> {
+        let mut err = injected_error(p_phys);
+        for levels in 1..=3u32 {
+            err = distill_15_to_1(err);
+            if err <= target {
+                return Some(FactorySpec {
+                    levels,
+                    output_error: err,
+                    // Each extra level multiplies both footprint and latency
+                    // (15 inputs per output, pipelined).
+                    timesteps_per_state: LEVEL1_TIMESTEPS * levels as f64,
+                    // Higher levels pipeline their sub-factories; footprint
+                    // grows linearly with depth (Litinski-style blocks), not
+                    // with the 15x input fan-in.
+                    tiles: LEVEL1_TILES * (2 * levels as usize - 1),
+                });
+            }
+        }
+        None
+    }
+
+    /// Number of factories needed so `t_count` states are produced within
+    /// `available_timesteps` of program execution.
+    pub fn factories_needed(&self, t_count: f64, available_timesteps: f64) -> usize {
+        if available_timesteps <= 0.0 {
+            return 1;
+        }
+        let per_factory = available_timesteps / self.timesteps_per_state;
+        (t_count / per_factory).ceil().max(1.0) as usize
+    }
+
+    /// Total tile footprint of `n` factories.
+    pub fn total_tiles(&self, n: usize) -> usize {
+        self.tiles * n
+    }
+}
+
+/// The per-T error budget of a program: the retry target shared over the T
+/// count.
+pub fn t_error_budget(t_count: f64, retry_target: f64) -> f64 {
+    (retry_target / t_count).min(0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distillation_cubes_the_error() {
+        let out = distill_15_to_1(1e-2);
+        assert!((out - 3.5e-5).abs() < 1e-12);
+        assert!(distill_15_to_1(out) < 1e-11);
+    }
+
+    #[test]
+    fn one_level_suffices_for_moderate_targets() {
+        let spec = FactorySpec::for_target(1e-3, 1e-4).expect("feasible");
+        assert_eq!(spec.levels, 1);
+        assert_eq!(spec.tiles, LEVEL1_TILES);
+    }
+
+    #[test]
+    fn tight_targets_need_two_levels() {
+        // 1e-3 physical -> injected 1e-2 -> level 1 gives 3.5e-5; a 1e-10
+        // budget needs level 2.
+        let spec = FactorySpec::for_target(1e-3, 1e-10).expect("feasible");
+        assert_eq!(spec.levels, 2);
+        assert!(spec.output_error < 1e-10);
+        assert_eq!(spec.tiles, LEVEL1_TILES * 3);
+    }
+
+    #[test]
+    fn infeasible_targets_rejected() {
+        assert_eq!(FactorySpec::for_target(5e-2, 1e-30), None);
+    }
+
+    #[test]
+    fn factory_count_scales_with_demand() {
+        let spec = FactorySpec::for_target(1e-3, 1e-9).unwrap();
+        let few = spec.factories_needed(1e6, 1e7);
+        let many = spec.factories_needed(1e9, 1e7);
+        assert!(many > few);
+        assert!(few >= 1);
+    }
+
+    #[test]
+    fn budget_divides_retry_target() {
+        let b = t_error_budget(7.1e8, 0.01);
+        assert!((b - 0.01 / 7.1e8).abs() / b < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! Drift-integrated logical error and retry risk (paper Sec. 7.1, 8.1).
+//!
+//! Retry risk quantifies the probability of an uncorrectable logical error
+//! over a whole program run; the paper computes it as the logical error rate
+//! multiplied by the total number of logical operations. Under drift the LER
+//! is time-dependent: each gate's physical error follows Eqn. 1 between
+//! calibrations, producing a sawtooth under a calibration policy and
+//! unbounded growth without one.
+
+use caliqec_device::DriftModel;
+use caliqec_sched::{assign_groups, ler, GateDrift};
+use rand::{Rng, RngExt};
+
+/// A sampled population of gate drift behaviours.
+#[derive(Clone, Debug)]
+pub struct DriftEnsemble {
+    /// Freshly calibrated error rate shared by all gates.
+    pub p0: f64,
+    /// Per-gate drift-time constants (hours per 10×).
+    pub t_drifts: Vec<f64>,
+}
+
+impl DriftEnsemble {
+    /// Samples `n` gates from a drift distribution.
+    pub fn sample<R: Rng>(
+        n: usize,
+        p0: f64,
+        dist: &caliqec_device::DriftDistribution,
+        rng: &mut R,
+    ) -> DriftEnsemble {
+        DriftEnsemble {
+            p0,
+            t_drifts: dist.sample_many(n, rng),
+        }
+    }
+
+    /// Hours each gate takes to drift from `p0` to `p_tar` (the calibration
+    /// deadline `T_drift,p_tar`).
+    pub fn deadlines(&self, p_tar: f64) -> Vec<f64> {
+        self.t_drifts
+            .iter()
+            .map(|&t| DriftModel::new(self.p0, t).time_to_reach(p_tar).max(1e-3))
+            .collect()
+    }
+}
+
+/// Per-gate calibration periods of a policy (`None` = never calibrated).
+#[derive(Clone, Debug)]
+pub enum CalibrationPeriods {
+    /// No calibration: errors drift unboundedly.
+    Never,
+    /// Each gate calibrated with its own period (hours).
+    PerGate(Vec<f64>),
+}
+
+/// Periods of the LSC baseline: each gate calibrated exactly at its drift
+/// deadline (coarse-grained, rides at `p_tar`).
+pub fn lsc_periods(ensemble: &DriftEnsemble, p_tar: f64) -> CalibrationPeriods {
+    CalibrationPeriods::PerGate(ensemble.deadlines(p_tar))
+}
+
+/// Periods of QECali: drift-based grouping assigns each gate the period
+/// `k·T_Cali ≤ deadline`, so gates are on average calibrated *earlier* than
+/// their deadlines (lower time-averaged error than LSC).
+pub fn qecali_periods(ensemble: &DriftEnsemble, p_tar: f64) -> CalibrationPeriods {
+    let gates: Vec<GateDrift> = ensemble
+        .deadlines(p_tar)
+        .into_iter()
+        .enumerate()
+        .map(|(gate, drift_hours)| GateDrift { gate, drift_hours })
+        .collect();
+    let groups = assign_groups(&gates);
+    let periods = (0..gates.len())
+        .map(|g| groups.period_of(g).expect("every gate grouped"))
+        .collect();
+    CalibrationPeriods::PerGate(periods)
+}
+
+/// Device-wide calibration events per hour under the given periods.
+pub fn events_per_hour(periods: &CalibrationPeriods) -> f64 {
+    match periods {
+        CalibrationPeriods::Never => 0.0,
+        CalibrationPeriods::PerGate(p) => p.iter().map(|&t| 1.0 / t).sum(),
+    }
+}
+
+/// Mean physical error across the ensemble at absolute time `t` (hours),
+/// given per-gate calibration phases.
+fn mean_error_at(
+    ensemble: &DriftEnsemble,
+    periods: &CalibrationPeriods,
+    phases: &[f64],
+    t: f64,
+) -> f64 {
+    let n = ensemble.t_drifts.len() as f64;
+    let sum: f64 = ensemble
+        .t_drifts
+        .iter()
+        .enumerate()
+        .map(|(i, &td)| {
+            let age = match periods {
+                CalibrationPeriods::Never => t,
+                CalibrationPeriods::PerGate(p) => (t + phases[i] * p[i]).rem_euclid(p[i]),
+            };
+            // Cap at 0.3: beyond that the depolarizing-model error rate is
+            // saturated and the LER model is pinned at alpha anyway.
+            (ensemble.p0 * 10f64.powf(age / td)).min(0.3)
+        })
+        .sum();
+    sum / n
+}
+
+/// Time-averaged logical error rate of a distance-`d` patch over a run of
+/// `horizon_hours`, integrating the drifting mean physical error on a
+/// 256-point grid with randomized calibration phases.
+pub fn average_ler<R: Rng>(
+    d: usize,
+    ensemble: &DriftEnsemble,
+    periods: &CalibrationPeriods,
+    horizon_hours: f64,
+    rng: &mut R,
+) -> f64 {
+    let phases: Vec<f64> = (0..ensemble.t_drifts.len())
+        .map(|_| rng.random::<f64>())
+        .collect();
+    let steps = 256;
+    let mut acc = 0.0;
+    for k in 0..steps {
+        let t = horizon_hours * (k as f64 + 0.5) / steps as f64;
+        acc += ler(d, mean_error_at(ensemble, periods, &phases, t));
+    }
+    acc / steps as f64
+}
+
+/// Retry risk of a run with `logical_ops` operations at time-averaged
+/// logical error `avg_ler` per operation: `1 - exp(-ops · LER)` (the paper's
+/// `LER × #ops`, saturating near 100 %).
+pub fn retry_risk(logical_ops: f64, avg_ler: f64) -> f64 {
+    1.0 - (-logical_ops * avg_ler).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliqec_device::DriftDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ensemble(seed: u64) -> DriftEnsemble {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DriftEnsemble::sample(500, 1e-3, &DriftDistribution::current(), &mut rng)
+    }
+
+    #[test]
+    fn deadlines_shrink_with_tighter_targets() {
+        let e = ensemble(1);
+        let loose: f64 = e.deadlines(8e-3).iter().sum();
+        let tight: f64 = e.deadlines(2e-3).iter().sum();
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn qecali_periods_never_exceed_deadlines() {
+        let e = ensemble(2);
+        let p_tar = 5e-3;
+        let deadlines = e.deadlines(p_tar);
+        let CalibrationPeriods::PerGate(periods) = qecali_periods(&e, p_tar) else {
+            panic!()
+        };
+        for (p, dl) in periods.iter().zip(&deadlines) {
+            assert!(p <= &(dl + 1e-9));
+        }
+    }
+
+    #[test]
+    fn no_calibration_ler_grows_catastrophically() {
+        let e = ensemble(3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let short = average_ler(25, &e, &CalibrationPeriods::Never, 2.0, &mut rng);
+        let long = average_ler(25, &e, &CalibrationPeriods::Never, 100.0, &mut rng);
+        assert!(long > short * 10.0, "short {short:e}, long {long:e}");
+    }
+
+    #[test]
+    fn qecali_average_ler_below_lsc() {
+        let e = ensemble(4);
+        let p_tar = 5e-3;
+        let mut rng = StdRng::seed_from_u64(10);
+        let lsc = average_ler(25, &e, &lsc_periods(&e, p_tar), 50.0, &mut rng);
+        let insitu = average_ler(25, &e, &qecali_periods(&e, p_tar), 50.0, &mut rng);
+        assert!(
+            insitu < lsc,
+            "QECali {insitu:e} should beat LSC {lsc:e}"
+        );
+    }
+
+    #[test]
+    fn retry_risk_saturates() {
+        assert!(retry_risk(1e9, 1e-3) > 0.999);
+        assert!(retry_risk(1e9, 1e-12) < 0.01);
+        assert!((retry_risk(1e9, 3e-11) - 0.0296).abs() < 0.01);
+    }
+
+    #[test]
+    fn events_per_hour_counts() {
+        let p = CalibrationPeriods::PerGate(vec![2.0, 4.0]);
+        assert!((events_per_hour(&p) - 0.75).abs() < 1e-12);
+        assert_eq!(events_per_hour(&CalibrationPeriods::Never), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the FTQC substrate: layout monotonicity, factory
+//! algebra, routing invariants, and retry-risk bounds.
+
+use caliqec_device::DriftDistribution;
+use caliqec_ftqc::{
+    base_exec_hours, distill_15_to_1, lsc_periods, physical_qubits, qecali_periods,
+    qubit_overhead, retry_risk, route_random_workload, BenchProgram, CalibrationPeriods,
+    DriftEnsemble, FactorySpec, Policy, TileLayout,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Qubit counts are monotone in logical qubits and distance, and the
+    /// policy ordering QECali < LSC always holds.
+    #[test]
+    fn qubit_accounting_monotone(
+        l in 1usize..2000,
+        d in 2usize..40,
+        delta in 1usize..8,
+    ) {
+        let base = physical_qubits(l, d, Policy::NoCalibration);
+        prop_assert!(physical_qubits(l + 1, d, Policy::NoCalibration) > base);
+        prop_assert!(physical_qubits(l, d + 2, Policy::NoCalibration) > base);
+        let q = physical_qubits(l, d, Policy::Qecali { delta_d: delta });
+        let lsc = physical_qubits(l, d, Policy::Lsc);
+        prop_assert!(base <= q);
+        prop_assert!(q < lsc, "QECali {q} must stay below LSC {lsc}");
+        prop_assert!(qubit_overhead(l, d, Policy::Lsc) > 4.0);
+    }
+
+    /// Distillation strictly reduces sub-50% errors, and deeper pipelines
+    /// cost more tiles and time.
+    #[test]
+    fn factory_algebra(p in 1e-5f64..0.2) {
+        let out = distill_15_to_1(p);
+        if p < 0.1 {
+            prop_assert!(out < p, "distillation must improve {p} (got {out})");
+        }
+        if let (Some(a), Some(b)) = (
+            FactorySpec::for_target(1e-3, 1e-5),
+            FactorySpec::for_target(1e-3, 1e-12),
+        ) {
+            prop_assert!(b.levels >= a.levels);
+            prop_assert!(b.tiles >= a.tiles);
+            prop_assert!(b.timesteps_per_state >= a.timesteps_per_state);
+        }
+    }
+
+    /// Routing: every requested CNOT eventually routes on an unblocked
+    /// layout, and the path stays on corridor tiles.
+    #[test]
+    fn routing_always_completes(n in 2usize..40, cnots in 1usize..120, seed in 0u64..100) {
+        let layout = TileLayout::place(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = route_random_workload(&layout, cnots, &HashSet::new(), &mut rng);
+        prop_assert_eq!(stats.routed, cnots);
+        prop_assert!(stats.timesteps >= 1);
+        prop_assert!(stats.parallelism <= cnots as f64 + 1e-9);
+    }
+
+    /// Retry risk is a probability, monotone in both arguments.
+    #[test]
+    fn retry_risk_bounds(ops in 1.0f64..1e12, ler in 1e-18f64..1e-2) {
+        let r = retry_risk(ops, ler);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!(retry_risk(ops * 10.0, ler) >= r);
+        prop_assert!(retry_risk(ops, ler * 10.0) >= r);
+    }
+
+    /// QECali's calibration periods never exceed LSC's (it always calibrates
+    /// at least as early), so its events-per-hour is at least LSC's.
+    #[test]
+    fn qecali_calibrates_no_later_than_lsc(seed in 0u64..200, p_tar in 2e-3f64..9e-3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ensemble = DriftEnsemble::sample(64, 1e-3, &DriftDistribution::current(), &mut rng);
+        let CalibrationPeriods::PerGate(lsc) = lsc_periods(&ensemble, p_tar) else {
+            unreachable!()
+        };
+        let CalibrationPeriods::PerGate(qec) = qecali_periods(&ensemble, p_tar) else {
+            unreachable!()
+        };
+        for (a, b) in qec.iter().zip(&lsc) {
+            prop_assert!(a <= &(b + 1e-9), "QECali period {a} exceeds deadline {b}");
+        }
+    }
+
+    /// Execution time grows with workload and distance.
+    #[test]
+    fn exec_time_monotone(n in 2usize..30) {
+        let small = BenchProgram::jellium(250);
+        let large = BenchProgram::jellium(250 + n * 10);
+        prop_assert!(base_exec_hours(&large, 25) > base_exec_hours(&small, 25));
+        prop_assert!(base_exec_hours(&small, 27) > base_exec_hours(&small, 25));
+    }
+}

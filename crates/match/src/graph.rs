@@ -1,0 +1,372 @@
+//! Weighted matching graphs built from detector error models.
+//!
+//! Nodes are detectors plus one virtual boundary node. Every error mechanism
+//! with one flipped detector becomes a boundary edge; two flipped detectors
+//! become an interior edge; more than two (hyperedges, which arise from Y
+//! errors under circuit-level noise) are decomposed into existing edges in the
+//! style of Stim's `decompose_errors`.
+
+use caliqec_stab::{DetIdx, DetectorErrorModel};
+use std::collections::HashMap;
+
+/// Identifier of a node in a [`MatchingGraph`]: a detector or the boundary.
+pub type NodeId = usize;
+
+/// One weighted edge of the matching graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Edge {
+    /// First endpoint (a detector).
+    pub u: NodeId,
+    /// Second endpoint (a detector, or [`MatchingGraph::boundary`]).
+    pub v: NodeId,
+    /// Total firing probability of the mechanisms merged into this edge.
+    pub probability: f64,
+    /// Matching weight `ln((1 - p) / p)`.
+    pub weight: f64,
+    /// XOR of logical-observable masks flipped when this edge is used.
+    pub observables: u64,
+}
+
+/// A weighted matching graph with a single virtual boundary node.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_match::MatchingGraph;
+/// use caliqec_stab::{Basis, Circuit, Noise1, extract_dem};
+///
+/// let mut c = Circuit::new(1);
+/// c.reset(Basis::Z, &[0]);
+/// c.noise1(Noise1::XError, 0.01, &[0]);
+/// let m = c.measure(0, Basis::Z, 0.0);
+/// c.detector(&[m]);
+/// let graph = MatchingGraph::from_dem(&extract_dem(&c));
+/// assert_eq!(graph.num_detectors(), 1);
+/// assert_eq!(graph.edges().len(), 1); // one boundary edge
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MatchingGraph {
+    num_detectors: usize,
+    num_observables: usize,
+    edges: Vec<Edge>,
+    /// adjacency[node] -> indices into `edges`
+    adjacency: Vec<Vec<usize>>,
+}
+
+fn probability_to_weight(p: f64) -> f64 {
+    let p = p.clamp(1e-12, 0.5);
+    ((1.0 - p) / p).ln()
+}
+
+fn xor_combine(a: f64, b: f64) -> f64 {
+    a * (1.0 - b) + b * (1.0 - a)
+}
+
+/// Accumulator for one edge while merging mechanisms.
+#[derive(Clone, Copy, Debug, Default)]
+struct EdgeAcc {
+    /// XOR-combined probability of all contributing mechanisms.
+    prob: f64,
+    /// Observable mask of the edge.
+    obs: u64,
+    /// Probability of the single strongest mechanism that set `obs`; a
+    /// conflicting mechanism only overrides the mask when it is stronger
+    /// (its disagreement then becomes bounded decoder noise instead).
+    obs_weight: f64,
+}
+
+impl EdgeAcc {
+    fn absorb(&mut self, prob: f64, obs: u64) {
+        self.prob = xor_combine(self.prob, prob);
+        if obs != self.obs && prob > self.obs_weight {
+            self.obs = obs;
+            self.obs_weight = prob;
+        } else if obs == self.obs {
+            self.obs_weight = self.obs_weight.max(prob);
+        }
+    }
+}
+
+impl MatchingGraph {
+    /// Builds the matching graph of a detector error model, decomposing
+    /// hyperedges into graph edges.
+    ///
+    /// Observable bookkeeping follows PyMatching/Stim semantics: a
+    /// decomposed hyperedge only re-labels an edge when its components'
+    /// masks do not already explain the mechanism's observable flips, and
+    /// conflicting parallel mechanisms resolve toward the more probable one.
+    pub fn from_dem(dem: &DetectorErrorModel) -> MatchingGraph {
+        let boundary = dem.num_detectors;
+        // First pass: collect genuine edges (1 or 2 detectors).
+        let mut edge_map: HashMap<(NodeId, NodeId), EdgeAcc> = HashMap::new();
+        let key = |dets: &[DetIdx]| -> Option<(NodeId, NodeId)> {
+            match dets {
+                [d] => Some((d.0 as NodeId, boundary)),
+                [a, b] => Some(ordered(a.0 as NodeId, b.0 as NodeId)),
+                _ => None,
+            }
+        };
+        for mech in &dem.mechanisms {
+            if let Some(k) = key(&mech.detectors) {
+                edge_map
+                    .entry(k)
+                    .or_default()
+                    .absorb(mech.probability, mech.observables);
+            }
+        }
+        // Second pass: decompose hyperedges into known edges. The components'
+        // existing observable masks usually already explain the hyperedge's
+        // flips (e.g. a data Y error = a known X-error edge ⊕ a known
+        // Z-error edge); any residual lands on a fresh component.
+        for mech in &dem.mechanisms {
+            if mech.detectors.len() <= 2 {
+                continue;
+            }
+            let parts = decompose(&mech.detectors, boundary, &edge_map);
+            let mut residual = mech.observables;
+            let mut fresh: Option<(NodeId, NodeId)> = None;
+            for &part in &parts {
+                match edge_map.get(&part) {
+                    Some(acc) if acc.prob > 0.0 => residual ^= acc.obs,
+                    _ => fresh = fresh.or(Some(part)),
+                }
+            }
+            for &part in &parts {
+                let is_fresh_target = fresh == Some(part);
+                let entry = edge_map.entry(part).or_default();
+                let obs = if is_fresh_target {
+                    residual
+                } else if entry.prob > 0.0 {
+                    entry.obs
+                } else {
+                    0
+                };
+                entry.absorb(mech.probability, obs);
+            }
+            // If every component already existed and their masks do not
+            // explain the mechanism (residual != 0 with no fresh edge), the
+            // mechanism's logical effect stays as bounded decoder noise —
+            // the same compromise PyMatching makes for undecomposable
+            // hyperedges.
+        }
+
+        let mut edges: Vec<Edge> = edge_map
+            .into_iter()
+            .filter(|(_, acc)| acc.prob > 0.0)
+            .map(|((u, v), acc)| Edge {
+                u,
+                v,
+                probability: acc.prob,
+                weight: probability_to_weight(acc.prob),
+                observables: acc.obs,
+            })
+            .collect();
+        edges.sort_by(|a, b| (a.u, a.v).cmp(&(b.u, b.v)));
+
+        let mut adjacency = vec![Vec::new(); dem.num_detectors + 1];
+        for (i, e) in edges.iter().enumerate() {
+            adjacency[e.u].push(i);
+            if e.v != e.u {
+                adjacency[e.v].push(i);
+            }
+        }
+        MatchingGraph {
+            num_detectors: dem.num_detectors,
+            num_observables: dem.num_observables,
+            edges,
+            adjacency,
+        }
+    }
+
+    /// Number of detector nodes.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of logical observables tracked on edges.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// The virtual boundary node id.
+    pub fn boundary(&self) -> NodeId {
+        self.num_detectors
+    }
+
+    /// Total number of nodes (detectors + boundary).
+    pub fn num_nodes(&self) -> usize {
+        self.num_detectors + 1
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Indices (into [`Self::edges`]) of the edges incident to `node`.
+    pub fn incident(&self, node: NodeId) -> &[usize] {
+        &self.adjacency[node]
+    }
+
+    /// The endpoint of edge `e` opposite to `node`.
+    pub fn other_endpoint(&self, e: usize, node: NodeId) -> NodeId {
+        let edge = &self.edges[e];
+        if edge.u == node {
+            edge.v
+        } else {
+            edge.u
+        }
+    }
+}
+
+/// Decomposes a hyperedge's detector set into node pairs, preferring splits
+/// that correspond to existing edges.
+fn decompose(
+    dets: &[DetIdx],
+    boundary: NodeId,
+    known: &HashMap<(NodeId, NodeId), EdgeAcc>,
+) -> Vec<(NodeId, NodeId)> {
+    let mut remaining: Vec<NodeId> = dets.iter().map(|d| d.0 as NodeId).collect();
+    let mut parts = Vec::new();
+    // Greedily extract pairs that are known edges.
+    'outer: loop {
+        for i in 0..remaining.len() {
+            for j in (i + 1)..remaining.len() {
+                let k = ordered(remaining[i], remaining[j]);
+                if known.contains_key(&k) {
+                    parts.push(k);
+                    remaining.swap_remove(j);
+                    remaining.swap_remove(i);
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    // Extract singles that are known boundary edges.
+    let mut i = 0;
+    while i < remaining.len() {
+        let k = ordered(remaining[i], boundary);
+        if known.contains_key(&k) {
+            parts.push(k);
+            remaining.swap_remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    // Whatever is left: pair arbitrarily, odd one goes to the boundary.
+    while remaining.len() >= 2 {
+        let a = remaining.pop().expect("len >= 2");
+        let b = remaining.pop().expect("len >= 1");
+        parts.push(ordered(a, b));
+    }
+    if let Some(a) = remaining.pop() {
+        parts.push(ordered(a, boundary));
+    }
+    parts
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliqec_stab::{Basis, Circuit, Noise1, Noise2, extract_dem};
+
+    fn chain_circuit(p: f64) -> Circuit {
+        // Three data qubits measured through two parity checks; X errors on
+        // the middle qubit light both checks -> interior edge; on the outer
+        // qubits -> boundary edges.
+        let mut c = Circuit::new(5);
+        let (d0, d1, d2, a0, a1) = (0, 1, 2, 3, 4);
+        c.reset(Basis::Z, &[d0, d1, d2, a0, a1]);
+        c.noise1(Noise1::XError, p, &[d0, d1, d2]);
+        c.cx(d0, a0);
+        c.cx(d1, a0);
+        c.cx(d1, a1);
+        c.cx(d2, a1);
+        let m0 = c.measure(a0, Basis::Z, 0.0);
+        let m1 = c.measure(a1, Basis::Z, 0.0);
+        c.detector(&[m0]);
+        c.detector(&[m1]);
+        let md = c.measure(d0, Basis::Z, 0.0);
+        c.observable(0, &[md]);
+        c
+    }
+
+    #[test]
+    fn chain_graph_structure() {
+        let g = MatchingGraph::from_dem(&extract_dem(&chain_circuit(0.01)));
+        assert_eq!(g.num_detectors(), 2);
+        assert_eq!(g.edges().len(), 3);
+        let boundary_edges = g
+            .edges()
+            .iter()
+            .filter(|e| e.v == g.boundary())
+            .count();
+        assert_eq!(boundary_edges, 2);
+    }
+
+    #[test]
+    fn observable_mask_sits_on_d0_boundary_edge() {
+        let g = MatchingGraph::from_dem(&extract_dem(&chain_circuit(0.01)));
+        let e = g
+            .edges()
+            .iter()
+            .find(|e| e.u == 0 && e.v == g.boundary())
+            .expect("boundary edge for detector 0");
+        assert_eq!(e.observables, 1);
+    }
+
+    #[test]
+    fn weights_decrease_with_probability() {
+        assert!(probability_to_weight(0.001) > probability_to_weight(0.01));
+        assert!(probability_to_weight(0.01) > probability_to_weight(0.1));
+    }
+
+    #[test]
+    fn xor_combine_is_symmetric_and_bounded() {
+        let c = xor_combine(0.1, 0.2);
+        assert!((c - (0.1 * 0.8 + 0.2 * 0.9)).abs() < 1e-12);
+        assert_eq!(xor_combine(0.0, 0.3), 0.3);
+    }
+
+    #[test]
+    fn hyperedges_are_decomposed() {
+        // A depolarizing error between two ancilla-coupled qubits can flip
+        // 3 detectors at once; the graph must still only contain pair edges.
+        let mut c = Circuit::new(3);
+        c.reset(Basis::Z, &[0, 1, 2]);
+        c.noise2(Noise2::Depolarize2, 0.01, &[(0, 1)]);
+        c.cx(0, 2);
+        let m0 = c.measure(0, Basis::Z, 0.0);
+        let m1 = c.measure(1, Basis::Z, 0.0);
+        let m2 = c.measure(2, Basis::Z, 0.0);
+        c.detector(&[m0]);
+        c.detector(&[m1]);
+        c.detector(&[m2]);
+        let dem = extract_dem(&c);
+        let g = MatchingGraph::from_dem(&dem);
+        for e in g.edges() {
+            assert!(e.u < g.num_nodes() && e.v < g.num_nodes());
+            assert!(e.probability > 0.0 && e.probability < 1.0);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = MatchingGraph::from_dem(&extract_dem(&chain_circuit(0.01)));
+        for node in 0..g.num_nodes() {
+            for &ei in g.incident(node) {
+                let e = &g.edges()[ei];
+                assert!(e.u == node || e.v == node);
+            }
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Intra-group calibration scheduling (paper Sec. 5.3).
+//!
+//! Within one calibration interval the scheduler must order the due
+//! workloads while handling the paper's three challenges:
+//!
+//! 1. **Dependencies** — gates whose isolation regions share acted qubits are
+//!    clustered and calibrated collectively ([`cluster_workloads`]).
+//! 2. **Crosstalk** — workloads with touching regions cannot run
+//!    concurrently; a largest-first greedy packs conflict-free batches
+//!    ([`greedy_schedule`]).
+//! 3. **Distance-loss trade-off** — isolating more qubits at once costs more
+//!    code distance; [`adaptive_schedule`] sweeps the tolerable loss `Δd`
+//!    and picks the minimizer of the space-time cost
+//!    `Cost = Δd · Σ t_cali` ([`IntraSchedule::space_time_cost`]).
+
+use caliqec_device::{DeviceModel, GateId, QubitId};
+use std::collections::BTreeSet;
+
+/// One calibration workload: a gate (or dependency cluster of gates), its
+/// duration, and the code region isolated while it runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Workload {
+    /// The gates calibrated together (one, unless clustered).
+    pub gates: Vec<GateId>,
+    /// Calibration duration in hours (max over clustered gates).
+    pub t_cali_hours: f64,
+    /// The isolated region: acted qubits plus crosstalk neighbourhood.
+    pub region: BTreeSet<QubitId>,
+    /// Qubits the gates act on (used for dependency detection).
+    pub acted: BTreeSet<QubitId>,
+    /// Code-distance loss caused by isolating this region.
+    pub loss: usize,
+}
+
+impl Workload {
+    /// Builds the workload of a single gate on `device`.
+    pub fn from_gate(device: &DeviceModel, gate: GateId) -> Workload {
+        let info = &device.gates[gate];
+        let acted: BTreeSet<QubitId> = info.kind.qubits().into_iter().collect();
+        let region: BTreeSet<QubitId> =
+            acted.iter().copied().chain(info.nbr.iter().copied()).collect();
+        let loss = region_loss(&region, device.grid_cols);
+        Workload {
+            gates: vec![gate],
+            t_cali_hours: info.t_cali_hours,
+            region,
+            acted,
+            loss,
+        }
+    }
+
+    fn merge(&mut self, other: &Workload) {
+        self.gates.extend(other.gates.iter().copied());
+        self.t_cali_hours = self.t_cali_hours.max(other.t_cali_hours);
+        self.region.extend(other.region.iter().copied());
+        self.acted.extend(other.acted.iter().copied());
+    }
+}
+
+/// Code-distance loss of isolating `region`: a single qubit costs 1, a
+/// larger region costs its grid diameter (the paper's Δd accounting: "four
+/// single-qubit isolations or the isolation of a region with a diameter of
+/// 4", Sec. 7.3).
+pub fn region_loss(region: &BTreeSet<QubitId>, grid_cols: usize) -> usize {
+    if region.is_empty() {
+        return 0;
+    }
+    let pos: Vec<(i64, i64)> = region
+        .iter()
+        .map(|&q| ((q as usize / grid_cols) as i64, (q as usize % grid_cols) as i64))
+        .collect();
+    let (mut dr, mut dc) = (0i64, 0i64);
+    for a in &pos {
+        for b in &pos {
+            dr = dr.max((a.0 - b.0).abs());
+            dc = dc.max((a.1 - b.1).abs());
+        }
+    }
+    (dr.max(dc) as usize).max(1)
+}
+
+/// One batch of concurrently calibrated workloads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Batch {
+    /// Workloads running in parallel.
+    pub workloads: Vec<Workload>,
+    /// Batch duration: the longest member calibration.
+    pub duration_hours: f64,
+    /// Total code-distance loss while the batch runs.
+    pub distance_loss: usize,
+}
+
+/// An intra-group schedule: batches executed back to back.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IntraSchedule {
+    /// Batches in execution order.
+    pub batches: Vec<Batch>,
+}
+
+impl IntraSchedule {
+    /// Total wall-clock calibration time.
+    pub fn total_time(&self) -> f64 {
+        self.batches.iter().map(|b| b.duration_hours).sum()
+    }
+
+    /// The largest simultaneous distance loss — the `Δd` the patch must be
+    /// enlarged by.
+    pub fn max_distance_loss(&self) -> usize {
+        self.batches.iter().map(|b| b.distance_loss).max().unwrap_or(0)
+    }
+
+    /// Space-time overhead `Δd × T(Cal)` (paper Sec. 8.2.3).
+    pub fn space_time_cost(&self) -> f64 {
+        self.max_distance_loss() as f64 * self.total_time()
+    }
+
+    /// Number of gate calibrations in the schedule.
+    pub fn num_calibrations(&self) -> usize {
+        self.batches
+            .iter()
+            .flat_map(|b| &b.workloads)
+            .map(|w| w.gates.len())
+            .sum()
+    }
+}
+
+/// Whether two workloads share acted qubits (dependency → must cluster).
+fn dependent(a: &Workload, b: &Workload) -> bool {
+    !a.acted.is_disjoint(&b.region) || !b.acted.is_disjoint(&a.region)
+}
+
+/// Whether two workloads conflict through crosstalk (regions touch).
+fn conflicts(a: &Workload, b: &Workload) -> bool {
+    !a.region.is_disjoint(&b.region)
+}
+
+/// Clusters dependent workloads (paper challenge 1): gates whose acted
+/// qubits fall inside another gate's isolation region are calibrated
+/// collectively.
+pub fn cluster_workloads(device: &DeviceModel, gates: &[GateId]) -> Vec<Workload> {
+    let mut clusters: Vec<Workload> = Vec::new();
+    for &g in gates {
+        let w = Workload::from_gate(device, g);
+        // Merge with every existing cluster it depends on.
+        let mut merged = w;
+        let mut remaining = Vec::with_capacity(clusters.len());
+        for c in clusters.into_iter() {
+            if dependent(&merged, &c) {
+                merged.merge(&c);
+            } else {
+                remaining.push(c);
+            }
+        }
+        merged.loss = region_loss(&merged.region, device.grid_cols);
+        remaining.push(merged);
+        clusters = remaining;
+    }
+    clusters
+}
+
+/// Largest-first greedy batching under a distance-loss cap (paper
+/// challenge 2): workloads are sorted by region size descending and packed
+/// into the earliest batch without crosstalk conflicts whose loss stays at
+/// or below `loss_cap`.
+pub fn greedy_schedule(workloads: &[Workload], loss_cap: usize) -> IntraSchedule {
+    let mut sorted: Vec<&Workload> = workloads.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.region
+            .len()
+            .cmp(&a.region.len())
+            .then_with(|| a.gates.cmp(&b.gates))
+    });
+    let mut schedule = IntraSchedule::default();
+    let mut remaining = sorted;
+    while !remaining.is_empty() {
+        let mut batch = Batch {
+            workloads: Vec::new(),
+            duration_hours: 0.0,
+            distance_loss: 0,
+        };
+        let mut deferred = Vec::new();
+        for w in remaining {
+            let fits_loss = batch.distance_loss + w.loss <= loss_cap || batch.workloads.is_empty();
+            let clash = batch.workloads.iter().any(|m| conflicts(m, w));
+            if fits_loss && !clash {
+                batch.distance_loss += w.loss;
+                batch.duration_hours = batch.duration_hours.max(w.t_cali_hours);
+                batch.workloads.push(w.clone());
+            } else {
+                deferred.push(w);
+            }
+        }
+        schedule.batches.push(batch);
+        remaining = deferred;
+    }
+    schedule
+}
+
+/// Sequential baseline: one workload per batch (paper Sec. 8.2.3).
+pub fn sequential_schedule(workloads: &[Workload]) -> IntraSchedule {
+    IntraSchedule {
+        batches: workloads
+            .iter()
+            .map(|w| Batch {
+                duration_hours: w.t_cali_hours,
+                distance_loss: w.loss,
+                workloads: vec![w.clone()],
+            })
+            .collect(),
+    }
+}
+
+/// Bulk baseline: maximal parallelism, only the crosstalk constraint
+/// (paper Sec. 8.2.3).
+pub fn bulk_schedule(workloads: &[Workload]) -> IntraSchedule {
+    greedy_schedule(workloads, usize::MAX)
+}
+
+/// Adaptive scheduling (paper challenge 3): sweeps the tolerable distance
+/// loss `Δd` from the largest single-workload loss up to `delta_d_max` and
+/// returns the schedule minimizing the space-time cost, together with the
+/// chosen `Δd`.
+pub fn adaptive_schedule(workloads: &[Workload], delta_d_max: usize) -> (IntraSchedule, usize) {
+    let min_cap = workloads.iter().map(|w| w.loss).max().unwrap_or(1);
+    let bulk_cap = bulk_schedule(workloads).max_distance_loss().max(min_cap);
+    let mut best: Option<(IntraSchedule, usize, f64)> = None;
+    for cap in min_cap..=bulk_cap.max(delta_d_max) {
+        let s = greedy_schedule(workloads, cap);
+        let cost = s.space_time_cost();
+        let better = match &best {
+            None => true,
+            Some((_, _, c)) => cost < *c - 1e-12,
+        };
+        if better {
+            best = Some((s, cap, cost));
+        }
+    }
+    let (schedule, cap, _) = best.expect("at least one cap evaluated");
+    (schedule, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliqec_device::{DeviceConfig, DriftDistribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn device(rows: usize, cols: usize) -> DeviceModel {
+        let mut rng = StdRng::seed_from_u64(17);
+        DeviceModel::synthetic(
+            &DeviceConfig {
+                rows,
+                cols,
+                drift: DriftDistribution::current(),
+                ..DeviceConfig::default()
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn single_qubit_region_loss_is_diameter() {
+        let r: BTreeSet<QubitId> = [0].into_iter().collect();
+        assert_eq!(region_loss(&r, 8), 1);
+        let r2: BTreeSet<QubitId> = [0, 1, 2].into_iter().collect(); // a row
+        assert_eq!(region_loss(&r2, 8), 2);
+    }
+
+    #[test]
+    fn clustering_merges_overlapping_gates() {
+        let dev = device(4, 4);
+        // Gate 0 (1q on qubit 0) and the coupler gate acting on qubit 0.
+        let coupler = dev
+            .gates
+            .iter()
+            .position(|g| g.kind.qubits().contains(&0) && g.kind.qubits().len() == 2)
+            .unwrap();
+        let clusters = cluster_workloads(&dev, &[0, coupler]);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].gates.len(), 2);
+    }
+
+    #[test]
+    fn distant_gates_stay_separate() {
+        let dev = device(8, 8);
+        let clusters = cluster_workloads(&dev, &[0, 63]);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn sequential_uses_one_batch_per_workload() {
+        let dev = device(8, 8);
+        let ws = cluster_workloads(&dev, &[0, 27, 63]);
+        let s = sequential_schedule(&ws);
+        assert_eq!(s.batches.len(), ws.len());
+        assert!(s.total_time() >= ws.iter().map(|w| w.t_cali_hours).sum::<f64>() - 1e-12);
+    }
+
+    #[test]
+    fn bulk_parallelizes_conflict_free_workloads() {
+        let dev = device(8, 8);
+        let ws = cluster_workloads(&dev, &[0, 27, 63]); // pairwise distant
+        let s = bulk_schedule(&ws);
+        assert_eq!(s.batches.len(), 1);
+        assert_eq!(s.batches[0].workloads.len(), 3);
+    }
+
+    #[test]
+    fn crosstalk_conflict_forces_serialization() {
+        let dev = device(8, 8);
+        // Adjacent 1q gates: regions overlap.
+        let ws = cluster_workloads(&dev, &[0, 2]);
+        assert_eq!(ws.len(), 2, "adjacent-but-not-dependent gates");
+        let s = bulk_schedule(&ws);
+        assert_eq!(s.batches.len(), 2);
+    }
+
+    #[test]
+    fn greedy_respects_loss_cap() {
+        let dev = device(8, 8);
+        let ws = cluster_workloads(&dev, &[0, 27, 63]);
+        let per = ws.iter().map(|w| w.loss).max().unwrap();
+        let s = greedy_schedule(&ws, per); // room for ~one workload per batch
+        assert!(s.max_distance_loss() <= per.max(ws.iter().map(|w| w.loss).max().unwrap()));
+        assert!(s.batches.len() >= 2);
+    }
+
+    #[test]
+    fn adaptive_cost_never_worse_than_baselines() {
+        let dev = device(8, 8);
+        let gates: Vec<usize> = vec![0, 5, 18, 27, 40, 54, 63];
+        let ws = cluster_workloads(&dev, &gates);
+        let (adaptive, _) = adaptive_schedule(&ws, 8);
+        let seq = sequential_schedule(&ws);
+        let bulk = bulk_schedule(&ws);
+        assert!(adaptive.space_time_cost() <= seq.space_time_cost() + 1e-9);
+        assert!(adaptive.space_time_cost() <= bulk.space_time_cost() + 1e-9);
+    }
+
+    #[test]
+    fn schedules_cover_all_gates() {
+        let dev = device(8, 8);
+        let gates: Vec<usize> = (0..20).collect();
+        let ws = cluster_workloads(&dev, &gates);
+        for s in [
+            sequential_schedule(&ws),
+            bulk_schedule(&ws),
+            adaptive_schedule(&ws, 6).0,
+        ] {
+            assert_eq!(s.num_calibrations(), 20);
+        }
+    }
+}

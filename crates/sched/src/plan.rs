@@ -1,0 +1,186 @@
+//! The full compile-time calibration plan (paper Fig. 5, compilation stage).
+//!
+//! Combines drift-based grouping (Sec. 5.2) with intra-group scheduling
+//! (Sec. 5.3): every gate gets a calibration period `k · T_Cali`, and each
+//! group's due workloads are clustered and batched under the distance-loss
+//! budget `Δd`.
+
+use crate::group::{assign_groups, CalibrationGroups, GateDrift};
+use crate::intra::{adaptive_schedule, cluster_workloads, IntraSchedule};
+use caliqec_device::{DeviceModel, GateId};
+use std::collections::BTreeMap;
+
+/// Inputs to plan construction.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanConfig {
+    /// Targeted physical error rate `p_tar` each gate must stay below.
+    pub p_tar: f64,
+    /// Maximum tolerable code-distance loss `Δd` (the paper uses 4).
+    pub delta_d_max: usize,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            p_tar: 5e-3,
+            delta_d_max: 4,
+        }
+    }
+}
+
+/// A compiled calibration plan: periodic groups with batched intra-group
+/// schedules.
+#[derive(Clone, Debug)]
+pub struct CalibrationPlan {
+    /// The drift-based grouping.
+    pub groups: CalibrationGroups,
+    /// Per-group batched schedule.
+    pub schedules: BTreeMap<usize, IntraSchedule>,
+    /// The `Δd` chosen for each group by the adaptive scheduler.
+    pub chosen_delta_d: BTreeMap<usize, usize>,
+}
+
+impl CalibrationPlan {
+    /// The base calibration interval in hours.
+    pub fn t_cali_hours(&self) -> f64 {
+        self.groups.t_cali_hours
+    }
+
+    /// The largest `Δd` any group requires — the patch-enlargement headroom
+    /// the architecture must reserve.
+    pub fn max_delta_d(&self) -> usize {
+        self.chosen_delta_d.values().copied().max().unwrap_or(0)
+    }
+
+    /// Total calibration operations over a horizon.
+    pub fn operations_over(&self, horizon_hours: f64) -> usize {
+        self.groups.operations_over(horizon_hours)
+    }
+
+    /// Whether every group's schedule fits within its calibration interval
+    /// (`t_cali` of a gate must not exceed `T_Cali`, Sec. 5.3).
+    pub fn fits_intervals(&self) -> bool {
+        self.schedules
+            .values()
+            .all(|s| s.total_time() <= self.groups.t_cali_hours + 1e-12)
+    }
+
+    /// Gates calibrated during interval `m` (1-based).
+    pub fn due_in_interval(&self, m: usize) -> Vec<GateId> {
+        self.groups.due_in_interval(m)
+    }
+}
+
+/// Builds the complete calibration plan for a device (compilation stage).
+///
+/// Drift times are derived from each gate's (characterized) drift model and
+/// the target `p_tar`; groups come from Algorithm 1; each group's workloads
+/// are clustered and adaptively batched.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_device::{DeviceConfig, DeviceModel};
+/// use caliqec_sched::{build_plan, PlanConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let device = DeviceModel::synthetic(
+///     &DeviceConfig { rows: 4, cols: 4, ..DeviceConfig::default() },
+///     &mut rng,
+/// );
+/// let plan = build_plan(&device, &PlanConfig::default());
+/// assert!(plan.t_cali_hours() > 0.0);
+/// assert!(plan.max_delta_d() >= 1);
+/// ```
+pub fn build_plan(device: &DeviceModel, config: &PlanConfig) -> CalibrationPlan {
+    let drifts: Vec<GateDrift> = device
+        .gates
+        .iter()
+        .enumerate()
+        .map(|(gate, info)| GateDrift {
+            gate,
+            drift_hours: info.drift.time_to_reach(config.p_tar).max(1e-3),
+        })
+        .collect();
+    let groups = assign_groups(&drifts);
+    let mut schedules = BTreeMap::new();
+    let mut chosen_delta_d = BTreeMap::new();
+    for (&k, gates) in &groups.groups {
+        let workloads = cluster_workloads(device, gates);
+        let (schedule, delta) = adaptive_schedule(&workloads, config.delta_d_max);
+        schedules.insert(k, schedule);
+        chosen_delta_d.insert(k, delta);
+    }
+    CalibrationPlan {
+        groups,
+        schedules,
+        chosen_delta_d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caliqec_device::DeviceConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plan_for(rows: usize, cols: usize, seed: u64) -> (DeviceModel, CalibrationPlan) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let device = DeviceModel::synthetic(
+            &DeviceConfig {
+                rows,
+                cols,
+                ..DeviceConfig::default()
+            },
+            &mut rng,
+        );
+        let plan = build_plan(&device, &PlanConfig::default());
+        (device, plan)
+    }
+
+    #[test]
+    fn plan_covers_every_gate() {
+        let (device, plan) = plan_for(4, 4, 3);
+        let grouped: usize = plan.groups.groups.values().map(|g| g.len()).sum();
+        assert_eq!(grouped, device.gates.len());
+        let scheduled: usize = plan.schedules.values().map(|s| s.num_calibrations()).sum();
+        assert_eq!(scheduled, device.gates.len());
+    }
+
+    #[test]
+    fn plan_respects_drift_constraint() {
+        let (device, plan) = plan_for(4, 4, 5);
+        let config = PlanConfig::default();
+        for (gate, info) in device.gates.iter().enumerate() {
+            let period = plan.groups.period_of(gate).expect("gate grouped");
+            let drift = info.drift.time_to_reach(config.p_tar);
+            assert!(
+                period <= drift + 1e-9,
+                "gate {gate}: period {period:.2} > drift {drift:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_delta_d_bounded_by_need() {
+        let (_, plan) = plan_for(6, 6, 7);
+        // Every group's chosen Δd is at least 1 (something gets isolated).
+        assert!(plan.chosen_delta_d.values().all(|&d| d >= 1));
+        assert!(plan.max_delta_d() >= 1);
+    }
+
+    #[test]
+    fn interval_schedule_is_periodic() {
+        let (_, plan) = plan_for(4, 4, 11);
+        let due1 = plan.due_in_interval(1);
+        // At interval max_k the slowest group fires alongside group 1.
+        let max_k = *plan.groups.groups.keys().max().unwrap();
+        let due_max = plan.due_in_interval(max_k);
+        for g in &plan.groups.groups[&max_k] {
+            assert!(due_max.contains(g));
+        }
+        assert!(due_max.len() >= due1.len().min(plan.groups.groups[&max_k].len()));
+    }
+}

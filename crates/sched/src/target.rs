@@ -1,0 +1,175 @@
+//! Targeted physical error rate determination (paper Sec. 5.2, Eqns. 4–5).
+//!
+//! A distance-`d` surface code achieves
+//! `LER(d, p) = α · (p / p_th)^((d+1)/2)` with `α ≈ 0.03` and
+//! `p_th ≈ 0.01` under circuit-level noise. Given a qubit budget the
+//! compiler picks the largest affordable distance and the loosest physical
+//! error target `p_tar` that still meets `LER_tar`, trading code distance
+//! against calibration frequency.
+
+/// The rotated-surface-code LER model constant `α` (Eqn. 4).
+pub const ALPHA: f64 = 0.03;
+
+/// The circuit-level surface-code threshold `p_th` (Eqn. 4).
+pub const P_TH: f64 = 0.01;
+
+/// Logical error rate per QEC round of a distance-`d` code at physical error
+/// rate `p` (Eqn. 4).
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_sched::ler;
+///
+/// // At threshold the model returns α regardless of distance.
+/// assert!((ler(11, 0.01) - 0.03).abs() < 1e-12);
+/// // Below threshold, larger distances suppress the LER exponentially.
+/// assert!(ler(11, 0.001) < ler(7, 0.001));
+/// ```
+pub fn ler(d: usize, p: f64) -> f64 {
+    (ALPHA * (p / P_TH).powf((d as f64 + 1.0) / 2.0)).min(1.0)
+}
+
+/// The largest physical error rate at which a distance-`d` code still meets
+/// `ler_tar` (inverse of Eqn. 4).
+pub fn p_tar_for(d: usize, ler_tar: f64) -> f64 {
+    assert!(ler_tar > 0.0 && ler_tar < 1.0, "ler target out of range");
+    P_TH * (ler_tar / ALPHA).powf(2.0 / (d as f64 + 1.0))
+}
+
+/// Physical qubits of a distance-`d` rotated patch (data + syndrome).
+pub fn patch_qubits(d: usize) -> usize {
+    2 * d * d - 1
+}
+
+/// The compiler's choice of code distance and physical error target.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TargetChoice {
+    /// Chosen code distance.
+    pub d: usize,
+    /// Targeted physical error rate `p_tar`.
+    pub p_tar: f64,
+    /// Physical qubits per logical patch at this distance.
+    pub qubits_per_patch: usize,
+}
+
+/// Chooses the largest affordable odd code distance within
+/// `qubit_budget_per_logical` physical qubits per patch, then derives the
+/// loosest `p_tar` meeting `ler_tar` (Sec. 5.2, "Targeted Physical Error
+/// Rate Determination").
+///
+/// Returns `None` when even the loosest feasible target would require
+/// `p_tar ≥ p_th` to be violated — i.e. no affordable distance meets the
+/// target (`p_tar` must stay below threshold, Eqn. 5).
+pub fn choose_target(qubit_budget_per_logical: usize, ler_tar: f64) -> Option<TargetChoice> {
+    let mut d = 3;
+    while patch_qubits(d + 2) <= qubit_budget_per_logical {
+        d += 2;
+    }
+    if patch_qubits(d) > qubit_budget_per_logical {
+        return None;
+    }
+    let p_tar = p_tar_for(d, ler_tar);
+    if p_tar >= P_TH {
+        // Above threshold, drift never violates the target — but the model
+        // (Eqn. 4) is only valid below threshold; cap just under it.
+        return Some(TargetChoice {
+            d,
+            p_tar: P_TH * 0.999,
+            qubits_per_patch: patch_qubits(d),
+        });
+    }
+    if ler(d, p_tar) > ler_tar * (1.0 + 1e-9) {
+        return None;
+    }
+    Some(TargetChoice {
+        d,
+        p_tar,
+        qubits_per_patch: patch_qubits(d),
+    })
+}
+
+/// Smallest odd distance achieving `ler_tar` at physical rate `p` (the
+/// sizing rule used for Table 2's per-benchmark distances).
+pub fn distance_for(p: f64, ler_tar: f64) -> Option<usize> {
+    if p >= P_TH {
+        return None;
+    }
+    let mut d = 3usize;
+    while ler(d, p) > ler_tar {
+        d += 2;
+        if d > 201 {
+            return None;
+        }
+    }
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ler_decreases_with_distance() {
+        let p = 1e-3;
+        assert!(ler(5, p) < ler(3, p));
+        assert!(ler(25, p) < ler(11, p));
+    }
+
+    #[test]
+    fn ler_is_alpha_at_threshold() {
+        for d in [3, 11, 25] {
+            assert!((ler(d, P_TH) - ALPHA).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn p_tar_inverts_ler() {
+        for d in [3usize, 9, 17] {
+            let tar = 1e-8;
+            let p = p_tar_for(d, tar);
+            assert!((ler(d, p) - tar).abs() / tar < 1e-6);
+        }
+    }
+
+    #[test]
+    fn larger_distance_tolerates_higher_p_tar() {
+        let tar = 1e-9;
+        assert!(p_tar_for(21, tar) > p_tar_for(11, tar));
+    }
+
+    #[test]
+    fn choose_target_picks_largest_affordable_distance() {
+        let choice = choose_target(patch_qubits(11), 1e-9).expect("feasible");
+        assert_eq!(choice.d, 11);
+        assert!(choice.p_tar < P_TH);
+        assert!(ler(choice.d, choice.p_tar) <= 1e-9 * (1.0 + 1e-6));
+    }
+
+    #[test]
+    fn choose_target_infeasible_when_budget_tiny() {
+        assert_eq!(choose_target(10, 1e-9), None);
+    }
+
+    #[test]
+    fn choose_target_caps_p_tar_below_threshold() {
+        // A huge budget with a loose target: p_tar must stay below p_th.
+        let choice = choose_target(patch_qubits(31), 1e-2).expect("feasible");
+        assert!(choice.p_tar < P_TH);
+    }
+
+    #[test]
+    fn distance_for_matches_paper_scale() {
+        // At p = 1e-3 a retry-risk-grade LER (~1e-12 per round) needs a
+        // distance in the paper's 25-41 range.
+        let d = distance_for(1e-3, 1e-12).expect("feasible");
+        assert!((15..=45).contains(&d), "d = {d}");
+        assert_eq!(distance_for(0.02, 1e-9), None);
+    }
+
+    #[test]
+    fn patch_qubit_count() {
+        assert_eq!(patch_qubits(3), 17);
+        assert_eq!(patch_qubits(5), 49);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the scheduler: Algorithm 1's invariants (drift
+//! constraint, frequency bounds), LER-model monotonicity, and adaptive
+//! scheduling optimality over its baselines.
+
+use caliqec_device::{DeviceConfig, DeviceModel, DriftDistribution};
+use caliqec_sched::{
+    adaptive_schedule, assign_groups, bulk_schedule, cluster_workloads, ideal_frequency, ler,
+    p_tar_for, sequential_schedule, uniform_frequency, GateDrift,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn drift_set() -> impl Strategy<Value = Vec<GateDrift>> {
+    prop::collection::vec(1.0f64..100.0, 1..24).prop_map(|ds| {
+        ds.into_iter()
+            .enumerate()
+            .map(|(gate, drift_hours)| GateDrift { gate, drift_hours })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Algorithm 1 always satisfies the drift constraint and lands between
+    /// the ideal bound and the uniform policy.
+    #[test]
+    fn grouping_invariants(gates in drift_set()) {
+        let groups = assign_groups(&gates);
+        prop_assert!(groups.t_cali_hours > 0.0);
+        for g in &gates {
+            let period = groups.period_of(g.gate).expect("gate grouped");
+            prop_assert!(
+                period <= g.drift_hours + 1e-9,
+                "gate {} period {} > drift {}",
+                g.gate, period, g.drift_hours
+            );
+        }
+        let f = groups.frequency();
+        prop_assert!(f >= ideal_frequency(&gates) - 1e-9);
+        prop_assert!(f <= uniform_frequency(&gates) + 1e-9);
+    }
+
+    /// Every gate appears in exactly one group.
+    #[test]
+    fn grouping_partitions_gates(gates in drift_set()) {
+        let groups = assign_groups(&gates);
+        let total: usize = groups.groups.values().map(|v| v.len()).sum();
+        prop_assert_eq!(total, gates.len());
+        let mut seen: Vec<usize> = groups.groups.values().flatten().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), gates.len());
+    }
+
+    /// The LER model is monotone: increasing in p, decreasing in d, and
+    /// `p_tar_for` inverts it.
+    #[test]
+    fn ler_model_monotone(
+        d in 1usize..30,
+        p in 1e-5f64..9e-3,
+        factor in 1.01f64..3.0,
+        target in 1e-12f64..1e-3,
+    ) {
+        let d = 2 * d + 1; // odd distances
+        prop_assert!(ler(d, p * factor) >= ler(d, p));
+        if p < 0.0099 {
+            prop_assert!(ler(d + 2, p) <= ler(d, p));
+        }
+        let pt = p_tar_for(d, target);
+        prop_assert!((ler(d, pt) - target).abs() / target < 1e-6);
+    }
+
+    /// Adaptive intra-group scheduling never does worse than sequential or
+    /// bulk on the space-time metric, and all strategies calibrate every
+    /// gate exactly once.
+    #[test]
+    fn adaptive_dominates_baselines(seed in 0u64..500, take in 4usize..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let device = DeviceModel::synthetic(
+            &DeviceConfig {
+                rows: 6,
+                cols: 6,
+                drift: DriftDistribution::current(),
+                ..DeviceConfig::default()
+            },
+            &mut rng,
+        );
+        let step = (device.gates.len() / take).max(1);
+        let gates: Vec<usize> = (0..device.gates.len()).step_by(step).collect();
+        let workloads = cluster_workloads(&device, &gates);
+        let seq = sequential_schedule(&workloads);
+        let bulk = bulk_schedule(&workloads);
+        let (adaptive, chosen) = adaptive_schedule(&workloads, 8);
+        prop_assert!(adaptive.space_time_cost() <= seq.space_time_cost() + 1e-9);
+        prop_assert!(adaptive.space_time_cost() <= bulk.space_time_cost() + 1e-9);
+        prop_assert!(chosen >= 1);
+        prop_assert_eq!(seq.num_calibrations(), gates.len());
+        prop_assert_eq!(bulk.num_calibrations(), gates.len());
+        prop_assert_eq!(adaptive.num_calibrations(), gates.len());
+    }
+
+    /// Batches never contain crosstalk-conflicting workloads: regions within
+    /// a batch are pairwise disjoint.
+    #[test]
+    fn batches_are_conflict_free(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let device = DeviceModel::synthetic(
+            &DeviceConfig { rows: 5, cols: 5, ..DeviceConfig::default() },
+            &mut rng,
+        );
+        let gates: Vec<usize> = (0..device.gates.len()).step_by(3).collect();
+        let workloads = cluster_workloads(&device, &gates);
+        let (schedule, _) = adaptive_schedule(&workloads, 6);
+        for batch in &schedule.batches {
+            for (i, a) in batch.workloads.iter().enumerate() {
+                for b in batch.workloads.iter().skip(i + 1) {
+                    prop_assert!(
+                        a.region.is_disjoint(&b.region),
+                        "conflicting workloads batched together"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Detector error model (DEM) extraction.
+//!
+//! Every elementary error mechanism in a noisy Clifford circuit — each Pauli
+//! component of each noise channel, and each measurement-record flip — is
+//! propagated through the remainder of the circuit to find the set of
+//! detectors and logical observables it flips. Mechanisms with identical
+//! signatures are merged (probabilities combine under XOR-convolution). The
+//! result is the input to the decoders in `caliqec-match`.
+
+use crate::circuit::{Basis, Circuit, DetIdx, Gate1, Gate2, MeasIdx, Noise1, Noise2, Op};
+use crate::pauli::{Pauli, Qubit};
+use crate::sim::two_qubit_pauli;
+use std::collections::HashMap;
+
+/// One merged error mechanism: a probability and the detectors/observables it
+/// flips.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ErrorMechanism {
+    /// Probability that this mechanism fires (after merging same-signature
+    /// mechanisms under XOR-convolution).
+    pub probability: f64,
+    /// Sorted detector indices flipped by this mechanism.
+    pub detectors: Vec<DetIdx>,
+    /// Bitmask of flipped logical observables.
+    pub observables: u64,
+}
+
+/// A detector error model: the error mechanisms of a circuit reduced to their
+/// detector/observable signatures.
+#[derive(Clone, Debug, Default)]
+pub struct DetectorErrorModel {
+    /// Number of detectors in the originating circuit.
+    pub num_detectors: usize,
+    /// Number of observables in the originating circuit.
+    pub num_observables: usize,
+    /// Merged error mechanisms, sorted by signature.
+    pub mechanisms: Vec<ErrorMechanism>,
+}
+
+impl DetectorErrorModel {
+    /// Mechanisms that flip at most `k` detectors.
+    pub fn mechanisms_with_at_most(&self, k: usize) -> impl Iterator<Item = &ErrorMechanism> {
+        self.mechanisms.iter().filter(move |m| m.detectors.len() <= k)
+    }
+
+    /// Number of mechanisms flipping more than two detectors (hyperedges that
+    /// matching-based decoders must decompose).
+    pub fn num_hyperedges(&self) -> usize {
+        self.mechanisms
+            .iter()
+            .filter(|m| m.detectors.len() > 2)
+            .count()
+    }
+}
+
+/// A sparse Pauli frame used during single-mechanism propagation.
+#[derive(Clone, Debug, Default)]
+struct PropFrame {
+    /// qubit -> (x, z)
+    q: HashMap<Qubit, (bool, bool)>,
+}
+
+impl PropFrame {
+    fn from_pauli(qubit: Qubit, p: Pauli) -> PropFrame {
+        let mut f = PropFrame::default();
+        f.mul(qubit, p);
+        f
+    }
+
+    fn mul(&mut self, qubit: Qubit, p: Pauli) {
+        if p == Pauli::I {
+            return;
+        }
+        let (px, pz) = p.xz();
+        let e = self.q.entry(qubit).or_insert((false, false));
+        e.0 ^= px;
+        e.1 ^= pz;
+        if *e == (false, false) {
+            self.q.remove(&qubit);
+        }
+    }
+
+    fn xz(&self, qubit: Qubit) -> (bool, bool) {
+        self.q.get(&qubit).copied().unwrap_or((false, false))
+    }
+
+    fn set(&mut self, qubit: Qubit, xz: (bool, bool)) {
+        if xz == (false, false) {
+            self.q.remove(&qubit);
+        } else {
+            self.q.insert(qubit, xz);
+        }
+    }
+
+    fn clear(&mut self, qubit: Qubit) {
+        self.q.remove(&qubit);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+/// Propagates `frame` through `ops[start..]`, where `meas_base` is the index
+/// of the next measurement record at `ops[start]`.
+fn propagate_from(
+    mut frame: PropFrame,
+    ops: &[Op],
+    start: usize,
+    meas_base: u32,
+    flipped: &mut Vec<MeasIdx>,
+) {
+    let mut next_meas = meas_base;
+    for op in &ops[start..] {
+        match op {
+            Op::G1(g, qs) => {
+                if frame.is_empty() {
+                    // Frames never grow from unitaries once empty; fall
+                    // through cheaply (still need to count measurements).
+                    continue;
+                }
+                for &qb in qs {
+                    let (x, z) = frame.xz(qb);
+                    if !x && !z {
+                        continue;
+                    }
+                    match g {
+                        Gate1::X | Gate1::Y | Gate1::Z => {}
+                        Gate1::H => frame.set(qb, (z, x)),
+                        Gate1::S | Gate1::SDag => frame.set(qb, (x, z ^ x)),
+                    }
+                }
+            }
+            Op::G2(g, pairs) => {
+                if frame.is_empty() {
+                    continue;
+                }
+                for &(a, b) in pairs {
+                    let (xa, za) = frame.xz(a);
+                    let (xb, zb) = frame.xz(b);
+                    if !xa && !za && !xb && !zb {
+                        continue;
+                    }
+                    match g {
+                        Gate2::Cx => {
+                            frame.set(a, (xa, za ^ zb));
+                            frame.set(b, (xb ^ xa, zb));
+                        }
+                        Gate2::Cz => {
+                            frame.set(a, (xa, za ^ xb));
+                            frame.set(b, (xb, zb ^ xa));
+                        }
+                        Gate2::Swap => {
+                            frame.set(a, (xb, zb));
+                            frame.set(b, (xa, za));
+                        }
+                    }
+                }
+            }
+            Op::Measure { basis, qubit, .. } => {
+                let (x, z) = frame.xz(*qubit);
+                match basis {
+                    Basis::Z => {
+                        if x {
+                            flipped.push(MeasIdx(next_meas));
+                        }
+                        // Z component is absorbed by the collapse.
+                        frame.set(*qubit, (x, false));
+                    }
+                    Basis::X => {
+                        if z {
+                            flipped.push(MeasIdx(next_meas));
+                        }
+                        frame.set(*qubit, (false, z));
+                    }
+                }
+                next_meas += 1;
+            }
+            Op::Reset(_, qs) => {
+                for &qb in qs {
+                    frame.clear(qb);
+                }
+            }
+            // Noise, detectors and observables do not transform the frame.
+            Op::Noise1(..) | Op::Noise2(..) | Op::Detector(..) | Op::Observable(..) => {}
+        }
+    }
+}
+
+/// Extracts the detector error model of `circuit`.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_stab::{Basis, Circuit, Noise1, extract_dem};
+///
+/// let mut c = Circuit::new(1);
+/// c.reset(Basis::Z, &[0]);
+/// c.noise1(Noise1::XError, 0.125, &[0]);
+/// let m = c.measure(0, Basis::Z, 0.0);
+/// c.detector(&[m]);
+/// let dem = extract_dem(&c);
+/// assert_eq!(dem.mechanisms.len(), 1);
+/// assert!((dem.mechanisms[0].probability - 0.125).abs() < 1e-12);
+/// ```
+pub fn extract_dem(circuit: &Circuit) -> DetectorErrorModel {
+    // Map each measurement record to the detectors / observables containing it.
+    let mut meas_to_dets: HashMap<u32, Vec<DetIdx>> = HashMap::new();
+    let mut meas_to_obs: HashMap<u32, u64> = HashMap::new();
+    {
+        let mut det = 0u32;
+        for op in circuit.ops() {
+            match op {
+                Op::Detector(meas) => {
+                    for m in meas {
+                        meas_to_dets.entry(m.0).or_default().push(DetIdx(det));
+                    }
+                    det += 1;
+                }
+                Op::Observable(i, meas) => {
+                    for m in meas {
+                        *meas_to_obs.entry(m.0).or_default() ^= 1u64 << i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let ops = circuit.ops();
+    let mut signatures: HashMap<(Vec<DetIdx>, u64), f64> = HashMap::new();
+    let mut flipped = Vec::new();
+
+    let record = |flipped: &mut Vec<MeasIdx>, p: f64, signatures: &mut HashMap<_, f64>| {
+        // Convert flipped measurements to a detector/observable signature.
+        let mut det_count: HashMap<DetIdx, usize> = HashMap::new();
+        let mut obs = 0u64;
+        for m in flipped.iter() {
+            if let Some(ds) = meas_to_dets.get(&m.0) {
+                for &d in ds {
+                    *det_count.entry(d).or_default() += 1;
+                }
+            }
+            if let Some(&o) = meas_to_obs.get(&m.0) {
+                obs ^= o;
+            }
+        }
+        let mut dets: Vec<DetIdx> = det_count
+            .into_iter()
+            .filter_map(|(d, c)| (c % 2 == 1).then_some(d))
+            .collect();
+        dets.sort_unstable();
+        flipped.clear();
+        if dets.is_empty() && obs == 0 {
+            return; // invisible mechanism
+        }
+        let entry = signatures.entry((dets, obs)).or_insert(0.0);
+        *entry = *entry * (1.0 - p) + p * (1.0 - *entry);
+    };
+
+    let mut next_meas = 0u32;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Measure { flip, .. } => {
+                if *flip > 0.0 {
+                    flipped.push(MeasIdx(next_meas));
+                    record(&mut flipped, *flip, &mut signatures);
+                }
+                next_meas += 1;
+            }
+            Op::Noise1(kind, p, qs) => {
+                let components: &[(Pauli, f64)] = match kind {
+                    Noise1::XError => &[(Pauli::X, *p)],
+                    Noise1::YError => &[(Pauli::Y, *p)],
+                    Noise1::ZError => &[(Pauli::Z, *p)],
+                    Noise1::Depolarize1 => &[
+                        (Pauli::X, *p / 3.0),
+                        (Pauli::Y, *p / 3.0),
+                        (Pauli::Z, *p / 3.0),
+                    ],
+                };
+                for &q in qs {
+                    for &(pauli, cp) in components {
+                        let frame = PropFrame::from_pauli(q, pauli);
+                        propagate_from(frame, ops, i + 1, next_meas, &mut flipped);
+                        record(&mut flipped, cp, &mut signatures);
+                    }
+                }
+            }
+            Op::Noise2(kind, p, pairs) => match kind {
+                Noise2::Depolarize2 => {
+                    for &(a, b) in pairs {
+                        for comp in 0..15 {
+                            let (pa, pb) = two_qubit_pauli(comp);
+                            let mut frame = PropFrame::from_pauli(a, pa);
+                            frame.mul(b, pb);
+                            propagate_from(frame, ops, i + 1, next_meas, &mut flipped);
+                            record(&mut flipped, *p / 15.0, &mut signatures);
+                        }
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+
+    let mut mechanisms: Vec<ErrorMechanism> = signatures
+        .into_iter()
+        .map(|((detectors, observables), probability)| ErrorMechanism {
+            probability,
+            detectors,
+            observables,
+        })
+        .collect();
+    mechanisms.sort_by(|a, b| {
+        a.detectors
+            .cmp(&b.detectors)
+            .then(a.observables.cmp(&b.observables))
+    });
+    DetectorErrorModel {
+        num_detectors: circuit.num_detectors(),
+        num_observables: circuit.num_observables(),
+        mechanisms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Basis, Circuit, Noise1, Noise2};
+
+    #[test]
+    fn x_error_before_z_measurement_fires_detector() {
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        c.noise1(Noise1::XError, 0.1, &[0]);
+        let m = c.measure(0, Basis::Z, 0.0);
+        c.detector(&[m]);
+        let dem = extract_dem(&c);
+        assert_eq!(dem.mechanisms.len(), 1);
+        assert_eq!(dem.mechanisms[0].detectors, vec![DetIdx(0)]);
+    }
+
+    #[test]
+    fn z_error_is_invisible() {
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        c.noise1(Noise1::ZError, 0.1, &[0]);
+        let m = c.measure(0, Basis::Z, 0.0);
+        c.detector(&[m]);
+        let dem = extract_dem(&c);
+        assert!(dem.mechanisms.is_empty());
+    }
+
+    #[test]
+    fn depolarize1_merges_x_and_y() {
+        // X and Y both flip a Z measurement: signatures merge.
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        c.noise1(Noise1::Depolarize1, 0.3, &[0]);
+        let m = c.measure(0, Basis::Z, 0.0);
+        c.detector(&[m]);
+        let dem = extract_dem(&c);
+        assert_eq!(dem.mechanisms.len(), 1);
+        // p = 0.1 xor-combined with 0.1 = 0.1*0.9 + 0.9*0.1 = 0.18
+        assert!((dem.mechanisms[0].probability - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observable_flips_are_tracked() {
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        c.noise1(Noise1::XError, 0.05, &[0]);
+        let m = c.measure(0, Basis::Z, 0.0);
+        c.detector(&[m]);
+        c.observable(0, &[m]);
+        let dem = extract_dem(&c);
+        assert_eq!(dem.mechanisms.len(), 1);
+        assert_eq!(dem.mechanisms[0].observables, 1);
+    }
+
+    #[test]
+    fn error_propagates_through_cx() {
+        // X on control propagates to target.
+        let mut c = Circuit::new(2);
+        c.reset(Basis::Z, &[0, 1]);
+        c.noise1(Noise1::XError, 0.1, &[0]);
+        c.cx(0, 1);
+        let m0 = c.measure(0, Basis::Z, 0.0);
+        let m1 = c.measure(1, Basis::Z, 0.0);
+        c.detector(&[m0]);
+        c.detector(&[m1]);
+        let dem = extract_dem(&c);
+        assert_eq!(dem.mechanisms.len(), 1);
+        assert_eq!(dem.mechanisms[0].detectors, vec![DetIdx(0), DetIdx(1)]);
+    }
+
+    #[test]
+    fn measurement_flip_noise_is_local() {
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        let m1 = c.measure(0, Basis::Z, 0.02);
+        let m2 = c.measure(0, Basis::Z, 0.0);
+        c.detector(&[m1, m2]);
+        let dem = extract_dem(&c);
+        assert_eq!(dem.mechanisms.len(), 1);
+        assert_eq!(dem.mechanisms[0].detectors, vec![DetIdx(0)]);
+        assert!((dem.mechanisms[0].probability - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detector_pair_cancellation() {
+        // An error flipping a measurement used by two detectors lights both;
+        // an error flipping two measurements of the *same* detector cancels.
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        c.noise1(Noise1::XError, 0.1, &[0]);
+        let m1 = c.measure(0, Basis::Z, 0.0);
+        // X frame survives the measurement; the same flip appears at m2.
+        let m2 = c.measure(0, Basis::Z, 0.0);
+        c.detector(&[m1, m2]);
+        let dem = extract_dem(&c);
+        assert!(dem.mechanisms.is_empty(), "double flip cancels in detector");
+    }
+
+    #[test]
+    fn depolarize2_components_merge() {
+        let mut c = Circuit::new(2);
+        c.reset(Basis::Z, &[0, 1]);
+        c.noise2(Noise2::Depolarize2, 0.15, &[(0, 1)]);
+        let m0 = c.measure(0, Basis::Z, 0.0);
+        let m1 = c.measure(1, Basis::Z, 0.0);
+        c.detector(&[m0]);
+        c.detector(&[m1]);
+        let dem = extract_dem(&c);
+        // Signatures: {d0}, {d1}, {d0,d1} (Z components invisible).
+        assert_eq!(dem.mechanisms.len(), 3);
+        for m in &dem.mechanisms {
+            assert!(m.probability > 0.0);
+        }
+    }
+
+    #[test]
+    fn hyperedge_counting() {
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        c.noise1(Noise1::XError, 0.1, &[0]);
+        let m = c.measure(0, Basis::Z, 0.0);
+        c.detector(&[m]);
+        c.detector(&[m]);
+        c.detector(&[m]);
+        let dem = extract_dem(&c);
+        assert_eq!(dem.num_hyperedges(), 1);
+        assert_eq!(dem.mechanisms_with_at_most(2).count(), 0);
+    }
+}

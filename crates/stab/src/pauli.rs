@@ -1,0 +1,291 @@
+//! Pauli operators and sparse Pauli products.
+//!
+//! These are the basic algebraic objects of stabilizer simulation: single-qubit
+//! Paulis, and sparse products of them used when propagating individual error
+//! mechanisms through a Clifford circuit (see [`crate::dem`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A qubit index within a circuit or tableau.
+pub type Qubit = u32;
+
+/// A single-qubit Pauli operator (phase-free).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub enum Pauli {
+    /// The identity.
+    #[default]
+    I,
+    /// Bit flip.
+    X,
+    /// Bit and phase flip.
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+impl Pauli {
+    /// All non-identity Paulis, in `X, Y, Z` order.
+    pub const NON_IDENTITY: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Returns the (x, z) symplectic components of this Pauli.
+    ///
+    /// `X = (1, 0)`, `Z = (0, 1)`, `Y = (1, 1)`, `I = (0, 0)`.
+    #[inline]
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Builds a Pauli from its symplectic components.
+    #[inline]
+    pub fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Whether this Pauli commutes with `other`.
+    ///
+    /// Two single-qubit Paulis commute iff they are equal or either is the
+    /// identity.
+    #[inline]
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        self == Pauli::I || other == Pauli::I || self == other
+    }
+
+    /// Phase-free product of two Paulis (`X * Z = Y`, ignoring the `i` phase).
+    #[inline]
+    pub fn mul_ignoring_phase(self, other: Pauli) -> Pauli {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        Pauli::from_xz(x1 ^ x2, z1 ^ z2)
+    }
+
+    /// Whether this Pauli has an X component (anticommutes with Z).
+    #[inline]
+    pub fn has_x(self) -> bool {
+        matches!(self, Pauli::X | Pauli::Y)
+    }
+
+    /// Whether this Pauli has a Z component (anticommutes with X).
+    #[inline]
+    pub fn has_z(self) -> bool {
+        matches!(self, Pauli::Z | Pauli::Y)
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A sparse, phase-free product of single-qubit Paulis.
+///
+/// Only non-identity factors are stored. The map is ordered so that iteration,
+/// equality and hashing are deterministic.
+///
+/// This is the workhorse of error propagation: a sampled physical error is a
+/// `SparsePauli`, and conjugating it through the remaining Clifford circuit
+/// keeps it a (usually very small) `SparsePauli`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct SparsePauli {
+    factors: BTreeMap<Qubit, Pauli>,
+}
+
+impl SparsePauli {
+    /// Creates the identity operator.
+    pub fn identity() -> SparsePauli {
+        SparsePauli::default()
+    }
+
+    /// Creates a single-qubit Pauli on `qubit`.
+    pub fn single(qubit: Qubit, pauli: Pauli) -> SparsePauli {
+        let mut s = SparsePauli::identity();
+        s.set(qubit, pauli);
+        s
+    }
+
+    /// Creates a Pauli product from `(qubit, pauli)` pairs.
+    ///
+    /// Later pairs multiply into earlier ones (phase-free).
+    pub fn from_pairs<I: IntoIterator<Item = (Qubit, Pauli)>>(pairs: I) -> SparsePauli {
+        let mut s = SparsePauli::identity();
+        for (q, p) in pairs {
+            s.mul_assign_single(q, p);
+        }
+        s
+    }
+
+    /// Returns the Pauli acting on `qubit` (identity if absent).
+    #[inline]
+    pub fn get(&self, qubit: Qubit) -> Pauli {
+        self.factors.get(&qubit).copied().unwrap_or(Pauli::I)
+    }
+
+    /// Overwrites the factor on `qubit`.
+    pub fn set(&mut self, qubit: Qubit, pauli: Pauli) {
+        if pauli == Pauli::I {
+            self.factors.remove(&qubit);
+        } else {
+            self.factors.insert(qubit, pauli);
+        }
+    }
+
+    /// Multiplies a single-qubit Pauli into this product (phase-free).
+    pub fn mul_assign_single(&mut self, qubit: Qubit, pauli: Pauli) {
+        let merged = self.get(qubit).mul_ignoring_phase(pauli);
+        self.set(qubit, merged);
+    }
+
+    /// Multiplies another sparse Pauli into this one (phase-free).
+    pub fn mul_assign(&mut self, other: &SparsePauli) {
+        for (&q, &p) in &other.factors {
+            self.mul_assign_single(q, p);
+        }
+    }
+
+    /// Whether this is the identity.
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Number of non-identity factors.
+    #[inline]
+    pub fn weight(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Iterates over `(qubit, pauli)` factors in qubit order.
+    pub fn iter(&self) -> impl Iterator<Item = (Qubit, Pauli)> + '_ {
+        self.factors.iter().map(|(&q, &p)| (q, p))
+    }
+
+    /// The set of qubits acted on non-trivially.
+    pub fn support(&self) -> impl Iterator<Item = Qubit> + '_ {
+        self.factors.keys().copied()
+    }
+
+    /// Whether this product commutes with `other`.
+    ///
+    /// Two Pauli products commute iff the number of positions where their
+    /// factors anticommute is even.
+    pub fn commutes_with(&self, other: &SparsePauli) -> bool {
+        let mut anti = 0usize;
+        // Iterate over the smaller operator.
+        let (small, big) = if self.weight() <= other.weight() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        for (q, p) in small.iter() {
+            if !p.commutes_with(big.get(q)) {
+                anti += 1;
+            }
+        }
+        anti % 2 == 0
+    }
+}
+
+impl FromIterator<(Qubit, Pauli)> for SparsePauli {
+    fn from_iter<T: IntoIterator<Item = (Qubit, Pauli)>>(iter: T) -> Self {
+        SparsePauli::from_pairs(iter)
+    }
+}
+
+impl fmt::Display for SparsePauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_identity() {
+            return write!(f, "I");
+        }
+        let mut first = true;
+        for (q, p) in self.iter() {
+            if !first {
+                write!(f, "*")?;
+            }
+            write!(f, "{p}{q}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_xz_roundtrip() {
+        for p in [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z] {
+            let (x, z) = p.xz();
+            assert_eq!(Pauli::from_xz(x, z), p);
+        }
+    }
+
+    #[test]
+    fn pauli_commutation_table() {
+        use Pauli::*;
+        assert!(X.commutes_with(X));
+        assert!(X.commutes_with(I));
+        assert!(!X.commutes_with(Z));
+        assert!(!X.commutes_with(Y));
+        assert!(!Y.commutes_with(Z));
+        assert!(Z.commutes_with(Z));
+    }
+
+    #[test]
+    fn pauli_products() {
+        use Pauli::*;
+        assert_eq!(X.mul_ignoring_phase(Z), Y);
+        assert_eq!(X.mul_ignoring_phase(X), I);
+        assert_eq!(Y.mul_ignoring_phase(Z), X);
+        assert_eq!(I.mul_ignoring_phase(Z), Z);
+    }
+
+    #[test]
+    fn sparse_pauli_mul_cancels() {
+        let mut a = SparsePauli::single(3, Pauli::X);
+        a.mul_assign_single(3, Pauli::X);
+        assert!(a.is_identity());
+    }
+
+    #[test]
+    fn sparse_pauli_commutation() {
+        // X0*X1 commutes with Z0*Z1 (two anticommuting positions).
+        let xx = SparsePauli::from_pairs([(0, Pauli::X), (1, Pauli::X)]);
+        let zz = SparsePauli::from_pairs([(0, Pauli::Z), (1, Pauli::Z)]);
+        assert!(xx.commutes_with(&zz));
+        // X0 anticommutes with Z0*Z1 (one position).
+        let x0 = SparsePauli::single(0, Pauli::X);
+        assert!(!x0.commutes_with(&zz));
+    }
+
+    #[test]
+    fn sparse_pauli_display() {
+        let p = SparsePauli::from_pairs([(2, Pauli::Z), (0, Pauli::X)]);
+        assert_eq!(p.to_string(), "X0*Z2");
+        assert_eq!(SparsePauli::identity().to_string(), "I");
+    }
+
+    #[test]
+    fn sparse_pauli_weight_and_support() {
+        let p = SparsePauli::from_pairs([(5, Pauli::Y), (1, Pauli::X), (1, Pauli::X)]);
+        assert_eq!(p.weight(), 1);
+        assert_eq!(p.support().collect::<Vec<_>>(), vec![5]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Exact (tableau-backed) execution of noisy circuits.
+//!
+//! This is the slow-but-exact reference path: one tableau per shot, sampling
+//! each noise channel explicitly. The fast batched sampler in [`crate::frame`]
+//! is validated against it.
+
+use crate::circuit::{Basis, Circuit, Gate1, Gate2, Noise1, Noise2, Op};
+use crate::pauli::Pauli;
+use crate::tableau::Tableau;
+use rand::{Rng, RngExt};
+
+/// Outcome of simulating one shot of a circuit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShotResult {
+    /// Raw measurement record, in circuit order.
+    pub measurements: Vec<bool>,
+    /// Detector values (XOR of their measurement records).
+    pub detectors: Vec<bool>,
+    /// Logical observable values.
+    pub observables: Vec<bool>,
+}
+
+/// The 15 non-identity two-qubit Pauli pairs, indexed `0..15`.
+pub(crate) fn two_qubit_pauli(index: usize) -> (Pauli, Pauli) {
+    debug_assert!(index < 15);
+    let i = index + 1; // skip II
+    let table = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+    (table[i / 4], table[i % 4])
+}
+
+/// Simulates one shot of `circuit` with all noise channels active.
+pub fn simulate_shot<R: Rng>(circuit: &Circuit, rng: &mut R) -> ShotResult {
+    run_shot(circuit, rng, true)
+}
+
+/// Simulates one shot of `circuit` with noise disabled (random measurement
+/// outcomes still use `rng`).
+pub fn noiseless_shot<R: Rng>(circuit: &Circuit, rng: &mut R) -> ShotResult {
+    run_shot(circuit, rng, false)
+}
+
+fn run_shot<R: Rng>(circuit: &Circuit, rng: &mut R, with_noise: bool) -> ShotResult {
+    let mut t = Tableau::new(circuit.num_qubits());
+    let mut result = ShotResult {
+        measurements: Vec::with_capacity(circuit.num_measurements()),
+        detectors: Vec::with_capacity(circuit.num_detectors()),
+        observables: vec![false; circuit.num_observables()],
+    };
+    for op in circuit.ops() {
+        match op {
+            Op::G1(g, qs) => {
+                for &q in qs {
+                    match g {
+                        Gate1::X => t.x(q),
+                        Gate1::Y => t.y(q),
+                        Gate1::Z => t.z(q),
+                        Gate1::H => t.h(q),
+                        Gate1::S => t.s(q),
+                        Gate1::SDag => t.s_dag(q),
+                    }
+                }
+            }
+            Op::G2(g, pairs) => {
+                for &(a, b) in pairs {
+                    match g {
+                        Gate2::Cx => t.cx(a, b),
+                        Gate2::Cz => t.cz(a, b),
+                        Gate2::Swap => t.swap(a, b),
+                    }
+                }
+            }
+            Op::Measure { basis, qubit, flip } => {
+                let (mut outcome, _) = match basis {
+                    Basis::Z => t.measure_z(*qubit, || rng.random()),
+                    Basis::X => t.measure_x(*qubit, || rng.random()),
+                };
+                if with_noise && *flip > 0.0 && rng.random::<f64>() < *flip {
+                    outcome = !outcome;
+                }
+                result.measurements.push(outcome);
+            }
+            Op::Reset(basis, qs) => {
+                for &q in qs {
+                    match basis {
+                        Basis::Z => t.reset_z(q, || rng.random()),
+                        Basis::X => t.reset_x(q, || rng.random()),
+                    }
+                }
+            }
+            Op::Noise1(kind, p, qs) => {
+                if with_noise {
+                    for &q in qs {
+                        if rng.random::<f64>() < *p {
+                            let pauli = match kind {
+                                Noise1::XError => Pauli::X,
+                                Noise1::YError => Pauli::Y,
+                                Noise1::ZError => Pauli::Z,
+                                Noise1::Depolarize1 => {
+                                    Pauli::NON_IDENTITY[rng.random_range(0..3)]
+                                }
+                            };
+                            match pauli {
+                                Pauli::I => {}
+                                Pauli::X => t.x(q),
+                                Pauli::Y => t.y(q),
+                                Pauli::Z => t.z(q),
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Noise2(kind, p, pairs) => {
+                if with_noise {
+                    for &(a, b) in pairs {
+                        if rng.random::<f64>() < *p {
+                            let (pa, pb) = match kind {
+                                Noise2::Depolarize2 => two_qubit_pauli(rng.random_range(0..15)),
+                            };
+                            for (q, pq) in [(a, pa), (b, pb)] {
+                                match pq {
+                                    Pauli::I => {}
+                                    Pauli::X => t.x(q),
+                                    Pauli::Y => t.y(q),
+                                    Pauli::Z => t.z(q),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Detector(meas) => {
+                let v = meas
+                    .iter()
+                    .fold(false, |acc, m| acc ^ result.measurements[m.0 as usize]);
+                result.detectors.push(v);
+            }
+            Op::Observable(i, meas) => {
+                let v = meas
+                    .iter()
+                    .fold(false, |acc, m| acc ^ result.measurements[m.0 as usize]);
+                result.observables[*i] ^= v;
+            }
+        }
+    }
+    result
+}
+
+/// Error returned when a circuit's detectors are not noiselessly deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NondeterministicDetector {
+    /// Index of the offending detector.
+    pub detector: usize,
+}
+
+impl std::fmt::Display for NondeterministicDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "detector {} is not deterministic in the noiseless circuit",
+            self.detector
+        )
+    }
+}
+
+impl std::error::Error for NondeterministicDetector {}
+
+/// Checks that every detector evaluates to 0 in the noiseless circuit,
+/// regardless of random measurement outcomes.
+///
+/// This is the precondition for the Pauli-frame sampler and the detector
+/// error model extraction: a detector must compare quantities whose noiseless
+/// XOR is fixed (and, by convention, zero).
+///
+/// The check runs `trials` noiseless shots with independent random coins; a
+/// detector that is genuinely nondeterministic fails each trial with
+/// probability 1/2.
+///
+/// # Errors
+///
+/// Returns the index of the first detector observed to evaluate to 1.
+pub fn check_deterministic_detectors<R: Rng>(
+    circuit: &Circuit,
+    trials: usize,
+    rng: &mut R,
+) -> Result<(), NondeterministicDetector> {
+    for _ in 0..trials {
+        let shot = noiseless_shot(circuit, rng);
+        if let Some(d) = shot.detectors.iter().position(|&v| v) {
+            return Err(NondeterministicDetector { detector: d });
+        }
+        if let Some(_o) = shot.observables.iter().position(|&v| v) {
+            // Observables may legitimately be random for some circuits, but
+            // for memory experiments they are deterministic too. We do not
+            // fail on them here; the frame sampler only needs detectors.
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Basis, Circuit, Noise1};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn repetition_code_circuit(flip_data: bool) -> Circuit {
+        // 3-qubit repetition code, one round of ZZ checks via 2 ancillas.
+        let mut c = Circuit::new(5);
+        let (d0, d1, d2, a0, a1) = (0, 1, 2, 3, 4);
+        c.reset(Basis::Z, &[d0, d1, d2, a0, a1]);
+        if flip_data {
+            c.g1(crate::circuit::Gate1::X, d1);
+        }
+        c.cx(d0, a0);
+        c.cx(d1, a0);
+        c.cx(d1, a1);
+        c.cx(d2, a1);
+        let m0 = c.measure(a0, Basis::Z, 0.0);
+        let m1 = c.measure(a1, Basis::Z, 0.0);
+        c.detector(&[m0]);
+        c.detector(&[m1]);
+        let md = c.measure(d0, Basis::Z, 0.0);
+        c.observable(0, &[md]);
+        c
+    }
+
+    #[test]
+    fn clean_repetition_code_has_quiet_detectors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = repetition_code_circuit(false);
+        let shot = simulate_shot(&c, &mut rng);
+        assert_eq!(shot.detectors, vec![false, false]);
+        assert_eq!(shot.observables, vec![false]);
+    }
+
+    #[test]
+    fn data_flip_fires_both_checks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = repetition_code_circuit(true);
+        let shot = simulate_shot(&c, &mut rng);
+        assert_eq!(shot.detectors, vec![true, true]);
+    }
+
+    #[test]
+    fn determinism_check_accepts_good_circuit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = repetition_code_circuit(false);
+        assert!(check_deterministic_detectors(&c, 8, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn determinism_check_rejects_random_detector() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let m = c.measure(0, Basis::Z, 0.0);
+        c.detector(&[m]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = check_deterministic_detectors(&c, 32, &mut rng).unwrap_err();
+        assert_eq!(err.detector, 0);
+    }
+
+    #[test]
+    fn noise_changes_statistics() {
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        c.noise1(Noise1::XError, 1.0, &[0]);
+        let m = c.measure(0, Basis::Z, 0.0);
+        c.detector(&[m]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let shot = simulate_shot(&c, &mut rng);
+        assert_eq!(shot.detectors, vec![true]);
+        let clean = noiseless_shot(&c, &mut rng);
+        assert_eq!(clean.detectors, vec![false]);
+    }
+
+    #[test]
+    fn measurement_flip_noise() {
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        let m = c.measure(0, Basis::Z, 1.0);
+        c.detector(&[m]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let shot = simulate_shot(&c, &mut rng);
+        assert_eq!(shot.detectors, vec![true]);
+    }
+
+    #[test]
+    fn two_qubit_pauli_covers_all_15() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..15 {
+            let pair = two_qubit_pauli(i);
+            assert_ne!(pair, (Pauli::I, Pauli::I));
+            seen.insert(pair);
+        }
+        assert_eq!(seen.len(), 15);
+    }
+}

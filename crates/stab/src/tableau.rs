@@ -1,0 +1,509 @@
+//! CHP-style stabilizer tableau simulator (Aaronson–Gottesman).
+//!
+//! Tracks `n` stabilizer and `n` destabilizer generators of an `n`-qubit
+//! stabilizer state as rows of symplectic bits, supporting Clifford gates and
+//! Z-/X-basis measurement and reset. This simulator is exact and is used as
+//! the ground truth the fast Pauli-frame sampler ([`crate::frame`]) is
+//! validated against, and to establish reference measurement outcomes.
+
+use crate::pauli::{Pauli, Qubit, SparsePauli};
+
+/// A single row of the tableau: a Pauli product with a sign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Row {
+    x: Vec<bool>,
+    z: Vec<bool>,
+    /// True when the sign is -1.
+    sign: bool,
+}
+
+impl Row {
+    fn identity(n: usize) -> Row {
+        Row {
+            x: vec![false; n],
+            z: vec![false; n],
+            sign: false,
+        }
+    }
+}
+
+/// Exact stabilizer state simulator over a fixed number of qubits.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_stab::Tableau;
+///
+/// // Prepare a Bell pair and verify the measurements are correlated.
+/// let mut sim = Tableau::new(2);
+/// sim.h(0);
+/// sim.cx(0, 1);
+/// let (a, deterministic_a) = sim.measure_z(0, || false);
+/// let (b, deterministic_b) = sim.measure_z(1, || false);
+/// assert!(!deterministic_a); // first measurement of a Bell pair is random
+/// assert!(deterministic_b); // second one is pinned by the first
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tableau {
+    n: usize,
+    /// Rows `0..n` are destabilizers, rows `n..2n` are stabilizers.
+    rows: Vec<Row>,
+}
+
+impl Tableau {
+    /// Creates the all-`|0⟩` state on `n` qubits.
+    pub fn new(n: usize) -> Tableau {
+        let mut rows = vec![Row::identity(n); 2 * n];
+        for q in 0..n {
+            rows[q].x[q] = true; // destabilizer X_q
+            rows[n + q].z[q] = true; // stabilizer Z_q
+        }
+        Tableau { n, rows }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Applies a Hadamard on `q`.
+    pub fn h(&mut self, q: Qubit) {
+        let q = q as usize;
+        for row in &mut self.rows {
+            row.sign ^= row.x[q] & row.z[q];
+            row.x.swap(q, q); // no-op, keeps symmetry explicit
+            let (x, z) = (row.x[q], row.z[q]);
+            row.x[q] = z;
+            row.z[q] = x;
+        }
+    }
+
+    /// Applies the phase gate S on `q`.
+    pub fn s(&mut self, q: Qubit) {
+        let q = q as usize;
+        for row in &mut self.rows {
+            row.sign ^= row.x[q] & row.z[q];
+            row.z[q] ^= row.x[q];
+        }
+    }
+
+    /// Applies S† on `q`.
+    pub fn s_dag(&mut self, q: Qubit) {
+        // S† = S Z up to global phase; conjugation: X -> -Y, Y -> X, Z -> Z.
+        self.s(q);
+        self.z(q);
+    }
+
+    /// Applies a Pauli X on `q`.
+    pub fn x(&mut self, q: Qubit) {
+        let q = q as usize;
+        for row in &mut self.rows {
+            row.sign ^= row.z[q];
+        }
+    }
+
+    /// Applies a Pauli Z on `q`.
+    pub fn z(&mut self, q: Qubit) {
+        let q = q as usize;
+        for row in &mut self.rows {
+            row.sign ^= row.x[q];
+        }
+    }
+
+    /// Applies a Pauli Y on `q`.
+    pub fn y(&mut self, q: Qubit) {
+        let q = q as usize;
+        for row in &mut self.rows {
+            row.sign ^= row.x[q] ^ row.z[q];
+        }
+    }
+
+    /// Applies a CNOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t`.
+    pub fn cx(&mut self, c: Qubit, t: Qubit) {
+        assert_ne!(c, t, "CX control and target must differ");
+        let (c, t) = (c as usize, t as usize);
+        for row in &mut self.rows {
+            row.sign ^= row.x[c] & row.z[t] & (row.x[t] ^ row.z[c] ^ true);
+            row.x[t] ^= row.x[c];
+            row.z[c] ^= row.z[t];
+        }
+    }
+
+    /// Applies a CZ between `a` and `b`.
+    pub fn cz(&mut self, a: Qubit, b: Qubit) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// Applies a SWAP between `a` and `b`.
+    pub fn swap(&mut self, a: Qubit, b: Qubit) {
+        let (a, b) = (a as usize, b as usize);
+        for row in &mut self.rows {
+            row.x.swap(a, b);
+            row.z.swap(a, b);
+        }
+    }
+
+    /// Exponent of `i` contributed when multiplying single-qubit Paulis
+    /// `(x1,z1) * (x2,z2)` (the Aaronson–Gottesman `g` function).
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => (z2 as i32) - (x2 as i32),
+            (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+            (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+        }
+    }
+
+    /// Multiplies row `i` into row `h` (row_h := row_i * row_h), tracking sign.
+    fn row_mul(&mut self, h: usize, i: usize) {
+        let mut phase: i32 = 2 * (self.rows[h].sign as i32) + 2 * (self.rows[i].sign as i32);
+        for q in 0..self.n {
+            phase += Self::g(
+                self.rows[i].x[q],
+                self.rows[i].z[q],
+                self.rows[h].x[q],
+                self.rows[h].z[q],
+            );
+        }
+        phase = phase.rem_euclid(4);
+        debug_assert!(phase == 0 || phase == 2, "row product must be Hermitian");
+        let (ri, rh) = if i < h {
+            let (lo, hi) = self.rows.split_at_mut(h);
+            (&lo[i], &mut hi[0])
+        } else {
+            let (lo, hi) = self.rows.split_at_mut(i);
+            (&hi[0], &mut lo[h])
+        };
+        for q in 0..self.n {
+            rh.x[q] ^= ri.x[q];
+            rh.z[q] ^= ri.z[q];
+        }
+        rh.sign = phase == 2;
+    }
+
+    /// Measures qubit `q` in the Z basis.
+    ///
+    /// Returns `(outcome, deterministic)`. When the outcome is random, the
+    /// `coin` closure supplies the random bit.
+    pub fn measure_z(&mut self, q: Qubit, coin: impl FnOnce() -> bool) -> (bool, bool) {
+        let qi = q as usize;
+        let n = self.n;
+        // Look for a stabilizer row that anticommutes with Z_q.
+        let p = (n..2 * n).find(|&r| self.rows[r].x[qi]);
+        match p {
+            Some(p) => {
+                // Random outcome.
+                for r in 0..2 * n {
+                    if r != p && self.rows[r].x[qi] {
+                        self.row_mul(r, p);
+                    }
+                }
+                // Destabilizer p-n becomes the old stabilizer row p.
+                self.rows[p - n] = self.rows[p].clone();
+                let outcome = coin();
+                let row = &mut self.rows[p];
+                for b in row.x.iter_mut() {
+                    *b = false;
+                }
+                for b in row.z.iter_mut() {
+                    *b = false;
+                }
+                row.z[qi] = true;
+                row.sign = outcome;
+                (outcome, false)
+            }
+            None => {
+                // Deterministic outcome: accumulate into a scratch row.
+                let mut scratch = Row::identity(n);
+                let scratch_idx = self.rows.len();
+                self.rows.push(scratch.clone());
+                for r in 0..n {
+                    if self.rows[r].x[qi] {
+                        self.row_mul(scratch_idx, r + n);
+                    }
+                }
+                scratch = self.rows.pop().expect("scratch row present");
+                (scratch.sign, true)
+            }
+        }
+    }
+
+    /// Measures qubit `q` in the X basis. Returns `(outcome, deterministic)`.
+    pub fn measure_x(&mut self, q: Qubit, coin: impl FnOnce() -> bool) -> (bool, bool) {
+        self.h(q);
+        let out = self.measure_z(q, coin);
+        self.h(q);
+        out
+    }
+
+    /// Resets qubit `q` to `|0⟩`.
+    pub fn reset_z(&mut self, q: Qubit, coin: impl FnOnce() -> bool) {
+        let (outcome, _) = self.measure_z(q, coin);
+        if outcome {
+            self.x(q);
+        }
+    }
+
+    /// Resets qubit `q` to `|+⟩`.
+    pub fn reset_x(&mut self, q: Qubit, coin: impl FnOnce() -> bool) {
+        let (outcome, _) = self.measure_x(q, coin);
+        if outcome {
+            self.z(q);
+        }
+    }
+
+    /// Applies a sparse Pauli product as a physical error.
+    pub fn apply_pauli(&mut self, pauli: &SparsePauli) {
+        for (q, p) in pauli.iter() {
+            match p {
+                Pauli::I => {}
+                Pauli::X => self.x(q),
+                Pauli::Y => self.y(q),
+                Pauli::Z => self.z(q),
+            }
+        }
+    }
+
+    /// Measures the expectation of a Pauli product observable without
+    /// disturbing the state, when it is determined by the stabilizer group.
+    ///
+    /// Returns `Some(outcome)` when `observable` (or its negation) is in the
+    /// stabilizer group; `None` when the observable anticommutes with some
+    /// stabilizer (its value is undetermined).
+    pub fn peek_observable(&self, observable: &SparsePauli) -> Option<bool> {
+        // The observable is determined iff it commutes with every stabilizer.
+        let n = self.n;
+        for r in n..2 * n {
+            if !self.row_commutes(r, observable) {
+                return None;
+            }
+        }
+        // Express the observable as a product of stabilizers using the
+        // destabilizer pairing: stabilizer row r+n participates iff the
+        // observable anticommutes with destabilizer row r.
+        let mut clone = self.clone();
+        let scratch_idx = clone.rows.len();
+        clone.rows.push(Row::identity(n));
+        for r in 0..n {
+            if !self.row_commutes(r, observable) {
+                clone.row_mul(scratch_idx, r + n);
+            }
+        }
+        let scratch = clone.rows.pop().expect("scratch row present");
+        // scratch should now equal the observable as a Pauli product.
+        for q in 0..n {
+            let want = observable.get(q as Qubit).xz();
+            if (scratch.x[q], scratch.z[q]) != want {
+                // The observable is not in the stabilizer group (e.g. it is a
+                // product involving qubits outside the stabilized subspace).
+                return None;
+            }
+        }
+        Some(scratch.sign)
+    }
+
+    /// Whether tableau row `r` commutes with the given Pauli product.
+    fn row_commutes(&self, r: usize, pauli: &SparsePauli) -> bool {
+        let row = &self.rows[r];
+        let mut anti = false;
+        for (q, p) in pauli.iter() {
+            let qp = Pauli::from_xz(row.x[q as usize], row.z[q as usize]);
+            if !qp.commutes_with(p) {
+                anti = !anti;
+            }
+        }
+        !anti
+    }
+
+    /// Returns the current stabilizer generators as sparse Paulis with signs.
+    pub fn stabilizers(&self) -> Vec<(SparsePauli, bool)> {
+        (self.n..2 * self.n)
+            .map(|r| {
+                let row = &self.rows[r];
+                let p = SparsePauli::from_pairs((0..self.n).filter_map(|q| {
+                    let pq = Pauli::from_xz(row.x[q], row.z[q]);
+                    (pq != Pauli::I).then_some((q as Qubit, pq))
+                }));
+                (p, row.sign)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngExt, SeedableRng};
+
+    fn coin_from(rng: &mut StdRng) -> impl FnOnce() -> bool + '_ {
+        || rng.random::<bool>()
+    }
+
+    #[test]
+    fn zero_state_measures_zero() {
+        let mut t = Tableau::new(3);
+        for q in 0..3 {
+            let (outcome, det) = t.measure_z(q, || true);
+            assert!(!outcome);
+            assert!(det);
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut t = Tableau::new(1);
+        t.x(0);
+        let (outcome, det) = t.measure_z(0, || false);
+        assert!(outcome);
+        assert!(det);
+    }
+
+    #[test]
+    fn hadamard_randomizes() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        let (outcome, det) = t.measure_z(0, || true);
+        assert!(!det);
+        assert!(outcome); // the coin decided
+        // After collapse the value repeats deterministically.
+        let (again, det2) = t.measure_z(0, || false);
+        assert!(det2);
+        assert!(again);
+    }
+
+    #[test]
+    fn plus_state_measures_plus_in_x() {
+        let mut t = Tableau::new(1);
+        t.reset_x(0, || false);
+        let (outcome, det) = t.measure_x(0, || true);
+        assert!(det);
+        assert!(!outcome);
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cx(0, 1);
+            let (a, _) = t.measure_z(0, coin_from(&mut rng));
+            let (b, det) = t.measure_z(1, || false);
+            assert!(det);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ghz_parity_via_peek() {
+        let mut t = Tableau::new(3);
+        t.h(0);
+        t.cx(0, 1);
+        t.cx(1, 2);
+        // X0 X1 X2 stabilizes the GHZ state with +1.
+        let obs = SparsePauli::from_pairs([(0, Pauli::X), (1, Pauli::X), (2, Pauli::X)]);
+        assert_eq!(t.peek_observable(&obs), Some(false));
+        // Z0 alone is undetermined.
+        assert_eq!(t.peek_observable(&SparsePauli::single(0, Pauli::Z)), None);
+        // Z0 Z1 is determined (+1).
+        let zz = SparsePauli::from_pairs([(0, Pauli::Z), (1, Pauli::Z)]);
+        assert_eq!(t.peek_observable(&zz), Some(false));
+    }
+
+    #[test]
+    fn cz_phase_kickback() {
+        // CZ on |+>|1> flips the first qubit's X expectation.
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.x(1);
+        t.cz(0, 1);
+        let (outcome, det) = t.measure_x(0, || false);
+        assert!(det);
+        assert!(outcome); // now in |->
+    }
+
+    #[test]
+    fn swap_moves_state() {
+        let mut t = Tableau::new(2);
+        t.x(0);
+        t.swap(0, 1);
+        let (a, _) = t.measure_z(0, || false);
+        let (b, _) = t.measure_z(1, || false);
+        assert!(!a);
+        assert!(b);
+    }
+
+    #[test]
+    fn s_gate_turns_x_into_y() {
+        // S|+> has Y expectation +1: measure via S† H ... easier: S S |+> = Z|+> = |->.
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.s(0);
+        let (outcome, det) = t.measure_x(0, || false);
+        assert!(det);
+        assert!(outcome);
+    }
+
+    #[test]
+    fn s_dag_inverts_s() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        t.s_dag(0);
+        let (outcome, det) = t.measure_x(0, || false);
+        assert!(det);
+        assert!(!outcome);
+    }
+
+    #[test]
+    fn reset_clears_entanglement() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cx(0, 1);
+        t.reset_z(0, coin_from(&mut rng));
+        let (outcome, det) = t.measure_z(0, || true);
+        assert!(det);
+        assert!(!outcome);
+    }
+
+    #[test]
+    fn stabilizer_measurement_is_repeatable() {
+        // Measuring Z0 Z1 on |++> (via ancilla) is random but repeatable.
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let mut t = Tableau::new(3);
+            t.h(0);
+            t.h(1);
+            // ancilla = qubit 2
+            t.cx(0, 2);
+            t.cx(1, 2);
+            let (m1, det1) = t.measure_z(2, coin_from(&mut rng));
+            assert!(!det1);
+            t.reset_z(2, || false);
+            t.cx(0, 2);
+            t.cx(1, 2);
+            let (m2, det2) = t.measure_z(2, || false);
+            assert!(det2);
+            assert_eq!(m1, m2);
+        }
+    }
+
+    #[test]
+    fn stabilizers_of_zero_state() {
+        let t = Tableau::new(2);
+        let stabs = t.stabilizers();
+        assert_eq!(stabs.len(), 2);
+        assert_eq!(stabs[0].0, SparsePauli::single(0, Pauli::Z));
+        assert!(!stabs[0].1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the stabilizer substrate: gate identities on the
+//! tableau, frame-sampler/tableau agreement, and Pauli algebra laws.
+
+use caliqec_stab::{
+    noiseless_shot, simulate_shot, Basis, Circuit, FrameSampler, Gate1, Gate2, Noise1, Pauli,
+    SparsePauli, Tableau,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random small Clifford circuit description.
+#[derive(Clone, Debug)]
+enum RandOp {
+    G1(Gate1, u32),
+    G2(Gate2, u32, u32),
+}
+
+fn rand_ops(n_qubits: u32) -> impl Strategy<Value = Vec<RandOp>> {
+    let g1 = (0..6u8, 0..n_qubits).prop_map(|(g, q)| {
+        let gate = match g {
+            0 => Gate1::X,
+            1 => Gate1::Y,
+            2 => Gate1::Z,
+            3 => Gate1::H,
+            4 => Gate1::S,
+            _ => Gate1::SDag,
+        };
+        RandOp::G1(gate, q)
+    });
+    let g2 = (0..3u8, 0..n_qubits, 0..n_qubits)
+        .prop_filter("distinct", |(_, a, b)| a != b)
+        .prop_map(|(g, a, b)| {
+            let gate = match g {
+                0 => Gate2::Cx,
+                1 => Gate2::Cz,
+                _ => Gate2::Swap,
+            };
+            RandOp::G2(gate, a, b)
+        });
+    prop::collection::vec(prop_oneof![g1, g2], 0..24)
+}
+
+fn apply_ops(c: &mut Circuit, ops: &[RandOp]) {
+    for op in ops {
+        match *op {
+            RandOp::G1(g, q) => {
+                c.g1(g, q);
+            }
+            RandOp::G2(g, a, b) => {
+                c.g2(g, a, b);
+            }
+        }
+    }
+}
+
+fn apply_ops_tableau(t: &mut Tableau, ops: &[RandOp]) {
+    for op in ops {
+        match *op {
+            RandOp::G1(Gate1::X, q) => t.x(q),
+            RandOp::G1(Gate1::Y, q) => t.y(q),
+            RandOp::G1(Gate1::Z, q) => t.z(q),
+            RandOp::G1(Gate1::H, q) => t.h(q),
+            RandOp::G1(Gate1::S, q) => t.s(q),
+            RandOp::G1(Gate1::SDag, q) => t.s_dag(q),
+            RandOp::G2(Gate2::Cx, a, b) => t.cx(a, b),
+            RandOp::G2(Gate2::Cz, a, b) => t.cz(a, b),
+            RandOp::G2(Gate2::Swap, a, b) => t.swap(a, b),
+        }
+    }
+}
+
+fn undo_ops_tableau(t: &mut Tableau, ops: &[RandOp]) {
+    for op in ops.iter().rev() {
+        match *op {
+            RandOp::G1(Gate1::S, q) => t.s_dag(q),
+            RandOp::G1(Gate1::SDag, q) => t.s(q),
+            // All other generators are involutions.
+            _ => apply_ops_tableau(t, std::slice::from_ref(op)),
+        }
+    }
+}
+
+const N: u32 = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Applying a random Clifford circuit and its inverse returns the
+    /// all-zero state exactly.
+    #[test]
+    fn tableau_inverse_roundtrip(ops in rand_ops(N)) {
+        let mut t = Tableau::new(N as usize);
+        apply_ops_tableau(&mut t, &ops);
+        undo_ops_tableau(&mut t, &ops);
+        for q in 0..N {
+            let (outcome, det) = t.measure_z(q, || true);
+            prop_assert!(det, "qubit {q} not deterministic after inverse");
+            prop_assert!(!outcome, "qubit {q} flipped after inverse");
+        }
+    }
+
+    /// Noiseless circuits produce no frame events, and fully deterministic
+    /// injected errors produce identical events in the frame sampler and the
+    /// exact simulator.
+    #[test]
+    fn frame_agrees_with_tableau_on_deterministic_errors(
+        ops in rand_ops(N),
+        err_qubit in 0..N,
+        measure_qubit in 0..N,
+    ) {
+        // Build: reset all -> random Clifford -> X error (p=1) -> undo
+        // Clifford -> measure. The detector value is deterministic, so the
+        // frame event must equal the tableau outcome.
+        let mut c = Circuit::new(N as usize);
+        let all: Vec<u32> = (0..N).collect();
+        c.reset(Basis::Z, &all);
+        apply_ops(&mut c, &ops);
+        c.noise1(Noise1::XError, 1.0, &[err_qubit]);
+        // Undo the Clifford so the final state is computational-basis again.
+        let inverse: Vec<RandOp> = ops.iter().rev().map(|op| match *op {
+            RandOp::G1(Gate1::S, q) => RandOp::G1(Gate1::SDag, q),
+            RandOp::G1(Gate1::SDag, q) => RandOp::G1(Gate1::S, q),
+            ref other => other.clone(),
+        }).collect();
+        apply_ops(&mut c, &inverse);
+        let m = c.measure(measure_qubit, Basis::Z, 0.0);
+        c.detector(&[m]);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let tableau_shot = simulate_shot(&c, &mut rng);
+        let clean = noiseless_shot(&c, &mut rng);
+        prop_assert!(!clean.detectors[0], "noiseless detector must be quiet");
+
+        let mut sampler = FrameSampler::new(&c);
+        let events = sampler.sample_batch(&mut rng);
+        let frame_bit = events.detectors[0] & 1 == 1;
+        prop_assert_eq!(frame_bit, tableau_shot.detectors[0]);
+        // The error is deterministic, so all 64 lanes agree.
+        prop_assert!(events.detectors[0] == 0 || events.detectors[0] == u64::MAX);
+    }
+
+    /// Pauli commutation is symmetric and products are involutive.
+    #[test]
+    fn pauli_algebra_laws(
+        pairs_a in prop::collection::vec((0u32..6, 0u8..4), 0..6),
+        pairs_b in prop::collection::vec((0u32..6, 0u8..4), 0..6),
+    ) {
+        let to_pauli = |v: u8| match v { 0 => Pauli::I, 1 => Pauli::X, 2 => Pauli::Y, _ => Pauli::Z };
+        let a = SparsePauli::from_pairs(pairs_a.iter().map(|&(q, p)| (q, to_pauli(p))));
+        let b = SparsePauli::from_pairs(pairs_b.iter().map(|&(q, p)| (q, to_pauli(p))));
+        prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+        let mut sq = a.clone();
+        sq.mul_assign(&a);
+        prop_assert!(sq.is_identity(), "P * P must be the identity");
+        prop_assert!(a.commutes_with(&a));
+    }
+
+    /// The stabilizers reported by the tableau always commute pairwise and
+    /// stabilize the state the measurements report.
+    #[test]
+    fn stabilizers_commute_pairwise(ops in rand_ops(4)) {
+        let mut t = Tableau::new(4);
+        apply_ops_tableau(&mut t, &ops);
+        let stabs = t.stabilizers();
+        for (i, (a, _)) in stabs.iter().enumerate() {
+            for (b, _) in stabs.iter().skip(i + 1) {
+                prop_assert!(a.commutes_with(b));
+            }
+        }
+        // Each stabilizer's expectation is determined (peek succeeds).
+        for (s, sign) in &stabs {
+            prop_assert_eq!(t.peek_observable(s), Some(*sign));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based round-trip tests of the Stim-format serializer: any
+//! circuit expressible in the IR must survive export → parse unchanged, and
+//! parsing must reject malformed input without panicking.
+
+use caliqec_stab::{from_stim_text, to_stim_text, Basis, Circuit, Gate1, Gate2, Noise1, Noise2};
+use proptest::prelude::*;
+
+/// One random instruction to append.
+#[derive(Clone, Debug)]
+enum Instr {
+    G1(u8, u32),
+    G2(u8, u32, u32),
+    Reset(bool, u32),
+    Measure(bool, u32, bool),
+    Noise1(u8, u32, u8),
+    Noise2(u32, u32, u8),
+    Detector(u8),
+    Observable(u8, u8),
+}
+
+fn instr_strategy(n: u32) -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0..6u8, 0..n).prop_map(|(g, q)| Instr::G1(g, q)),
+        (0..3u8, 0..n, 0..n)
+            .prop_filter("distinct", |(_, a, b)| a != b)
+            .prop_map(|(g, a, b)| Instr::G2(g, a, b)),
+        (any::<bool>(), 0..n).prop_map(|(x, q)| Instr::Reset(x, q)),
+        (any::<bool>(), 0..n, any::<bool>()).prop_map(|(x, q, f)| Instr::Measure(x, q, f)),
+        (0..4u8, 0..n, 1..100u8).prop_map(|(k, q, p)| Instr::Noise1(k, q, p)),
+        (0..n, 0..n, 1..100u8)
+            .prop_filter("distinct", |(a, b, _)| a != b)
+            .prop_map(|(a, b, p)| Instr::Noise2(a, b, p)),
+        (1..4u8).prop_map(Instr::Detector),
+        (0..3u8, 1..3u8).prop_map(|(i, k)| Instr::Observable(i, k)),
+    ]
+}
+
+fn build(instrs: &[Instr], n: u32) -> Circuit {
+    let mut c = Circuit::new(n as usize);
+    let mut meas = Vec::new();
+    for i in instrs {
+        match *i {
+            Instr::G1(g, q) => {
+                let gate = [Gate1::X, Gate1::Y, Gate1::Z, Gate1::H, Gate1::S, Gate1::SDag]
+                    [g as usize % 6];
+                c.g1(gate, q);
+            }
+            Instr::G2(g, a, b) => {
+                let gate = [Gate2::Cx, Gate2::Cz, Gate2::Swap][g as usize % 3];
+                c.g2(gate, a, b);
+            }
+            Instr::Reset(x, q) => {
+                c.reset(if x { Basis::X } else { Basis::Z }, &[q]);
+            }
+            Instr::Measure(x, q, flip) => {
+                let basis = if x { Basis::X } else { Basis::Z };
+                let p = if flip { 0.015625 } else { 0.0 };
+                meas.push(c.measure(q, basis, p));
+            }
+            Instr::Noise1(k, q, p) => {
+                let kind = [
+                    Noise1::XError,
+                    Noise1::YError,
+                    Noise1::ZError,
+                    Noise1::Depolarize1,
+                ][k as usize % 4];
+                c.noise1(kind, p as f64 / 256.0, &[q]);
+            }
+            Instr::Noise2(a, b, p) => {
+                c.noise2(Noise2::Depolarize2, p as f64 / 256.0, &[(a, b)]);
+            }
+            Instr::Detector(k) => {
+                let take: Vec<_> = meas.iter().rev().take(k as usize).copied().collect();
+                if !take.is_empty() {
+                    c.detector(&take);
+                }
+            }
+            Instr::Observable(idx, k) => {
+                let take: Vec<_> = meas.iter().rev().take(k as usize).copied().collect();
+                if !take.is_empty() {
+                    c.observable(idx as usize, &take);
+                }
+            }
+        }
+    }
+    // Guarantee the max qubit appears so the parser infers the same width.
+    c.g1(Gate1::X, n - 1);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Export → parse is the identity on ops and counters.
+    #[test]
+    fn roundtrip_identity(instrs in prop::collection::vec(instr_strategy(6), 0..40)) {
+        let original = build(&instrs, 6);
+        let text = to_stim_text(&original);
+        let parsed = from_stim_text(&text)
+            .unwrap_or_else(|e| panic!("own output failed to parse: {e}\n{text}"));
+        prop_assert_eq!(parsed.ops(), original.ops());
+        prop_assert_eq!(parsed.num_qubits(), original.num_qubits());
+        prop_assert_eq!(parsed.num_measurements(), original.num_measurements());
+        prop_assert_eq!(parsed.num_detectors(), original.num_detectors());
+        prop_assert_eq!(parsed.num_observables(), original.num_observables());
+    }
+
+    /// The parser never panics on arbitrary input lines.
+    #[test]
+    fn parser_is_total(garbage in "[ -~\\n]{0,200}") {
+        let _ = from_stim_text(&garbage);
+    }
+}

@@ -1,0 +1,93 @@
+//! Drift-aware memory experiment: isolate a drifted qubit via code
+//! deformation and measure the logical error rate before/after, with full
+//! stabilizer simulation and union-find decoding.
+//!
+//! ```text
+//! cargo run --release --example drift_aware_memory
+//! ```
+//!
+//! This is the paper's central mechanism in miniature (its Fig. 13): a
+//! single badly drifted physical qubit inflates the logical error rate; the
+//! `DataQ_RM` instruction isolates it behind a temporary boundary and
+//! `PatchQ_AD` enlargement restores the code distance, recovering most of
+//! the loss — all without touching the encoded state.
+
+use caliqec_code::{
+    code_distance, data_coord, memory_circuit, DeformInstruction, DeformedPatch, Lattice,
+    MemoryBasis, NoiseModel, Side,
+};
+use caliqec_match::{estimate_ler, graph_for_circuit, SampleOptions, UnionFindDecoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn measure(layout: &caliqec_code::PatchLayout, noise: &NoiseModel, rng: &mut StdRng) -> f64 {
+    let mem = memory_circuit(layout, noise, 3, MemoryBasis::Z);
+    let mut decoder = UnionFindDecoder::new(graph_for_circuit(&mem.circuit));
+    estimate_ler(
+        &mem.circuit,
+        &mut decoder,
+        SampleOptions {
+            min_shots: 200_000,
+            max_failures: 400,
+            max_shots: 800_000,
+        },
+        rng,
+    )
+    .per_shot()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let d = 3;
+    let p0 = 2e-3;
+    let drifted = data_coord(1, 1); // the central data qubit has drifted
+    let p_drifted = p0 * 8.0;
+
+    // Healthy patch.
+    let pristine = DeformedPatch::new(Lattice::Square, d, d)
+        .layout()
+        .expect("pristine patch");
+    let baseline = measure(&pristine, &NoiseModel::uniform(p0), &mut rng);
+    println!("baseline LER (all gates at p0 = {p0:.0e}):        {baseline:.3e}");
+
+    // Same patch with the drifted qubit left in place.
+    let mut drifted_noise = NoiseModel::uniform(p0);
+    drifted_noise.drift_qubit(drifted, p_drifted);
+    let hurt = measure(&pristine, &drifted_noise, &mut rng);
+    println!(
+        "with one qubit drifted to {p_drifted:.0e}:            {hurt:.3e}  ({:+.0}%)",
+        (hurt / baseline - 1.0) * 100.0
+    );
+
+    // Isolate the drifted qubit and enlarge the patch back to distance d.
+    let mut patch = DeformedPatch::new(Lattice::Square, d, d);
+    patch
+        .apply(DeformInstruction::DataQRm { qubit: drifted })
+        .expect("isolation applies");
+    for side in [Side::Right, Side::Bottom, Side::Right, Side::Bottom] {
+        if code_distance(&patch.layout().expect("valid")).min() >= d {
+            break;
+        }
+        patch
+            .apply(DeformInstruction::PatchQAd { side })
+            .expect("enlargement applies");
+    }
+    let healed_layout = patch.layout().expect("valid");
+    println!(
+        "deformed layout: {} data qubits, {} superstabilizers, distance {}",
+        healed_layout.data.len(),
+        healed_layout.num_superstabilizers(),
+        code_distance(&healed_layout).min()
+    );
+    // The isolated qubit is being calibrated, so its drift disappears from
+    // the circuit; the remaining gates run at p0.
+    let healed = measure(&healed_layout, &NoiseModel::uniform(p0), &mut rng);
+    println!(
+        "after DataQ_RM + PatchQ_AD (qubit calibrating):  {healed:.3e}  ({:+.0}% vs baseline)",
+        (healed / baseline - 1.0) * 100.0
+    );
+    println!(
+        "\nisolation recovered {:.0}% of the drift-induced LER increase",
+        (1.0 - (healed - baseline).max(0.0) / (hurt - baseline)) * 100.0
+    );
+}

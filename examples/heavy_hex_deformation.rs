@@ -1,0 +1,84 @@
+//! Walkthrough of the heavy-hexagon instruction set (paper Sec. 6.1).
+//!
+//! ```text
+//! cargo run --release --example heavy_hex_deformation
+//! ```
+//!
+//! IBM-style devices read each stabilizer out through an "S"-shaped bridge
+//! of seven ancillas. Removing different bridge nodes has different
+//! structural consequences — this example applies each `AncQ_RM_*`
+//! instruction to a d = 5 heavy-hex patch and prints what happened to the
+//! stabilizer group.
+
+use caliqec_code::{
+    code_distance, heavy_hex_patch, DeformInstruction, DeformedPatch, Lattice, Readout, StabKind,
+};
+
+fn describe(label: &str, patch: &DeformedPatch) {
+    let layout = patch.layout().expect("valid layout");
+    let split = layout
+        .stabilizers
+        .iter()
+        .filter(|s| matches!(&s.readout, Readout::Chain { parts } if parts.len() > 1))
+        .count();
+    println!(
+        "{label:<18} data={:<3} stabs={:<3} superstabs={:<2} split-gauge={:<2} distance={}",
+        layout.data.len(),
+        layout.stabilizers.len(),
+        layout.num_superstabilizers(),
+        split,
+        code_distance(&layout).min(),
+    );
+}
+
+fn main() {
+    let pristine = heavy_hex_patch(5, 5);
+    println!(
+        "pristine d=5 heavy-hex patch: {} data qubits, {} bridge ancillas\n",
+        pristine.data.len(),
+        pristine.ancillas().len()
+    );
+
+    // Locate an interior X stabilizer's bridge.
+    let stab = pristine
+        .stabilizers
+        .iter()
+        .find(|s| s.weight() == 4 && s.kind == StabKind::X)
+        .expect("interior X stabilizer");
+    let Readout::Chain { parts } = &stab.readout else {
+        unreachable!("heavy-hex readouts are chains")
+    };
+    let chain = &parts[0].chain;
+    println!("target bridge (7 ancillas): {:?}", chain);
+    println!("  attach nodes (paper qa,qc,qe,qg): indices 0, 2, 4, 6");
+    println!("  outer bridges (paper qb,qf):      indices 1, 5");
+    println!("  mid bridge (paper qd):            index 3\n");
+
+    // AncQ_RM_HorDeg2: remove the mid bridge -> two weight-2 gauge halves.
+    let mut patch = DeformedPatch::new(Lattice::HeavyHex, 5, 5);
+    describe("pristine", &patch);
+    patch
+        .apply(DeformInstruction::AncQRmHorDeg2 { ancilla: chain[3] })
+        .expect("HorDeg2 applies");
+    describe("AncQ_RM_HorDeg2", &patch);
+    patch.reintegrate_all();
+
+    // AncQ_RM_VerDeg2: remove an outer bridge -> a singleton gauge pins its
+    // data qubit out of the code.
+    patch
+        .apply(DeformInstruction::AncQRmVerDeg2 { ancilla: chain[1] })
+        .expect("VerDeg2 applies");
+    describe("AncQ_RM_VerDeg2", &patch);
+    patch.reintegrate_all();
+
+    // AncQ_RM_Deg3: remove an attach node -> the attached data qubit becomes
+    // a gauge qubit and leaves the code.
+    patch
+        .apply(DeformInstruction::AncQRmDeg3 { ancilla: chain[0] })
+        .expect("Deg3 applies");
+    describe("AncQ_RM_Deg3", &patch);
+    patch.reintegrate_all();
+    describe("reintegrated", &patch);
+
+    println!("\nreintegration restores the pristine stabilizer group exactly.");
+}

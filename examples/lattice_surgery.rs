@@ -1,0 +1,58 @@
+//! Lattice surgery: fault-tolerantly measure `Z⊗Z` between two patches.
+//!
+//! ```text
+//! cargo run --release --example lattice_surgery
+//! ```
+//!
+//! This is the logical-operation substrate of surface-code FTQC (paper
+//! Fig. 3e/f): two patches merge across a routing channel, jointly stabilize
+//! for `d` rounds, and split again. The conserved merged logical is decoded
+//! and its residual flip rate — the logical error rate of the surgery
+//! operation itself — is measured at two distances to show fault tolerance.
+
+use caliqec_code::{zz_surgery_circuit, NoiseModel, ZzSurgery};
+use caliqec_match::{estimate_ler, graph_for_circuit, SampleOptions, UnionFindDecoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn surgery_ler(d: usize, p: f64, shots: usize, seed: u64) -> f64 {
+    let surgery = zz_surgery_circuit(
+        &ZzSurgery {
+            d,
+            pre_rounds: d,
+            merge_rounds: d,
+            post_rounds: d,
+        },
+        &NoiseModel::uniform(p),
+    );
+    let mut decoder = UnionFindDecoder::new(graph_for_circuit(&surgery.circuit));
+    let mut rng = StdRng::seed_from_u64(seed);
+    estimate_ler(
+        &surgery.circuit,
+        &mut decoder,
+        SampleOptions {
+            min_shots: shots,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .per_shot()
+}
+
+fn main() {
+    let p = 2e-3;
+    println!("ZZ lattice surgery under p = {p:.0e} circuit-level noise\n");
+    let d3 = surgery_ler(3, p, 120_000, 1);
+    println!("d = 3: surgery logical error rate {d3:.3e}");
+    let d5 = surgery_ler(5, p, 120_000, 2);
+    println!("d = 5: surgery logical error rate {d5:.3e}");
+    println!(
+        "\nsuppression factor d=3 → d=5: {:.1}x (fault tolerance of the merge/split)",
+        d3 / d5.max(1e-9)
+    );
+    println!(
+        "\nThe decoded observable is the conserved merged logical Z̄_M — the"
+    );
+    println!("individual patch readouts are gauge during the merge, exactly as in");
+    println!("the code-deformation theory CaliQEC builds on (paper Sec. 2.2).");
+}

@@ -1,0 +1,196 @@
+//! Cross-validation of the two decoders: the union-find decoder (fast,
+//! near-linear) against exact minimum-weight perfect matching (the oracle),
+//! and both against the exact tableau simulator's statistics.
+
+use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+use caliqec_match::{
+    estimate_ler, graph_for_circuit, Decoder, MwpmDecoder, SampleOptions, UnionFindDecoder,
+};
+use caliqec_stab::{FrameSampler, BATCH};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn union_find_matches_mwpm_on_most_syndromes() {
+    let mem = memory_circuit(
+        &rotated_patch(3, 3),
+        &NoiseModel::uniform(3e-3),
+        3,
+        MemoryBasis::Z,
+    );
+    let graph = graph_for_circuit(&mem.circuit);
+    let mut uf = UnionFindDecoder::new(graph.clone());
+    let mut mwpm = MwpmDecoder::new(graph);
+    let mut sampler = FrameSampler::new(&mem.circuit);
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let mut decoded = 0usize;
+    let mut agreed = 0usize;
+    for _ in 0..200 {
+        let ev = sampler.sample_batch(&mut rng);
+        for s in 0..BATCH {
+            let defects: Vec<usize> = ev
+                .detectors
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| (*w >> s) & 1 == 1)
+                .map(|(i, _)| i)
+                .collect();
+            if defects.is_empty() {
+                continue;
+            }
+            decoded += 1;
+            if uf.decode(&defects) == mwpm.decode(&defects) {
+                agreed += 1;
+            }
+        }
+    }
+    assert!(decoded > 100, "not enough nontrivial syndromes ({decoded})");
+    let agreement = agreed as f64 / decoded as f64;
+    assert!(
+        agreement > 0.9,
+        "UF/MWPM agreement only {agreement:.2} over {decoded} syndromes"
+    );
+}
+
+#[test]
+fn both_decoders_achieve_similar_ler() {
+    let mem = memory_circuit(
+        &rotated_patch(3, 3),
+        &NoiseModel::uniform(3e-3),
+        3,
+        MemoryBasis::Z,
+    );
+    let graph = graph_for_circuit(&mem.circuit);
+    let opts = SampleOptions {
+        min_shots: 100_000,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(4);
+    let uf = estimate_ler(
+        &mem.circuit,
+        &mut UnionFindDecoder::new(graph.clone()),
+        opts,
+        &mut rng,
+    );
+    let mut rng = StdRng::seed_from_u64(4);
+    let mwpm = estimate_ler(&mem.circuit, &mut MwpmDecoder::new(graph), opts, &mut rng);
+    let (a, b) = (uf.per_shot(), mwpm.per_shot());
+    assert!(a > 0.0 && b > 0.0);
+    // Union-find is a constant factor behind exact matching at worst.
+    assert!(a < b * 2.0 + 1e-4, "UF {a:e} vs MWPM {b:e}");
+    assert!(b < a * 2.0 + 1e-4, "MWPM {b:e} vs UF {a:e}");
+}
+
+#[test]
+fn trivial_syndrome_never_corrects() {
+    let mem = memory_circuit(
+        &rotated_patch(3, 3),
+        &NoiseModel::uniform(1e-3),
+        2,
+        MemoryBasis::Z,
+    );
+    let graph = graph_for_circuit(&mem.circuit);
+    let mut uf = UnionFindDecoder::new(graph.clone());
+    let mut mwpm = MwpmDecoder::new(graph);
+    assert_eq!(uf.decode(&[]), 0);
+    assert_eq!(mwpm.decode(&[]), 0);
+}
+
+#[test]
+fn memory_x_basis_decodes_too() {
+    // The X-basis experiment exercises the dual detector structure.
+    let mem = memory_circuit(
+        &rotated_patch(3, 3),
+        &NoiseModel::uniform(2e-3),
+        3,
+        MemoryBasis::X,
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let est = estimate_ler(
+        &mem.circuit,
+        &mut UnionFindDecoder::new(graph_for_circuit(&mem.circuit)),
+        SampleOptions {
+            min_shots: 100_000,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    assert!(est.per_shot() < 0.05, "X-memory LER {:e}", est.per_shot());
+}
+
+#[test]
+fn exhaustive_single_error_correction() {
+    // Distance-3 property: every single error mechanism in the circuit is
+    // corrected, *up to syndrome degeneracy*: when two first-order mechanisms
+    // share a detector signature but differ in logical effect (a boundary
+    // artifact of the X-memory readout structure, see DESIGN.md), no decoder
+    // can satisfy both — the graph resolves toward the more probable one and
+    // the minority mass becomes a bounded additive LER floor.
+    use caliqec_stab::extract_dem;
+    use std::collections::HashMap;
+    for (basis, label) in [(MemoryBasis::Z, "Z"), (MemoryBasis::X, "X")] {
+        let mem = memory_circuit(
+            &rotated_patch(3, 3),
+            &NoiseModel::uniform(1e-3),
+            3,
+            basis,
+        );
+        let dem = extract_dem(&mem.circuit);
+        // Group mechanisms by signature; the dominant one must decode right.
+        let mut by_sig: HashMap<Vec<usize>, Vec<(f64, u64)>> = HashMap::new();
+        for mech in &dem.mechanisms {
+            if mech.detectors.len() > 2 {
+                continue; // hyperedges decompose; their pieces are covered
+            }
+            let sig: Vec<usize> = mech.detectors.iter().map(|d| d.0 as usize).collect();
+            by_sig.entry(sig).or_default().push((mech.probability, mech.observables));
+        }
+        let graph = graph_for_circuit(&mem.circuit);
+        let mut uf = UnionFindDecoder::new(graph.clone());
+        let mut mwpm = MwpmDecoder::new(graph);
+        let mut checked = 0usize;
+        let mut total_mass = 0.0f64;
+        let mut mwpm_missed_mass = 0.0f64;
+        let mut uf_missed_mass = 0.0f64;
+        let mut minority_mass = 0.0f64;
+        for (sig, mechs) in &by_sig {
+            let (dom_p, dom_obs) = mechs
+                .iter()
+                .copied()
+                .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+                .expect("nonempty group");
+            minority_mass += mechs
+                .iter()
+                .filter(|&&(_, o)| o != dom_obs)
+                .map(|&(p, _)| p)
+                .sum::<f64>();
+            checked += 1;
+            total_mass += dom_p;
+            if mwpm.decode(sig) != dom_obs {
+                mwpm_missed_mass += dom_p;
+            }
+            if uf.decode(sig) != dom_obs {
+                uf_missed_mass += dom_p;
+            }
+        }
+        assert!(checked > 40, "{label}-memory: only {checked} signatures");
+        // Decomposition-based matching (like Stim+PyMatching) does not
+        // guarantee every individual mechanism decodes to its own mask, but
+        // the probability-weighted miss mass must stay tiny or the LER would
+        // have an O(p) floor.
+        assert!(
+            mwpm_missed_mass < 0.02 * total_mass,
+            "{label}-memory: MWPM missed {mwpm_missed_mass:e} of {total_mass:e}"
+        );
+        assert!(
+            uf_missed_mass < 0.05 * total_mass,
+            "{label}-memory: UF missed {uf_missed_mass:e} of {total_mass:e}"
+        );
+        // The irreducible degeneracy floor stays far below the physical rate.
+        assert!(
+            minority_mass < 5e-3,
+            "{label}-memory: degenerate minority mass {minority_mass:e}"
+        );
+    }
+}
