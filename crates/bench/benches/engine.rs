@@ -1,0 +1,77 @@
+//! Benchmarks of the compiled Monte-Carlo LER engine: compiled vs.
+//! interpreting frame-sampling throughput, and an `LerEngine` thread sweep
+//! (1/2/4/8 workers) on the d = 11 memory circuit. The thread sweep pins
+//! the shot budget so the per-thread speedup is directly comparable.
+
+use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, UnionFindDecoder};
+use caliqec_stab::{BatchEvents, CompiledCircuit, FrameSampler, FrameState, BATCH};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn memory(d: usize) -> caliqec_code::MemoryCircuit {
+    memory_circuit(
+        &rotated_patch(d, d),
+        &NoiseModel::uniform(1e-3),
+        d,
+        MemoryBasis::Z,
+    )
+}
+
+/// Compiled instruction stream vs. the re-walking `FrameSampler` on the
+/// same d = 11 circuit: both emit one 64-shot batch per iteration.
+fn bench_sampling_throughput(c: &mut Criterion) {
+    let mem = memory(11);
+    let mut group = c.benchmark_group("engine_sampling_d11");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("interpreting", |b| {
+        let mut sampler = FrameSampler::new(&mem.circuit);
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| sampler.sample_batch(&mut rng));
+    });
+    group.bench_function("compiled", |b| {
+        let compiled = CompiledCircuit::new(&mem.circuit);
+        let mut state = FrameState::new(&compiled);
+        let mut events = BatchEvents::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| compiled.sample_batch_into(&mut state, &mut rng, &mut events));
+    });
+    group.finish();
+}
+
+/// Full sample + decode pipeline at a fixed shot budget, swept over worker
+/// counts. On a single-core host the sweep is flat; with cores available it
+/// shows the engine's scaling.
+fn bench_engine_thread_sweep(c: &mut Criterion) {
+    let mem = memory(11);
+    let compiled = CompiledCircuit::new(&mem.circuit);
+    let graph = graph_for_circuit(&mem.circuit);
+    let options = SampleOptions {
+        min_shots: 64 * BATCH,
+        max_failures: 0,
+        max_shots: 0,
+    };
+    let mut group = c.benchmark_group("engine_thread_sweep_d11");
+    group.sample_size(2);
+    group.throughput(Throughput::Elements(options.min_shots as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("union_find", threads),
+            &threads,
+            |b, &threads| {
+                let engine = LerEngine::new(threads);
+                let factory = || UnionFindDecoder::new(graph.clone());
+                b.iter(|| engine.estimate(&compiled, &factory, options, 0xD11));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sampling_throughput,
+    bench_engine_thread_sweep
+);
+criterion_main!(benches);

@@ -76,5 +76,10 @@ fn bench_full_plan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithm1, bench_adaptive_schedule, bench_full_plan);
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_adaptive_schedule,
+    bench_full_plan
+);
 criterion_main!(benches);

@@ -1,4 +1,7 @@
 //! Regenerates the routing experiment (see the experiments module docs).
 fn main() {
-    println!("{}", caliqec_bench::experiments::routing::run(&Default::default()));
+    println!(
+        "{}",
+        caliqec_bench::experiments::routing::run(&Default::default())
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the sharing experiment (see the experiments module docs).
 fn main() {
-    println!("{}", caliqec_bench::experiments::sharing::run(&Default::default()));
+    println!(
+        "{}",
+        caliqec_bench::experiments::sharing::run(&Default::default())
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Figure 07 (see the experiments module docs).
 fn main() {
-    println!("{}", caliqec_bench::experiments::fig07::run(&Default::default()));
+    println!(
+        "{}",
+        caliqec_bench::experiments::fig07::run(&Default::default())
+    );
 }

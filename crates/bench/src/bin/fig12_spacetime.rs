@@ -1,4 +1,7 @@
 //! Regenerates the paper's Figure 12 (see the experiments module docs).
 fn main() {
-    println!("{}", caliqec_bench::experiments::fig12::run(&Default::default()));
+    println!(
+        "{}",
+        caliqec_bench::experiments::fig12::run(&Default::default())
+    );
 }

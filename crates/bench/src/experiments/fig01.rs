@@ -106,11 +106,8 @@ pub fn run(params: &Fig01Params) -> Fig01Result {
         let t_cal = t % params.calibration_period_hours;
         let ps: Vec<f64> = device.gates.iter().map(|g| g.drift.p_at(t)).collect();
         let ps_cal: Vec<f64> = device.gates.iter().map(|g| g.drift.p_at(t_cal)).collect();
-        let above_1q = one_q
-            .iter()
-            .filter(|&&i| ps[i] > params.threshold)
-            .count() as f64
-            / one_q.len() as f64;
+        let above_1q =
+            one_q.iter().filter(|&&i| ps[i] > params.threshold).count() as f64 / one_q.len() as f64;
         let above_all =
             ps.iter().filter(|&&p| p > params.threshold).count() as f64 / ps.len() as f64;
         points.push(Fig01Point {

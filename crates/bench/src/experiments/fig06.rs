@@ -6,9 +6,7 @@
 //! ground truth the device was generated with.
 
 use crate::report::TextTable;
-use caliqec_device::{
-    measure_crosstalk, DeviceConfig, DeviceModel, GateKind, ProbeOptions,
-};
+use caliqec_device::{measure_crosstalk, DeviceConfig, DeviceModel, GateKind, ProbeOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;

@@ -66,7 +66,12 @@ pub struct Fig09Result {
     pub models: Vec<DriftHistogram>,
 }
 
-fn histogram(label: &str, dist: &DriftDistribution, params: &Fig09Params, seed: u64) -> DriftHistogram {
+fn histogram(
+    label: &str,
+    dist: &DriftDistribution,
+    params: &Fig09Params,
+    seed: u64,
+) -> DriftHistogram {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut samples = dist.sample_many(params.samples, &mut rng);
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -88,8 +93,18 @@ pub fn run(params: &Fig09Params) -> Fig09Result {
     Fig09Result {
         bin_hours: params.bin_hours,
         models: vec![
-            histogram("current (mean 14.08h)", &DriftDistribution::current(), params, params.seed),
-            histogram("future (mean 28.016h)", &DriftDistribution::future(), params, params.seed + 1),
+            histogram(
+                "current (mean 14.08h)",
+                &DriftDistribution::current(),
+                params,
+                params.seed,
+            ),
+            histogram(
+                "future (mean 28.016h)",
+                &DriftDistribution::future(),
+                params,
+                params.seed + 1,
+            ),
         ],
     }
 }

@@ -17,13 +17,13 @@
 
 use crate::report::{fmt_num, TextTable};
 use caliqec_code::{
-    code_distance, memory_circuit, rotated_patch, Coord, DeformInstruction, DeformedPatch,
-    Lattice, MemoryBasis, NoiseModel, Side,
+    code_distance, memory_circuit, rotated_patch, Coord, DeformInstruction, DeformedPatch, Lattice,
+    MemoryBasis, NoiseModel, Side,
 };
-use caliqec_match::{estimate_ler, graph_for_circuit, SampleOptions, UnionFindDecoder};
+use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, UnionFindDecoder};
 use caliqec_sched::ler;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -86,6 +86,9 @@ pub struct Fig10Params {
     pub max_failures: usize,
     /// Shot cap when chasing failures.
     pub max_shots: usize,
+    /// Monte-Carlo worker threads (0 = auto, honouring `CALIQEC_THREADS`).
+    /// The measured LERs are identical at any thread count.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -108,6 +111,7 @@ impl Default for Fig10Params {
             min_shots: 100_000,
             max_failures: 100,
             max_shots: 400_000,
+            threads: 0,
             seed: 10,
         }
     }
@@ -301,7 +305,11 @@ pub fn run(params: &Fig10Params) -> Fig10Result {
                     if code_distance(&patch.layout().expect("valid")).min() >= params.d {
                         break;
                     }
-                    let side = if i % 2 == 0 { Side::Right } else { Side::Bottom };
+                    let side = if i % 2 == 0 {
+                        Side::Right
+                    } else {
+                        Side::Bottom
+                    };
                     let _ = patch.apply(DeformInstruction::PatchQAd { side });
                 }
             }
@@ -317,17 +325,19 @@ pub fn run(params: &Fig10Params) -> Fig10Result {
                 }
             }
             let mem = memory_circuit(&layout, &noise, params.rounds, MemoryBasis::Z);
-            let mut decoder = UnionFindDecoder::new(graph_for_circuit(&mem.circuit));
-            let est = estimate_ler(
-                &mem.circuit,
-                &mut decoder,
-                SampleOptions {
-                    min_shots: params.min_shots,
-                    max_failures: params.max_failures,
-                    max_shots: params.max_shots,
-                },
-                &mut rng,
-            );
+            let graph = graph_for_circuit(&mem.circuit);
+            let est = LerEngine::new(params.threads)
+                .estimate_circuit(
+                    &mem.circuit,
+                    &|| UnionFindDecoder::new(graph.clone()),
+                    SampleOptions {
+                        min_shots: params.min_shots,
+                        max_failures: params.max_failures,
+                        max_shots: params.max_shots,
+                    },
+                    rng.random(),
+                )
+                .estimate;
             samples.insert(
                 s,
                 ScenarioPoint {
@@ -399,7 +409,10 @@ mod tests {
         // No-calibration LER at the end exceeds the start.
         let first = r.points.first().unwrap().scenarios[&Scenario::NoCalibration].ler;
         let last = r.points.last().unwrap().scenarios[&Scenario::NoCalibration].ler;
-        assert!(last >= first, "no-cal should not improve: {first} -> {last}");
+        assert!(
+            last >= first,
+            "no-cal should not improve: {first} -> {last}"
+        );
         // Enlargement never reduces qubits below baseline.
         assert!(r.peak_qubit_overhead(Scenario::Full) >= 0.0);
     }

@@ -132,8 +132,16 @@ impl fmt::Display for Fig11Result {
             ]);
         }
         write!(f, "{}", t.render())?;
-        let min = self.points.iter().map(|p| p.reduction()).fold(f64::MAX, f64::min);
-        let max = self.points.iter().map(|p| p.reduction()).fold(0.0, f64::max);
+        let min = self
+            .points
+            .iter()
+            .map(|p| p.reduction())
+            .fold(f64::MAX, f64::min);
+        let max = self
+            .points
+            .iter()
+            .map(|p| p.reduction())
+            .fold(0.0, f64::max);
         writeln!(
             f,
             "reduction range {min:.2}x - {max:.2}x (paper: 3.63x - 11.1x)"

@@ -8,11 +8,9 @@
 
 use crate::report::TextTable;
 use caliqec_device::{DeviceConfig, DeviceModel, DriftDistribution};
-use caliqec_sched::{
-    adaptive_schedule, bulk_schedule, cluster_workloads, sequential_schedule,
-};
+use caliqec_sched::{adaptive_schedule, bulk_schedule, cluster_workloads, sequential_schedule};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Parameters of the scheduling-overhead study.

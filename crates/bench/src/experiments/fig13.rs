@@ -15,9 +15,9 @@ use caliqec_code::{
     memory_circuit, DeformInstruction, DeformedPatch, Lattice, MemoryBasis, NoiseModel, Readout,
     Side, StabKind,
 };
-use caliqec_match::{estimate_ler, graph_for_circuit, SampleOptions, UnionFindDecoder};
+use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, UnionFindDecoder};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// The five Fig. 13 scenarios.
@@ -77,6 +77,9 @@ pub struct Fig13Params {
     pub max_failures: usize,
     /// Shot cap.
     pub max_shots: usize,
+    /// Monte-Carlo worker threads (0 = auto, honouring `CALIQEC_THREADS`).
+    /// The measured LERs are identical at any thread count.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -92,6 +95,7 @@ impl Default for Fig13Params {
             min_shots: 400_000,
             max_failures: 600,
             max_shots: 1_600_000,
+            threads: 0,
             seed: 13,
         }
     }
@@ -238,17 +242,19 @@ fn run_scenario(
     }
     let layout = patch.layout().expect("valid layout");
     let mem = memory_circuit(&layout, &noise, params.rounds, MemoryBasis::Z);
-    let mut decoder = UnionFindDecoder::new(graph_for_circuit(&mem.circuit));
-    let est = estimate_ler(
-        &mem.circuit,
-        &mut decoder,
-        SampleOptions {
-            min_shots: params.min_shots,
-            max_failures: params.max_failures,
-            max_shots: params.max_shots,
-        },
-        rng,
-    );
+    let graph = graph_for_circuit(&mem.circuit);
+    let est = LerEngine::new(params.threads)
+        .estimate_circuit(
+            &mem.circuit,
+            &|| UnionFindDecoder::new(graph.clone()),
+            SampleOptions {
+                min_shots: params.min_shots,
+                max_failures: params.max_failures,
+                max_shots: params.max_shots,
+            },
+            rng.random(),
+        )
+        .estimate;
     Fig13Cell {
         scenario,
         ler: est.per_shot(),
@@ -275,7 +281,10 @@ pub fn run(params: &Fig13Params) -> Fig13Result {
 
 impl fmt::Display for Fig13Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 13: d = 3 logical error rate under drift and isolation")?;
+        writeln!(
+            f,
+            "Figure 13: d = 3 logical error rate under drift and isolation"
+        )?;
         for l in &self.lattices {
             writeln!(f, "\n{:?} lattice:", l.lattice)?;
             let mut t = TextTable::new(["scenario", "LER", "std err", "qubits", "vs original"]);

@@ -142,8 +142,7 @@ mod tests {
     fn parallelism_grows_with_array() {
         let r = run(&RoutingParams::default());
         assert!(
-            r.points.last().unwrap().free_parallelism
-                > r.points.first().unwrap().free_parallelism
+            r.points.last().unwrap().free_parallelism > r.points.first().unwrap().free_parallelism
         );
     }
 
@@ -151,7 +150,12 @@ mod tests {
     fn blocking_never_speeds_up() {
         let r = run(&RoutingParams::quick());
         for p in &r.points {
-            assert!(p.slowdown >= 0.99, "slowdown {} at n={}", p.slowdown, p.logical_qubits);
+            assert!(
+                p.slowdown >= 0.99,
+                "slowdown {} at n={}",
+                p.slowdown,
+                p.logical_qubits
+            );
         }
     }
 }

@@ -170,7 +170,13 @@ impl fmt::Display for Table2Result {
             "Table 2: No-Calibration vs LSC vs QECali on large-scale programs"
         )?;
         let mut t = TextTable::new([
-            "era", "benchmark", "d", "policy", "phys qubits", "exec (h)", "retry risk",
+            "era",
+            "benchmark",
+            "d",
+            "policy",
+            "phys qubits",
+            "exec (h)",
+            "retry risk",
         ]);
         for row in &self.rows {
             for (i, name) in ["No Calibration", "LSC", "QECali"].iter().enumerate() {
@@ -187,7 +193,11 @@ impl fmt::Display for Table2Result {
             }
         }
         write!(f, "{}", t.render())?;
-        let avg_lsc: f64 = self.rows.iter().map(|r| r.lsc_qubit_overhead()).sum::<f64>()
+        let avg_lsc: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.lsc_qubit_overhead())
+            .sum::<f64>()
             / self.rows.len() as f64;
         let avg_q: f64 = self
             .rows

@@ -11,3 +11,20 @@
 
 pub mod experiments;
 pub mod report;
+
+/// Parses `--threads N` (or `--threads=N`) from the process arguments for
+/// the experiment binaries. Returns 0 (= auto: `CALIQEC_THREADS` if set,
+/// else all cores) when absent or malformed.
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(n) = a.strip_prefix("--threads=").and_then(|v| v.parse().ok()) {
+            return n;
+        }
+    }
+    0
+}

@@ -767,7 +767,9 @@ mod tests {
         let nx = before.stabilizers_containing(q, StabKind::X).len();
         let nz = before.stabilizers_containing(q, StabKind::Z).len();
         assert_eq!((nx, nz), (2, 2));
-        let after = patch.apply(DeformInstruction::DataQRm { qubit: q }).unwrap();
+        let after = patch
+            .apply(DeformInstruction::DataQRm { qubit: q })
+            .unwrap();
         assert_eq!(after.data.len(), 24);
         assert_eq!(after.num_superstabilizers(), 2);
         assert_eq!(after.stabilizers.len(), before.stabilizers.len() - 2);
@@ -777,7 +779,9 @@ mod tests {
     fn data_q_rm_near_logical_reroutes() {
         let mut patch = DeformedPatch::new(Lattice::Square, 5, 5);
         let q = data_coord(0, 2); // on the logical-Z chain (top row)
-        let layout = patch.apply(DeformInstruction::DataQRm { qubit: q }).unwrap();
+        let layout = patch
+            .apply(DeformInstruction::DataQRm { qubit: q })
+            .unwrap();
         assert!(!layout.logical_z.contains(&q));
         layout.validate().unwrap();
     }
@@ -827,9 +831,13 @@ mod tests {
     #[test]
     fn patch_ad_then_rm_roundtrips() {
         let mut patch = DeformedPatch::new(Lattice::Square, 5, 5);
-        patch.apply(DeformInstruction::PatchQAd { side: Side::Bottom }).unwrap();
+        patch
+            .apply(DeformInstruction::PatchQAd { side: Side::Bottom })
+            .unwrap();
         assert_eq!(patch.rows(), 6);
-        patch.apply(DeformInstruction::PatchQRm { side: Side::Bottom }).unwrap();
+        patch
+            .apply(DeformInstruction::PatchQRm { side: Side::Bottom })
+            .unwrap();
         assert_eq!(patch.rows(), 5);
         assert_eq!(patch.layout().unwrap(), rotated_patch(5, 5));
     }
@@ -837,7 +845,9 @@ mod tests {
     #[test]
     fn patch_rm_too_small() {
         let mut patch = DeformedPatch::new(Lattice::Square, 3, 3);
-        patch.apply(DeformInstruction::PatchQRm { side: Side::Right }).unwrap();
+        patch
+            .apply(DeformInstruction::PatchQRm { side: Side::Right })
+            .unwrap();
         let err = patch
             .apply(DeformInstruction::PatchQRm { side: Side::Right })
             .unwrap_err();
@@ -848,8 +858,12 @@ mod tests {
     fn top_growth_shifts_journal() {
         let mut patch = DeformedPatch::new(Lattice::Square, 5, 5);
         let q = data_coord(2, 2);
-        patch.apply(DeformInstruction::DataQRm { qubit: q }).unwrap();
-        patch.apply(DeformInstruction::PatchQAd { side: Side::Top }).unwrap();
+        patch
+            .apply(DeformInstruction::DataQRm { qubit: q })
+            .unwrap();
+        patch
+            .apply(DeformInstruction::PatchQAd { side: Side::Top })
+            .unwrap();
         // The hole keeps its identity relative to the old patch content.
         let layout = patch.layout().unwrap();
         assert_eq!(layout.data.len(), 6 * 5 - 1);
@@ -869,9 +883,12 @@ mod tests {
                 qubit: data_coord(4, 4),
             })
             .unwrap();
-        assert_eq!(patch.reintegrate_last(), Some(DeformInstruction::DataQRm {
-            qubit: data_coord(4, 4),
-        }));
+        assert_eq!(
+            patch.reintegrate_last(),
+            Some(DeformInstruction::DataQRm {
+                qubit: data_coord(4, 4),
+            })
+        );
         patch.reintegrate_all();
         assert_eq!(patch.layout().unwrap(), rotated_patch(5, 5));
     }
@@ -907,11 +924,7 @@ mod tests {
     fn heavy_hex_mid_bridge_wrong_role_rejected() {
         let mut patch = DeformedPatch::new(Lattice::HeavyHex, 5, 5);
         let layout = patch.layout().unwrap();
-        let stab = layout
-            .stabilizers
-            .iter()
-            .find(|s| s.weight() == 4)
-            .unwrap();
+        let stab = layout.stabilizers.iter().find(|s| s.weight() == 4).unwrap();
         let Readout::Chain { parts } = &stab.readout else {
             panic!()
         };

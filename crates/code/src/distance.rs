@@ -74,15 +74,15 @@ fn directional_distance(layout: &PatchLayout, chain_kind: StabKind) -> usize {
     let coords: Vec<Coord> = layout.data.iter().copied().collect();
     let mid = match chain_kind {
         StabKind::Z => {
-            let (lo, hi) = coords
-                .iter()
-                .fold((i32::MAX, i32::MIN), |(lo, hi), q| (lo.min(q.c), hi.max(q.c)));
+            let (lo, hi) = coords.iter().fold((i32::MAX, i32::MIN), |(lo, hi), q| {
+                (lo.min(q.c), hi.max(q.c))
+            });
             (lo + hi) / 2
         }
         StabKind::X => {
-            let (lo, hi) = coords
-                .iter()
-                .fold((i32::MAX, i32::MIN), |(lo, hi), q| (lo.min(q.r), hi.max(q.r)));
+            let (lo, hi) = coords.iter().fold((i32::MAX, i32::MIN), |(lo, hi), q| {
+                (lo.min(q.r), hi.max(q.r))
+            });
             (lo + hi) / 2
         }
     };
@@ -199,18 +199,31 @@ mod tests {
             .unwrap();
         let hurt = code_distance(&patch.layout().unwrap());
         // Grow the patch until the lost distance is recovered.
-        patch.apply(DeformInstruction::PatchQAd { side: Side::Right }).unwrap();
-        patch.apply(DeformInstruction::PatchQAd { side: Side::Right }).unwrap();
-        patch.apply(DeformInstruction::PatchQAd { side: Side::Bottom }).unwrap();
-        patch.apply(DeformInstruction::PatchQAd { side: Side::Bottom }).unwrap();
+        patch
+            .apply(DeformInstruction::PatchQAd { side: Side::Right })
+            .unwrap();
+        patch
+            .apply(DeformInstruction::PatchQAd { side: Side::Right })
+            .unwrap();
+        patch
+            .apply(DeformInstruction::PatchQAd { side: Side::Bottom })
+            .unwrap();
+        patch
+            .apply(DeformInstruction::PatchQAd { side: Side::Bottom })
+            .unwrap();
         let healed = code_distance(&patch.layout().unwrap());
-        assert!(healed.min() >= 7, "enlarged distance {healed:?} vs hurt {hurt:?}");
+        assert!(
+            healed.min() >= 7,
+            "enlarged distance {healed:?} vs hurt {hurt:?}"
+        );
     }
 
     #[test]
     fn shrink_reduces_distance() {
         let mut patch = DeformedPatch::new(Lattice::Square, 5, 5);
-        patch.apply(DeformInstruction::PatchQRm { side: Side::Right }).unwrap();
+        patch
+            .apply(DeformInstruction::PatchQRm { side: Side::Right })
+            .unwrap();
         let dist = code_distance(&patch.layout().unwrap());
         assert_eq!(dist.z, 4);
         assert_eq!(dist.x, 5);

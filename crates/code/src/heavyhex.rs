@@ -227,10 +227,7 @@ mod tests {
             bridge_role(interior, chain[1]),
             Some(BridgeRole::OuterBridge)
         );
-        assert_eq!(
-            bridge_role(interior, chain[3]),
-            Some(BridgeRole::MidBridge)
-        );
+        assert_eq!(bridge_role(interior, chain[3]), Some(BridgeRole::MidBridge));
         assert_eq!(bridge_role(interior, Coord::new(999, 999)), None);
     }
 

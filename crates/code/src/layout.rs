@@ -225,7 +225,10 @@ impl fmt::Display for LayoutError {
             LayoutError::EmptySupport { stabilizer } => {
                 write!(f, "stabilizer {stabilizer} has empty support")
             }
-            LayoutError::LogicalAnticommutes { stabilizer, logical } => write!(
+            LayoutError::LogicalAnticommutes {
+                stabilizer,
+                logical,
+            } => write!(
                 f,
                 "logical {logical:?} anticommutes with stabilizer {stabilizer}"
             ),
@@ -340,8 +343,7 @@ impl PatchLayout {
                 .logical_z
                 .intersection(&self.logical_x)
                 .count()
-                % 2
-                == 0
+                .is_multiple_of(2)
         {
             return Err(LayoutError::LogicalsCommute);
         }

@@ -67,5 +67,5 @@ pub use layout::{
     BoundaryInfo, ChainPart, Coord, LayoutError, PatchLayout, Readout, StabKind, Stabilizer,
 };
 pub use memory::{memory_circuit, MemoryBasis, MemoryCircuit, NoiseModel};
-pub use surgery::{zz_surgery_circuit, SurgeryCircuit, ZzSurgery};
 pub use square::{data_coord, face_ancilla, face_kind, rotated_patch, PITCH};
+pub use surgery::{zz_surgery_circuit, SurgeryCircuit, ZzSurgery};

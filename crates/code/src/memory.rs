@@ -131,7 +131,8 @@ impl Builder<'_> {
     fn reset_in(&mut self, c: Coord, basis: Basis) {
         let q = self.q(c);
         self.circuit.reset(Basis::Z, &[q]);
-        self.circuit.noise1(Noise1::XError, self.noise.p_reset, &[q]);
+        self.circuit
+            .noise1(Noise1::XError, self.noise.p_reset, &[q]);
         if basis == Basis::X {
             self.circuit.h(q);
             self.circuit
@@ -154,8 +155,11 @@ impl Builder<'_> {
     fn cx(&mut self, control: Coord, target: Coord) {
         let (c, t) = (self.q(control), self.q(target));
         self.circuit.cx(c, t);
-        self.circuit
-            .noise2(Noise2::Depolarize2, self.noise.p2_at(control, target), &[(c, t)]);
+        self.circuit.noise2(
+            Noise2::Depolarize2,
+            self.noise.p2_at(control, target),
+            &[(c, t)],
+        );
     }
 
     fn swap(&mut self, a: Coord, b: Coord) {
@@ -166,12 +170,7 @@ impl Builder<'_> {
     }
 
     /// Measures a direct-readout stabilizer over `support`.
-    fn measure_direct(
-        &mut self,
-        kind: StabKind,
-        ancilla: Coord,
-        support: &[Coord],
-    ) -> MeasIdx {
+    fn measure_direct(&mut self, kind: StabKind, ancilla: Coord, support: &[Coord]) -> MeasIdx {
         match kind {
             StabKind::Z => {
                 self.reset_in(ancilla, Basis::Z);
@@ -399,12 +398,7 @@ mod tests {
     #[test]
     fn heavy_hex_memory_both_bases_deterministic() {
         for basis in [MemoryBasis::Z, MemoryBasis::X] {
-            let mem = memory_circuit(
-                &heavy_hex_patch(3, 3),
-                &NoiseModel::ideal(),
-                2,
-                basis,
-            );
+            let mem = memory_circuit(&heavy_hex_patch(3, 3), &NoiseModel::ideal(), 2, basis);
             assert_deterministic(&mem.circuit);
         }
     }
@@ -443,12 +437,7 @@ mod tests {
             .apply(DeformInstruction::AncQRmHorDeg2 { ancilla: mid })
             .unwrap();
         for basis in [MemoryBasis::Z, MemoryBasis::X] {
-            let mem = memory_circuit(
-                &patch.layout().unwrap(),
-                &NoiseModel::ideal(),
-                2,
-                basis,
-            );
+            let mem = memory_circuit(&patch.layout().unwrap(), &NoiseModel::ideal(), 2, basis);
             assert_deterministic(&mem.circuit);
         }
     }

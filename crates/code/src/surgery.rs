@@ -85,7 +85,9 @@ fn shift_layout(layout: &PatchLayout, dr: i32, dc: i32) -> PatchLayout {
                 kind: s.kind,
                 support: mv_set(&s.support),
                 readout: match &s.readout {
-                    Readout::Direct { ancilla } => Readout::Direct { ancilla: mv(*ancilla) },
+                    Readout::Direct { ancilla } => Readout::Direct {
+                        ancilla: mv(*ancilla),
+                    },
                     Readout::Chain { parts } => Readout::Chain {
                         parts: parts
                             .iter()
@@ -151,37 +153,36 @@ pub fn zz_surgery_circuit(params: &ZzSurgery, noise: &NoiseModel) -> SurgeryCirc
     let q = |coord: crate::layout::Coord| qubit_at[&coord];
 
     // --- helpers -----------------------------------------------------------
-    let measure_stab =
-        |c: &mut Circuit, stab: &crate::layout::Stabilizer| -> MeasIdx {
-            let Readout::Direct { ancilla } = stab.readout else {
-                unreachable!("square patches use direct readout")
-            };
-            let a = q(ancilla);
-            match stab.kind {
-                StabKind::Z => {
-                    c.reset(Basis::Z, &[a]);
-                    c.noise1(Noise1::XError, noise.p_reset, &[a]);
-                    for &dq in &stab.support {
-                        c.cx(q(dq), a);
-                        c.noise2(Noise2::Depolarize2, noise.p2_at(dq, ancilla), &[(q(dq), a)]);
-                    }
-                    c.measure(a, Basis::Z, noise.p_meas)
-                }
-                StabKind::X => {
-                    c.reset(Basis::Z, &[a]);
-                    c.noise1(Noise1::XError, noise.p_reset, &[a]);
-                    c.h(a);
-                    c.noise1(Noise1::Depolarize1, noise.p1_at(ancilla), &[a]);
-                    for &dq in &stab.support {
-                        c.cx(a, q(dq));
-                        c.noise2(Noise2::Depolarize2, noise.p2_at(dq, ancilla), &[(a, q(dq))]);
-                    }
-                    c.h(a);
-                    c.noise1(Noise1::Depolarize1, noise.p1_at(ancilla), &[a]);
-                    c.measure(a, Basis::Z, noise.p_meas)
-                }
-            }
+    let measure_stab = |c: &mut Circuit, stab: &crate::layout::Stabilizer| -> MeasIdx {
+        let Readout::Direct { ancilla } = stab.readout else {
+            unreachable!("square patches use direct readout")
         };
+        let a = q(ancilla);
+        match stab.kind {
+            StabKind::Z => {
+                c.reset(Basis::Z, &[a]);
+                c.noise1(Noise1::XError, noise.p_reset, &[a]);
+                for &dq in &stab.support {
+                    c.cx(q(dq), a);
+                    c.noise2(Noise2::Depolarize2, noise.p2_at(dq, ancilla), &[(q(dq), a)]);
+                }
+                c.measure(a, Basis::Z, noise.p_meas)
+            }
+            StabKind::X => {
+                c.reset(Basis::Z, &[a]);
+                c.noise1(Noise1::XError, noise.p_reset, &[a]);
+                c.h(a);
+                c.noise1(Noise1::Depolarize1, noise.p1_at(ancilla), &[a]);
+                for &dq in &stab.support {
+                    c.cx(a, q(dq));
+                    c.noise2(Noise2::Depolarize2, noise.p2_at(dq, ancilla), &[(a, q(dq))]);
+                }
+                c.h(a);
+                c.noise1(Noise1::Depolarize1, noise.p1_at(ancilla), &[a]);
+                c.measure(a, Basis::Z, noise.p_meas)
+            }
+        }
+    };
     let idle = |c: &mut Circuit, layout: &PatchLayout| {
         for &dq in &layout.data {
             c.noise1(Noise1::Depolarize1, noise.idle_at(dq), &[q(dq)]);
@@ -245,16 +246,14 @@ pub fn zz_surgery_circuit(params: &ZzSurgery, noise: &NoiseModel) -> SurgeryCirc
                     c.detector(&[m, pm]);
                 }
                 None => {
-                    // A stabilizer new to the merged phase.
-                    if round == 0 {
-                        if stab.kind == StabKind::Z {
-                            // New Z stabilizers are deterministic (channel in
-                            // |0>), and those absent from the separate
-                            // patches carry the Z⊗Z information.
-                            c.detector(&[m]);
-                            seam_product.push(m);
-                        }
-                        // New X stabilizers start random: no anchor.
+                    // A stabilizer new to the merged phase. New Z
+                    // stabilizers are deterministic (channel in |0>), and
+                    // those absent from the separate patches carry the
+                    // Z⊗Z information; new X stabilizers start random,
+                    // so no anchor.
+                    if round == 0 && stab.kind == StabKind::Z {
+                        c.detector(&[m]);
+                        seam_product.push(m);
                     }
                 }
             }
@@ -358,8 +357,7 @@ pub fn zz_surgery_circuit(params: &ZzSurgery, noise: &NoiseModel) -> SurgeryCirc
             if stab.kind != StabKind::Z {
                 continue;
             }
-            let mut records: Vec<MeasIdx> =
-                stab.support.iter().map(|dq| final_meas[dq]).collect();
+            let mut records: Vec<MeasIdx> = stab.support.iter().map(|dq| final_meas[dq]).collect();
             records.push(prev[&key_of(stab)]);
             c.detector(&records);
         }

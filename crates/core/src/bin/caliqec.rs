@@ -34,7 +34,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {a:?}"))?;
-        if key == "no-enlarge" {
+        if key == "no-enlarge" || key == "probe" {
             flags.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -97,7 +97,11 @@ fn device_from(args: &Args) -> Result<(DeviceModel, StdRng), String> {
 
 fn cmd_characterize(args: &Args) -> Result<(), String> {
     let (device, mut rng) = device_from(args)?;
-    let prep = Preparation::run(&device, &mut rng);
+    let prep = if args.flags.contains_key("probe") {
+        Preparation::run_with_probes(&device, args.usize_or("threads", 0)?, &mut rng)
+    } else {
+        Preparation::run(&device, &mut rng)
+    };
     println!("gate  kind            T_drift(h)  T_cali(min)  fit-rms");
     for (i, c) in prep.characterization.iter().enumerate() {
         println!(
@@ -107,6 +111,12 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
             c.t_cali_hours * 60.0,
             c.fit_residual,
         );
+    }
+    if let Some(probes) = &prep.crosstalk {
+        println!("\ngate  measured nbr(g)");
+        for p in probes {
+            println!("{:<5} {:?}", p.gate, p.nbr);
+        }
     }
     Ok(())
 }
@@ -147,16 +157,21 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         distance: args.usize_or("distance", 5)?,
         delta_d: args.usize_or("delta-d", 4)?,
         enlarge: !args.flags.contains_key("no-enlarge"),
+        threads: args.usize_or("threads", 0)?,
+        mc_shots: args.usize_or("mc-shots", 0)?,
         ..CaliqecConfig::default()
     };
     let hours = args.f64_or("hours", 24.0)?;
     let prep = Preparation::run(&device, &mut rng);
     let plan = compile(&device, &prep, &config, &mut rng);
     let report = run_runtime(&device, Some(&plan), &config, hours, 96);
-    println!("hours  mean_p    distance  qubits  LER       calibrating");
+    println!("hours  mean_p    distance  qubits  LER       measured  calibrating");
     for p in report.trace.iter().step_by(8) {
+        let measured = p
+            .measured_ler
+            .map_or_else(|| "       -".to_string(), |m| format!("{m:.2e}"));
         println!(
-            "{:>5.1}  {:.2e}  {:>8}  {:>6}  {:.2e}  {:>3}",
+            "{:>5.1}  {:.2e}  {:>8}  {:>6}  {:.2e}  {measured}  {:>3}",
             p.hours, p.mean_p, p.distance, p.physical_qubits, p.ler, p.calibrating
         );
     }
@@ -203,12 +218,17 @@ const HELP: &str = "\
 caliqec — in-situ qubit calibration for surface-code QEC
 
 USAGE:
-  caliqec characterize [--rows N] [--cols N] [--seed S]
-      Characterize a synthetic device (drift rates, calibration times).
+  caliqec characterize [--rows N] [--cols N] [--seed S] [--probe] [--threads T]
+      Characterize a synthetic device (drift rates, calibration times);
+      --probe additionally measures crosstalk neighbourhoods (Fig. 6).
   caliqec plan [--rows N] [--cols N] [--distance D] [--delta-d K] [--p-tar P]
       Compile the calibration plan (Algorithm 1 + adaptive batching).
   caliqec simulate [--rows N] [--cols N] [--distance D] [--hours H] [--no-enlarge]
+                   [--threads T] [--mc-shots S]
       Run the in-situ calibration runtime and print the LER trace.
+      --mc-shots S > 0 measures each trace point by Monte Carlo on the
+      parallel LER engine; --threads T sets the worker count (default:
+      the CALIQEC_THREADS environment variable, else all cores).
   caliqec draw [--distance D] [--lattice square|heavy-hex] [--hole R,C ...]
       Render a (deformed) patch as ASCII art.
   caliqec help

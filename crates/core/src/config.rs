@@ -22,6 +22,15 @@ pub struct CaliqecConfig {
     /// distance lost to isolation (the full QECali scheme) or not (the
     /// isolation-only ablation of Fig. 10).
     pub enlarge: bool,
+    /// Worker threads for Monte-Carlo sampling (0 = auto: the
+    /// `CALIQEC_THREADS` environment variable if set, else all available
+    /// cores — see `caliqec_stab::resolve_threads`).
+    pub threads: usize,
+    /// Monte-Carlo shots per runtime trace point (0 = model-only LER, no
+    /// sampling). When positive, the runtime measures each trace point's
+    /// LER with the parallel engine and reports it in
+    /// [`crate::TracePoint::measured_ler`].
+    pub mc_shots: usize,
 }
 
 impl Default for CaliqecConfig {
@@ -34,6 +43,8 @@ impl Default for CaliqecConfig {
             p_tar: 5e-3,
             drift: DriftDistribution::current(),
             enlarge: true,
+            threads: 0,
+            mc_shots: 0,
         }
     }
 }

@@ -47,7 +47,5 @@ mod pipeline;
 mod runtime;
 
 pub use config::CaliqecConfig;
-pub use pipeline::{
-    compile, device_qubit_to_patch, CompiledBatch, CompiledPlan, Preparation,
-};
+pub use pipeline::{compile, device_qubit_to_patch, CompiledBatch, CompiledPlan, Preparation};
 pub use runtime::{run_runtime, RuntimeReport, TracePoint};

@@ -9,8 +9,8 @@
 use crate::config::CaliqecConfig;
 use caliqec_code::{data_coord, Coord, DeformInstruction};
 use caliqec_device::{
-    characterize_device, CharacterizeOptions, DeviceModel, DriftModel, GateCharacterization,
-    GateId, QubitId,
+    characterize_device, measure_all_crosstalk, CharacterizeOptions, CrosstalkProbe, DeviceModel,
+    DriftModel, GateCharacterization, GateId, ProbeOptions, QubitId,
 };
 use caliqec_sched::{
     adaptive_schedule, assign_groups, cluster_workloads, CalibrationGroups, GateDrift,
@@ -24,6 +24,9 @@ use std::collections::BTreeMap;
 pub struct Preparation {
     /// Per-gate characterization results.
     pub characterization: Vec<GateCharacterization>,
+    /// Per-gate measured crosstalk neighbourhoods (`Some` when the probes
+    /// were run, see [`Preparation::run_with_probes`]).
+    pub crosstalk: Option<Vec<CrosstalkProbe>>,
 }
 
 impl Preparation {
@@ -32,7 +35,25 @@ impl Preparation {
     pub fn run<R: Rng>(device: &DeviceModel, rng: &mut R) -> Preparation {
         Preparation {
             characterization: characterize_device(device, &CharacterizeOptions::default(), rng),
+            crosstalk: None,
         }
+    }
+
+    /// Like [`Preparation::run`], additionally measuring every gate's
+    /// crosstalk neighbourhood with the Fig. 6 state-disturbance probe,
+    /// sampled on `threads` workers (0 = auto).
+    pub fn run_with_probes<R: Rng>(
+        device: &DeviceModel,
+        threads: usize,
+        rng: &mut R,
+    ) -> Preparation {
+        let mut prep = Preparation::run(device, rng);
+        let options = ProbeOptions {
+            threads,
+            ..ProbeOptions::default()
+        };
+        prep.crosstalk = Some(measure_all_crosstalk(device, &options, rng));
+        prep
     }
 
     /// The estimated drift model of a gate.
@@ -77,7 +98,7 @@ impl CompiledPlan {
     pub fn batches_in_interval(&self, m: usize) -> Vec<&CompiledBatch> {
         self.batches
             .iter()
-            .filter(|(&k, _)| m % k == 0)
+            .filter(|(&k, _)| m.is_multiple_of(k))
             .flat_map(|(_, b)| b.iter())
             .collect()
     }
@@ -200,6 +221,24 @@ mod tests {
     fn preparation_characterizes_every_gate() {
         let (device, prep, _) = setup();
         assert_eq!(prep.characterization.len(), device.gates.len());
+        assert!(prep.crosstalk.is_none());
+    }
+
+    #[test]
+    fn preparation_with_probes_measures_crosstalk() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let device = DeviceModel::synthetic(
+            &DeviceConfig {
+                rows: 3,
+                cols: 3,
+                ..DeviceConfig::default()
+            },
+            &mut rng,
+        );
+        let prep = Preparation::run_with_probes(&device, 1, &mut rng);
+        let probes = prep.crosstalk.expect("probes requested");
+        assert_eq!(probes.len(), device.gates.len());
+        assert!(probes.iter().any(|p| !p.nbr.is_empty()));
     }
 
     #[test]
@@ -227,14 +266,8 @@ mod tests {
 
     #[test]
     fn qubit_window_mapping() {
-        assert_eq!(
-            device_qubit_to_patch(0, 8, 3),
-            Some(data_coord(0, 0))
-        );
-        assert_eq!(
-            device_qubit_to_patch(9, 8, 3),
-            Some(data_coord(1, 1))
-        );
+        assert_eq!(device_qubit_to_patch(0, 8, 3), Some(data_coord(0, 0)));
+        assert_eq!(device_qubit_to_patch(9, 8, 3), Some(data_coord(1, 1)));
         // Column 3 is outside a d=3 window.
         assert_eq!(device_qubit_to_patch(3, 8, 3), None);
     }

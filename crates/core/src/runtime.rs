@@ -11,9 +11,14 @@
 
 use crate::config::CaliqecConfig;
 use crate::pipeline::CompiledPlan;
-use caliqec_code::{code_distance, DeformInstruction, DeformedPatch, Side};
+use caliqec_code::{
+    code_distance, memory_circuit, DeformInstruction, DeformedPatch, MemoryBasis, NoiseModel,
+    PatchLayout, Side,
+};
 use caliqec_device::DeviceModel;
+use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, UnionFindDecoder};
 use caliqec_sched::ler;
+use caliqec_stab::chunk_seed;
 
 /// One sample of the runtime trace.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -28,6 +33,10 @@ pub struct TracePoint {
     pub physical_qubits: usize,
     /// Model logical error rate `LER(distance, mean_p)`.
     pub ler: f64,
+    /// Monte-Carlo-measured LER of this instant's layout under the parallel
+    /// engine (`Some` when `config.mc_shots > 0`). Deterministic in the
+    /// trace-point index, independent of `config.threads`.
+    pub measured_ler: Option<f64>,
     /// Number of gates currently being calibrated.
     pub calibrating: usize,
 }
@@ -113,7 +122,7 @@ pub fn run_runtime(
     }
 
     // Cache the deformed layout per active window index to avoid rebuilding.
-    let mut cached: Option<(usize, usize, usize)> = None; // (window, distance, qubits)
+    let mut cached: Option<(usize, PatchLayout)> = None;
     let pristine = DeformedPatch::new(config.lattice, d, d);
     let pristine_layout = pristine.layout().expect("pristine patch valid");
     let pristine_qubits = pristine_layout.num_physical_qubits();
@@ -140,13 +149,16 @@ pub fn run_runtime(
             }
             Some(wi) => {
                 let w = &windows[wi];
-                if cached.map(|(i, _, _)| i) != Some(wi) {
-                    let (dist, qubits) = deformed_metrics(config, &w.isolation.to_vec());
-                    cached = Some((wi, dist, qubits));
+                if cached.as_ref().map(|(i, _)| *i) != Some(wi) {
+                    cached = Some((wi, deformed_layout(config, &w.isolation.to_vec())));
                 }
-                let (_, dist, qubits) = cached.expect("cache filled above");
+                let (_, layout) = cached.as_ref().expect("cache filled above");
                 let _ = w.distance_loss;
-                (dist, qubits, w.gates.len())
+                (
+                    code_distance(layout).min(),
+                    layout.num_physical_qubits(),
+                    w.gates.len(),
+                )
             }
         };
         // Mean drifted error across gates.
@@ -157,12 +169,17 @@ pub fn run_runtime(
             .map(|(g, info)| info.drift.p_at(t - last_cal[g]).min(0.3))
             .sum::<f64>()
             / device.gates.len() as f64;
+        let measured_ler = (config.mc_shots > 0).then(|| {
+            let layout = cached.as_ref().map(|(_, l)| l).unwrap_or(&pristine_layout);
+            measure_point_ler(layout, mean_p, config, k as u64)
+        });
         let point = TracePoint {
             hours: t,
             mean_p,
             distance,
             physical_qubits: qubits,
             ler: ler(distance, mean_p),
+            measured_ler,
             calibrating,
         };
         if point.ler > ler_target {
@@ -175,8 +192,8 @@ pub fn run_runtime(
 }
 
 /// Applies a batch's isolation to a fresh patch (plus enlargement when
-/// configured) and returns `(effective distance, physical qubits)`.
-fn deformed_metrics(config: &CaliqecConfig, isolation: &Vec<DeformInstruction>) -> (usize, usize) {
+/// configured) and returns the resulting layout.
+fn deformed_layout(config: &CaliqecConfig, isolation: &Vec<DeformInstruction>) -> PatchLayout {
     let mut patch = DeformedPatch::new(config.lattice, config.distance, config.distance);
     for instr in isolation {
         // Individual isolations may fail (e.g. the qubit fell on a logical
@@ -192,15 +209,42 @@ fn deformed_metrics(config: &CaliqecConfig, isolation: &Vec<DeformInstruction>) 
             if code_distance(&layout).min() >= config.distance {
                 break;
             }
-            let side = if i % 2 == 0 { Side::Right } else { Side::Bottom };
+            let side = if i % 2 == 0 {
+                Side::Right
+            } else {
+                Side::Bottom
+            };
             let _ = patch.apply(DeformInstruction::PatchQAd { side });
         }
     }
-    let layout = patch.layout().expect("journal remains valid");
-    (
-        code_distance(&layout).min(),
-        layout.num_physical_qubits(),
-    )
+    patch.layout().expect("journal remains valid")
+}
+
+/// Measures the LER of one trace point's layout with the parallel engine:
+/// a `distance`-round memory experiment under uniform noise at the
+/// instant's mean drifted error rate. The base seed is derived from the
+/// trace-point index alone, so the trace is reproducible and independent
+/// of `config.threads`.
+fn measure_point_ler(
+    layout: &PatchLayout,
+    mean_p: f64,
+    config: &CaliqecConfig,
+    point_index: u64,
+) -> f64 {
+    let noise = NoiseModel::uniform(mean_p.clamp(1e-9, 0.3));
+    let rounds = config.distance.max(1);
+    let mem = memory_circuit(layout, &noise, rounds, MemoryBasis::Z);
+    let graph = graph_for_circuit(&mem.circuit);
+    let run = LerEngine::new(config.threads).estimate_circuit(
+        &mem.circuit,
+        &|| UnionFindDecoder::new(graph.clone()),
+        SampleOptions {
+            min_shots: config.mc_shots,
+            ..SampleOptions::default()
+        },
+        chunk_seed(0xCA11_0EC5, point_index),
+    );
+    run.estimate.per_shot()
 }
 
 #[cfg(test)]
@@ -248,8 +292,7 @@ mod tests {
         let with = run_runtime(&device, Some(&plan), &config, horizon, 96);
         let without = run_runtime(&device, None, &config, horizon, 96);
         assert!(with.calibrations > 0);
-        let mean_with =
-            with.trace.iter().map(|p| p.mean_p).sum::<f64>() / with.trace.len() as f64;
+        let mean_with = with.trace.iter().map(|p| p.mean_p).sum::<f64>() / with.trace.len() as f64;
         let mean_without =
             without.trace.iter().map(|p| p.mean_p).sum::<f64>() / without.trace.len() as f64;
         assert!(
@@ -267,6 +310,30 @@ mod tests {
             min_d < config.distance,
             "isolation should dent the distance (min {min_d})"
         );
+    }
+
+    #[test]
+    fn monte_carlo_trace_is_thread_count_independent() {
+        let (device, plan, mut config) = setup(true);
+        config.mc_shots = 256;
+        config.threads = 1;
+        let a = run_runtime(&device, Some(&plan), &config, 8.0, 4);
+        config.threads = 2;
+        let b = run_runtime(&device, Some(&plan), &config, 8.0, 4);
+        let ms_a: Vec<_> = a.trace.iter().map(|p| p.measured_ler).collect();
+        let ms_b: Vec<_> = b.trace.iter().map(|p| p.measured_ler).collect();
+        assert!(
+            ms_a.iter().all(|m| m.is_some()),
+            "mc_shots > 0 must measure"
+        );
+        assert_eq!(ms_a, ms_b, "trace must not depend on thread count");
+    }
+
+    #[test]
+    fn model_only_trace_skips_measurement() {
+        let (device, plan, config) = setup(true);
+        let report = run_runtime(&device, Some(&plan), &config, 8.0, 4);
+        assert!(report.trace.iter().all(|p| p.measured_ler.is_none()));
     }
 
     #[test]

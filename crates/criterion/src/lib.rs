@@ -1,0 +1,292 @@
+//! Offline, in-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This crate implements the subset of the API the
+//! workspace's `harness = false` benches use — `Criterion`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`, `Throughput`,
+//! and the `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical
+//! machinery. Output is one line per benchmark: the median ns/iter over
+//! `sample_size` samples, plus derived throughput when configured.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id.into());
+        group.bench_with_input(BenchmarkId::new("", ""), &(), |b, _| f(b));
+        group.finish();
+        self
+    }
+}
+
+/// How many work items one benchmark iteration processes; used to
+/// derive a rate from the measured time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// display-formatted parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+
+    /// Builds an id from just a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            param: param.to_string(),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        let mut s = group.to_string();
+        if !self.name.is_empty() {
+            s.push('/');
+            s.push_str(&self.name);
+        }
+        if !self.param.is_empty() {
+            s.push('/');
+            s.push_str(&self.param);
+        }
+        s
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the measurement loop sizes itself.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            ns_per_iter: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, bencher.ns_per_iter);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id.into_benchmark_id(), &(), |b, _| f(b))
+    }
+
+    /// Ends the group. (Reporting happens per-benchmark.)
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, ns_per_iter: Option<f64>) {
+        let label = id.render(&self.name);
+        match ns_per_iter {
+            Some(ns) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  ({:.3e} elem/s)", n as f64 / (ns * 1e-9))
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  ({:.3e} B/s)", n as f64 / (ns * 1e-9))
+                    }
+                    None => String::new(),
+                };
+                println!("{label:<48} time: {} /iter{rate}", format_ns(ns));
+            }
+            None => println!("{label:<48} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Conversion helper so `bench_function` accepts `&str` or `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::new(self, "")
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::new(self, "")
+    }
+}
+
+/// Runs and times the closure under benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates an iteration count so one sample takes
+    /// a few milliseconds, collects `sample_size` samples, and records
+    /// the median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: time single iterations until ~10ms total elapses
+        // (at least one), to pick the per-sample iteration count.
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_iters == 0 || calibration_start.elapsed() < Duration::from_millis(10) {
+            black_box(f());
+            calibration_iters += 1;
+        }
+        let per_iter = calibration_start.elapsed().as_secs_f64() / calibration_iters as f64;
+        let iters_per_sample = ((0.005 / per_iter) as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_measures() {
+        benches();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 5).render("g"), "g/f/5");
+        assert_eq!(BenchmarkId::from_parameter(7).render("g"), "g/7");
+    }
+}

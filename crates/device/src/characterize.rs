@@ -10,7 +10,7 @@
 
 use crate::drift::DriftModel;
 use crate::model::{DeviceModel, GateId, GateInfo};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// The paper's interleaved-RB sequence-length ladder.
 pub const RB_LADDER: [u32; 8] = [1, 10, 20, 50, 100, 150, 250, 400];
@@ -155,10 +155,7 @@ mod tests {
                 est += rb_estimate(p, 1024, &mut rng);
             }
             est /= reps as f64;
-            assert!(
-                (est - p).abs() / p < 0.3,
-                "true {p}, estimated {est}"
-            );
+            assert!((est - p).abs() / p < 0.3, "true {p}, estimated {est}");
         }
     }
 

@@ -6,7 +6,7 @@
 //! processor (Fig. 9) and posits a doubled mean of 28.016 h for future
 //! hardware (Sec. 7.2).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Exponential drift model of one gate's error rate.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -13,7 +13,7 @@
 
 use crate::crosstalk::crosstalk_neighbourhood;
 use crate::drift::{DriftDistribution, DriftModel};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Identifier of a physical qubit on a device.
 pub type QubitId = u32;
@@ -137,12 +137,8 @@ impl DeviceModel {
         let mut push_gate = |kind: GateKind, rng: &mut R, scale: f64| {
             let t_drift = config.drift.sample(rng);
             let jitter = 0.5 + rng.random::<f64>(); // 0.5..1.5
-            let nbr = crosstalk_neighbourhood(
-                &kind,
-                config.rows,
-                config.cols,
-                config.crosstalk_radius,
-            );
+            let nbr =
+                crosstalk_neighbourhood(&kind, config.rows, config.cols, config.crosstalk_radius);
             gates.push(GateInfo {
                 kind,
                 drift: DriftModel::new(config.p0, t_drift),
@@ -180,8 +176,18 @@ impl DeviceModel {
     pub fn crosstalk_conflict(&self, a: GateId, b: GateId) -> bool {
         let ga = &self.gates[a];
         let gb = &self.gates[b];
-        let za: Vec<QubitId> = ga.kind.qubits().into_iter().chain(ga.nbr.iter().copied()).collect();
-        let zb: Vec<QubitId> = gb.kind.qubits().into_iter().chain(gb.nbr.iter().copied()).collect();
+        let za: Vec<QubitId> = ga
+            .kind
+            .qubits()
+            .into_iter()
+            .chain(ga.nbr.iter().copied())
+            .collect();
+        let zb: Vec<QubitId> = gb
+            .kind
+            .qubits()
+            .into_iter()
+            .chain(gb.nbr.iter().copied())
+            .collect();
         za.iter().any(|q| zb.contains(q))
     }
 }

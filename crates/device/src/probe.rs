@@ -12,8 +12,8 @@
 //! outcomes — exactly like the hardware experiment.
 
 use crate::model::{DeviceModel, GateId, QubitId};
-use caliqec_stab::{Basis, Circuit, FrameSampler, Gate1, Noise1, BATCH};
-use rand::{Rng, RngExt};
+use caliqec_stab::{Basis, Circuit, CompiledCircuit, Gate1, Noise1};
+use rand::Rng;
 
 /// Physical model of how strongly calibrating a gate disturbs each qubit.
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +56,8 @@ pub struct ProbeOptions {
     pub threshold: f64,
     /// The physical disturbance being probed.
     pub disturbance: DisturbanceModel,
+    /// Sampling worker threads (0 = auto, honouring `CALIQEC_THREADS`).
+    pub threads: usize,
 }
 
 impl Default for ProbeOptions {
@@ -64,6 +66,7 @@ impl Default for ProbeOptions {
             shots: 1024,
             threshold: 0.02,
             disturbance: DisturbanceModel::default(),
+            threads: 0,
         }
     }
 }
@@ -164,16 +167,9 @@ pub fn measure_crosstalk<R: Rng>(
     rng: &mut R,
 ) -> CrosstalkProbe {
     let (circuit, probed) = probe_circuit(device, gate, &options.disturbance, rng);
-    let mut sampler = FrameSampler::new(&circuit);
-    let batches = options.shots.div_ceil(BATCH).max(1);
-    let mut flips = vec![0usize; probed.len()];
-    for _ in 0..batches {
-        let ev = sampler.sample_batch(rng);
-        for (f, w) in flips.iter_mut().zip(&ev.detectors) {
-            *f += w.count_ones() as usize;
-        }
-    }
-    let shots = batches * BATCH;
+    let compiled = CompiledCircuit::new(&circuit);
+    let base_seed: u64 = rng.random();
+    let (shots, flips) = compiled.count_detector_flips(options.shots, base_seed, options.threads);
     let flip_rates: Vec<(QubitId, f64)> = probed
         .iter()
         .zip(&flips)

@@ -1,9 +1,7 @@
 //! Property-based tests of the device substrate: drift-model algebra,
 //! log-normal sampling sanity, and crosstalk geometry.
 
-use caliqec_device::{
-    crosstalk_neighbourhood, DriftDistribution, DriftModel, GateKind,
-};
+use caliqec_device::{crosstalk_neighbourhood, DriftDistribution, DriftModel, GateKind};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -84,10 +84,7 @@ mod tests {
     fn baseline_matches_table2_scale() {
         // Hubbard-10-10: 200 logical qubits at d = 25 -> ~9.8e5 physical.
         let q = physical_qubits(200, 25, Policy::NoCalibration);
-        assert!(
-            (9.0e5..1.1e6).contains(&(q as f64)),
-            "baseline qubits {q}"
-        );
+        assert!((9.0e5..1.1e6).contains(&(q as f64)), "baseline qubits {q}");
         // jellium-1024 at d = 45 -> ~1.66e7.
         let q = physical_qubits(1024, 45, Policy::NoCalibration);
         assert!((1.5e7..1.8e7).contains(&(q as f64)), "{q}");

@@ -60,8 +60,7 @@ pub fn exec_hours(
             // Logical SWAP latency: 4d cycles per move, two moves per event,
             // serialized through the CX fabric.
             let events = calibration_events_per_hour * base;
-            let swaps =
-                events * 8.0 * d as f64 * CYCLE_US / 3.6e9 / CX_PARALLELISM;
+            let swaps = events * 8.0 * d as f64 * CYCLE_US / 3.6e9 / CX_PARALLELISM;
             base + congestion + swaps
         }
     }

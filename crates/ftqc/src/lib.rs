@@ -31,15 +31,15 @@ mod risk;
 mod router;
 
 pub use arch::{physical_qubits, qubit_overhead, tile_qubits, Policy, TILES_PER_LOGICAL};
+pub use eval::{evaluate, p_tar_for_run, table2_row, EvalConfig, PolicyResult};
+pub use exec::{base_exec_hours, exec_hours, CX_PARALLELISM, CYCLE_US};
 pub use factory::{
     distill_15_to_1, injected_error, t_error_budget, FactorySpec, LEVEL1_TILES, LEVEL1_TIMESTEPS,
 };
 pub use layout_detail::{compensation_headroom, detailed_layout, DetailedLayout};
-pub use router::{route_random_workload, RoutingStats, Tile, TileLayout};
-pub use eval::{evaluate, p_tar_for_run, table2_row, EvalConfig, PolicyResult};
-pub use exec::{base_exec_hours, exec_hours, CX_PARALLELISM, CYCLE_US};
 pub use program::BenchProgram;
 pub use risk::{
     average_ler, events_per_hour, lsc_periods, qecali_periods, retry_risk, CalibrationPeriods,
     DriftEnsemble,
 };
+pub use router::{route_random_workload, RoutingStats, Tile, TileLayout};

@@ -9,7 +9,7 @@
 
 use caliqec_device::DriftModel;
 use caliqec_sched::{assign_groups, ler, GateDrift};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A sampled population of gate drift behaviours.
 #[derive(Clone, Debug)]
@@ -188,10 +188,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let lsc = average_ler(25, &e, &lsc_periods(&e, p_tar), 50.0, &mut rng);
         let insitu = average_ler(25, &e, &qecali_periods(&e, p_tar), 50.0, &mut rng);
-        assert!(
-            insitu < lsc,
-            "QECali {insitu:e} should beat LSC {lsc:e}"
-        );
+        assert!(insitu < lsc, "QECali {insitu:e} should beat LSC {lsc:e}");
     }
 
     #[test]

@@ -72,12 +72,7 @@ impl TileLayout {
 
     /// BFS route between the corridors adjacent to two patches, avoiding
     /// `busy` tiles. Returns the corridor path (including both endpoints).
-    pub fn route(
-        &self,
-        from: usize,
-        to: usize,
-        busy: &HashSet<Tile>,
-    ) -> Option<Vec<Tile>> {
+    pub fn route(&self, from: usize, to: usize, busy: &HashSet<Tile>) -> Option<Vec<Tile>> {
         let src_patch = self.patches[from];
         let dst_patch = self.patches[to];
         let starts: Vec<Tile> = self

@@ -3,9 +3,9 @@
 
 use caliqec_device::DriftDistribution;
 use caliqec_ftqc::{
-    base_exec_hours, distill_15_to_1, lsc_periods, physical_qubits, qecali_periods,
-    qubit_overhead, retry_risk, route_random_workload, BenchProgram, CalibrationPeriods,
-    DriftEnsemble, FactorySpec, Policy, TileLayout,
+    base_exec_hours, distill_15_to_1, lsc_periods, physical_qubits, qecali_periods, qubit_overhead,
+    retry_risk, route_random_workload, BenchProgram, CalibrationPeriods, DriftEnsemble,
+    FactorySpec, Policy, TileLayout,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -16,11 +16,15 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Qubit counts are monotone in logical qubits and distance, and the
-    /// policy ordering QECali < LSC always holds.
+    /// policy ordering QECali < LSC holds whenever the headroom is small
+    /// relative to the distance. QECali costs `((d + Δd)/d)²` vs LSC's
+    /// fixed 4.63×, so the ordering requires `Δd < 1.15·d`; the paper's
+    /// regime is d ≥ 25 with Δd = 4, and `d ≥ 9, Δd ≤ 8` keeps the whole
+    /// generated domain inside the valid region.
     #[test]
     fn qubit_accounting_monotone(
         l in 1usize..2000,
-        d in 2usize..40,
+        d in 9usize..40,
         delta in 1usize..8,
     ) {
         let base = physical_qubits(l, d, Policy::NoCalibration);

@@ -1,7 +1,8 @@
 //! Decoder interface and Monte-Carlo logical-error-rate estimation.
 
+use crate::engine::estimate_ler_seeded;
 use crate::graph::{MatchingGraph, NodeId};
-use caliqec_stab::{extract_dem, Circuit, FrameSampler, BATCH};
+use caliqec_stab::{extract_dem, Circuit, CompiledCircuit};
 use rand::Rng;
 
 /// A syndrome decoder: maps a set of fired detectors to a predicted logical
@@ -50,7 +51,20 @@ impl LerEstimate {
     }
 }
 
-/// Options controlling [`estimate_ler`].
+/// Options controlling [`estimate_ler`] and [`crate::LerEngine::estimate`].
+///
+/// # `max_failures` / `max_shots` interaction
+///
+/// - `max_shots == 0` means "sample exactly `min_shots`" (rounded up to
+///   whole 64-shot batches); `max_failures` may still cut the run short.
+/// - `max_shots > 0` extends the budget past `min_shots` while chasing
+///   `max_failures`: sampling proceeds until either the cumulative failure
+///   count reaches `max_failures` or `max_shots` is exhausted.
+/// - Early-stopping is resolved at *chunk* granularity (a deterministic
+///   group of batches — see [`crate::LerEngine`]): the reported `shots`
+///   counts **all decoded batches** of every chunk up to and including the
+///   one at which the failure budget was met, so the estimate is an
+///   unbiased ratio over everything that was decoded and counted.
 #[derive(Clone, Copy, Debug)]
 pub struct SampleOptions {
     /// Minimum number of shots (rounded up to whole 64-shot batches).
@@ -76,6 +90,12 @@ impl Default for SampleOptions {
 /// For each sampled shot, the fired detectors are decoded and the predicted
 /// observable mask is compared with the actual one; a mismatch in any
 /// observable bit counts as a failure.
+///
+/// This is a thin single-threaded wrapper over the chunked schedule of
+/// [`crate::LerEngine`]: it draws a 64-bit base seed from `rng` and runs
+/// [`estimate_ler_seeded`] on the calling thread, so
+/// `LerEngine::estimate(..)` with the same options and base seed returns
+/// the identical [`LerEstimate`] at any thread count.
 ///
 /// # Examples
 ///
@@ -103,33 +123,9 @@ pub fn estimate_ler<D: Decoder, R: Rng>(
     options: SampleOptions,
     rng: &mut R,
 ) -> LerEstimate {
-    let mut sampler = FrameSampler::new(circuit);
-    let mut est = LerEstimate::default();
-    let min_batches = options.min_shots.div_ceil(BATCH).max(1);
-    let max_batches = if options.max_shots == 0 {
-        min_batches
-    } else {
-        options.max_shots.div_ceil(BATCH).max(min_batches)
-    };
-    debug_assert!(max_batches >= min_batches);
-    for _batch_idx in 0..max_batches {
-        let events = sampler.sample_batch(rng);
-        let mut failures = 0usize;
-        events.for_each_shot(|_, defects, actual| {
-            if decoder.decode(defects) != actual {
-                failures += 1;
-            }
-        });
-        est.failures += failures;
-        est.shots += BATCH;
-        // The failure budget bounds the *relative* error of the estimate, so
-        // once it is met there is no value in sampling up to min_shots: stop
-        // immediately (this is what keeps high-error-rate points cheap).
-        if options.max_failures > 0 && est.failures >= options.max_failures {
-            break;
-        }
-    }
-    est
+    let compiled = CompiledCircuit::new(circuit);
+    let base_seed: u64 = rng.random();
+    estimate_ler_seeded(&compiled, decoder, options, base_seed)
 }
 
 /// Convenience: builds a matching graph for `circuit` by extracting its DEM.

@@ -1,0 +1,476 @@
+//! Thread-parallel Monte-Carlo logical-error-rate engine.
+//!
+//! [`LerEngine`] dispatches 64-shot batches, grouped into fixed-size
+//! chunks, to worker threads over a shared [`CompiledCircuit`]. The
+//! determinism contract: **results depend only on `(options, base_seed)`
+//! — never on the thread count or scheduling order.** Concretely:
+//!
+//! - The chunk size is a function of the shot budget alone, and chunk `i`
+//!   samples from an RNG seeded by [`chunk_seed`]`(base_seed, i)`.
+//! - `max_failures` early-stopping is resolved at chunk granularity: the
+//!   run is cut at the *first* chunk at which the cumulative failure count
+//!   over chunks `0..=k` reaches the budget, and only chunks up to the cut
+//!   contribute to the estimate. Chunks that other workers had already
+//!   started are discarded, so a racing thread can waste work but never
+//!   change the answer.
+//! - [`estimate_ler_seeded`] runs the identical chunk schedule on the
+//!   calling thread; [`LerEngine::estimate`] at any thread count returns
+//!   the same [`LerEstimate`] bit-for-bit.
+//!
+//! Wall-clock, per-phase timing, and throughput land in [`EngineRun`],
+//! deliberately outside `LerEstimate` so estimates stay comparable.
+
+use crate::decode::{Decoder, LerEstimate, SampleOptions};
+use caliqec_stab::{
+    chunk_seed, resolve_threads, BatchEvents, Circuit, CompiledCircuit, FrameState, BATCH,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Builds per-worker decoder instances for parallel estimation.
+///
+/// Blanket-implemented for any `Fn() -> D` closure that is `Sync`, so the
+/// idiomatic call site is:
+///
+/// ```ignore
+/// let graph = graph_for_circuit(&circuit);
+/// engine.estimate(&compiled, &|| UnionFindDecoder::new(graph.clone()), opts, seed);
+/// ```
+pub trait DecoderFactory: Sync {
+    /// The decoder type produced.
+    type Decoder: Decoder;
+
+    /// Builds one decoder. Called once per worker thread.
+    fn build(&self) -> Self::Decoder;
+}
+
+impl<D: Decoder, F: Fn() -> D + Sync> DecoderFactory for F {
+    type Decoder = D;
+
+    fn build(&self) -> D {
+        self()
+    }
+}
+
+/// The deterministic work schedule shared by the parallel engine and the
+/// serial reference path.
+#[derive(Clone, Copy, Debug)]
+struct ChunkPlan {
+    /// Batches per chunk — a function of the shot budget only.
+    chunk_batches: usize,
+    /// Total chunks covering `max_batches`.
+    num_chunks: usize,
+    /// Total batch budget.
+    max_batches: usize,
+    /// Failure budget (0 = run the full batch budget).
+    max_failures: usize,
+}
+
+impl ChunkPlan {
+    fn new(options: SampleOptions) -> ChunkPlan {
+        let min_batches = options.min_shots.div_ceil(BATCH).max(1);
+        let max_batches = if options.max_shots == 0 {
+            min_batches
+        } else {
+            options.max_shots.div_ceil(BATCH).max(min_batches)
+        };
+        // Aim for ~64 chunks so early-stopping stays reasonably fine-grained
+        // while per-chunk overhead amortizes; never let the chunk size depend
+        // on the thread count, or determinism across thread counts breaks.
+        let chunk_batches = max_batches.div_ceil(64).clamp(1, 64);
+        ChunkPlan {
+            chunk_batches,
+            num_chunks: max_batches.div_ceil(chunk_batches),
+            max_batches,
+            max_failures: options.max_failures,
+        }
+    }
+
+    /// Number of batches chunk `chunk` samples (the last chunk may be short).
+    fn batches_in(&self, chunk: usize) -> usize {
+        let start = chunk * self.chunk_batches;
+        self.chunk_batches.min(self.max_batches - start)
+    }
+}
+
+/// Outcome of sampling and decoding one chunk.
+#[derive(Clone, Copy, Debug)]
+struct ChunkResult {
+    batches: usize,
+    failures: usize,
+    sample_seconds: f64,
+    decode_seconds: f64,
+}
+
+/// Samples and decodes one chunk from its deterministic seed.
+fn run_chunk<D: Decoder>(
+    compiled: &CompiledCircuit,
+    decoder: &mut D,
+    state: &mut FrameState,
+    events: &mut BatchEvents,
+    plan: &ChunkPlan,
+    chunk: usize,
+    base_seed: u64,
+) -> ChunkResult {
+    let mut rng = StdRng::seed_from_u64(chunk_seed(base_seed, chunk as u64));
+    let batches = plan.batches_in(chunk);
+    let mut failures = 0usize;
+    let mut sample_seconds = 0.0;
+    let mut decode_seconds = 0.0;
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        compiled.sample_batch_into(state, &mut rng, events);
+        let t1 = Instant::now();
+        events.for_each_shot(|_, defects, actual| {
+            if decoder.decode(defects) != actual {
+                failures += 1;
+            }
+        });
+        sample_seconds += (t1 - t0).as_secs_f64();
+        decode_seconds += t1.elapsed().as_secs_f64();
+    }
+    ChunkResult {
+        batches,
+        failures,
+        sample_seconds,
+        decode_seconds,
+    }
+}
+
+/// Result of one [`LerEngine::estimate`] run: the estimate plus
+/// throughput/timing counters.
+///
+/// Timing covers *all executed* chunks, including any discarded past an
+/// early-stop cut, so it reflects true cost; the estimate covers only the
+/// deterministic included prefix.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineRun {
+    /// The (thread-count-independent) estimate.
+    pub estimate: LerEstimate,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Chunks contributing to the estimate.
+    pub chunks_included: usize,
+    /// Chunks actually executed (≥ `chunks_included` under early stop).
+    pub chunks_executed: usize,
+    /// End-to-end wall-clock seconds.
+    pub wall_seconds: f64,
+    /// CPU seconds spent sampling batches, summed across workers.
+    pub sample_seconds: f64,
+    /// CPU seconds spent decoding shots, summed across workers.
+    pub decode_seconds: f64,
+}
+
+impl EngineRun {
+    /// Decoded-shot throughput (shots per wall-clock second).
+    pub fn shots_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.estimate.shots as f64 / self.wall_seconds
+    }
+}
+
+/// Aggregation state shared by workers under a mutex.
+struct Shared {
+    results: Vec<Option<ChunkResult>>,
+    /// First chunk index at which the cumulative failure budget is met,
+    /// once known (requires the full prefix to have completed).
+    cut: Option<usize>,
+    chunks_executed: usize,
+    sample_seconds: f64,
+    decode_seconds: f64,
+}
+
+impl Shared {
+    /// Recomputes the early-stop cut over the completed prefix.
+    fn recompute_cut(&mut self, max_failures: usize) {
+        let mut failures = 0usize;
+        for (k, res) in self.results.iter().enumerate() {
+            match res {
+                Some(r) => {
+                    failures += r.failures;
+                    if failures >= max_failures {
+                        self.cut = Some(k);
+                        return;
+                    }
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// Thread-parallel Monte-Carlo LER estimator. See the module docs for the
+/// determinism contract.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, UnionFindDecoder};
+/// use caliqec_stab::{Basis, Circuit, CompiledCircuit, Noise1};
+///
+/// let mut c = Circuit::new(1);
+/// c.reset(Basis::Z, &[0]);
+/// c.noise1(Noise1::XError, 0.01, &[0]);
+/// let m = c.measure(0, Basis::Z, 0.0);
+/// c.detector(&[m]);
+/// c.observable(0, &[m]);
+///
+/// let compiled = CompiledCircuit::new(&c);
+/// let graph = graph_for_circuit(&c);
+/// let run = LerEngine::new(2).estimate(
+///     &compiled,
+///     &|| UnionFindDecoder::new(graph.clone()),
+///     SampleOptions { min_shots: 640, ..Default::default() },
+///     7,
+/// );
+/// // A single perfectly-heralded error is always corrected.
+/// assert_eq!(run.estimate.failures, 0);
+/// assert_eq!(run.estimate.shots, 640);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct LerEngine {
+    threads: usize,
+}
+
+impl LerEngine {
+    /// Creates an engine with `threads` workers (0 = auto: honours the
+    /// `CALIQEC_THREADS` environment variable, else all available cores).
+    pub fn new(threads: usize) -> LerEngine {
+        LerEngine {
+            threads: resolve_threads(threads),
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Estimates the residual LER of `compiled` using per-worker decoders
+    /// from `factory`. Deterministic in `(options, base_seed)`.
+    pub fn estimate<F: DecoderFactory>(
+        &self,
+        compiled: &CompiledCircuit,
+        factory: &F,
+        options: SampleOptions,
+        base_seed: u64,
+    ) -> EngineRun {
+        let started = Instant::now();
+        let plan = ChunkPlan::new(options);
+        let threads = self.threads.min(plan.num_chunks).max(1);
+        let next = AtomicUsize::new(0);
+        let shared = Mutex::new(Shared {
+            results: vec![None; plan.num_chunks],
+            cut: None,
+            chunks_executed: 0,
+            sample_seconds: 0.0,
+            decode_seconds: 0.0,
+        });
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut decoder = factory.build();
+                    let mut state = FrameState::new(compiled);
+                    let mut events = BatchEvents::default();
+                    loop {
+                        if shared.lock().unwrap().cut.is_some() {
+                            break;
+                        }
+                        let chunk = next.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= plan.num_chunks {
+                            break;
+                        }
+                        let result = run_chunk(
+                            compiled,
+                            &mut decoder,
+                            &mut state,
+                            &mut events,
+                            &plan,
+                            chunk,
+                            base_seed,
+                        );
+                        let mut sh = shared.lock().unwrap();
+                        sh.chunks_executed += 1;
+                        sh.sample_seconds += result.sample_seconds;
+                        sh.decode_seconds += result.decode_seconds;
+                        sh.results[chunk] = Some(result);
+                        if plan.max_failures > 0 && sh.cut.is_none() {
+                            sh.recompute_cut(plan.max_failures);
+                        }
+                    }
+                });
+            }
+        });
+
+        let sh = shared.into_inner().unwrap();
+        let included = sh.cut.map_or(plan.num_chunks, |k| k + 1);
+        let mut estimate = LerEstimate::default();
+        for result in sh.results[..included].iter().flatten() {
+            estimate.shots += result.batches * BATCH;
+            estimate.failures += result.failures;
+        }
+        EngineRun {
+            estimate,
+            threads,
+            chunks_included: included,
+            chunks_executed: sh.chunks_executed,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            sample_seconds: sh.sample_seconds,
+            decode_seconds: sh.decode_seconds,
+        }
+    }
+
+    /// Convenience: compiles `circuit` and estimates in one call.
+    pub fn estimate_circuit<F: DecoderFactory>(
+        &self,
+        circuit: &Circuit,
+        factory: &F,
+        options: SampleOptions,
+        base_seed: u64,
+    ) -> EngineRun {
+        self.estimate(&CompiledCircuit::new(circuit), factory, options, base_seed)
+    }
+}
+
+/// The serial reference path: runs the engine's exact chunk schedule on
+/// the calling thread with a caller-owned decoder. [`LerEngine::estimate`]
+/// returns the same [`LerEstimate`] bit-for-bit at any thread count; the
+/// classic [`crate::estimate_ler`] wraps this with a base seed drawn from
+/// its caller's RNG.
+pub fn estimate_ler_seeded<D: Decoder>(
+    compiled: &CompiledCircuit,
+    decoder: &mut D,
+    options: SampleOptions,
+    base_seed: u64,
+) -> LerEstimate {
+    let plan = ChunkPlan::new(options);
+    let mut state = FrameState::new(compiled);
+    let mut events = BatchEvents::default();
+    let mut estimate = LerEstimate::default();
+    for chunk in 0..plan.num_chunks {
+        let result = run_chunk(
+            compiled,
+            decoder,
+            &mut state,
+            &mut events,
+            &plan,
+            chunk,
+            base_seed,
+        );
+        estimate.shots += result.batches * BATCH;
+        estimate.failures += result.failures;
+        if plan.max_failures > 0 && estimate.failures >= plan.max_failures {
+            break;
+        }
+    }
+    estimate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::graph_for_circuit;
+    use crate::unionfind::UnionFindDecoder;
+    use caliqec_stab::{Basis, Noise1};
+
+    /// Distance-n repetition code, single round, X noise (mirrors the
+    /// fixture in `decode.rs`).
+    fn rep_circuit(n: usize, p: f64) -> Circuit {
+        let data: Vec<u32> = (0..n as u32).collect();
+        let anc: Vec<u32> = (n as u32..(2 * n - 1) as u32).collect();
+        let mut c = Circuit::new(2 * n - 1);
+        c.reset(Basis::Z, &(0..(2 * n - 1) as u32).collect::<Vec<_>>());
+        c.noise1(Noise1::XError, p, &data);
+        for i in 0..n - 1 {
+            c.cx(data[i], anc[i]);
+            c.cx(data[i + 1], anc[i]);
+        }
+        let ms: Vec<_> = anc.iter().map(|&a| c.measure(a, Basis::Z, 0.0)).collect();
+        for m in &ms {
+            c.detector(&[*m]);
+        }
+        let md = c.measure(data[0], Basis::Z, 0.0);
+        c.observable(0, &[md]);
+        c
+    }
+
+    #[test]
+    fn engine_matches_serial_reference() {
+        let c = rep_circuit(5, 0.08);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let opts = SampleOptions {
+            min_shots: 5_000,
+            ..Default::default()
+        };
+        let mut decoder = UnionFindDecoder::new(graph.clone());
+        let serial = estimate_ler_seeded(&compiled, &mut decoder, opts, 42);
+        for threads in [1, 2, 4] {
+            let run = LerEngine::new(threads).estimate(
+                &compiled,
+                &|| UnionFindDecoder::new(graph.clone()),
+                opts,
+                42,
+            );
+            assert_eq!(run.estimate, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn early_stop_is_deterministic_across_thread_counts() {
+        let c = rep_circuit(3, 0.3);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let opts = SampleOptions {
+            min_shots: 64,
+            max_failures: 20,
+            max_shots: 64 * 4096,
+        };
+        let mut decoder = UnionFindDecoder::new(graph.clone());
+        let serial = estimate_ler_seeded(&compiled, &mut decoder, opts, 7);
+        assert!(serial.failures >= 20);
+        assert!(serial.shots < 64 * 4096);
+        for threads in [1, 2, 8] {
+            let run = LerEngine::new(threads).estimate(
+                &compiled,
+                &|| UnionFindDecoder::new(graph.clone()),
+                opts,
+                7,
+            );
+            assert_eq!(run.estimate, serial, "threads={threads}");
+            assert!(run.chunks_executed >= run.chunks_included);
+        }
+    }
+
+    #[test]
+    fn run_reports_throughput() {
+        let c = rep_circuit(3, 0.05);
+        let graph = graph_for_circuit(&c);
+        let run = LerEngine::new(2).estimate_circuit(
+            &c,
+            &|| UnionFindDecoder::new(graph.clone()),
+            SampleOptions {
+                min_shots: 1_000,
+                ..Default::default()
+            },
+            3,
+        );
+        assert_eq!(run.estimate.shots, 1_024);
+        assert!(run.shots_per_sec() > 0.0);
+        assert!(run.wall_seconds > 0.0);
+        assert!(run.sample_seconds > 0.0);
+        assert!(run.decode_seconds > 0.0);
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert_eq!(LerEngine::new(3).threads(), 3);
+        assert!(LerEngine::new(0).threads() >= 1);
+    }
+}

@@ -161,7 +161,7 @@ impl MatchingGraph {
                 observables: acc.obs,
             })
             .collect();
-        edges.sort_by(|a, b| (a.u, a.v).cmp(&(b.u, b.v)));
+        edges.sort_by_key(|a| (a.u, a.v));
 
         let mut adjacency = vec![Vec::new(); dem.num_detectors + 1];
         for (i, e) in edges.iter().enumerate() {
@@ -277,7 +277,7 @@ fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use caliqec_stab::{Basis, Circuit, Noise1, Noise2, extract_dem};
+    use caliqec_stab::{extract_dem, Basis, Circuit, Noise1, Noise2};
 
     fn chain_circuit(p: f64) -> Circuit {
         // Three data qubits measured through two parity checks; X errors on
@@ -305,11 +305,7 @@ mod tests {
         let g = MatchingGraph::from_dem(&extract_dem(&chain_circuit(0.01)));
         assert_eq!(g.num_detectors(), 2);
         assert_eq!(g.edges().len(), 3);
-        let boundary_edges = g
-            .edges()
-            .iter()
-            .filter(|e| e.v == g.boundary())
-            .count();
+        let boundary_edges = g.edges().iter().filter(|e| e.v == g.boundary()).count();
         assert_eq!(boundary_edges, 2);
     }
 

@@ -12,6 +12,9 @@
 //!   sets (bitmask DP) with a greedy fallback — the oracle decoder.
 //! - [`estimate_ler`]: end-to-end residual logical-error-rate estimation
 //!   using the batched Pauli-frame sampler.
+//! - [`LerEngine`]: the thread-parallel Monte-Carlo engine behind
+//!   `estimate_ler`, deterministic in `(options, base_seed)` regardless of
+//!   thread count, with per-run throughput counters in [`EngineRun`].
 //!
 //! # Example
 //!
@@ -42,11 +45,13 @@
 #![warn(missing_debug_implementations)]
 
 mod decode;
+mod engine;
 mod graph;
 mod mwpm;
 mod unionfind;
 
 pub use decode::{estimate_ler, graph_for_circuit, Decoder, LerEstimate, SampleOptions};
+pub use engine::{estimate_ler_seeded, DecoderFactory, EngineRun, LerEngine};
 pub use graph::{Edge, MatchingGraph, NodeId};
 pub use mwpm::MwpmDecoder;
 pub use unionfind::UnionFindDecoder;

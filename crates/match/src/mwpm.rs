@@ -151,6 +151,7 @@ impl MwpmDecoder {
                 choice[m2] = (i, None);
             }
             // Match i to another unmatched defect j.
+            #[allow(clippy::needless_range_loop)]
             for j in (i + 1)..k {
                 if mask & (1 << j) != 0 {
                     continue;
@@ -194,6 +195,7 @@ impl MwpmDecoder {
         let mut cands: Vec<Cand> = Vec::new();
         for i in 0..k {
             cands.push(Cand(bnd_cost[i], i, None));
+            #[allow(clippy::needless_range_loop)]
             for j in (i + 1)..k {
                 cands.push(Cand(pair_cost[i][j], i, Some(j)));
             }
@@ -221,10 +223,7 @@ impl MwpmDecoder {
                 _ => {}
             }
         }
-        matched
-            .into_iter()
-            .map(|m| m.unwrap_or(None))
-            .collect()
+        matched.into_iter().map(|m| m.unwrap_or(None)).collect()
     }
 }
 
@@ -235,10 +234,7 @@ impl Decoder for MwpmDecoder {
             return 0;
         }
         let boundary = self.graph.boundary();
-        let paths: Vec<ShortestPaths> = defects
-            .iter()
-            .map(|&d| dijkstra(&self.graph, d))
-            .collect();
+        let paths: Vec<ShortestPaths> = defects.iter().map(|&d| dijkstra(&self.graph, d)).collect();
         let pair_cost: Vec<Vec<f64>> = (0..k)
             .map(|i| (0..k).map(|j| paths[i].dist[defects[j]]).collect())
             .collect();

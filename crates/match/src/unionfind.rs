@@ -232,25 +232,24 @@ impl UnionFindDecoder {
         // Root each component at the boundary when present so leftover parity
         // drains there.
         let mut order: Vec<(NodeId, Option<usize>)> = Vec::new(); // (node, edge to parent)
-        let component = |start: NodeId,
-                             visited: &mut Vec<bool>,
-                             order: &mut Vec<(NodeId, Option<usize>)>| {
-            let base = order.len();
-            visited[start] = true;
-            order.push((start, None));
-            let mut head = base;
-            while head < order.len() {
-                let (node, _) = order[head];
-                head += 1;
-                for &ei in &adj[node] {
-                    let other = self.graph.other_endpoint(ei, node);
-                    if !visited[other] {
-                        visited[other] = true;
-                        order.push((other, Some(ei)));
+        let component =
+            |start: NodeId, visited: &mut Vec<bool>, order: &mut Vec<(NodeId, Option<usize>)>| {
+                let base = order.len();
+                visited[start] = true;
+                order.push((start, None));
+                let mut head = base;
+                while head < order.len() {
+                    let (node, _) = order[head];
+                    head += 1;
+                    for &ei in &adj[node] {
+                        let other = self.graph.other_endpoint(ei, node);
+                        if !visited[other] {
+                            visited[other] = true;
+                            order.push((other, Some(ei)));
+                        }
                     }
                 }
-            }
-        };
+            };
 
         component(boundary, &mut visited, &mut order);
         for start in 0..n {
@@ -266,10 +265,7 @@ impl UnionFindDecoder {
             }
             let Some(ei) = parent_edge else {
                 // Root with leftover parity: only legal at the boundary.
-                debug_assert!(
-                    node == boundary,
-                    "non-boundary root retained defect parity"
-                );
+                debug_assert!(node == boundary, "non-boundary root retained defect parity");
                 continue;
             };
             let e = &self.graph.edges()[ei];

@@ -1,0 +1,673 @@
+//! Offline, in-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate implements the subset of the API the
+//! workspace's property tests use: the `proptest!`/`prop_assert*!`/
+//! `prop_oneof!` macros, range/tuple/collection/string strategies,
+//! `prop_map`/`prop_filter`, `any::<bool>()`, and `ProptestConfig`.
+//!
+//! Differences from upstream: no shrinking (a failing case prints its
+//! inputs and panics as-is), no persistence of regression seeds
+//! (`*.proptest-regressions` files are ignored), and string strategies
+//! support only the `[class]{m,n}`-style regex subset the tests use.
+//! Case generation is deterministic per test function name.
+
+#![warn(missing_docs)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::{Rng, RngExt, SampleRange};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe: `prop_oneof!` stores arms as `Box<dyn Strategy>`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Rejects generated values for which `f` returns false,
+        /// retrying generation. `whence` labels the filter in the
+        /// panic message if it rejects too many candidates in a row.
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone, Debug)]
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.source.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter \"{}\" rejected 1000 candidates in a row",
+                self.whence
+            );
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Uniform choice between boxed alternative strategies — the
+    /// engine behind `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} arms)", self.arms.len())
+        }
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.random_range(0..self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    /// Boxes one `prop_oneof!` arm (lets the macro avoid `as` casts).
+    pub fn union_arm<S>(arm: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(arm)
+    }
+
+    /// `&str` patterns act as string strategies over the regex subset
+    /// `[class]{m,n}` (plus literal chars and `* + ?` quantifiers).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    /// A bool strategy backed by the RNG directly.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::{AnyBool, Strategy};
+    use std::ops::RangeInclusive;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy returned by [`any`].
+        type Strategy: Strategy<Value = Self>;
+        /// Builds that strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// A strategy for any value of `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = RangeInclusive<$t>;
+                fn arbitrary() -> RangeInclusive<$t> {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Collection strategies (`prop::collection::vec` etc.).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible collection lengths, stored as an inclusive range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.min..=self.max)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of values from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet`s of values from `element`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates don't grow the set; bound the retries in case the
+            // element domain is smaller than the requested size.
+            for _ in 0..(target * 10 + 10) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// Generates `BTreeSet`s with sizes drawn from `size` (best-effort
+    /// when the element domain is small).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Minimal regex-subset generator backing `&str` strategies.
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    enum Element {
+        /// Candidate characters and a repetition count range.
+        Class(Vec<char>, usize, usize),
+    }
+
+    fn parse_class_char(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<char> {
+        match chars.next()? {
+            '\\' => Some(match chars.next()? {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }),
+            c => Some(c),
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Element> {
+        let mut chars = pattern.chars().peekable();
+        let mut elements = Vec::new();
+        while let Some(&c) = chars.peek() {
+            let set: Vec<char> = if c == '[' {
+                chars.next();
+                let mut set = Vec::new();
+                loop {
+                    match chars.peek() {
+                        Some(']') => {
+                            chars.next();
+                            break;
+                        }
+                        Some(_) => {
+                            let lo = parse_class_char(&mut chars)
+                                .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                            if chars.peek() == Some(&'-') && chars.clone().nth(1) != Some(']') {
+                                chars.next();
+                                let hi = parse_class_char(&mut chars)
+                                    .unwrap_or_else(|| panic!("bad range in {pattern:?}"));
+                                set.extend(lo..=hi);
+                            } else {
+                                set.push(lo);
+                            }
+                        }
+                        None => panic!("unterminated class in {pattern:?}"),
+                    }
+                }
+                set
+            } else {
+                vec![parse_class_char(&mut chars).unwrap()]
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let digits: String =
+                        std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_digit() || *c == ','))
+                            .collect();
+                    assert_eq!(chars.next(), Some('}'), "unterminated {{}} in {pattern:?}");
+                    match digits.split_once(',') {
+                        Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                        None => {
+                            let n = digits.parse().unwrap();
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(!set.is_empty(), "empty character class in {pattern:?}");
+            elements.push(Element::Class(set, min, max));
+        }
+        elements
+    }
+
+    /// Generates a string matching `pattern` (subset: char classes with
+    /// ranges/escapes, literals, and `{m,n}`/`{n}`/`*`/`+`/`?`).
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for Element::Class(set, min, max) in parse(pattern) {
+            let count = rng.random_range(min..=max);
+            for _ in 0..count {
+                out.push(set[rng.random_range(0..set.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Config, RNG plumbing, and failure reporting for `proptest!`.
+pub mod test_runner {
+    /// The RNG handed to strategies.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A deterministic RNG derived from the test's full path, so each
+    /// test sees a stable stream independent of execution order.
+    pub fn rng_for(test_path: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        <TestRng as rand::SeedableRng>::seed_from_u64(h)
+    }
+
+    /// Prints the failing case's inputs while the test unwinds, since
+    /// this implementation has no shrinking to re-derive them.
+    #[derive(Debug)]
+    pub struct CaseGuard {
+        desc: String,
+        case: u32,
+        armed: bool,
+    }
+
+    impl CaseGuard {
+        /// Arms the guard with a rendered `name = value` list.
+        pub fn new(case: u32, desc: String) -> Self {
+            CaseGuard {
+                desc,
+                case,
+                armed: true,
+            }
+        }
+
+        /// Disarms after the case body completes successfully.
+        pub fn disarm(&mut self) {
+            self.armed = false;
+        }
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                eprintln!(
+                    "proptest: case #{} failed with inputs: {}",
+                    self.case, self.desc
+                );
+            }
+        }
+    }
+}
+
+/// One-stop imports, mirroring upstream's `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::collection::vec(...)` works.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a test running `ProptestConfig::cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::rng_for(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let __strategies = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let ($($arg,)+) = {
+                    let ($(ref $arg,)+) = __strategies;
+                    ($($crate::strategy::Strategy::generate($arg, &mut __rng),)+)
+                };
+                let mut __guard = $crate::test_runner::CaseGuard::new(
+                    __case,
+                    format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg,)+
+                    ),
+                );
+                { $body }
+                __guard.disarm();
+            }
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Uniform choice among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3usize..10, b in -2i32..=2, x in 0.5f64..1.5) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-2..=2).contains(&b));
+            prop_assert!((0.5..1.5).contains(&x), "x = {x}");
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0u8..4, any::<bool>()), 0..6),
+            s in prop_oneof![Just(1usize), 2usize..5],
+            only_even in (0u32..50).prop_map(|n| n * 2).prop_filter("even", |n| n % 2 == 0),
+        ) {
+            prop_assert!(v.len() < 6);
+            prop_assert!((1..5).contains(&s));
+            prop_assert_eq!(only_even % 2, 0);
+        }
+
+        #[test]
+        fn string_pattern_subset(s in "[ -~\\n]{0,20}") {
+            prop_assert!(s.len() <= 20);
+            prop_assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 5..6);
+        let a = strat.generate(&mut crate::test_runner::rng_for("x::y"));
+        let b = strat.generate(&mut crate::test_runner::rng_for("x::y"));
+        assert_eq!(a, b);
+    }
+}

@@ -41,7 +41,9 @@ impl CalibrationGroups {
     /// The calibration period of `gate`, if grouped.
     pub fn period_of(&self, gate: GateId) -> Option<f64> {
         self.groups.iter().find_map(|(&k, gates)| {
-            gates.contains(&gate).then_some(k as f64 * self.t_cali_hours)
+            gates
+                .contains(&gate)
+                .then_some(k as f64 * self.t_cali_hours)
         })
     }
 
@@ -51,7 +53,7 @@ impl CalibrationGroups {
         assert!(m >= 1, "intervals count from 1");
         self.groups
             .iter()
-            .filter(|(&k, _)| m % k == 0)
+            .filter(|(&k, _)| m.is_multiple_of(k))
             .flat_map(|(_, gates)| gates.iter().copied())
             .collect()
     }

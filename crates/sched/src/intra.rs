@@ -37,8 +37,11 @@ impl Workload {
     pub fn from_gate(device: &DeviceModel, gate: GateId) -> Workload {
         let info = &device.gates[gate];
         let acted: BTreeSet<QubitId> = info.kind.qubits().into_iter().collect();
-        let region: BTreeSet<QubitId> =
-            acted.iter().copied().chain(info.nbr.iter().copied()).collect();
+        let region: BTreeSet<QubitId> = acted
+            .iter()
+            .copied()
+            .chain(info.nbr.iter().copied())
+            .collect();
         let loss = region_loss(&region, device.grid_cols);
         Workload {
             gates: vec![gate],
@@ -67,7 +70,12 @@ pub fn region_loss(region: &BTreeSet<QubitId>, grid_cols: usize) -> usize {
     }
     let pos: Vec<(i64, i64)> = region
         .iter()
-        .map(|&q| ((q as usize / grid_cols) as i64, (q as usize % grid_cols) as i64))
+        .map(|&q| {
+            (
+                (q as usize / grid_cols) as i64,
+                (q as usize % grid_cols) as i64,
+            )
+        })
         .collect();
     let (mut dr, mut dc) = (0i64, 0i64);
     for a in &pos {
@@ -106,7 +114,11 @@ impl IntraSchedule {
     /// The largest simultaneous distance loss — the `Δd` the patch must be
     /// enlarged by.
     pub fn max_distance_loss(&self) -> usize {
-        self.batches.iter().map(|b| b.distance_loss).max().unwrap_or(0)
+        self.batches
+            .iter()
+            .map(|b| b.distance_loss)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Space-time overhead `Δd × T(Cal)` (paper Sec. 8.2.3).

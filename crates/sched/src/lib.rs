@@ -39,8 +39,7 @@ mod plan;
 mod target;
 
 pub use group::{
-    assign_groups, frequency_for, ideal_frequency, uniform_frequency, CalibrationGroups,
-    GateDrift,
+    assign_groups, frequency_for, ideal_frequency, uniform_frequency, CalibrationGroups, GateDrift,
 };
 pub use intra::{
     adaptive_schedule, bulk_schedule, cluster_workloads, greedy_schedule, region_loss,

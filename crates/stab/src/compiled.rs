@@ -1,0 +1,593 @@
+//! One-time compilation of a [`Circuit`] into a flat sampling program.
+//!
+//! [`FrameSampler`](crate::FrameSampler) historically re-walked the `Op`
+//! enum — with its heap-allocated target lists — on every 64-shot batch.
+//! [`CompiledCircuit`] flattens the circuit once into a dense array of
+//! `Copy` instructions (one per qubit/pair target, Pauli gates elided,
+//! detector/observable definitions pre-resolved into index tables), and
+//! all mutable per-batch data lives in a separate, cheap [`FrameState`].
+//! A `CompiledCircuit` is therefore shareable by `&` across threads, which
+//! is what the parallel LER engine in `caliqec-match` builds on.
+//!
+//! The compiled program consumes RNG draws in *exactly* the same order as
+//! the interpreting sampler, so for a fixed seed both produce identical
+//! [`BatchEvents`] — a property the differential tests rely on.
+
+use crate::circuit::{Basis, Circuit, Gate1, Gate2, Noise1, Noise2, Op};
+use crate::frame::{bernoulli_mask, BatchEvents, BATCH};
+use crate::pauli::Pauli;
+use crate::sim::two_qubit_pauli;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One flattened sampling instruction. Pauli gates compile to nothing;
+/// `S` and `SDag` act identically on frames and share one opcode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Instr {
+    /// Hadamard: swap X and Z frames.
+    H(u32),
+    /// S or SDag: Z frame gains the X component.
+    SGate(u32),
+    /// CNOT (control, target).
+    Cx(u32, u32),
+    /// CZ (symmetric).
+    Cz(u32, u32),
+    /// Qubit exchange.
+    Swap(u32, u32),
+    /// Reset: discard accumulated error.
+    Reset(u32),
+    /// Measurement with optional classical flip noise.
+    Meas { q: u32, basis: Basis, flip: f64 },
+    /// X error with probability `p`.
+    NoiseX { q: u32, p: f64 },
+    /// Y error with probability `p`.
+    NoiseY { q: u32, p: f64 },
+    /// Z error with probability `p`.
+    NoiseZ { q: u32, p: f64 },
+    /// Single-qubit depolarizing channel.
+    Dep1 { q: u32, p: f64 },
+    /// Two-qubit depolarizing channel.
+    Dep2 { a: u32, b: u32, p: f64 },
+}
+
+/// A [`Circuit`] compiled for repeated batch sampling.
+///
+/// Immutable after construction and shareable by `&` across threads; pair
+/// it with one [`FrameState`] per thread. See the module docs for the
+/// determinism contract with the interpreting sampler.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_stab::{Basis, Circuit, CompiledCircuit, FrameState, Noise1};
+/// use rand::SeedableRng;
+///
+/// let mut c = Circuit::new(1);
+/// c.reset(Basis::Z, &[0]);
+/// c.noise1(Noise1::XError, 1.0, &[0]);
+/// let m = c.measure(0, Basis::Z, 0.0);
+/// c.detector(&[m]);
+///
+/// let compiled = CompiledCircuit::new(&c);
+/// let mut state = FrameState::new(&compiled);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let events = compiled.sample_batch(&mut state, &mut rng);
+/// assert_eq!(events.detectors[0], u64::MAX);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledCircuit {
+    num_qubits: usize,
+    num_measurements: usize,
+    num_detectors: usize,
+    num_observables: usize,
+    instrs: Vec<Instr>,
+    /// CSR offsets into `det_meas`, one entry per detector plus a sentinel.
+    det_offsets: Vec<u32>,
+    /// Measurement-record indices XORed into each detector.
+    det_meas: Vec<u32>,
+    /// CSR offsets into `obs_meas`, one entry per observable plus a sentinel.
+    obs_offsets: Vec<u32>,
+    /// Measurement-record indices XORed into each observable (contributions
+    /// from multiple `Observable` ops with the same index are concatenated).
+    obs_meas: Vec<u32>,
+}
+
+impl CompiledCircuit {
+    /// Compiles `circuit`.
+    pub fn new(circuit: &Circuit) -> CompiledCircuit {
+        let mut instrs = Vec::new();
+        let mut det_offsets = vec![0u32];
+        let mut det_meas = Vec::new();
+        let mut obs_lists: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_observables()];
+        for op in circuit.ops() {
+            match op {
+                Op::G1(g, qs) => {
+                    for &q in qs {
+                        match g {
+                            // Paulis commute or anticommute with the frame;
+                            // signs are irrelevant to error propagation.
+                            Gate1::X | Gate1::Y | Gate1::Z => {}
+                            Gate1::H => instrs.push(Instr::H(q)),
+                            Gate1::S | Gate1::SDag => instrs.push(Instr::SGate(q)),
+                        }
+                    }
+                }
+                Op::G2(g, pairs) => {
+                    for &(a, b) in pairs {
+                        instrs.push(match g {
+                            Gate2::Cx => Instr::Cx(a, b),
+                            Gate2::Cz => Instr::Cz(a, b),
+                            Gate2::Swap => Instr::Swap(a, b),
+                        });
+                    }
+                }
+                Op::Measure { basis, qubit, flip } => {
+                    instrs.push(Instr::Meas {
+                        q: *qubit,
+                        basis: *basis,
+                        flip: *flip,
+                    });
+                }
+                Op::Reset(_, qs) => {
+                    for &q in qs {
+                        instrs.push(Instr::Reset(q));
+                    }
+                }
+                Op::Noise1(kind, p, qs) => {
+                    for &q in qs {
+                        instrs.push(match kind {
+                            Noise1::XError => Instr::NoiseX { q, p: *p },
+                            Noise1::YError => Instr::NoiseY { q, p: *p },
+                            Noise1::ZError => Instr::NoiseZ { q, p: *p },
+                            Noise1::Depolarize1 => Instr::Dep1 { q, p: *p },
+                        });
+                    }
+                }
+                Op::Noise2(kind, p, pairs) => {
+                    for &(a, b) in pairs {
+                        instrs.push(match kind {
+                            Noise2::Depolarize2 => Instr::Dep2 { a, b, p: *p },
+                        });
+                    }
+                }
+                Op::Detector(meas) => {
+                    det_meas.extend(meas.iter().map(|m| m.0));
+                    det_offsets.push(det_meas.len() as u32);
+                }
+                Op::Observable(i, meas) => {
+                    obs_lists[*i].extend(meas.iter().map(|m| m.0));
+                }
+            }
+        }
+        let mut obs_offsets = vec![0u32];
+        let mut obs_meas = Vec::new();
+        for list in &obs_lists {
+            obs_meas.extend_from_slice(list);
+            obs_offsets.push(obs_meas.len() as u32);
+        }
+        CompiledCircuit {
+            num_qubits: circuit.num_qubits(),
+            num_measurements: circuit.num_measurements(),
+            num_detectors: circuit.num_detectors(),
+            num_observables: circuit.num_observables(),
+            instrs,
+            det_offsets,
+            det_meas,
+            obs_offsets,
+            obs_meas,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of measurement records per shot.
+    pub fn num_measurements(&self) -> usize {
+        self.num_measurements
+    }
+
+    /// Number of detectors.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of logical observables.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// Samples one batch of [`BATCH`] shots into `events`, reusing its
+    /// buffers. `state` carries the per-thread scratch.
+    pub fn sample_batch_into<R: Rng>(
+        &self,
+        state: &mut FrameState,
+        rng: &mut R,
+        events: &mut BatchEvents,
+    ) {
+        debug_assert_eq!(state.x.len(), self.num_qubits, "state/circuit mismatch");
+        state.x.fill(0);
+        state.z.fill(0);
+        state.meas.fill(0);
+        let x = &mut state.x[..];
+        let z = &mut state.z[..];
+        let meas = &mut state.meas[..];
+        let mut meas_cursor = 0usize;
+        for instr in &self.instrs {
+            match *instr {
+                Instr::H(q) => {
+                    let q = q as usize;
+                    std::mem::swap(&mut x[q], &mut z[q]);
+                }
+                Instr::SGate(q) => {
+                    let q = q as usize;
+                    z[q] ^= x[q];
+                }
+                Instr::Cx(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    x[b] ^= x[a];
+                    z[a] ^= z[b];
+                }
+                Instr::Cz(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    let (xa, xb) = (x[a], x[b]);
+                    z[a] ^= xb;
+                    z[b] ^= xa;
+                }
+                Instr::Swap(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    x.swap(a, b);
+                    z.swap(a, b);
+                }
+                Instr::Reset(q) => {
+                    let q = q as usize;
+                    x[q] = 0;
+                    z[q] = 0;
+                }
+                Instr::Meas { q, basis, flip } => {
+                    let q = q as usize;
+                    let mut flips = match basis {
+                        Basis::Z => x[q],
+                        Basis::X => z[q],
+                    };
+                    if flip > 0.0 {
+                        flips ^= bernoulli_mask(flip, rng);
+                    }
+                    meas[meas_cursor] = flips;
+                    meas_cursor += 1;
+                    // Collapse decorrelates the conjugate frame component:
+                    // re-randomize it so later anticommutation is harmless.
+                    match basis {
+                        Basis::Z => z[q] = rng.random::<u64>(),
+                        Basis::X => x[q] = rng.random::<u64>(),
+                    }
+                }
+                Instr::NoiseX { q, p } => {
+                    x[q as usize] ^= bernoulli_mask(p, rng);
+                }
+                Instr::NoiseY { q, p } => {
+                    let hits = bernoulli_mask(p, rng);
+                    x[q as usize] ^= hits;
+                    z[q as usize] ^= hits;
+                }
+                Instr::NoiseZ { q, p } => {
+                    z[q as usize] ^= bernoulli_mask(p, rng);
+                }
+                Instr::Dep1 { q, p } => {
+                    let q = q as usize;
+                    let mut rem = bernoulli_mask(p, rng);
+                    while rem != 0 {
+                        let s = rem.trailing_zeros();
+                        rem &= rem - 1;
+                        let bit = 1u64 << s;
+                        match Pauli::NON_IDENTITY[rng.random_range(0..3)] {
+                            Pauli::X => x[q] ^= bit,
+                            Pauli::Z => z[q] ^= bit,
+                            Pauli::Y => {
+                                x[q] ^= bit;
+                                z[q] ^= bit;
+                            }
+                            Pauli::I => unreachable!(),
+                        }
+                    }
+                }
+                Instr::Dep2 { a, b, p } => {
+                    let (a, b) = (a as usize, b as usize);
+                    let mut rem = bernoulli_mask(p, rng);
+                    while rem != 0 {
+                        let s = rem.trailing_zeros();
+                        rem &= rem - 1;
+                        let bit = 1u64 << s;
+                        let (pa, pb) = two_qubit_pauli(rng.random_range(0..15));
+                        for (q, pq) in [(a, pa), (b, pb)] {
+                            if pq.has_x() {
+                                x[q] ^= bit;
+                            }
+                            if pq.has_z() {
+                                z[q] ^= bit;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Detector/observable tables are resolved after the sweep: the
+        // measurement words are final by then, and the table evaluation
+        // consumes no RNG draws, preserving draw-order compatibility with
+        // the interpreting sampler.
+        events.detectors.clear();
+        events
+            .detectors
+            .extend(self.det_offsets.windows(2).map(|w| {
+                self.det_meas[w[0] as usize..w[1] as usize]
+                    .iter()
+                    .fold(0u64, |acc, &m| acc ^ meas[m as usize])
+            }));
+        events.observables.clear();
+        events
+            .observables
+            .extend(self.obs_offsets.windows(2).map(|w| {
+                self.obs_meas[w[0] as usize..w[1] as usize]
+                    .iter()
+                    .fold(0u64, |acc, &m| acc ^ meas[m as usize])
+            }));
+    }
+
+    /// Samples one batch of [`BATCH`] shots, allocating fresh events.
+    pub fn sample_batch<R: Rng>(&self, state: &mut FrameState, rng: &mut R) -> BatchEvents {
+        let mut events = BatchEvents::default();
+        self.sample_batch_into(state, rng, &mut events);
+        events
+    }
+
+    /// Counts raw (undecoded) observable flips over at least `min_shots`
+    /// shots on `threads` worker threads (0 = auto, see
+    /// [`resolve_threads`]).
+    ///
+    /// Each 64-shot batch gets its own RNG stream derived from
+    /// `(base_seed, batch index)`, and the per-observable sums are
+    /// order-independent, so the result is identical at any thread count.
+    pub fn count_raw_observable_flips(
+        &self,
+        min_shots: usize,
+        base_seed: u64,
+        threads: usize,
+    ) -> (usize, Vec<usize>) {
+        self.count_flips_parallel(self.num_observables, min_shots, base_seed, threads, |ev| {
+            &ev.observables
+        })
+    }
+
+    /// Counts raw detector flips (one count per detector) over at least
+    /// `min_shots` shots on `threads` worker threads (0 = auto).
+    ///
+    /// Same seeding and determinism contract as
+    /// [`Self::count_raw_observable_flips`]; this is what crosstalk probes
+    /// use — their "deviation" signal is one detector per probed qubit.
+    pub fn count_detector_flips(
+        &self,
+        min_shots: usize,
+        base_seed: u64,
+        threads: usize,
+    ) -> (usize, Vec<usize>) {
+        self.count_flips_parallel(self.num_detectors, min_shots, base_seed, threads, |ev| {
+            &ev.detectors
+        })
+    }
+
+    /// Shared parallel popcount loop over a selected event word list.
+    fn count_flips_parallel<F: Fn(&BatchEvents) -> &[u64] + Sync>(
+        &self,
+        width: usize,
+        min_shots: usize,
+        base_seed: u64,
+        threads: usize,
+        select: F,
+    ) -> (usize, Vec<usize>) {
+        let batches = min_shots.div_ceil(BATCH).max(1);
+        let threads = resolve_threads(threads).min(batches);
+        let next = AtomicUsize::new(0);
+        let mut per_thread = vec![vec![0usize; width]; threads];
+        std::thread::scope(|scope| {
+            for counts in &mut per_thread {
+                scope.spawn(|| {
+                    let mut state = FrameState::new(self);
+                    let mut events = BatchEvents::default();
+                    loop {
+                        let batch = next.fetch_add(1, Ordering::Relaxed);
+                        if batch >= batches {
+                            break;
+                        }
+                        let mut rng = StdRng::seed_from_u64(chunk_seed(base_seed, batch as u64));
+                        self.sample_batch_into(&mut state, &mut rng, &mut events);
+                        for (c, w) in counts.iter_mut().zip(select(&events)) {
+                            *c += w.count_ones() as usize;
+                        }
+                    }
+                });
+            }
+        });
+        let mut totals = vec![0usize; width];
+        for counts in &per_thread {
+            for (t, c) in totals.iter_mut().zip(counts) {
+                *t += c;
+            }
+        }
+        (batches * BATCH, totals)
+    }
+}
+
+/// Per-thread mutable scratch for sampling batches from a
+/// [`CompiledCircuit`]: frame words per qubit and flip words per
+/// measurement record. Cheap to create, reused across batches.
+#[derive(Clone, Debug)]
+pub struct FrameState {
+    /// X-frame word per qubit.
+    x: Vec<u64>,
+    /// Z-frame word per qubit.
+    z: Vec<u64>,
+    /// Measurement-record flip word per measurement.
+    meas: Vec<u64>,
+}
+
+impl FrameState {
+    /// Creates scratch sized for `compiled`.
+    pub fn new(compiled: &CompiledCircuit) -> FrameState {
+        FrameState {
+            x: vec![0; compiled.num_qubits],
+            z: vec![0; compiled.num_qubits],
+            meas: vec![0; compiled.num_measurements],
+        }
+    }
+}
+
+/// Derives the RNG seed for one work chunk from a base seed, so chunk
+/// streams are decorrelated but fully determined by `(base_seed, index)`.
+///
+/// This is the seeding contract shared by every parallel sampler in the
+/// workspace: results must depend only on the base seed, never on the
+/// thread count or scheduling order.
+pub fn chunk_seed(base_seed: u64, chunk_index: u64) -> u64 {
+    // SplitMix64 finalizer over a golden-ratio-stepped counter.
+    let mut s = base_seed ^ chunk_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    s ^ (s >> 31)
+}
+
+/// Resolves a requested worker-thread count: `0` means "use the
+/// `CALIQEC_THREADS` environment variable if set, else all available
+/// parallelism"; any other value is taken as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("CALIQEC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Basis, Circuit, Gate1, Gate2, Noise1, Noise2};
+    use crate::frame::InterpretingSampler;
+
+    /// A circuit exercising every instruction kind.
+    fn kitchen_sink() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.reset(Basis::Z, &[0, 1, 2, 3]);
+        c.g1(Gate1::H, 0);
+        c.g1(Gate1::S, 1);
+        c.g1(Gate1::SDag, 2);
+        c.g1(Gate1::X, 3); // compiles to nothing
+        c.noise1(Noise1::XError, 0.1, &[0, 1]);
+        c.noise1(Noise1::YError, 0.05, &[2]);
+        c.noise1(Noise1::ZError, 0.2, &[3]);
+        c.noise1(Noise1::Depolarize1, 0.15, &[0, 3]);
+        c.noise2(Noise2::Depolarize2, 0.1, &[(0, 1), (2, 3)]);
+        c.g2(Gate2::Cx, 0, 1);
+        c.g2(Gate2::Cz, 1, 2);
+        c.g2(Gate2::Swap, 2, 3);
+        c.g1(Gate1::H, 0);
+        let m0 = c.measure(0, Basis::Z, 0.02);
+        let m1 = c.measure(1, Basis::X, 0.0);
+        let m2 = c.measure(2, Basis::Z, 0.0);
+        c.detector(&[m0]);
+        c.detector(&[m1, m2]);
+        c.observable(0, &[m0]);
+        c.observable(0, &[m2]); // second contribution to the same observable
+        c.observable(1, &[m1]);
+        c
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_exactly() {
+        let c = kitchen_sink();
+        let compiled = CompiledCircuit::new(&c);
+        let mut state = FrameState::new(&compiled);
+        for seed in 0..20 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut interp = InterpretingSampler::new(&c);
+            for _ in 0..4 {
+                let ev_a = interp.sample_batch(&mut rng_a);
+                let ev_b = compiled.sample_batch(&mut state, &mut rng_b);
+                assert_eq!(ev_a.detectors, ev_b.detectors, "seed {seed}");
+                assert_eq!(ev_a.observables, ev_b.observables, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_carry_over() {
+        let c = kitchen_sink();
+        let compiled = CompiledCircuit::new(&c);
+        assert_eq!(compiled.num_qubits(), 4);
+        assert_eq!(compiled.num_measurements(), 3);
+        assert_eq!(compiled.num_detectors(), 2);
+        assert_eq!(compiled.num_observables(), 2);
+    }
+
+    #[test]
+    fn parallel_raw_counts_are_thread_count_independent() {
+        let mut c = Circuit::new(2);
+        c.reset(Basis::Z, &[0, 1]);
+        c.noise1(Noise1::XError, 0.3, &[0, 1]);
+        let m0 = c.measure(0, Basis::Z, 0.0);
+        let m1 = c.measure(1, Basis::Z, 0.0);
+        c.observable(0, &[m0]);
+        c.observable(1, &[m1]);
+        let compiled = CompiledCircuit::new(&c);
+        let (shots1, counts1) = compiled.count_raw_observable_flips(1000, 99, 1);
+        let (shots4, counts4) = compiled.count_raw_observable_flips(1000, 99, 4);
+        assert_eq!(shots1, shots4);
+        assert_eq!(counts1, counts4);
+        let frac = counts1[0] as f64 / shots1 as f64;
+        assert!((frac - 0.3).abs() < 0.05, "flip fraction {frac}");
+    }
+
+    #[test]
+    fn parallel_detector_counts_are_thread_count_independent() {
+        let mut c = Circuit::new(2);
+        c.reset(Basis::Z, &[0, 1]);
+        c.noise1(Noise1::XError, 0.2, &[0, 1]);
+        let m0 = c.measure(0, Basis::Z, 0.0);
+        let m1 = c.measure(1, Basis::Z, 0.0);
+        c.detector(&[m0]);
+        c.detector(&[m1]);
+        let compiled = CompiledCircuit::new(&c);
+        let (shots1, counts1) = compiled.count_detector_flips(1000, 7, 1);
+        let (shots4, counts4) = compiled.count_detector_flips(1000, 7, 4);
+        assert_eq!(shots1, shots4);
+        assert_eq!(counts1, counts4);
+        let frac = counts1[1] as f64 / shots1 as f64;
+        assert!((frac - 0.2).abs() < 0.05, "flip fraction {frac}");
+    }
+
+    #[test]
+    fn chunk_seed_decorrelates() {
+        let a = chunk_seed(1, 0);
+        let b = chunk_seed(1, 1);
+        let c = chunk_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // And is a pure function.
+        assert_eq!(chunk_seed(1, 0), a);
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_request() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -40,7 +40,9 @@ pub struct DetectorErrorModel {
 impl DetectorErrorModel {
     /// Mechanisms that flip at most `k` detectors.
     pub fn mechanisms_with_at_most(&self, k: usize) -> impl Iterator<Item = &ErrorMechanism> {
-        self.mechanisms.iter().filter(move |m| m.detectors.len() <= k)
+        self.mechanisms
+            .iter()
+            .filter(move |m| m.detectors.len() <= k)
     }
 
     /// Number of mechanisms flipping more than two detectors (hyperedges that

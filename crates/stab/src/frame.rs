@@ -15,6 +15,7 @@
 //! circuit generators in this workspace.
 
 use crate::circuit::{Basis, Circuit, Gate1, Gate2, Noise1, Noise2, Op};
+use crate::compiled::{CompiledCircuit, FrameState};
 use crate::pauli::Pauli;
 use crate::sim::two_qubit_pauli;
 use rand::{Rng, RngExt};
@@ -95,7 +96,9 @@ impl BatchEvents {
 ///
 /// Uses geometric skipping so the cost is proportional to the number of hits,
 /// which is what makes low-physical-error-rate sampling fast.
-fn bernoulli_mask<R: Rng>(p: f64, rng: &mut R) -> u64 {
+///
+/// Shared with the compiled sampler so both consume RNG draws identically.
+pub(crate) fn bernoulli_mask<R: Rng>(p: f64, rng: &mut R) -> u64 {
     if p <= 0.0 {
         return 0;
     }
@@ -120,6 +123,12 @@ fn bernoulli_mask<R: Rng>(p: f64, rng: &mut R) -> u64 {
 
 /// Pauli-frame sampler over a fixed circuit.
 ///
+/// Since the compiled-engine refactor this is a thin wrapper that compiles
+/// the circuit once ([`crate::CompiledCircuit`]) and samples through the
+/// compiled program; it keeps the historical one-object API for callers
+/// that don't need to share the compiled circuit across threads. For a
+/// fixed seed it produces bit-identical events to [`InterpretingSampler`].
+///
 /// # Examples
 ///
 /// ```
@@ -137,8 +146,67 @@ fn bernoulli_mask<R: Rng>(p: f64, rng: &mut R) -> u64 {
 /// let events = sampler.sample_batch(&mut rng);
 /// assert_eq!(events.detectors[0], u64::MAX); // the X error always fires
 /// ```
+#[derive(Clone, Debug)]
+pub struct FrameSampler {
+    compiled: CompiledCircuit,
+    state: FrameState,
+    events: BatchEvents,
+}
+
+impl FrameSampler {
+    /// Creates a sampler for `circuit`, compiling it once.
+    pub fn new(circuit: &Circuit) -> FrameSampler {
+        let compiled = CompiledCircuit::new(circuit);
+        let state = FrameState::new(&compiled);
+        FrameSampler {
+            compiled,
+            state,
+            events: BatchEvents::default(),
+        }
+    }
+
+    /// The compiled program backing this sampler.
+    pub fn compiled(&self) -> &CompiledCircuit {
+        &self.compiled
+    }
+
+    /// Samples one batch of [`BATCH`] shots, returning detector and
+    /// observable events.
+    pub fn sample_batch<R: Rng>(&mut self, rng: &mut R) -> BatchEvents {
+        self.compiled
+            .sample_batch_into(&mut self.state, rng, &mut self.events);
+        self.events.clone()
+    }
+
+    /// Samples at least `min_shots` shots and returns
+    /// `(shots, logical_error_counts_per_observable)` where a logical error is
+    /// any shot whose observable event bit is set.
+    ///
+    /// This raw counter ignores decoding; use the decoder crate to count
+    /// *residual* logical errors after correction. For the thread-parallel
+    /// variant see [`CompiledCircuit::count_raw_observable_flips`].
+    pub fn count_raw_observable_flips<R: Rng>(
+        &mut self,
+        min_shots: usize,
+        rng: &mut R,
+    ) -> (usize, Vec<usize>) {
+        let batches = min_shots.div_ceil(BATCH).max(1);
+        let mut counts = vec![0usize; self.compiled.num_observables()];
+        for _ in 0..batches {
+            let ev = self.sample_batch(rng);
+            for (c, w) in counts.iter_mut().zip(&ev.observables) {
+                *c += w.count_ones() as usize;
+            }
+        }
+        (batches * BATCH, counts)
+    }
+}
+
+/// The original op-by-op Pauli-frame sampler, kept as the reference
+/// implementation: differential tests and the `engine` benchmark compare
+/// it against [`crate::CompiledCircuit`], whose RNG draw order it defines.
 #[derive(Debug)]
-pub struct FrameSampler<'c> {
+pub struct InterpretingSampler<'c> {
     circuit: &'c Circuit,
     /// X-frame word per qubit.
     x: Vec<u64>,
@@ -148,10 +216,10 @@ pub struct FrameSampler<'c> {
     meas: Vec<u64>,
 }
 
-impl<'c> FrameSampler<'c> {
+impl<'c> InterpretingSampler<'c> {
     /// Creates a sampler for `circuit`.
-    pub fn new(circuit: &'c Circuit) -> FrameSampler<'c> {
-        FrameSampler {
+    pub fn new(circuit: &'c Circuit) -> InterpretingSampler<'c> {
+        InterpretingSampler {
             circuit,
             x: vec![0; circuit.num_qubits()],
             z: vec![0; circuit.num_qubits()],
@@ -357,10 +425,7 @@ mod tests {
                 ones += bernoulli_mask(p, &mut rng).count_ones() as u64;
             }
             let freq = ones as f64 / (trials as f64 * 64.0);
-            assert!(
-                (freq - p).abs() < 0.02,
-                "p={p}, freq={freq}"
-            );
+            assert!((freq - p).abs() < 0.02, "p={p}, freq={freq}");
         }
     }
 

@@ -10,6 +10,10 @@
 //!   and logical observables.
 //! - [`FrameSampler`]: a batched Pauli-frame Monte-Carlo sampler (64 shots
 //!   per word) for high-throughput logical-error-rate estimation.
+//! - [`CompiledCircuit`] / [`FrameState`]: the one-time-compiled form of a
+//!   circuit backing `FrameSampler`, shareable by `&` across threads with
+//!   one cheap `FrameState` per worker — the substrate of the parallel LER
+//!   engine in `caliqec-match`.
 //! - [`extract_dem`] / [`DetectorErrorModel`]: reduction of a noisy circuit
 //!   to its error mechanisms, the decoder-facing interface.
 //!
@@ -42,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 mod circuit;
+mod compiled;
 mod dem;
 mod frame;
 mod pauli;
@@ -50,8 +55,9 @@ mod tableau;
 mod text;
 
 pub use circuit::{Basis, Circuit, DetIdx, Gate1, Gate2, MeasIdx, Noise1, Noise2, Op};
+pub use compiled::{chunk_seed, resolve_threads, CompiledCircuit, FrameState};
 pub use dem::{extract_dem, DetectorErrorModel, ErrorMechanism};
-pub use frame::{BatchEvents, FrameSampler, BATCH};
+pub use frame::{BatchEvents, FrameSampler, InterpretingSampler, BATCH};
 pub use pauli::{Pauli, Qubit, SparsePauli};
 pub use sim::{
     check_deterministic_detectors, noiseless_shot, simulate_shot, NondeterministicDetector,

@@ -198,7 +198,7 @@ impl SparsePauli {
                 anti += 1;
             }
         }
-        anti % 2 == 0
+        anti.is_multiple_of(2)
     }
 }
 

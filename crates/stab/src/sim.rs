@@ -95,9 +95,7 @@ fn run_shot<R: Rng>(circuit: &Circuit, rng: &mut R, with_noise: bool) -> ShotRes
                                 Noise1::XError => Pauli::X,
                                 Noise1::YError => Pauli::Y,
                                 Noise1::ZError => Pauli::Z,
-                                Noise1::Depolarize1 => {
-                                    Pauli::NON_IDENTITY[rng.random_range(0..3)]
-                                }
+                                Noise1::Depolarize1 => Pauli::NON_IDENTITY[rng.random_range(0..3)],
                             };
                             match pauli {
                                 Pauli::I => {}

@@ -341,7 +341,7 @@ impl Tableau {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{Rng, RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn coin_from(rng: &mut StdRng) -> impl FnOnce() -> bool + '_ {
         || rng.random::<bool>()
@@ -373,7 +373,7 @@ mod tests {
         let (outcome, det) = t.measure_z(0, || true);
         assert!(!det);
         assert!(outcome); // the coin decided
-        // After collapse the value repeats deterministically.
+                          // After collapse the value repeats deterministically.
         let (again, det2) = t.measure_z(0, || false);
         assert!(det2);
         assert!(again);

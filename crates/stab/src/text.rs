@@ -173,12 +173,13 @@ pub fn from_stim_text(text: &str) -> Result<Circuit, ParseCircuitError> {
         let head = tokens.next().expect("nonempty line");
         let (name, arg) = match head.split_once('(') {
             Some((n, rest)) => {
-                let arg = rest.trim_end_matches(')').parse::<f64>().map_err(|_| {
-                    ParseCircuitError {
-                        line: lineno,
-                        message: format!("bad argument in {head:?}"),
-                    }
-                })?;
+                let arg =
+                    rest.trim_end_matches(')')
+                        .parse::<f64>()
+                        .map_err(|_| ParseCircuitError {
+                            line: lineno,
+                            message: format!("bad argument in {head:?}"),
+                        })?;
                 (n, Some(arg))
             }
             None => (head, None),
@@ -271,8 +272,7 @@ pub fn from_stim_text(text: &str) -> Result<Circuit, ParseCircuitError> {
                         message: "DEPOLARIZE2 needs an even number of targets".to_string(),
                     });
                 }
-                let pairs: Vec<(u32, u32)> =
-                    qubits.chunks(2).map(|p| (p[0], p[1])).collect();
+                let pairs: Vec<(u32, u32)> = qubits.chunks(2).map(|p| (p[0], p[1])).collect();
                 circuit.noise2(Noise2::Depolarize2, arg.unwrap_or(0.0), &pairs);
             }
             "DETECTOR" => {

@@ -41,8 +41,14 @@ fn build(instrs: &[Instr], n: u32) -> Circuit {
     for i in instrs {
         match *i {
             Instr::G1(g, q) => {
-                let gate = [Gate1::X, Gate1::Y, Gate1::Z, Gate1::H, Gate1::S, Gate1::SDag]
-                    [g as usize % 6];
+                let gate = [
+                    Gate1::X,
+                    Gate1::Y,
+                    Gate1::Z,
+                    Gate1::H,
+                    Gate1::S,
+                    Gate1::SDag,
+                ][g as usize % 6];
                 c.g1(gate, q);
             }
             Instr::G2(g, a, b) => {

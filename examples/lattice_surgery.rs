@@ -50,9 +50,7 @@ fn main() {
         "\nsuppression factor d=3 → d=5: {:.1}x (fault tolerance of the merge/split)",
         d3 / d5.max(1e-9)
     );
-    println!(
-        "\nThe decoded observable is the conserved merged logical Z̄_M — the"
-    );
+    println!("\nThe decoded observable is the conserved merged logical Z̄_M — the");
     println!("individual patch readouts are gauge during the merge, exactly as in");
     println!("the code-deformation theory CaliQEC builds on (paper Sec. 2.2).");
 }

@@ -130,12 +130,7 @@ fn exhaustive_single_error_correction() {
     use caliqec_stab::extract_dem;
     use std::collections::HashMap;
     for (basis, label) in [(MemoryBasis::Z, "Z"), (MemoryBasis::X, "X")] {
-        let mem = memory_circuit(
-            &rotated_patch(3, 3),
-            &NoiseModel::uniform(1e-3),
-            3,
-            basis,
-        );
+        let mem = memory_circuit(&rotated_patch(3, 3), &NoiseModel::uniform(1e-3), 3, basis);
         let dem = extract_dem(&mem.circuit);
         // Group mechanisms by signature; the dominant one must decode right.
         let mut by_sig: HashMap<Vec<usize>, Vec<(f64, u64)>> = HashMap::new();
@@ -144,7 +139,10 @@ fn exhaustive_single_error_correction() {
                 continue; // hyperedges decompose; their pieces are covered
             }
             let sig: Vec<usize> = mech.detectors.iter().map(|d| d.0 as usize).collect();
-            by_sig.entry(sig).or_default().push((mech.probability, mech.observables));
+            by_sig
+                .entry(sig)
+                .or_default()
+                .push((mech.probability, mech.observables));
         }
         let graph = graph_for_circuit(&mem.circuit);
         let mut uf = UnionFindDecoder::new(graph.clone());

@@ -1,0 +1,159 @@
+//! Workspace-level determinism tests of the parallel Monte-Carlo LER
+//! engine: the same base seed produces a bit-identical [`LerEstimate`] at
+//! any thread count (with and without early stopping), the serial
+//! `estimate_ler` wrapper agrees with the engine, and a property test
+//! cross-checks the engine against the serial reference on random
+//! repetition-code circuits.
+//!
+//! [`LerEstimate`]: caliqec_match::LerEstimate
+
+use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, MemoryCircuit, NoiseModel};
+use caliqec_match::{
+    estimate_ler, estimate_ler_seeded, graph_for_circuit, LerEngine, SampleOptions,
+    UnionFindDecoder,
+};
+use caliqec_stab::{Basis, Circuit, CompiledCircuit, Noise1};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn d5_memory(p: f64) -> MemoryCircuit {
+    memory_circuit(
+        &rotated_patch(5, 5),
+        &NoiseModel::uniform(p),
+        5,
+        MemoryBasis::Z,
+    )
+}
+
+/// Distance-n repetition code, single round, X noise (mirrors the decoder
+/// test fixtures).
+fn rep_circuit(n: usize, p: f64) -> Circuit {
+    let data: Vec<u32> = (0..n as u32).collect();
+    let anc: Vec<u32> = (n as u32..(2 * n - 1) as u32).collect();
+    let mut c = Circuit::new(2 * n - 1);
+    c.reset(Basis::Z, &(0..(2 * n - 1) as u32).collect::<Vec<_>>());
+    c.noise1(Noise1::XError, p, &data);
+    for i in 0..n - 1 {
+        c.cx(data[i], anc[i]);
+        c.cx(data[i + 1], anc[i]);
+    }
+    let ms: Vec<_> = anc.iter().map(|&a| c.measure(a, Basis::Z, 0.0)).collect();
+    for m in &ms {
+        c.detector(&[*m]);
+    }
+    let md = c.measure(data[0], Basis::Z, 0.0);
+    c.observable(0, &[md]);
+    c
+}
+
+#[test]
+fn same_seed_same_estimate_across_thread_counts() {
+    let mem = d5_memory(2e-3);
+    let compiled = CompiledCircuit::new(&mem.circuit);
+    let graph = graph_for_circuit(&mem.circuit);
+    let opts = SampleOptions {
+        min_shots: 2048,
+        ..Default::default()
+    };
+    let runs: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            LerEngine::new(threads)
+                .estimate(
+                    &compiled,
+                    &|| UnionFindDecoder::new(graph.clone()),
+                    opts,
+                    0xD5,
+                )
+                .estimate
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "1 vs 2 threads");
+    assert_eq!(runs[0], runs[2], "1 vs 8 threads");
+    assert_eq!(runs[0].shots, 2048);
+}
+
+#[test]
+fn early_stop_same_result_across_thread_counts() {
+    // Noise well above threshold so the failure budget trips quickly.
+    let mem = d5_memory(3e-2);
+    let compiled = CompiledCircuit::new(&mem.circuit);
+    let graph = graph_for_circuit(&mem.circuit);
+    let opts = SampleOptions {
+        min_shots: 64,
+        max_failures: 8,
+        max_shots: 64 * 1024,
+    };
+    let mut decoder = UnionFindDecoder::new(graph.clone());
+    let serial = estimate_ler_seeded(&compiled, &mut decoder, opts, 99);
+    assert!(serial.failures >= 8, "early stop never engaged");
+    assert!(serial.shots < 64 * 1024, "ran the full budget");
+    for threads in [1usize, 2, 8] {
+        let run = LerEngine::new(threads).estimate(
+            &compiled,
+            &|| UnionFindDecoder::new(graph.clone()),
+            opts,
+            99,
+        );
+        assert_eq!(run.estimate, serial, "threads={threads}");
+    }
+}
+
+#[test]
+fn estimate_ler_wrapper_matches_engine() {
+    let mem = d5_memory(2e-3);
+    let graph = graph_for_circuit(&mem.circuit);
+    let opts = SampleOptions {
+        min_shots: 1024,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut decoder = UnionFindDecoder::new(graph.clone());
+    let wrapper = estimate_ler(&mem.circuit, &mut decoder, opts, &mut rng);
+
+    // The wrapper draws one u64 base seed from its RNG and delegates;
+    // replaying that draw must reproduce its result on the engine at any
+    // thread count.
+    let mut rng = StdRng::seed_from_u64(17);
+    let base_seed: u64 = rng.random();
+    let compiled = CompiledCircuit::new(&mem.circuit);
+    for threads in [1usize, 4] {
+        let run = LerEngine::new(threads).estimate(
+            &compiled,
+            &|| UnionFindDecoder::new(graph.clone()),
+            opts,
+            base_seed,
+        );
+        assert_eq!(run.estimate, wrapper, "threads={threads}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The parallel engine and the serial reference decode identical shot
+    /// streams for arbitrary small repetition codes, noise rates, seeds,
+    /// and worker counts.
+    #[test]
+    fn engine_matches_serial_on_random_circuits(
+        n in 2usize..6,
+        p in 0.01f64..0.4,
+        seed in 0u64..1_000,
+        threads in 1usize..5,
+    ) {
+        let c = rep_circuit(n, p);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let opts = SampleOptions { min_shots: 512, ..Default::default() };
+        let mut decoder = UnionFindDecoder::new(graph.clone());
+        let serial = estimate_ler_seeded(&compiled, &mut decoder, opts, seed);
+        let run = LerEngine::new(threads).estimate(
+            &compiled,
+            &|| UnionFindDecoder::new(graph.clone()),
+            opts,
+            seed,
+        );
+        prop_assert_eq!(run.estimate, serial);
+    }
+}
