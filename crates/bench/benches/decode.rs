@@ -1,10 +1,15 @@
 //! Micro-benchmarks of the decoders: union-find vs exact MWPM on
-//! surface-code syndromes of growing distance and defect density.
+//! surface-code syndromes of growing distance and defect density, plus
+//! before/after comparisons for the syndrome-sparse decode pipeline —
+//! dense vs word-sparse extraction, the allocate-per-call reference
+//! union-find vs the scratch-reusing one, and cached vs uncached MWPM.
 
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
-use caliqec_match::{graph_for_circuit, Decoder, MatchingGraph, MwpmDecoder, UnionFindDecoder};
-use caliqec_stab::FrameSampler;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use caliqec_match::{
+    graph_for_circuit, Decoder, MatchingGraph, MwpmDecoder, ReferenceUnionFind, UnionFindDecoder,
+};
+use caliqec_stab::{BatchEvents, FrameSampler, SparseBatch, BATCH};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,7 +27,7 @@ fn setup(d: usize, shots: usize) -> (MatchingGraph, Vec<Vec<usize>>) {
     let mut syndromes = Vec::new();
     while syndromes.len() < shots {
         let ev = sampler.sample_batch(&mut rng);
-        for s in 0..caliqec_stab::BATCH {
+        for s in 0..BATCH {
             let defects: Vec<usize> = ev
                 .detectors
                 .iter()
@@ -39,6 +44,23 @@ fn setup(d: usize, shots: usize) -> (MatchingGraph, Vec<Vec<usize>>) {
         }
     }
     (graph, syndromes)
+}
+
+/// Pre-samples whole 64-shot batches (for extraction / pipeline benches).
+fn setup_batches(d: usize, batches: usize) -> (MatchingGraph, Vec<BatchEvents>) {
+    let mem = memory_circuit(
+        &rotated_patch(d, d),
+        &NoiseModel::uniform(3e-3),
+        d,
+        MemoryBasis::Z,
+    );
+    let graph = graph_for_circuit(&mem.circuit);
+    let mut sampler = FrameSampler::new(&mem.circuit);
+    let mut rng = StdRng::seed_from_u64(3);
+    let evs = (0..batches)
+        .map(|_| sampler.sample_batch(&mut rng))
+        .collect();
+    (graph, evs)
 }
 
 fn bench_union_find(c: &mut Criterion) {
@@ -75,5 +97,138 @@ fn bench_mwpm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_union_find, bench_mwpm);
+/// Dense per-shot extraction (the historic `for_each_shot` shape: every
+/// shot scans every detector word) vs word-sparse extraction, per 64-shot
+/// batch on the d = 11 circuit-noise workload.
+fn bench_extraction(c: &mut Criterion) {
+    let (_, evs) = setup_batches(11, 16);
+    let mut group = c.benchmark_group("extraction_d11");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("dense", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let ev = &evs[i % evs.len()];
+            i += 1;
+            let mut total = 0usize;
+            for s in 0..BATCH {
+                let defects: Vec<usize> = ev
+                    .detectors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| (*w >> s) & 1 == 1)
+                    .map(|(i, _)| i)
+                    .collect();
+                total += defects.len();
+            }
+            total
+        });
+    });
+    group.bench_function("sparse", |b| {
+        let mut sparse = SparseBatch::new();
+        let mut i = 0;
+        b.iter(|| {
+            let ev = &evs[i % evs.len()];
+            i += 1;
+            sparse.extract(ev);
+            let mut total = 0usize;
+            for s in 0..BATCH {
+                total += sparse.defects(s).len();
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+/// The decode phase end to end (extraction + union-find), per 64-shot batch
+/// on d = 11: the historic shape (dense extraction + allocate-per-call
+/// reference decoder) vs the sparse pipeline (word-sparse extraction +
+/// scratch-reusing decoder). This is the headline before/after number.
+fn bench_decode_pipeline(c: &mut Criterion) {
+    let (graph, evs) = setup_batches(11, 16);
+    let mut group = c.benchmark_group("decode_pipeline_d11");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("dense_reference", |b| {
+        let mut dec = ReferenceUnionFind::new(graph.clone());
+        let mut i = 0;
+        b.iter(|| {
+            let ev = &evs[i % evs.len()];
+            i += 1;
+            let mut failures = 0usize;
+            for s in 0..BATCH {
+                let defects: Vec<usize> = ev
+                    .detectors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| (*w >> s) & 1 == 1)
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut obs = 0u64;
+                for (k, w) in ev.observables.iter().enumerate() {
+                    obs |= ((w >> s) & 1) << k;
+                }
+                if dec.decode(&defects) != obs {
+                    failures += 1;
+                }
+            }
+            failures
+        });
+    });
+    group.bench_function("sparse_scratch", |b| {
+        let mut dec = UnionFindDecoder::new(graph.clone());
+        let mut sparse = SparseBatch::new();
+        let mut i = 0;
+        b.iter(|| {
+            let ev = &evs[i % evs.len()];
+            i += 1;
+            sparse.extract(ev);
+            let mut failures = 0usize;
+            for s in 0..BATCH {
+                if dec.decode(sparse.defects(s)) != sparse.observables(s) {
+                    failures += 1;
+                }
+            }
+            failures
+        });
+    });
+    group.finish();
+}
+
+/// MWPM with the per-source shortest-path cache and early-terminating
+/// Dijkstra vs the historic compute-everything path, on repeated d = 7
+/// syndromes.
+fn bench_mwpm_cache(c: &mut Criterion) {
+    let (graph, syndromes) = setup(7, 64);
+    let mut group = c.benchmark_group("mwpm_cache_d7");
+    group.sample_size(20);
+    group.bench_function("uncached", |b| {
+        let mut dec = MwpmDecoder::without_cache(graph.clone());
+        let mut i = 0;
+        b.iter(|| {
+            let s = &syndromes[i % syndromes.len()];
+            i += 1;
+            dec.decode(s)
+        });
+    });
+    group.bench_function("cached", |b| {
+        let mut dec = MwpmDecoder::new(graph.clone());
+        let mut i = 0;
+        b.iter(|| {
+            let s = &syndromes[i % syndromes.len()];
+            i += 1;
+            dec.decode(s)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_union_find,
+    bench_mwpm,
+    bench_extraction,
+    bench_decode_pipeline,
+    bench_mwpm_cache
+);
 criterion_main!(benches);

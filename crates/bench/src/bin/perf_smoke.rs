@@ -1,0 +1,81 @@
+//! Decode-pipeline performance smoke: runs the Monte-Carlo LER engine on
+//! fixed-seed d ∈ {7, 11, 15} circuit-noise workloads and writes per-config
+//! throughput/phase-timing numbers to a JSON file (`BENCH_decode.json` at
+//! the repo root by default).
+//!
+//! Flags: `--shots N` (shot budget per config, default 100 000),
+//! `--threads N` (worker count, default auto), `--out PATH`.
+//! Results are deterministic in the shot budget; timings obviously are not.
+
+use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, UnionFindDecoder};
+use caliqec_stab::CompiledCircuit;
+use std::fmt::Write as _;
+
+fn main() {
+    let shots = caliqec_bench::usize_from_args("shots", 100_000);
+    let threads = caliqec_bench::threads_from_args();
+    let out = caliqec_bench::string_from_args("out", "BENCH_decode.json");
+    let engine = LerEngine::new(threads);
+    let p = 1e-3;
+
+    let mut configs = String::new();
+    for (i, d) in [7usize, 11, 15].into_iter().enumerate() {
+        eprintln!(
+            "perf_smoke: d={d}, {shots} shots, {} threads...",
+            engine.threads()
+        );
+        let mem = memory_circuit(
+            &rotated_patch(d, d),
+            &NoiseModel::uniform(p),
+            d,
+            MemoryBasis::Z,
+        );
+        let compiled = CompiledCircuit::new(&mem.circuit);
+        let graph = graph_for_circuit(&mem.circuit);
+        let run = engine.estimate(
+            &compiled,
+            &|| UnionFindDecoder::new(graph.clone()),
+            SampleOptions {
+                min_shots: shots,
+                ..Default::default()
+            },
+            0xC0FFEE + d as u64,
+        );
+        eprintln!(
+            "perf_smoke: d={d}: {:.0} shots/s (sample {:.3}s, extract {:.3}s, decode {:.3}s)",
+            run.shots_per_sec(),
+            run.sample_seconds,
+            run.extract_seconds,
+            run.decode_seconds
+        );
+        if i > 0 {
+            configs.push_str(",\n");
+        }
+        write!(
+            configs,
+            concat!(
+                "    {{\"d\": {}, \"p\": {}, \"rounds\": {}, \"threads\": {}, ",
+                "\"shots\": {}, \"failures\": {}, \"shots_per_sec\": {:.1}, ",
+                "\"wall_seconds\": {:.6}, \"sample_seconds\": {:.6}, ",
+                "\"extract_seconds\": {:.6}, \"decode_seconds\": {:.6}}}"
+            ),
+            d,
+            p,
+            d,
+            run.threads,
+            run.estimate.shots,
+            run.estimate.failures,
+            run.shots_per_sec(),
+            run.wall_seconds,
+            run.sample_seconds,
+            run.extract_seconds,
+            run.decode_seconds
+        )
+        .expect("write to string");
+    }
+
+    let json = format!("{{\n  \"configs\": [\n{configs}\n  ]\n}}\n");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("perf_smoke: wrote {out}");
+}

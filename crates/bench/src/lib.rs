@@ -28,3 +28,40 @@ pub fn threads_from_args() -> usize {
     }
     0
 }
+
+/// Parses `--<name> N` (or `--<name>=N`) from the process arguments,
+/// falling back to `default` when absent or malformed. Companion to
+/// [`threads_from_args`] for the experiment binaries' numeric flags.
+pub fn usize_from_args(name: &str, default: usize) -> usize {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(n) = a.strip_prefix(&prefix).and_then(|v| v.parse().ok()) {
+            return n;
+        }
+    }
+    default
+}
+
+/// Parses `--<name> VALUE` (or `--<name>=VALUE`) from the process
+/// arguments, falling back to `default` when absent.
+pub fn string_from_args(name: &str, default: &str) -> String {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            if let Some(v) = args.next() {
+                return v;
+            }
+        } else if let Some(v) = a.strip_prefix(&prefix) {
+            return v.to_string();
+        }
+    }
+    default.to_string()
+}

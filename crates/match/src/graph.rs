@@ -49,8 +49,12 @@ pub struct MatchingGraph {
     num_detectors: usize,
     num_observables: usize,
     edges: Vec<Edge>,
-    /// adjacency[node] -> indices into `edges`
-    adjacency: Vec<Vec<usize>>,
+    /// CSR adjacency: `adj_edges[adj_offsets[n]..adj_offsets[n + 1]]` are
+    /// the indices (into `edges`) of the edges incident to node `n`, in
+    /// ascending edge order. Flat so cluster growth and Dijkstra walk
+    /// contiguous memory instead of chasing one heap box per node.
+    adj_offsets: Vec<u32>,
+    adj_edges: Vec<u32>,
 }
 
 fn probability_to_weight(p: f64) -> f64 {
@@ -163,18 +167,38 @@ impl MatchingGraph {
             .collect();
         edges.sort_by_key(|a| (a.u, a.v));
 
-        let mut adjacency = vec![Vec::new(); dem.num_detectors + 1];
-        for (i, e) in edges.iter().enumerate() {
-            adjacency[e.u].push(i);
+        // Two-pass CSR build: count degrees, prefix-sum into offsets, fill.
+        // Edges are visited in ascending index order, so each node's
+        // incidence list comes out ascending — the same order the old
+        // `Vec<Vec<usize>>` adjacency produced.
+        let num_nodes = dem.num_detectors + 1;
+        let mut degree = vec![0u32; num_nodes];
+        for e in &edges {
+            degree[e.u] += 1;
             if e.v != e.u {
-                adjacency[e.v].push(i);
+                degree[e.v] += 1;
+            }
+        }
+        let mut adj_offsets = vec![0u32; num_nodes + 1];
+        for n in 0..num_nodes {
+            adj_offsets[n + 1] = adj_offsets[n] + degree[n];
+        }
+        let mut cursor = adj_offsets.clone();
+        let mut adj_edges = vec![0u32; adj_offsets[num_nodes] as usize];
+        for (i, e) in edges.iter().enumerate() {
+            adj_edges[cursor[e.u] as usize] = i as u32;
+            cursor[e.u] += 1;
+            if e.v != e.u {
+                adj_edges[cursor[e.v] as usize] = i as u32;
+                cursor[e.v] += 1;
             }
         }
         MatchingGraph {
             num_detectors: dem.num_detectors,
             num_observables: dem.num_observables,
             edges,
-            adjacency,
+            adj_offsets,
+            adj_edges,
         }
     }
 
@@ -203,9 +227,13 @@ impl MatchingGraph {
         &self.edges
     }
 
-    /// Indices (into [`Self::edges`]) of the edges incident to `node`.
-    pub fn incident(&self, node: NodeId) -> &[usize] {
-        &self.adjacency[node]
+    /// Indices (into [`Self::edges`]) of the edges incident to `node`, in
+    /// ascending edge order. A contiguous CSR slice, cheap to walk.
+    #[inline]
+    pub fn incident(&self, node: NodeId) -> &[u32] {
+        let lo = self.adj_offsets[node] as usize;
+        let hi = self.adj_offsets[node + 1] as usize;
+        &self.adj_edges[lo..hi]
     }
 
     /// The endpoint of edge `e` opposite to `node`.
@@ -358,11 +386,23 @@ mod tests {
     #[test]
     fn adjacency_is_consistent() {
         let g = MatchingGraph::from_dem(&extract_dem(&chain_circuit(0.01)));
+        let mut slots = 0usize;
         for node in 0..g.num_nodes() {
-            for &ei in g.incident(node) {
-                let e = &g.edges()[ei];
+            let incident = g.incident(node);
+            // CSR incidence lists are ascending (matching edge sort order).
+            assert!(incident.windows(2).all(|w| w[0] < w[1]));
+            for &ei in incident {
+                let e = &g.edges()[ei as usize];
                 assert!(e.u == node || e.v == node);
+                slots += 1;
             }
         }
+        // Every edge occupies exactly one slot per distinct endpoint.
+        let expected: usize = g
+            .edges()
+            .iter()
+            .map(|e| if e.u == e.v { 1 } else { 2 })
+            .sum();
+        assert_eq!(slots, expected);
     }
 }

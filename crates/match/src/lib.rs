@@ -9,7 +9,12 @@
 //! - [`UnionFindDecoder`]: the weighted union-find decoder
 //!   (Delfosse–Nickerson), near-linear time, the primary Monte-Carlo decoder.
 //! - [`MwpmDecoder`]: exact minimum-weight perfect matching for small defect
-//!   sets (bitmask DP) with a greedy fallback — the oracle decoder.
+//!   sets (bitmask DP) with a greedy fallback — the oracle decoder. Caches
+//!   per-source shortest-path trees and early-terminates Dijkstra runs;
+//!   [`MwpmDecoder::without_cache`] restores the historic behavior.
+//! - [`ReferenceUnionFind`]: the pre-optimization allocate-per-call
+//!   union-find decoder, kept as a bit-identical reference for benches and
+//!   cross-validation.
 //! - [`estimate_ler`]: end-to-end residual logical-error-rate estimation
 //!   using the batched Pauli-frame sampler.
 //! - [`LerEngine`]: the thread-parallel Monte-Carlo engine behind
@@ -48,10 +53,12 @@ mod decode;
 mod engine;
 mod graph;
 mod mwpm;
+mod reference;
 mod unionfind;
 
 pub use decode::{estimate_ler, graph_for_circuit, Decoder, LerEstimate, SampleOptions};
 pub use engine::{estimate_ler_seeded, DecoderFactory, EngineRun, LerEngine};
 pub use graph::{Edge, MatchingGraph, NodeId};
 pub use mwpm::MwpmDecoder;
+pub use reference::ReferenceUnionFind;
 pub use unionfind::UnionFindDecoder;

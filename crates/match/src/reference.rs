@@ -1,0 +1,269 @@
+//! Reference decoder implementations, preserved for benchmarking and
+//! cross-validation.
+//!
+//! [`ReferenceUnionFind`] is the pre-optimization union-find decoder: it
+//! allocates its growth-phase bookkeeping (root list, per-edge growth-rate
+//! map) and its entire peeling forest (graph-sized adjacency, visit marks,
+//! BFS order) on every call. The production [`crate::UnionFindDecoder`] must
+//! produce bit-identical corrections while doing all of that in reused,
+//! dirty-list-cleaned scratch; tests and Criterion benches compare the two.
+
+use crate::decode::Decoder;
+use crate::graph::{MatchingGraph, NodeId};
+
+/// The historic allocate-per-call union-find decoder (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_match::{Decoder, MatchingGraph, ReferenceUnionFind};
+/// use caliqec_stab::{Basis, Circuit, Noise1, extract_dem};
+///
+/// let mut c = Circuit::new(1);
+/// c.reset(Basis::Z, &[0]);
+/// c.noise1(Noise1::XError, 0.01, &[0]);
+/// let m = c.measure(0, Basis::Z, 0.0);
+/// c.detector(&[m]);
+/// c.observable(0, &[m]);
+/// let graph = MatchingGraph::from_dem(&extract_dem(&c));
+/// let mut dec = ReferenceUnionFind::new(graph);
+/// assert_eq!(dec.decode(&[0]), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReferenceUnionFind {
+    graph: MatchingGraph,
+    parent: Vec<NodeId>,
+    parity: Vec<bool>,
+    has_boundary: Vec<bool>,
+    members: Vec<Vec<NodeId>>,
+    growth: Vec<f64>,
+    defect: Vec<bool>,
+    dirty_nodes: Vec<NodeId>,
+    dirty_edges: Vec<usize>,
+}
+
+impl ReferenceUnionFind {
+    /// Creates a decoder owning its matching graph.
+    pub fn new(graph: MatchingGraph) -> ReferenceUnionFind {
+        let n = graph.num_nodes();
+        let e = graph.edges().len();
+        let boundary = graph.boundary();
+        let mut has_boundary = vec![false; n];
+        has_boundary[boundary] = true;
+        ReferenceUnionFind {
+            graph,
+            parent: (0..n).collect(),
+            parity: vec![false; n],
+            has_boundary,
+            members: (0..n).map(|i| vec![i]).collect(),
+            growth: vec![0.0; e],
+            defect: vec![false; n],
+            dirty_nodes: Vec::new(),
+            dirty_edges: Vec::new(),
+        }
+    }
+
+    /// The underlying matching graph.
+    pub fn graph(&self) -> &MatchingGraph {
+        &self.graph
+    }
+
+    fn find(&mut self, mut a: NodeId) -> NodeId {
+        while self.parent[a] != a {
+            self.parent[a] = self.parent[self.parent[a]];
+            a = self.parent[a];
+        }
+        a
+    }
+
+    fn union(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        self.dirty_nodes.push(ra);
+        self.dirty_nodes.push(rb);
+        // Small-to-large member merging.
+        let (big, small) = if self.members[ra].len() >= self.members[rb].len() {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        let moved = std::mem::take(&mut self.members[small]);
+        self.members[big].extend(moved);
+        let p = self.parity[small];
+        self.parity[big] ^= p;
+        let hb = self.has_boundary[small];
+        self.has_boundary[big] |= hb;
+        big
+    }
+
+    fn cleanup(&mut self) {
+        let boundary = self.graph.boundary();
+        for i in 0..self.dirty_nodes.len() {
+            let n = self.dirty_nodes[i];
+            self.parent[n] = n;
+            self.parity[n] = false;
+            self.has_boundary[n] = n == boundary;
+            self.members[n].clear();
+            self.members[n].push(n);
+            self.defect[n] = false;
+        }
+        self.dirty_nodes.clear();
+        for i in 0..self.dirty_edges.len() {
+            self.growth[self.dirty_edges[i]] = 0.0;
+        }
+        self.dirty_edges.clear();
+    }
+
+    fn is_active(&self, r: NodeId) -> bool {
+        self.parity[r] && !self.has_boundary[r]
+    }
+
+    fn grow_clusters(&mut self, defects: &[NodeId]) -> Vec<usize> {
+        for &d in defects {
+            self.defect[d] = true;
+            self.parity[d] = true;
+            self.dirty_nodes.push(d);
+        }
+        loop {
+            let mut roots: Vec<NodeId> = Vec::new();
+            for &d in defects {
+                let r = self.find(d);
+                if self.is_active(r) {
+                    roots.push(r);
+                }
+            }
+            if roots.is_empty() {
+                break;
+            }
+            let mut seen_root = vec![];
+            let mut frontier: Vec<(usize, f64)> = Vec::new();
+            let mut rate: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            for &r in &roots {
+                if seen_root.contains(&r) {
+                    continue;
+                }
+                seen_root.push(r);
+                let members = self.members[r].clone();
+                for node in members {
+                    for &ei in self.graph.incident(node) {
+                        let ei = ei as usize;
+                        let e = &self.graph.edges()[ei];
+                        if self.growth[ei] >= e.weight {
+                            continue;
+                        }
+                        *rate.entry(ei).or_insert(0.0) += 1.0;
+                    }
+                }
+            }
+            let mut delta = f64::INFINITY;
+            for (&ei, &rt) in &rate {
+                let slack = self.graph.edges()[ei].weight - self.growth[ei];
+                delta = delta.min(slack / rt);
+            }
+            if !delta.is_finite() {
+                for &r in &roots {
+                    let rr = self.find(r);
+                    self.has_boundary[rr] = true;
+                    self.dirty_nodes.push(rr);
+                }
+                break;
+            }
+            frontier.extend(rate.iter().map(|(&e, &r)| (e, r)));
+            for (ei, rt) in frontier {
+                if self.growth[ei] == 0.0 {
+                    self.dirty_edges.push(ei);
+                }
+                self.growth[ei] += delta * rt;
+                let e = &self.graph.edges()[ei];
+                if self.growth[ei] >= e.weight - 1e-12 {
+                    self.growth[ei] = e.weight;
+                    let (u, v) = (e.u, e.v);
+                    self.dirty_nodes.push(u);
+                    self.dirty_nodes.push(v);
+                    self.union(u, v);
+                }
+            }
+        }
+        let mut grown: Vec<usize> = self
+            .dirty_edges
+            .iter()
+            .copied()
+            .filter(|&ei| self.growth[ei] >= self.graph.edges()[ei].weight)
+            .collect();
+        grown.sort_unstable();
+        grown
+    }
+
+    fn peel(&mut self, grown: &[usize]) -> u64 {
+        let n = self.graph.num_nodes();
+        // Full graph-sized adjacency / visit marks, allocated per call —
+        // the cost the production decoder removes.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &ei in grown {
+            let e = &self.graph.edges()[ei];
+            adj[e.u].push(ei);
+            adj[e.v].push(ei);
+        }
+        let boundary = self.graph.boundary();
+        let mut visited = vec![false; n];
+        let mut correction = 0u64;
+
+        let mut order: Vec<(NodeId, Option<usize>)> = Vec::new();
+        let component =
+            |start: NodeId, visited: &mut Vec<bool>, order: &mut Vec<(NodeId, Option<usize>)>| {
+                let base = order.len();
+                visited[start] = true;
+                order.push((start, None));
+                let mut head = base;
+                while head < order.len() {
+                    let (node, _) = order[head];
+                    head += 1;
+                    for &ei in &adj[node] {
+                        let other = self.graph.other_endpoint(ei, node);
+                        if !visited[other] {
+                            visited[other] = true;
+                            order.push((other, Some(ei)));
+                        }
+                    }
+                }
+            };
+
+        component(boundary, &mut visited, &mut order);
+        for start in 0..n {
+            if !visited[start] {
+                component(start, &mut visited, &mut order);
+            }
+        }
+        for i in (0..order.len()).rev() {
+            let (node, parent_edge) = order[i];
+            if !self.defect[node] {
+                continue;
+            }
+            let Some(ei) = parent_edge else {
+                debug_assert!(node == boundary, "non-boundary root retained defect parity");
+                continue;
+            };
+            let e = &self.graph.edges()[ei];
+            correction ^= e.observables;
+            let parent = self.graph.other_endpoint(ei, node);
+            self.defect[node] = false;
+            self.defect[parent] ^= true;
+        }
+        correction
+    }
+}
+
+impl Decoder for ReferenceUnionFind {
+    fn decode(&mut self, defects: &[NodeId]) -> u64 {
+        if defects.is_empty() {
+            return 0;
+        }
+        let grown = self.grow_clusters(defects);
+        let correction = self.peel(&grown);
+        self.cleanup();
+        correction
+    }
+}

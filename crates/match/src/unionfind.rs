@@ -12,6 +12,15 @@ use crate::graph::{MatchingGraph, NodeId};
 
 /// Union-find decoder over a matching graph.
 ///
+/// The decode hot path is allocation-free in the steady state: *all*
+/// working storage — cluster state, per-iteration growth rates, and the
+/// peeling forest (adjacency restricted to grown edges, visit marks, BFS
+/// order) — lives in scratch fields sized once at construction and
+/// restored after every call via dirty lists, so the per-call cost scales
+/// with the syndrome (defects touched, edges grown), never with the graph.
+/// See `DESIGN.md` § "Decode hot path" for the exact invariants each dirty
+/// list must restore.
+///
 /// # Examples
 ///
 /// ```
@@ -32,9 +41,9 @@ use crate::graph::{MatchingGraph, NodeId};
 #[derive(Clone, Debug)]
 pub struct UnionFindDecoder {
     graph: MatchingGraph,
-    // Scratch state. Kept clean between decode calls by undoing only the
-    // entries each call touched (dirty lists), so the per-call cost scales
-    // with the syndrome, not with the graph.
+    // Cluster scratch. Kept clean between decode calls by undoing only the
+    // entries each call touched (`dirty_nodes` / `dirty_edges`), so the
+    // per-call cost scales with the syndrome, not with the graph.
     parent: Vec<NodeId>,
     parity: Vec<bool>,
     has_boundary: Vec<bool>,
@@ -43,6 +52,21 @@ pub struct UnionFindDecoder {
     defect: Vec<bool>,
     dirty_nodes: Vec<NodeId>,
     dirty_edges: Vec<usize>,
+    // Growth-phase scratch, cleared within each decode (capacity kept):
+    // active cluster roots, per-edge growth rates for one growth step, and
+    // the fully-grown edge set handed to peeling.
+    roots: Vec<NodeId>,
+    rate: Vec<f64>,
+    rate_edges: Vec<usize>,
+    grown: Vec<usize>,
+    // Peel scratch, restricted to grown-edge endpoints and restored after
+    // each call: `peel_adj[n]` holds the grown edges incident to `n`
+    // (cleared via the grown list), `peel_visited` marks BFS-reached nodes
+    // (cleared via `peel_order`), `peel_order` is the BFS forest in
+    // discovery order with each node's parent edge.
+    peel_adj: Vec<Vec<usize>>,
+    peel_visited: Vec<bool>,
+    peel_order: Vec<(NodeId, Option<usize>)>,
 }
 
 impl UnionFindDecoder {
@@ -63,6 +87,13 @@ impl UnionFindDecoder {
             defect: vec![false; n],
             dirty_nodes: Vec::new(),
             dirty_edges: Vec::new(),
+            roots: Vec::new(),
+            rate: vec![0.0; e],
+            rate_edges: Vec::new(),
+            grown: Vec::new(),
+            peel_adj: vec![Vec::new(); n],
+            peel_visited: vec![false; n],
+            peel_order: Vec::new(),
         }
     }
 
@@ -93,8 +124,11 @@ impl UnionFindDecoder {
             (rb, ra)
         };
         self.parent[small] = big;
-        let moved = std::mem::take(&mut self.members[small]);
-        self.members[big].extend(moved);
+        // Drain by pop/push so both member buffers keep their capacity
+        // (a take + extend would drop the small side's allocation).
+        while let Some(m) = self.members[small].pop() {
+            self.members[big].push(m);
+        }
         let p = self.parity[small];
         self.parity[big] ^= p;
         let hb = self.has_boundary[small];
@@ -122,145 +156,184 @@ impl UnionFindDecoder {
         self.dirty_edges.clear();
     }
 
-    /// Whether the cluster rooted at `r` still needs to grow.
-    fn is_active(&self, r: NodeId) -> bool {
-        self.parity[r] && !self.has_boundary[r]
-    }
-
-    /// Grows clusters until every one is neutral, then returns the set of
-    /// fully grown edges.
-    fn grow_clusters(&mut self, defects: &[NodeId]) -> Vec<usize> {
+    /// Grows clusters until every one is neutral, leaving the set of fully
+    /// grown edges in `self.grown` (sorted ascending).
+    fn grow_clusters(&mut self, defects: &[NodeId]) {
         for &d in defects {
             self.defect[d] = true;
             self.parity[d] = true;
             self.dirty_nodes.push(d);
         }
         loop {
-            // Collect the roots of active (odd, boundary-free) clusters.
-            let mut roots: Vec<NodeId> = Vec::new();
+            // Collect the roots of active (odd, boundary-free) clusters,
+            // deduplicated (defects in one cluster share a root).
+            self.roots.clear();
             for &d in defects {
                 let r = self.find(d);
-                if self.is_active(r) {
-                    roots.push(r);
+                if self.parity[r] && !self.has_boundary[r] && !self.roots.contains(&r) {
+                    self.roots.push(r);
                 }
             }
-            if roots.is_empty() {
+            if self.roots.is_empty() {
                 break;
             }
-            let mut seen_root = vec![];
-            // Frontier edges of each active cluster, with growth rate 1 or 2.
-            let mut frontier: Vec<(usize, f64)> = Vec::new();
-            let mut rate: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
-            for &r in &roots {
-                if seen_root.contains(&r) {
-                    continue;
-                }
-                seen_root.push(r);
-                let members = self.members[r].clone();
-                for node in members {
-                    for &ei in self.graph.incident(node) {
-                        let e = &self.graph.edges()[ei];
-                        if self.growth[ei] >= e.weight {
-                            continue;
+            // Frontier edges of each active cluster, with growth rate 1 or
+            // 2 accumulated in the per-edge `rate` scratch (`rate_edges`
+            // lists the touched entries for O(frontier) reset). An edge
+            // interior to one cluster appears twice (once per endpoint);
+            // that is fine — it just completes sooner and the union below
+            // is a no-op.
+            {
+                let UnionFindDecoder {
+                    graph,
+                    members,
+                    growth,
+                    roots,
+                    rate,
+                    rate_edges,
+                    ..
+                } = self;
+                for &r in roots.iter() {
+                    for &node in &members[r] {
+                        for &ei in graph.incident(node) {
+                            let ei = ei as usize;
+                            if growth[ei] >= graph.edges()[ei].weight {
+                                continue;
+                            }
+                            if rate[ei] == 0.0 {
+                                rate_edges.push(ei);
+                            }
+                            rate[ei] += 1.0;
                         }
-                        *rate.entry(ei).or_insert(0.0) += 1.0;
                     }
                 }
             }
-            // An edge interior to one cluster appears twice (once per
-            // endpoint); that is fine — it just completes sooner and the
-            // union below is a no-op.
             let mut delta = f64::INFINITY;
-            for (&ei, &rt) in &rate {
+            for &ei in &self.rate_edges {
                 let slack = self.graph.edges()[ei].weight - self.growth[ei];
-                delta = delta.min(slack / rt);
+                delta = delta.min(slack / self.rate[ei]);
             }
             if !delta.is_finite() {
                 // No growable edges left: disconnected defect; give up on it
                 // by declaring its cluster boundary-connected.
-                for &r in &roots {
+                for i in 0..self.roots.len() {
+                    let r = self.roots[i];
                     let rr = self.find(r);
                     self.has_boundary[rr] = true;
                     self.dirty_nodes.push(rr);
                 }
                 break;
             }
-            frontier.extend(rate.iter().map(|(&e, &r)| (e, r)));
-            for (ei, rt) in frontier {
+            for i in 0..self.rate_edges.len() {
+                let ei = self.rate_edges[i];
+                let rt = self.rate[ei];
+                self.rate[ei] = 0.0;
                 if self.growth[ei] == 0.0 {
                     self.dirty_edges.push(ei);
                 }
                 self.growth[ei] += delta * rt;
-                let e = &self.graph.edges()[ei];
-                if self.growth[ei] >= e.weight - 1e-12 {
-                    self.growth[ei] = e.weight;
-                    let (u, v) = (e.u, e.v);
+                let (u, v, w) = {
+                    let e = &self.graph.edges()[ei];
+                    (e.u, e.v, e.weight)
+                };
+                if self.growth[ei] >= w - 1e-12 {
+                    self.growth[ei] = w;
                     self.dirty_nodes.push(u);
                     self.dirty_nodes.push(v);
                     self.union(u, v);
                 }
             }
+            self.rate_edges.clear();
         }
         // Sorted for determinism: the peeling forest depends on adjacency
         // order, and an unordered grown set would let cluster cycles (e.g.
         // boundary-to-boundary paths) resolve either way.
-        let mut grown: Vec<usize> = self
-            .dirty_edges
-            .iter()
-            .copied()
-            .filter(|&ei| self.growth[ei] >= self.graph.edges()[ei].weight)
-            .collect();
+        let UnionFindDecoder {
+            graph,
+            growth,
+            dirty_edges,
+            grown,
+            ..
+        } = self;
+        grown.clear();
+        grown.extend(
+            dirty_edges
+                .iter()
+                .copied()
+                .filter(|&ei| growth[ei] >= graph.edges()[ei].weight),
+        );
         grown.sort_unstable();
-        grown
     }
 
-    /// Peels the grown forest, pairing defects and accumulating the
-    /// observable mask of the used edges.
-    fn peel(&mut self, grown: &[usize]) -> u64 {
-        let n = self.graph.num_nodes();
-        // Adjacency restricted to grown edges.
-        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for &ei in grown {
-            let e = &self.graph.edges()[ei];
-            adj[e.u].push(ei);
-            adj[e.v].push(ei);
-        }
+    /// Peels the grown forest (left in `self.grown` by
+    /// [`Self::grow_clusters`]), pairing defects and accumulating the
+    /// observable mask of the used edges. Works entirely in scratch
+    /// restricted to grown-edge endpoints and restores it before
+    /// returning.
+    fn peel(&mut self) -> u64 {
         let boundary = self.graph.boundary();
-        let mut visited = vec![false; n];
-        let mut correction = 0u64;
+        let UnionFindDecoder {
+            graph,
+            defect,
+            grown,
+            peel_adj,
+            peel_visited,
+            peel_order,
+            ..
+        } = self;
+        // Adjacency restricted to grown edges; only their endpoints are
+        // touched, and the same list clears them again below.
+        for &ei in grown.iter() {
+            let e = &graph.edges()[ei];
+            peel_adj[e.u].push(ei);
+            peel_adj[e.v].push(ei);
+        }
+        peel_order.clear();
 
-        // Root each component at the boundary when present so leftover parity
-        // drains there.
-        let mut order: Vec<(NodeId, Option<usize>)> = Vec::new(); // (node, edge to parent)
-        let component =
-            |start: NodeId, visited: &mut Vec<bool>, order: &mut Vec<(NodeId, Option<usize>)>| {
-                let base = order.len();
-                visited[start] = true;
-                order.push((start, None));
-                let mut head = base;
-                while head < order.len() {
-                    let (node, _) = order[head];
-                    head += 1;
-                    for &ei in &adj[node] {
-                        let other = self.graph.other_endpoint(ei, node);
-                        if !visited[other] {
-                            visited[other] = true;
-                            order.push((other, Some(ei)));
-                        }
+        /// BFS from `start`, appending `(node, edge to parent)` entries.
+        fn component(
+            graph: &MatchingGraph,
+            adj: &[Vec<usize>],
+            visited: &mut [bool],
+            order: &mut Vec<(NodeId, Option<usize>)>,
+            start: NodeId,
+        ) {
+            let base = order.len();
+            visited[start] = true;
+            order.push((start, None));
+            let mut head = base;
+            while head < order.len() {
+                let (node, _) = order[head];
+                head += 1;
+                for &ei in &adj[node] {
+                    let other = graph.other_endpoint(ei, node);
+                    if !visited[other] {
+                        visited[other] = true;
+                        order.push((other, Some(ei)));
                     }
                 }
-            };
+            }
+        }
 
-        component(boundary, &mut visited, &mut order);
-        for start in 0..n {
-            if !visited[start] {
-                component(start, &mut visited, &mut order);
+        // Root each component at the boundary when present so leftover
+        // parity drains there. The remaining components are discovered by
+        // scanning the (sorted) grown edges: the first edge touching a
+        // component has the component's minimum node as its `u` endpoint,
+        // so BFS roots match the historical full-node scan exactly.
+        component(graph, peel_adj, peel_visited, peel_order, boundary);
+        for &ei in grown.iter() {
+            let e = &graph.edges()[ei];
+            for node in [e.u, e.v] {
+                if !peel_visited[node] {
+                    component(graph, peel_adj, peel_visited, peel_order, node);
+                }
             }
         }
         // Peel leaves: reverse BFS order guarantees children before parents.
-        for i in (0..order.len()).rev() {
-            let (node, parent_edge) = order[i];
-            if !self.defect[node] {
+        let mut correction = 0u64;
+        for i in (0..peel_order.len()).rev() {
+            let (node, parent_edge) = peel_order[i];
+            if !defect[node] {
                 continue;
             }
             let Some(ei) = parent_edge else {
@@ -268,12 +341,23 @@ impl UnionFindDecoder {
                 debug_assert!(node == boundary, "non-boundary root retained defect parity");
                 continue;
             };
-            let e = &self.graph.edges()[ei];
+            let e = &graph.edges()[ei];
             correction ^= e.observables;
-            let parent = self.graph.other_endpoint(ei, node);
-            self.defect[node] = false;
-            self.defect[parent] ^= true;
+            let parent = graph.other_endpoint(ei, node);
+            defect[node] = false;
+            defect[parent] ^= true;
         }
+        // Restore the peel scratch: visit marks via the BFS order, the
+        // restricted adjacency via the grown edges that populated it.
+        for &(node, _) in peel_order.iter() {
+            peel_visited[node] = false;
+        }
+        for &ei in grown.iter() {
+            let e = &graph.edges()[ei];
+            peel_adj[e.u].clear();
+            peel_adj[e.v].clear();
+        }
+        peel_order.clear();
         correction
     }
 }
@@ -283,8 +367,8 @@ impl Decoder for UnionFindDecoder {
         if defects.is_empty() {
             return 0;
         }
-        let grown = self.grow_clusters(defects);
-        let correction = self.peel(&grown);
+        self.grow_clusters(defects);
+        let correction = self.peel();
         self.cleanup();
         correction
     }
@@ -364,5 +448,34 @@ mod tests {
         let a = dec.decode(&[1, 4]);
         let b = dec.decode(&[1, 4]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_restored_between_calls() {
+        // After any decode, every scratch structure must be back to its
+        // pristine state (this is the allocation-free contract: the next
+        // call assumes it).
+        let g = rep_chain(7, 0.01);
+        let n = g.num_nodes();
+        let boundary = g.boundary();
+        let mut dec = UnionFindDecoder::new(g);
+        for defects in [vec![0], vec![1, 4], vec![0, 2, 3, 5]] {
+            dec.decode(&defects);
+            for i in 0..n {
+                assert_eq!(dec.parent[i], i);
+                assert!(!dec.parity[i]);
+                assert_eq!(dec.has_boundary[i], i == boundary);
+                assert_eq!(dec.members[i], vec![i]);
+                assert!(!dec.defect[i]);
+                assert!(dec.peel_adj[i].is_empty());
+                assert!(!dec.peel_visited[i]);
+            }
+            assert!(dec.growth.iter().all(|&g| g == 0.0));
+            assert!(dec.rate.iter().all(|&r| r == 0.0));
+            assert!(dec.dirty_nodes.is_empty());
+            assert!(dec.dirty_edges.is_empty());
+            assert!(dec.rate_edges.is_empty());
+            assert!(dec.peel_order.is_empty());
+        }
     }
 }

@@ -14,7 +14,7 @@
 //! [`BatchEvents`] — a property the differential tests rely on.
 
 use crate::circuit::{Basis, Circuit, Gate1, Gate2, Noise1, Noise2, Op};
-use crate::frame::{bernoulli_mask, BatchEvents, BATCH};
+use crate::frame::{bernoulli_mask, for_each_set_bit, BatchEvents, BATCH};
 use crate::pauli::Pauli;
 use crate::sim::two_qubit_pauli;
 use rand::rngs::StdRng;
@@ -277,10 +277,7 @@ impl CompiledCircuit {
                 }
                 Instr::Dep1 { q, p } => {
                     let q = q as usize;
-                    let mut rem = bernoulli_mask(p, rng);
-                    while rem != 0 {
-                        let s = rem.trailing_zeros();
-                        rem &= rem - 1;
+                    for_each_set_bit(bernoulli_mask(p, rng), |s| {
                         let bit = 1u64 << s;
                         match Pauli::NON_IDENTITY[rng.random_range(0..3)] {
                             Pauli::X => x[q] ^= bit,
@@ -291,14 +288,11 @@ impl CompiledCircuit {
                             }
                             Pauli::I => unreachable!(),
                         }
-                    }
+                    });
                 }
                 Instr::Dep2 { a, b, p } => {
                     let (a, b) = (a as usize, b as usize);
-                    let mut rem = bernoulli_mask(p, rng);
-                    while rem != 0 {
-                        let s = rem.trailing_zeros();
-                        rem &= rem - 1;
+                    for_each_set_bit(bernoulli_mask(p, rng), |s| {
                         let bit = 1u64 << s;
                         let (pa, pb) = two_qubit_pauli(rng.random_range(0..15));
                         for (q, pq) in [(a, pa), (b, pb)] {
@@ -309,7 +303,7 @@ impl CompiledCircuit {
                                 z[q] ^= bit;
                             }
                         }
-                    }
+                    });
                 }
             }
         }

@@ -23,6 +23,21 @@ use rand::{Rng, RngExt};
 /// Number of shots sampled per batch (bits in a machine word).
 pub const BATCH: usize = 64;
 
+/// Calls `f(bit)` for every set bit of `w`, in ascending bit order.
+///
+/// The shared word-walk helper behind every sparse extraction site
+/// ([`SparseBatch::extract`], [`BatchEvents::for_each_shot`]) and the
+/// per-hit noise loops of the samplers: cost is one `trailing_zeros` per
+/// set bit, so walking a mostly-zero word is nearly free.
+#[inline]
+pub fn for_each_set_bit(mut w: u64, mut f: impl FnMut(u32)) {
+    while w != 0 {
+        let s = w.trailing_zeros();
+        w &= w - 1;
+        f(s);
+    }
+}
+
 /// Detector and observable events for a batch of [`BATCH`] shots.
 ///
 /// Bit `s` of word `detectors[d]` is the event of detector `d` in shot `s`.
@@ -61,34 +76,135 @@ impl BatchEvents {
     /// });
     /// assert_eq!(hits, 64);
     /// ```
-    pub fn for_each_shot(&self, mut f: impl FnMut(usize, &[usize], u64)) {
-        let mut defects = Vec::new();
-        for s in 0..BATCH {
-            defects.clear();
-            for (d, w) in self.detectors.iter().enumerate() {
-                if (w >> s) & 1 == 1 {
-                    defects.push(d);
-                }
-            }
-            let obs = self
-                .observables
-                .iter()
-                .enumerate()
-                .fold(0u64, |acc, (i, w)| acc | (((w >> s) & 1) << i));
-            f(s, &defects, obs);
-        }
+    pub fn for_each_shot(&self, f: impl FnMut(usize, &[usize], u64)) {
+        let mut sparse = SparseBatch::new();
+        sparse.extract(self);
+        sparse.for_each_shot(f);
     }
 
     /// Extracts the detector events of shot `s` as a bool vector.
+    ///
+    /// Allocates per call — this is the dense *test oracle* against which
+    /// the sparse extraction is validated; the engine hot path never calls
+    /// it (it goes through [`SparseBatch`] instead).
     pub fn shot_detectors(&self, s: usize) -> Vec<bool> {
         assert!(s < BATCH);
         self.detectors.iter().map(|w| (w >> s) & 1 == 1).collect()
     }
 
     /// Extracts the observable events of shot `s` as a bool vector.
+    ///
+    /// Allocates per call — dense test oracle only; see
+    /// [`Self::shot_detectors`].
     pub fn shot_observables(&self, s: usize) -> Vec<bool> {
         assert!(s < BATCH);
         self.observables.iter().map(|w| (w >> s) & 1 == 1).collect()
+    }
+}
+
+/// Word-sparse, allocation-free view of one [`BatchEvents`] batch: per-shot
+/// fired-detector index lists plus per-shot observable masks.
+///
+/// Owned by the caller and reused across batches, so the steady-state cost
+/// of [`Self::extract`] is `O(words + popcount)` — each detector word is
+/// visited once, zero words are skipped, and set bits are walked with
+/// `trailing_zeros` into per-shot buffers whose capacity persists. This is
+/// the decoder-facing extraction path of the Monte-Carlo engine: at low
+/// physical error rates almost every word is zero, so extraction cost
+/// scales with the number of fired detectors, not with the patch size.
+///
+/// # Examples
+///
+/// ```
+/// use caliqec_stab::{Basis, Circuit, FrameSampler, Noise1, SparseBatch, BATCH};
+/// use rand::SeedableRng;
+///
+/// let mut c = Circuit::new(1);
+/// c.reset(Basis::Z, &[0]);
+/// c.noise1(Noise1::XError, 1.0, &[0]);
+/// let m = c.measure(0, Basis::Z, 0.0);
+/// c.detector(&[m]);
+/// c.observable(0, &[m]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let events = FrameSampler::new(&c).sample_batch(&mut rng);
+///
+/// let mut sparse = SparseBatch::new();
+/// sparse.extract(&events);
+/// for s in 0..BATCH {
+///     assert_eq!(sparse.defects(s), &[0]);
+///     assert_eq!(sparse.observables(s), 1);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SparseBatch {
+    /// Fired-detector indices per shot, ascending. One buffer per lane,
+    /// cleared (capacity kept) on every [`Self::extract`].
+    defects: Vec<Vec<usize>>,
+    /// Observable event mask per shot (bit `i` = observable `i`).
+    observables: Vec<u64>,
+}
+
+impl Default for SparseBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SparseBatch {
+    /// Creates an empty scratch batch. Buffers grow on first use and are
+    /// reused afterwards.
+    pub fn new() -> SparseBatch {
+        SparseBatch {
+            defects: vec![Vec::new(); BATCH],
+            observables: vec![0; BATCH],
+        }
+    }
+
+    /// Scatters `events` into per-shot defect lists and observable masks.
+    ///
+    /// Iterates each detector word once, skips zero words, and walks set
+    /// bits via [`for_each_set_bit`]; defect lists come out in ascending
+    /// detector order, identical to the dense [`BatchEvents::shot_detectors`]
+    /// oracle.
+    #[inline]
+    pub fn extract(&mut self, events: &BatchEvents) {
+        for buf in &mut self.defects {
+            buf.clear();
+        }
+        self.observables.fill(0);
+        for (d, &w) in events.detectors.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            for_each_set_bit(w, |s| self.defects[s as usize].push(d));
+        }
+        for (i, &w) in events.observables.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let bit = 1u64 << i;
+            for_each_set_bit(w, |s| self.observables[s as usize] |= bit);
+        }
+    }
+
+    /// The fired detectors of shot `s`, ascending.
+    #[inline]
+    pub fn defects(&self, s: usize) -> &[usize] {
+        &self.defects[s]
+    }
+
+    /// The observable event mask of shot `s`.
+    #[inline]
+    pub fn observables(&self, s: usize) -> u64 {
+        self.observables[s]
+    }
+
+    /// Calls `f(shot, defects, observable_mask)` for every shot, in shot
+    /// order — the sparse equivalent of [`BatchEvents::for_each_shot`].
+    pub fn for_each_shot(&self, mut f: impl FnMut(usize, &[usize], u64)) {
+        for s in 0..BATCH {
+            f(s, &self.defects[s], self.observables[s]);
+        }
     }
 }
 
@@ -313,10 +429,7 @@ impl<'c> InterpretingSampler<'c> {
                                 self.z[q] ^= hits;
                             }
                             Noise1::Depolarize1 => {
-                                let mut rem = hits;
-                                while rem != 0 {
-                                    let s = rem.trailing_zeros();
-                                    rem &= rem - 1;
+                                for_each_set_bit(hits, |s| {
                                     let bit = 1u64 << s;
                                     match Pauli::NON_IDENTITY[rng.random_range(0..3)] {
                                         Pauli::X => self.x[q] ^= bit,
@@ -327,7 +440,7 @@ impl<'c> InterpretingSampler<'c> {
                                         }
                                         Pauli::I => unreachable!(),
                                     }
-                                }
+                                });
                             }
                         }
                     }
@@ -341,10 +454,7 @@ impl<'c> InterpretingSampler<'c> {
                         let (a, b) = (a as usize, b as usize);
                         match kind {
                             Noise2::Depolarize2 => {
-                                let mut rem = hits;
-                                while rem != 0 {
-                                    let s = rem.trailing_zeros();
-                                    rem &= rem - 1;
+                                for_each_set_bit(hits, |s| {
                                     let bit = 1u64 << s;
                                     let (pa, pb) = two_qubit_pauli(rng.random_range(0..15));
                                     for (q, pq) in [(a, pa), (b, pb)] {
@@ -355,7 +465,7 @@ impl<'c> InterpretingSampler<'c> {
                                             self.z[q] ^= bit;
                                         }
                                     }
-                                }
+                                });
                             }
                         }
                     }

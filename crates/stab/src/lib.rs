@@ -10,6 +10,9 @@
 //!   and logical observables.
 //! - [`FrameSampler`]: a batched Pauli-frame Monte-Carlo sampler (64 shots
 //!   per word) for high-throughput logical-error-rate estimation.
+//! - [`SparseBatch`]: word-sparse, allocation-free extraction of per-shot
+//!   defect lists and observable masks from a sampled batch — the
+//!   decoder-facing hot path of the LER engine.
 //! - [`CompiledCircuit`] / [`FrameState`]: the one-time-compiled form of a
 //!   circuit backing `FrameSampler`, shareable by `&` across threads with
 //!   one cheap `FrameState` per worker — the substrate of the parallel LER
@@ -57,7 +60,9 @@ mod text;
 pub use circuit::{Basis, Circuit, DetIdx, Gate1, Gate2, MeasIdx, Noise1, Noise2, Op};
 pub use compiled::{chunk_seed, resolve_threads, CompiledCircuit, FrameState};
 pub use dem::{extract_dem, DetectorErrorModel, ErrorMechanism};
-pub use frame::{BatchEvents, FrameSampler, InterpretingSampler, BATCH};
+pub use frame::{
+    for_each_set_bit, BatchEvents, FrameSampler, InterpretingSampler, SparseBatch, BATCH,
+};
 pub use pauli::{Pauli, Qubit, SparsePauli};
 pub use sim::{
     check_deterministic_detectors, noiseless_shot, simulate_shot, NondeterministicDetector,
