@@ -1,21 +1,67 @@
 //! Decode-pipeline performance smoke: runs the Monte-Carlo LER engine on
 //! fixed-seed d ∈ {7, 11, 15} circuit-noise workloads and writes per-config
 //! throughput/phase-timing numbers to a JSON file (`BENCH_decode.json` at
-//! the repo root by default).
+//! the repo root by default), stamped with the current git commit so a
+//! checked-in file is traceable to the tree that produced it.
+//!
+//! The decode stack is the production two-tier pipeline: empty shots skip
+//! decoding outright (tier 0), certifiable sparse shots resolve in the
+//! predecoder (tier 1), and only the residue reaches the union-find
+//! decoder. Per-tier shot counters, the predecode/decode timing split, and
+//! the defect-count histogram all land in the JSON.
 //!
 //! Flags: `--shots N` (shot budget per config, default 100 000),
-//! `--threads N` (worker count, default auto), `--out PATH`.
+//! `--threads N` (worker count, default auto), `--out PATH`,
+//! `--label TEXT` (free-form run label stamped into the JSON),
+//! `--compare OLD.json` (after running, print a per-config speedup table
+//! against a previously written file).
 //! Results are deterministic in the shot budget; timings obviously are not.
 
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
-use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, UnionFindDecoder};
+use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, Tiered, UnionFindDecoder};
 use caliqec_stab::CompiledCircuit;
 use std::fmt::Write as _;
+
+/// Best-effort current commit hash; "unknown" outside a git checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Pulls the number following `"key":` out of a JSON fragment. Good enough
+/// for the flat numeric fields this binary writes; not a JSON parser.
+fn field_num(fragment: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = fragment.find(&pat)? + pat.len();
+    let rest = fragment[start..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Splits a perf_smoke JSON file into its per-config object fragments.
+fn config_fragments(json: &str) -> Vec<&str> {
+    json.split('{')
+        .filter(|frag| frag.contains("\"d\":"))
+        .collect()
+}
 
 fn main() {
     let shots = caliqec_bench::usize_from_args("shots", 100_000);
     let threads = caliqec_bench::threads_from_args();
     let out = caliqec_bench::string_from_args("out", "BENCH_decode.json");
+    let label = caliqec_bench::string_from_args("label", "");
+    let compare = caliqec_bench::string_from_args("compare", "");
     let engine = LerEngine::new(threads);
     let p = 1e-3;
 
@@ -35,7 +81,10 @@ fn main() {
         let graph = graph_for_circuit(&mem.circuit);
         let run = engine.estimate(
             &compiled,
-            &|| UnionFindDecoder::new(graph.clone()),
+            &Tiered::new(&graph, {
+                let graph = graph.clone();
+                move || UnionFindDecoder::new(graph.clone())
+            }),
             SampleOptions {
                 min_shots: shots,
                 ..Default::default()
@@ -43,14 +92,26 @@ fn main() {
             0xC0FFEE + d as u64,
         );
         eprintln!(
-            "perf_smoke: d={d}: {:.0} shots/s (sample {:.3}s, extract {:.3}s, decode {:.3}s)",
+            "perf_smoke: d={d}: {:.0} shots/s (sample {:.3}s, extract {:.3}s, \
+             predecode {:.3}s, decode {:.3}s; tier0 {}, predecoded {}, residual {})",
             run.shots_per_sec(),
             run.sample_seconds,
             run.extract_seconds,
-            run.decode_seconds
+            run.predecode_seconds,
+            run.decode_seconds,
+            run.tier0_shots,
+            run.predecoded_shots,
+            run.residual_shots,
         );
         if i > 0 {
             configs.push_str(",\n");
+        }
+        let mut histogram = String::new();
+        for (j, count) in run.defect_histogram.iter().enumerate() {
+            if j > 0 {
+                histogram.push_str(", ");
+            }
+            write!(histogram, "{count}").expect("write to string");
         }
         write!(
             configs,
@@ -58,7 +119,10 @@ fn main() {
                 "    {{\"d\": {}, \"p\": {}, \"rounds\": {}, \"threads\": {}, ",
                 "\"shots\": {}, \"failures\": {}, \"shots_per_sec\": {:.1}, ",
                 "\"wall_seconds\": {:.6}, \"sample_seconds\": {:.6}, ",
-                "\"extract_seconds\": {:.6}, \"decode_seconds\": {:.6}}}"
+                "\"extract_seconds\": {:.6}, \"predecode_seconds\": {:.6}, ",
+                "\"decode_seconds\": {:.6}, \"tier0_shots\": {}, ",
+                "\"predecoded_shots\": {}, \"predecoded_defects\": {}, ",
+                "\"residual_shots\": {}, \"defect_histogram\": [{}]}}"
             ),
             d,
             p,
@@ -70,12 +134,67 @@ fn main() {
             run.wall_seconds,
             run.sample_seconds,
             run.extract_seconds,
-            run.decode_seconds
+            run.predecode_seconds,
+            run.decode_seconds,
+            run.tier0_shots,
+            run.predecoded_shots,
+            run.predecoded_defects,
+            run.residual_shots,
+            histogram,
         )
         .expect("write to string");
     }
 
-    let json = format!("{{\n  \"configs\": [\n{configs}\n  ]\n}}\n");
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    let json = format!(
+        "{{\n  \"commit\": \"{}\",\n  \"label\": \"{}\",\n  \"configs\": [\n{configs}\n  ]\n}}\n",
+        git_commit(),
+        label.replace('"', "'"),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("perf_smoke: wrote {out}");
+
+    if !compare.is_empty() {
+        let old =
+            std::fs::read_to_string(&compare).unwrap_or_else(|e| panic!("reading {compare}: {e}"));
+        println!("perf_smoke: this run vs {compare}");
+        println!(
+            "{:>4} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}",
+            "d", "old decode s", "new decode s", "speedup", "old shots/s", "new shots/s", "speedup"
+        );
+        for new_frag in config_fragments(&json) {
+            let (Some(d), Some(nd), Some(nt)) = (
+                field_num(new_frag, "d"),
+                field_num(new_frag, "decode_seconds"),
+                field_num(new_frag, "shots_per_sec"),
+            ) else {
+                continue;
+            };
+            let old_frag = config_fragments(&old)
+                .into_iter()
+                .find(|f| field_num(f, "d") == Some(d));
+            let (od, ot) = match old_frag {
+                Some(f) => (
+                    field_num(f, "decode_seconds"),
+                    field_num(f, "shots_per_sec"),
+                ),
+                None => (None, None),
+            };
+            let ratio = |a: Option<f64>, b: f64, inverted: bool| match a {
+                Some(a) if a > 0.0 && b > 0.0 => {
+                    format!("{:.2}x", if inverted { b / a } else { a / b })
+                }
+                _ => "-".to_string(),
+            };
+            println!(
+                "{:>4} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}",
+                d as usize,
+                od.map(|v| format!("{v:.3}")).unwrap_or("-".into()),
+                format!("{nd:.3}"),
+                ratio(od, nd, false),
+                ot.map(|v| format!("{v:.0}")).unwrap_or("-".into()),
+                format!("{nt:.0}"),
+                ratio(ot, nt, true),
+            );
+        }
+    }
 }

@@ -21,6 +21,7 @@
 //! deliberately outside `LerEstimate` so estimates stay comparable.
 
 use crate::decode::{Decoder, LerEstimate, SampleOptions};
+use crate::predecode::Predecoder;
 use caliqec_stab::{
     chunk_seed, resolve_threads, BatchEvents, Circuit, CompiledCircuit, FrameState, SparseBatch,
     BATCH,
@@ -46,6 +47,14 @@ pub trait DecoderFactory: Sync {
 
     /// Builds one decoder. Called once per worker thread.
     fn build(&self) -> Self::Decoder;
+
+    /// Optional tier-1 predecoder placed in front of every decoder this
+    /// factory builds (one clone per worker; clones share their tables).
+    /// The default is `None` — plain factories decode every nonempty shot
+    /// in full. Wrap a factory in [`crate::Tiered`] to enable it.
+    fn predecoder(&self) -> Option<Predecoder> {
+        None
+    }
 }
 
 impl<D: Decoder, F: Fn() -> D + Sync> DecoderFactory for F {
@@ -97,26 +106,43 @@ impl ChunkPlan {
     }
 }
 
+/// Buckets of the per-run defect-count histogram: exact counts `0..=31`
+/// plus one overflow bucket for 32-or-more defects.
+pub const DEFECT_HIST_BUCKETS: usize = 33;
+
 /// Outcome of sampling and decoding one chunk.
 #[derive(Clone, Copy, Debug)]
 struct ChunkResult {
     batches: usize,
     failures: usize,
+    tier0_shots: usize,
+    predecoded_shots: usize,
+    predecoded_defects: usize,
+    residual_shots: usize,
+    defect_histogram: [u64; DEFECT_HIST_BUCKETS],
     sample_seconds: f64,
     extract_seconds: f64,
+    predecode_seconds: f64,
     decode_seconds: f64,
 }
 
 /// Samples and decodes one chunk from its deterministic seed.
 ///
-/// The three phases are timed separately: frame sampling, word-sparse
-/// syndrome extraction into `sparse`, and decoding proper. Extraction used
-/// to be (mis)attributed to the decode counter; keeping it apart makes the
-/// decode numbers comparable across extraction strategies.
+/// The phases are timed separately: frame sampling, word-sparse syndrome
+/// extraction into `sparse`, tier dispatch (empty-shot skip + predecoder
+/// certification), and full decoding of the residual shots. Extraction
+/// used to be (mis)attributed to the decode counter; keeping the phases
+/// apart makes the decode numbers comparable across pipeline strategies.
+///
+/// Tier dispatch preserves the failure count bit for bit: tier-0 skips
+/// reproduce `decode(&[]) == 0`, and a [`Predecoder`] only certifies shots
+/// whose local correction provably equals the full decoder's. The residual
+/// shots reach `decoder` in ascending shot order, exactly as before.
 #[allow(clippy::too_many_arguments)]
 fn run_chunk<D: Decoder>(
     compiled: &CompiledCircuit,
     decoder: &mut D,
+    mut predecoder: Option<&mut Predecoder>,
     state: &mut FrameState,
     events: &mut BatchEvents,
     sparse: &mut SparseBatch,
@@ -127,29 +153,87 @@ fn run_chunk<D: Decoder>(
     let mut rng = StdRng::seed_from_u64(chunk_seed(base_seed, chunk as u64));
     let batches = plan.batches_in(chunk);
     let mut failures = 0usize;
+    let mut tier0_shots = 0usize;
+    let mut predecoded_shots = 0usize;
+    let mut predecoded_defects = 0usize;
+    let mut residual_shots = 0usize;
+    let mut defect_histogram = [0u64; DEFECT_HIST_BUCKETS];
     let mut sample_seconds = 0.0;
     let mut extract_seconds = 0.0;
+    let mut predecode_seconds = 0.0;
     let mut decode_seconds = 0.0;
+    let mut residual: Vec<u32> = Vec::with_capacity(BATCH);
     for _ in 0..batches {
         let t0 = Instant::now();
         compiled.sample_batch_into(state, &mut rng, events);
         let t1 = Instant::now();
         sparse.extract(events);
         let t2 = Instant::now();
-        for s in 0..BATCH {
+        // Tier dispatch: tier 0 (empty defect list — identity correction,
+        // the prediction is the frame's observable word itself) and tier 1
+        // (predecoder certification) run first; only residual shots reach
+        // the full decoder below.
+        residual.clear();
+        match predecoder.as_deref_mut() {
+            Some(pre) => {
+                for s in 0..BATCH {
+                    let defects = sparse.defect_count(s);
+                    defect_histogram[defects.min(DEFECT_HIST_BUCKETS - 1)] += 1;
+                    if defects == 0 {
+                        tier0_shots += 1;
+                        if sparse.observables(s) != 0 {
+                            failures += 1;
+                        }
+                    } else if let Some(mask) = pre.predecode(sparse.defects(s)) {
+                        predecoded_shots += 1;
+                        predecoded_defects += defects;
+                        if mask != sparse.observables(s) {
+                            failures += 1;
+                        }
+                    } else {
+                        residual.push(s as u32);
+                    }
+                }
+            }
+            None => {
+                for s in 0..BATCH {
+                    let defects = sparse.defect_count(s);
+                    defect_histogram[defects.min(DEFECT_HIST_BUCKETS - 1)] += 1;
+                    if defects == 0 {
+                        tier0_shots += 1;
+                        if sparse.observables(s) != 0 {
+                            failures += 1;
+                        }
+                    } else {
+                        residual.push(s as u32);
+                    }
+                }
+            }
+        }
+        let t3 = Instant::now();
+        for &s in &residual {
+            let s = s as usize;
             if decoder.decode(sparse.defects(s)) != sparse.observables(s) {
                 failures += 1;
             }
         }
+        residual_shots += residual.len();
         sample_seconds += (t1 - t0).as_secs_f64();
         extract_seconds += (t2 - t1).as_secs_f64();
-        decode_seconds += t2.elapsed().as_secs_f64();
+        predecode_seconds += (t3 - t2).as_secs_f64();
+        decode_seconds += t3.elapsed().as_secs_f64();
     }
     ChunkResult {
         batches,
         failures,
+        tier0_shots,
+        predecoded_shots,
+        predecoded_defects,
+        residual_shots,
+        defect_histogram,
         sample_seconds,
         extract_seconds,
+        predecode_seconds,
         decode_seconds,
     }
 }
@@ -177,8 +261,30 @@ pub struct EngineRun {
     /// CPU seconds spent extracting sparse syndromes from frame words,
     /// summed across workers.
     pub extract_seconds: f64,
-    /// CPU seconds spent decoding shots, summed across workers.
+    /// CPU seconds spent on tier dispatch (empty-shot skips and predecoder
+    /// certification), summed across workers. Split out of
+    /// `decode_seconds` so the full-decoder cost stays comparable with and
+    /// without the fast path.
+    pub predecode_seconds: f64,
+    /// CPU seconds spent in the full decoder on residual shots, summed
+    /// across workers.
     pub decode_seconds: f64,
+    /// Shots with an empty defect list (tier 0: skipped decoding).
+    ///
+    /// Like the timing counters, the per-tier shot counters and the
+    /// histogram cover *all executed* chunks; without early stopping
+    /// (`max_failures == 0`) they partition `estimate.shots` exactly:
+    /// `tier0_shots + predecoded_shots + residual_shots == shots`.
+    pub tier0_shots: usize,
+    /// Shots fully resolved by the tier-1 predecoder (tier 1).
+    pub predecoded_shots: usize,
+    /// Total defects across predecoded shots.
+    pub predecoded_defects: usize,
+    /// Shots decoded by the full decoder (tier 2).
+    pub residual_shots: usize,
+    /// Histogram of per-shot defect counts: bucket `i < 32` counts shots
+    /// with exactly `i` defects, the last bucket shots with ≥ 32.
+    pub defect_histogram: [u64; DEFECT_HIST_BUCKETS],
 }
 
 impl EngineRun {
@@ -200,7 +306,13 @@ struct Shared {
     chunks_executed: usize,
     sample_seconds: f64,
     extract_seconds: f64,
+    predecode_seconds: f64,
     decode_seconds: f64,
+    tier0_shots: usize,
+    predecoded_shots: usize,
+    predecoded_defects: usize,
+    residual_shots: usize,
+    defect_histogram: [u64; DEFECT_HIST_BUCKETS],
 }
 
 impl Shared {
@@ -288,13 +400,20 @@ impl LerEngine {
             chunks_executed: 0,
             sample_seconds: 0.0,
             extract_seconds: 0.0,
+            predecode_seconds: 0.0,
             decode_seconds: 0.0,
+            tier0_shots: 0,
+            predecoded_shots: 0,
+            predecoded_defects: 0,
+            residual_shots: 0,
+            defect_histogram: [0; DEFECT_HIST_BUCKETS],
         });
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
                     let mut decoder = factory.build();
+                    let mut predecoder = factory.predecoder();
                     let mut state = FrameState::new(compiled);
                     let mut events = BatchEvents::default();
                     let mut sparse = SparseBatch::new();
@@ -309,6 +428,7 @@ impl LerEngine {
                         let result = run_chunk(
                             compiled,
                             &mut decoder,
+                            predecoder.as_mut(),
                             &mut state,
                             &mut events,
                             &mut sparse,
@@ -320,7 +440,19 @@ impl LerEngine {
                         sh.chunks_executed += 1;
                         sh.sample_seconds += result.sample_seconds;
                         sh.extract_seconds += result.extract_seconds;
+                        sh.predecode_seconds += result.predecode_seconds;
                         sh.decode_seconds += result.decode_seconds;
+                        sh.tier0_shots += result.tier0_shots;
+                        sh.predecoded_shots += result.predecoded_shots;
+                        sh.predecoded_defects += result.predecoded_defects;
+                        sh.residual_shots += result.residual_shots;
+                        for (acc, &b) in sh
+                            .defect_histogram
+                            .iter_mut()
+                            .zip(result.defect_histogram.iter())
+                        {
+                            *acc += b;
+                        }
                         sh.results[chunk] = Some(result);
                         if plan.max_failures > 0 && sh.cut.is_none() {
                             sh.recompute_cut(plan.max_failures);
@@ -345,7 +477,13 @@ impl LerEngine {
             wall_seconds: started.elapsed().as_secs_f64(),
             sample_seconds: sh.sample_seconds,
             extract_seconds: sh.extract_seconds,
+            predecode_seconds: sh.predecode_seconds,
             decode_seconds: sh.decode_seconds,
+            tier0_shots: sh.tier0_shots,
+            predecoded_shots: sh.predecoded_shots,
+            predecoded_defects: sh.predecoded_defects,
+            residual_shots: sh.residual_shots,
+            defect_histogram: sh.defect_histogram,
         }
     }
 
@@ -381,6 +519,7 @@ pub fn estimate_ler_seeded<D: Decoder>(
         let result = run_chunk(
             compiled,
             decoder,
+            None,
             &mut state,
             &mut events,
             &mut sparse,
@@ -492,6 +631,88 @@ mod tests {
         assert!(run.sample_seconds > 0.0);
         assert!(run.extract_seconds > 0.0);
         assert!(run.decode_seconds > 0.0);
+    }
+
+    /// The per-phase counters must partition the work, never double-count:
+    /// on a single worker every timed phase is a disjoint slice of the
+    /// wall-clock, so their sum is bounded by it — per chunk, hence also
+    /// for any sum of chunks.
+    #[test]
+    fn phase_timers_never_exceed_wall_clock() {
+        let c = rep_circuit(5, 0.05);
+        let graph = graph_for_circuit(&c);
+        // One batch = one chunk: the run-level check *is* the per-chunk
+        // check. Then a multi-chunk run checks the aggregate.
+        for min_shots in [64usize, 2_000] {
+            let run = LerEngine::new(1).estimate_circuit(
+                &c,
+                &|| UnionFindDecoder::new(graph.clone()),
+                SampleOptions {
+                    min_shots,
+                    ..Default::default()
+                },
+                11,
+            );
+            let phases = run.sample_seconds
+                + run.extract_seconds
+                + run.predecode_seconds
+                + run.decode_seconds;
+            assert!(
+                phases <= run.wall_seconds + 1e-9,
+                "phase sum {phases} exceeds wall {} (min_shots={min_shots})",
+                run.wall_seconds
+            );
+        }
+    }
+
+    /// Without early stopping the tier counters partition the shot count
+    /// and the defect histogram covers every shot — with and without a
+    /// predecoder attached.
+    #[test]
+    fn tier_counters_partition_shots() {
+        // A real surface-code patch: the rep-chain toy graphs are so small
+        // that every node sits next to the frustrated seam and the
+        // predecoder (correctly) never certifies anything there.
+        let mem = caliqec_code::memory_circuit(
+            &caliqec_code::rotated_patch(3, 3),
+            &caliqec_code::NoiseModel::uniform(5e-3),
+            3,
+            caliqec_code::MemoryBasis::Z,
+        );
+        let c = mem.circuit;
+        let graph = graph_for_circuit(&c);
+        let opts = SampleOptions {
+            min_shots: 2_000,
+            ..Default::default()
+        };
+        let plain = LerEngine::new(2).estimate_circuit(
+            &c,
+            &|| UnionFindDecoder::new(graph.clone()),
+            opts,
+            5,
+        );
+        let tiered_factory = crate::predecode::Tiered::new(&graph, {
+            let graph = graph.clone();
+            move || UnionFindDecoder::new(graph.clone())
+        });
+        let tiered =
+            LerEngine::new(2).estimate(&CompiledCircuit::new(&c), &tiered_factory, opts, 5);
+        assert_eq!(tiered.estimate, plain.estimate, "fast path changed results");
+        for run in [&plain, &tiered] {
+            assert_eq!(
+                run.tier0_shots + run.predecoded_shots + run.residual_shots,
+                run.estimate.shots,
+                "tier counters must partition the shots"
+            );
+            assert_eq!(
+                run.defect_histogram.iter().sum::<u64>(),
+                run.estimate.shots as u64
+            );
+            assert_eq!(run.defect_histogram[0], run.tier0_shots as u64);
+        }
+        assert_eq!(plain.predecoded_shots, 0);
+        assert!(tiered.predecoded_shots > 0, "predecoder never fired");
+        assert!(tiered.predecoded_defects >= tiered.predecoded_shots);
     }
 
     #[test]

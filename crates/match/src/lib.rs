@@ -15,6 +15,11 @@
 //! - [`ReferenceUnionFind`]: the pre-optimization allocate-per-call
 //!   union-find decoder, kept as a bit-identical reference for benches and
 //!   cross-validation.
+//! - [`Predecoder`] / [`Tiered`]: the two-tier fast path — a conservative
+//!   certifier that resolves provably-locally-matchable shots without
+//!   invoking a full decoder, and the [`DecoderFactory`] adapter that
+//!   threads it through the engine ([`Tiered::without_predecode`] is the
+//!   escape hatch).
 //! - [`estimate_ler`]: end-to-end residual logical-error-rate estimation
 //!   using the batched Pauli-frame sampler.
 //! - [`LerEngine`]: the thread-parallel Monte-Carlo engine behind
@@ -53,12 +58,14 @@ mod decode;
 mod engine;
 mod graph;
 mod mwpm;
+mod predecode;
 mod reference;
 mod unionfind;
 
 pub use decode::{estimate_ler, graph_for_circuit, Decoder, LerEstimate, SampleOptions};
-pub use engine::{estimate_ler_seeded, DecoderFactory, EngineRun, LerEngine};
+pub use engine::{estimate_ler_seeded, DecoderFactory, EngineRun, LerEngine, DEFECT_HIST_BUCKETS};
 pub use graph::{Edge, MatchingGraph, NodeId};
 pub use mwpm::MwpmDecoder;
+pub use predecode::{Predecoder, Tiered};
 pub use reference::ReferenceUnionFind;
 pub use unionfind::UnionFindDecoder;

@@ -47,8 +47,10 @@ pub struct UnionFindDecoder {
     parent: Vec<NodeId>,
     parity: Vec<bool>,
     has_boundary: Vec<bool>,
-    members: Vec<Vec<NodeId>>,
-    growth: Vec<f64>,
+    // Cluster sizes (valid at roots), driving the small-to-large union
+    // order. Sizes alone suffice — nothing walks a cluster's member list —
+    // so unions are O(1) apart from the frontier merge.
+    size: Vec<u32>,
     defect: Vec<bool>,
     dirty_nodes: Vec<NodeId>,
     dirty_edges: Vec<usize>,
@@ -56,9 +58,41 @@ pub struct UnionFindDecoder {
     // active cluster roots, per-edge growth rates for one growth step, and
     // the fully-grown edge set handed to peeling.
     roots: Vec<NodeId>,
-    rate: Vec<f64>,
-    rate_edges: Vec<usize>,
+    roots_next: Vec<NodeId>,
+    merged: Vec<NodeId>,
+    candidates: Vec<usize>,
     grown: Vec<usize>,
+    // Per-edge hot state, laid out for the growth scan. `gw[ei]` interleaves
+    // `[growth, weight]` so the scan's slack computation costs one cache
+    // line per edge instead of two; `rate_iter[ei]` packs this iteration's
+    // accumulated growth rate (low 2 bits, values 0–2) with the iteration
+    // tag that rated it (high 30 bits). The weight half is immutable; the
+    // growth half is restored to 0 via `dirty_edges`.
+    gw: Vec<[f64; 2]>,
+    rate_iter: Vec<u32>,
+    // Deferred-growth bookkeeping. A growth iteration only *applies*
+    // `delta * rate` to the few edges that might complete (the completion
+    // candidates); every other rated edge keeps its rate as a pending
+    // term, folded into `growth` at the edge's next scan touch using the
+    // recorded per-iteration delta (`deltas[tag]`). Each fold performs the
+    // identical two-operand `growth += delta * rate` the eager reference
+    // performs, in the same per-edge order, so every observed growth value
+    // stays bit-for-bit identical.
+    deltas: Vec<f64>,
+    // Packed per-edge endpoints for completion handling (cheaper than the
+    // 40-byte `Edge` records).
+    ends: Vec<(u32, u32)>,
+    // Per-cluster frontier multisets, kept at the cluster root: one entry
+    // per (member, incident edge) pair, pushed when the member joins a
+    // growing cluster and lazily swap-removed once the edge completes. A
+    // growth iteration then touches only live frontier entries instead of
+    // rescanning every member's whole neighborhood; the accumulated rates
+    // are identical (each endpoint-in-active-cluster still contributes
+    // exactly one count), so growth values, completions, and the final
+    // partition are bit-for-bit the member-scan's. `seeded[n]` records that
+    // node `n`'s incidences have been pushed (restored via `dirty_nodes`).
+    frontier: Vec<Vec<u32>>,
+    seeded: Vec<bool>,
     // Peel scratch, restricted to grown-edge endpoints and restored after
     // each call: `peel_adj[n]` holds the grown edges incident to `n`
     // (cleared via the grown list), `peel_visited` marks BFS-reached nodes
@@ -77,20 +111,32 @@ impl UnionFindDecoder {
         let boundary = graph.boundary();
         let mut has_boundary = vec![false; n];
         has_boundary[boundary] = true;
+        let gw: Vec<[f64; 2]> = graph.edges().iter().map(|e| [0.0, e.weight]).collect();
+        let ends: Vec<(u32, u32)> = graph
+            .edges()
+            .iter()
+            .map(|e| (e.u as u32, e.v as u32))
+            .collect();
         UnionFindDecoder {
             graph,
             parent: (0..n).collect(),
             parity: vec![false; n],
             has_boundary,
-            members: (0..n).map(|i| vec![i]).collect(),
-            growth: vec![0.0; e],
+            size: vec![1; n],
             defect: vec![false; n],
             dirty_nodes: Vec::new(),
             dirty_edges: Vec::new(),
             roots: Vec::new(),
-            rate: vec![0.0; e],
-            rate_edges: Vec::new(),
+            roots_next: Vec::new(),
+            merged: Vec::new(),
+            candidates: Vec::new(),
+            gw,
+            rate_iter: vec![0; e],
+            deltas: Vec::new(),
+            ends,
             grown: Vec::new(),
+            frontier: vec![Vec::new(); n],
+            seeded: vec![false; n],
             peel_adj: vec![Vec::new(); n],
             peel_visited: vec![false; n],
             peel_order: Vec::new(),
@@ -117,18 +163,45 @@ impl UnionFindDecoder {
         }
         self.dirty_nodes.push(ra);
         self.dirty_nodes.push(rb);
-        // Small-to-large member merging.
-        let (big, small) = if self.members[ra].len() >= self.members[rb].len() {
+        // A merged cluster that still lacks the boundary may keep growing,
+        // so newly joined singletons must contribute their incidences to
+        // the frontier. Boundary-holding clusters are permanently inactive and are
+        // never scanned; skipping their seeding keeps the boundary node's
+        // large neighborhood out of the hot path.
+        if !self.has_boundary[ra] && !self.has_boundary[rb] {
+            for r in [ra, rb] {
+                if !self.seeded[r] {
+                    self.seeded[r] = true;
+                    let UnionFindDecoder {
+                        graph, frontier, ..
+                    } = self;
+                    frontier[r].extend_from_slice(graph.incident(r));
+                }
+            }
+        }
+        // Small-to-large merging by cluster size; ties keep `ra` as the
+        // surviving root, exactly as the historic member-count comparison
+        // did (sizes equal member counts).
+        let (big, small) = if self.size[ra] >= self.size[rb] {
             (ra, rb)
         } else {
             (rb, ra)
         };
         self.parent[small] = big;
-        // Drain by pop/push so both member buffers keep their capacity
-        // (a take + extend would drop the small side's allocation).
-        while let Some(m) = self.members[small].pop() {
-            self.members[big].push(m);
-        }
+        self.size[big] += self.size[small];
+        // Append the small frontier onto the big one; both buffers keep
+        // their capacity. The entry order differs from the historic
+        // pop/push drain, but scan order never affects results (the delta
+        // min is order-free and the grown set is sorted before peeling).
+        let (fb, fs) = if big < small {
+            let (lo, hi) = self.frontier.split_at_mut(small);
+            (&mut lo[big], &mut hi[0])
+        } else {
+            let (lo, hi) = self.frontier.split_at_mut(big);
+            (&mut hi[0], &mut lo[small])
+        };
+        fb.extend_from_slice(fs);
+        fs.clear();
         let p = self.parity[small];
         self.parity[big] ^= p;
         let hb = self.has_boundary[small];
@@ -145,13 +218,18 @@ impl UnionFindDecoder {
             self.parent[n] = n;
             self.parity[n] = false;
             self.has_boundary[n] = n == boundary;
-            self.members[n].clear();
-            self.members[n].push(n);
+            self.size[n] = 1;
             self.defect[n] = false;
+            self.frontier[n].clear();
+            self.seeded[n] = false;
         }
         self.dirty_nodes.clear();
         for i in 0..self.dirty_edges.len() {
-            self.growth[self.dirty_edges[i]] = 0.0;
+            let ei = self.dirty_edges[i];
+            self.gw[ei][0] = 0.0;
+            // Discard any still-pending deferred growth term; a zero rate
+            // also keeps stale iteration tags from ever being consulted.
+            self.rate_iter[ei] = 0;
         }
         self.dirty_edges.clear();
     }
@@ -163,55 +241,125 @@ impl UnionFindDecoder {
             self.defect[d] = true;
             self.parity[d] = true;
             self.dirty_nodes.push(d);
-        }
-        loop {
-            // Collect the roots of active (odd, boundary-free) clusters,
-            // deduplicated (defects in one cluster share a root).
-            self.roots.clear();
-            for &d in defects {
-                let r = self.find(d);
-                if self.parity[r] && !self.has_boundary[r] && !self.roots.contains(&r) {
-                    self.roots.push(r);
-                }
+            if !self.seeded[d] {
+                self.seeded[d] = true;
+                let UnionFindDecoder {
+                    graph, frontier, ..
+                } = self;
+                frontier[d].extend_from_slice(graph.incident(d));
             }
+        }
+        // The active set starts as the defects themselves (each its own
+        // odd singleton) and is maintained incrementally across
+        // iterations: parity only changes through unions, so any cluster
+        // that is active now contains an odd boundary-free constituent
+        // that was active before — refreshing `find` over the previous
+        // root list (with dedup) reproduces the historic rescan over all
+        // defects exactly, at O(active clusters) per iteration.
+        self.roots.clear();
+        self.roots.extend_from_slice(defects);
+        self.deltas.clear();
+        loop {
             if self.roots.is_empty() {
                 break;
             }
-            // Frontier edges of each active cluster, with growth rate 1 or
-            // 2 accumulated in the per-edge `rate` scratch (`rate_edges`
-            // lists the touched entries for O(frontier) reset). An edge
-            // interior to one cluster appears twice (once per endpoint);
-            // that is fine — it just completes sooner and the union below
-            // is a no-op.
+            // Scan each active cluster's frontier multiset. Each live entry
+            // is one (member, incident edge) incidence, so an edge interior
+            // to one cluster appears twice (once per endpoint) exactly as
+            // the historic full member scan counted it — it just completes
+            // sooner and the union below is a no-op. Entries whose edge has
+            // fully grown are dead; they are compacted out (swap_remove) so
+            // later iterations never revisit a cluster's interior.
+            //
+            // Three things happen per entry: the edge's pending deferred
+            // growth (if any) is folded in, its rate for this iteration
+            // accumulates, and the growth step `delta` is min-ed over the
+            // running quotient slack/rate. The running min is exact: a
+            // quotient only shrinks as the rate accumulates (slack/1 ≥
+            // slack/2), so intermediate values never undercut the final
+            // per-edge quotient. Edges whose quotient comes within
+            // `CAND_SLOP` of the running min are recorded as completion
+            // candidates — a strict superset of the edges that can pass the
+            // completion test below, which requires the quotient within
+            // ~1e-12/rate of delta.
+            const CAND_SLOP: f64 = 1e-9;
+            let cur = self.deltas.len() as u32;
+            let mut delta = f64::INFINITY;
             {
                 let UnionFindDecoder {
-                    graph,
-                    members,
-                    growth,
                     roots,
-                    rate,
-                    rate_edges,
+                    candidates,
+                    frontier,
+                    gw,
+                    rate_iter,
+                    deltas,
+                    dirty_edges,
                     ..
                 } = self;
+                // SAFETY: every frontier entry is an edge id pushed from
+                // `graph.incident(..)`, so `ei < gw.len() == rate_iter.len()`;
+                // a nonzero rate's iteration tag was written in an earlier
+                // iteration of this decode (cleanup zeroes rates between
+                // calls), so `tag < deltas.len()`. The unchecked accesses
+                // below elide bounds checks on the innermost decode loop.
+                let gw_p = gw.as_mut_ptr();
+                let ri_p = rate_iter.as_mut_ptr();
                 for &r in roots.iter() {
-                    for &node in &members[r] {
-                        for &ei in graph.incident(node) {
-                            let ei = ei as usize;
-                            if growth[ei] >= graph.edges()[ei].weight {
+                    let list = &mut frontier[r];
+                    // Reserving up front lets the loop append to both output
+                    // lists with a plain store plus a conditional length
+                    // increment — no capacity check, no branch: the entry is
+                    // written unconditionally at the current end and kept
+                    // only when the condition holds (the next entry
+                    // overwrites it otherwise). Order and contents of the
+                    // kept entries are exactly the branching push's.
+                    candidates.reserve(list.len());
+                    dirty_edges.reserve(list.len());
+                    let mut cand_len = candidates.len();
+                    let cand_p = candidates.as_mut_ptr();
+                    let mut dirty_len = dirty_edges.len();
+                    let dirty_p = dirty_edges.as_mut_ptr();
+                    let mut i = 0;
+                    while i < list.len() {
+                        let ei = list[i] as usize;
+                        debug_assert!(ei < rate_iter.len());
+                        unsafe {
+                            let ri = *ri_p.add(ei);
+                            let mut rt = ri & 3;
+                            let ge = &mut *gw_p.add(ei);
+                            if rt != 0 && (ri >> 2) != cur {
+                                debug_assert!(((ri >> 2) as usize) < deltas.len());
+                                ge[0] += *deltas.get_unchecked((ri >> 2) as usize) * rt as f64;
+                                rt = 0;
+                            }
+                            let [g, w] = *ge;
+                            let slack = w - g;
+                            if slack <= 0.0 {
+                                list.swap_remove(i);
                                 continue;
                             }
-                            if rate[ei] == 0.0 {
-                                rate_edges.push(ei);
+                            *dirty_p.add(dirty_len) = ei;
+                            dirty_len += (rt == 0 && g == 0.0) as usize;
+                            rt += 1;
+                            *ri_p.add(ei) = (cur << 2) | rt;
+                            // rate is 1 or 2, so the quotient slack/rate is an
+                            // exact halving — no divide needed.
+                            let q = if rt == 1 { slack } else { slack * 0.5 };
+                            if q < delta {
+                                delta = q;
                             }
-                            rate[ei] += 1.0;
+                            *cand_p.add(cand_len) = ei;
+                            cand_len += (q <= delta + CAND_SLOP) as usize;
                         }
+                        i += 1;
+                    }
+                    // SAFETY: at most `list.len()` entries were appended to
+                    // each list beyond the length the reserve call covered.
+                    unsafe {
+                        candidates.set_len(cand_len);
+                        dirty_edges.set_len(dirty_len);
                     }
                 }
-            }
-            let mut delta = f64::INFINITY;
-            for &ei in &self.rate_edges {
-                let slack = self.graph.edges()[ei].weight - self.growth[ei];
-                delta = delta.min(slack / self.rate[ei]);
             }
             if !delta.is_finite() {
                 // No growable edges left: disconnected defect; give up on it
@@ -222,35 +370,70 @@ impl UnionFindDecoder {
                     self.has_boundary[rr] = true;
                     self.dirty_nodes.push(rr);
                 }
+                self.candidates.clear();
                 break;
             }
-            for i in 0..self.rate_edges.len() {
-                let ei = self.rate_edges[i];
-                let rt = self.rate[ei];
-                self.rate[ei] = 0.0;
-                if self.growth[ei] == 0.0 {
-                    self.dirty_edges.push(ei);
+            // Apply growth only to the candidates; everything else stays
+            // pending. A completing edge performs the same `growth + delta
+            // * rate` fold the eager reference performed before clamping to
+            // the weight; a non-completing candidate is left untouched so
+            // its (unchanged) pending term folds at its next scan touch.
+            // (The list is moved out of `self` so the borrow checker lets
+            // `union` run inside the loop without re-indexing.)
+            let mut cands = std::mem::take(&mut self.candidates);
+            for &ei in &cands {
+                let [g, w] = self.gw[ei];
+                if g >= w {
+                    // Duplicate candidate entry of an edge completed above.
+                    continue;
                 }
-                self.growth[ei] += delta * rt;
-                let (u, v, w) = {
-                    let e = &self.graph.edges()[ei];
-                    (e.u, e.v, e.weight)
-                };
-                if self.growth[ei] >= w - 1e-12 {
-                    self.growth[ei] = w;
+                let rt = self.rate_iter[ei] & 3;
+                let g2 = g + delta * rt as f64;
+                if g2 >= w - 1e-12 {
+                    self.gw[ei][0] = w;
+                    self.rate_iter[ei] = 0;
+                    let (u, v) = self.ends[ei];
+                    let (u, v) = (u as usize, v as usize);
                     self.dirty_nodes.push(u);
                     self.dirty_nodes.push(v);
                     self.union(u, v);
                 }
             }
-            self.rate_edges.clear();
+            cands.clear();
+            self.candidates = cands;
+            self.deltas.push(delta);
+            // Refresh the active roots: follow each previous root to its
+            // current cluster, keep the still-active ones, dedup (two
+            // previous actives may have merged into one). Roots only change
+            // through unions, so a root that is still its own parent is
+            // still a distinct root and needs no dedup scan; only roots
+            // merged away this iteration (rare) go through find + dedup.
+            for i in 0..self.roots.len() {
+                let r = self.roots[i];
+                if self.parent[r] == r {
+                    if self.parity[r] && !self.has_boundary[r] {
+                        self.roots_next.push(r);
+                    }
+                } else {
+                    self.merged.push(r);
+                }
+            }
+            for i in 0..self.merged.len() {
+                let rr = self.find(self.merged[i]);
+                if self.parity[rr] && !self.has_boundary[rr] && !self.roots_next.contains(&rr) {
+                    self.roots_next.push(rr);
+                }
+            }
+            self.merged.clear();
+            std::mem::swap(&mut self.roots, &mut self.roots_next);
+            self.roots_next.clear();
         }
+        self.roots.clear();
         // Sorted for determinism: the peeling forest depends on adjacency
         // order, and an unordered grown set would let cluster cycles (e.g.
         // boundary-to-boundary paths) resolve either way.
         let UnionFindDecoder {
-            graph,
-            growth,
+            gw,
             dirty_edges,
             grown,
             ..
@@ -260,7 +443,7 @@ impl UnionFindDecoder {
             dirty_edges
                 .iter()
                 .copied()
-                .filter(|&ei| growth[ei] >= graph.edges()[ei].weight),
+                .filter(|&ei| gw[ei][0] >= gw[ei][1]),
         );
         grown.sort_unstable();
     }
@@ -465,16 +648,21 @@ mod tests {
                 assert_eq!(dec.parent[i], i);
                 assert!(!dec.parity[i]);
                 assert_eq!(dec.has_boundary[i], i == boundary);
-                assert_eq!(dec.members[i], vec![i]);
+                assert_eq!(dec.size[i], 1);
                 assert!(!dec.defect[i]);
+                assert!(dec.frontier[i].is_empty());
+                assert!(!dec.seeded[i]);
                 assert!(dec.peel_adj[i].is_empty());
                 assert!(!dec.peel_visited[i]);
             }
-            assert!(dec.growth.iter().all(|&g| g == 0.0));
-            assert!(dec.rate.iter().all(|&r| r == 0.0));
+            assert!(dec.gw.iter().all(|g| g[0] == 0.0));
+            assert!(dec.rate_iter.iter().all(|&r| r == 0));
+            assert!(dec.roots.is_empty());
+            assert!(dec.roots_next.is_empty());
+            assert!(dec.merged.is_empty());
             assert!(dec.dirty_nodes.is_empty());
             assert!(dec.dirty_edges.is_empty());
-            assert!(dec.rate_edges.is_empty());
+            assert!(dec.candidates.is_empty());
             assert!(dec.peel_order.is_empty());
         }
     }

@@ -193,6 +193,13 @@ impl SparseBatch {
         &self.defects[s]
     }
 
+    /// The number of fired detectors of shot `s` — the tier-dispatch /
+    /// histogram fast path that avoids materialising the slice.
+    #[inline]
+    pub fn defect_count(&self, s: usize) -> usize {
+        self.defects[s].len()
+    }
+
     /// The observable event mask of shot `s`.
     #[inline]
     pub fn observables(&self, s: usize) -> u64 {

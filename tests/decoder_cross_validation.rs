@@ -1,14 +1,131 @@
 //! Cross-validation of the two decoders: the union-find decoder (fast,
 //! near-linear) against exact minimum-weight perfect matching (the oracle),
-//! and both against the exact tableau simulator's statistics.
+//! both against the exact tableau simulator's statistics, and the tier-1
+//! predecoder against both full decoders on every shot it certifies.
 
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
 use caliqec_match::{
-    estimate_ler, graph_for_circuit, Decoder, MwpmDecoder, SampleOptions, UnionFindDecoder,
+    estimate_ler, graph_for_circuit, Decoder, LerEngine, MwpmDecoder, Predecoder, SampleOptions,
+    Tiered, UnionFindDecoder,
 };
-use caliqec_stab::{FrameSampler, BATCH};
+use caliqec_stab::{CompiledCircuit, FrameSampler, SparseBatch, BATCH};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every shot the predecoder certifies must decode to exactly the mask
+    /// both full decoders produce — across distances, noise strengths, and
+    /// random syndromes. This is the per-shot form of the two-tier
+    /// equivalence contract: `Some(mask)` is a proof, never a heuristic.
+    #[test]
+    fn predecoder_certifications_match_full_decoders(
+        d_idx in 0usize..3,
+        p_milli in 1u32..6,
+        seed in 0u64..10_000,
+    ) {
+        let d = [3usize, 5, 7][d_idx];
+        let mem = memory_circuit(
+            &rotated_patch(d, d),
+            &NoiseModel::uniform(p_milli as f64 * 1e-3),
+            d,
+            MemoryBasis::Z,
+        );
+        let graph = graph_for_circuit(&mem.circuit);
+        let mut pre = Predecoder::new(&graph);
+        let mut uf = UnionFindDecoder::new(graph.clone());
+        let mut mwpm = MwpmDecoder::new(graph);
+        let mut sampler = FrameSampler::new(&mem.circuit);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sparse = SparseBatch::new();
+        for _ in 0..4 {
+            let ev = sampler.sample_batch(&mut rng);
+            sparse.extract(&ev);
+            for s in 0..BATCH {
+                let defects = sparse.defects(s);
+                if let Some(mask) = pre.predecode(defects) {
+                    prop_assert_eq!(mask, uf.decode(defects), "UF d={} {:?}", d, defects);
+                    prop_assert_eq!(mask, mwpm.decode(defects), "MWPM d={} {:?}", d, defects);
+                }
+            }
+        }
+    }
+
+    /// The engine with the fast path enabled reports the same logical
+    /// estimate as with `Tiered::without_predecode`, for both decoder
+    /// backends — the predecoder changes timings and tier counters, never
+    /// results.
+    #[test]
+    fn tiered_engine_matches_plain_engine(
+        d_idx in 0usize..3,
+        p_milli in 1u32..6,
+        seed in 0u64..1_000,
+    ) {
+        let d = [3usize, 5, 7][d_idx];
+        let mem = memory_circuit(
+            &rotated_patch(d, d),
+            &NoiseModel::uniform(p_milli as f64 * 1e-3),
+            d,
+            MemoryBasis::Z,
+        );
+        let compiled = CompiledCircuit::new(&mem.circuit);
+        let graph = graph_for_circuit(&mem.circuit);
+        let uf_opts = SampleOptions {
+            min_shots: 2_000,
+            ..Default::default()
+        };
+        let on = LerEngine::new(2).estimate(
+            &compiled,
+            &Tiered::new(&graph, {
+                let graph = graph.clone();
+                move || UnionFindDecoder::new(graph.clone())
+            }),
+            uf_opts,
+            seed,
+        );
+        let off = LerEngine::new(2).estimate(
+            &compiled,
+            &Tiered::without_predecode({
+                let graph = graph.clone();
+                move || UnionFindDecoder::new(graph.clone())
+            }),
+            uf_opts,
+            seed,
+        );
+        prop_assert_eq!(on.estimate, off.estimate, "UF backend d={}", d);
+        prop_assert_eq!(off.predecoded_shots, 0);
+        prop_assert_eq!(
+            on.tier0_shots + on.predecoded_shots + on.residual_shots,
+            on.estimate.shots
+        );
+
+        let mwpm_opts = SampleOptions {
+            min_shots: 1_000,
+            ..Default::default()
+        };
+        let on = LerEngine::new(2).estimate(
+            &compiled,
+            &Tiered::new(&graph, {
+                let graph = graph.clone();
+                move || MwpmDecoder::new(graph.clone())
+            }),
+            mwpm_opts,
+            seed,
+        );
+        let off = LerEngine::new(2).estimate(
+            &compiled,
+            &Tiered::without_predecode({
+                let graph = graph.clone();
+                move || MwpmDecoder::new(graph.clone())
+            }),
+            mwpm_opts,
+            seed,
+        );
+        prop_assert_eq!(on.estimate, off.estimate, "MWPM backend d={}", d);
+    }
+}
 
 #[test]
 fn union_find_matches_mwpm_on_most_syndromes() {

@@ -15,7 +15,7 @@
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
 use caliqec_match::{
     estimate_ler_seeded, graph_for_circuit, Decoder, LerEngine, MwpmDecoder, ReferenceUnionFind,
-    SampleOptions, UnionFindDecoder,
+    SampleOptions, Tiered, UnionFindDecoder,
 };
 use caliqec_stab::{CompiledCircuit, FrameSampler, SparseBatch, BATCH};
 use proptest::prelude::*;
@@ -194,6 +194,29 @@ fn engine_fingerprints_are_preserved() {
                 uf_expect,
                 "UF d={d} threads={threads}"
             );
+            // The two-tier fast path must reproduce the fingerprints bit
+            // for bit — tier dispatch is an optimization, not a decoder.
+            let tiered = LerEngine::new(threads).estimate(
+                &compiled,
+                &Tiered::new(&graph, {
+                    let graph = graph.clone();
+                    move || UnionFindDecoder::new(graph.clone())
+                }),
+                SampleOptions {
+                    min_shots,
+                    ..Default::default()
+                },
+                seed,
+            );
+            assert_eq!(
+                (tiered.estimate.shots, tiered.estimate.failures),
+                uf_expect,
+                "tiered UF d={d} threads={threads}"
+            );
+            assert!(
+                tiered.predecoded_shots > 0,
+                "predecoder never fired at d={d} threads={threads}"
+            );
         }
         let serial = estimate_ler_seeded(
             &compiled,
@@ -223,6 +246,23 @@ fn engine_fingerprints_are_preserved() {
                 (run.estimate.shots, run.estimate.failures),
                 expect,
                 "MWPM d={d}"
+            );
+            let tiered = LerEngine::new(2).estimate(
+                &compiled,
+                &Tiered::new(&graph, {
+                    let graph = graph.clone();
+                    move || MwpmDecoder::new(graph.clone())
+                }),
+                SampleOptions {
+                    min_shots: min_shots / 2,
+                    ..Default::default()
+                },
+                seed,
+            );
+            assert_eq!(
+                (tiered.estimate.shots, tiered.estimate.failures),
+                expect,
+                "tiered MWPM d={d}"
             );
         }
     }
