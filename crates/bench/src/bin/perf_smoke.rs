@@ -14,13 +14,17 @@
 //! `--threads N` (worker count, default auto), `--out PATH`,
 //! `--label TEXT` (free-form run label stamped into the JSON),
 //! `--compare OLD.json` (after running, print a per-config speedup table
-//! against a previously written file).
+//! against a previously written file — a missing, corrupt, or
+//! wrong-schema baseline is a clean error and a nonzero exit, not a
+//! panic; see `caliqec_bench::compare`).
 //! Results are deterministic in the shot budget; timings obviously are not.
 
+use caliqec_bench::compare::{compare_table, load_baseline};
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
 use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, Tiered, UnionFindDecoder};
 use caliqec_stab::CompiledCircuit;
 use std::fmt::Write as _;
+use std::process::ExitCode;
 
 /// Best-effort current commit hash; "unknown" outside a git checkout.
 fn git_commit() -> String {
@@ -35,28 +39,7 @@ fn git_commit() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-/// Pulls the number following `"key":` out of a JSON fragment. Good enough
-/// for the flat numeric fields this binary writes; not a JSON parser.
-fn field_num(fragment: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let start = fragment.find(&pat)? + pat.len();
-    let rest = fragment[start..].trim_start();
-    let end = rest
-        .find(|c: char| {
-            c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
-        })
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Splits a perf_smoke JSON file into its per-config object fragments.
-fn config_fragments(json: &str) -> Vec<&str> {
-    json.split('{')
-        .filter(|frag| frag.contains("\"d\":"))
-        .collect()
-}
-
-fn main() {
+fn main() -> ExitCode {
     let shots = caliqec_bench::usize_from_args("shots", 100_000);
     let threads = caliqec_bench::threads_from_args();
     let out = caliqec_bench::string_from_args("out", "BENCH_decode.json");
@@ -150,51 +133,22 @@ fn main() {
         git_commit(),
         label.replace('"', "'"),
     );
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("perf_smoke: error: writing {out}: {e}");
+        return ExitCode::from(4);
+    }
     eprintln!("perf_smoke: wrote {out}");
 
     if !compare.is_empty() {
-        let old =
-            std::fs::read_to_string(&compare).unwrap_or_else(|e| panic!("reading {compare}: {e}"));
+        let old = match load_baseline(&compare) {
+            Ok(old) => old,
+            Err(e) => {
+                eprintln!("perf_smoke: error: {e}");
+                return ExitCode::from(4);
+            }
+        };
         println!("perf_smoke: this run vs {compare}");
-        println!(
-            "{:>4} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}",
-            "d", "old decode s", "new decode s", "speedup", "old shots/s", "new shots/s", "speedup"
-        );
-        for new_frag in config_fragments(&json) {
-            let (Some(d), Some(nd), Some(nt)) = (
-                field_num(new_frag, "d"),
-                field_num(new_frag, "decode_seconds"),
-                field_num(new_frag, "shots_per_sec"),
-            ) else {
-                continue;
-            };
-            let old_frag = config_fragments(&old)
-                .into_iter()
-                .find(|f| field_num(f, "d") == Some(d));
-            let (od, ot) = match old_frag {
-                Some(f) => (
-                    field_num(f, "decode_seconds"),
-                    field_num(f, "shots_per_sec"),
-                ),
-                None => (None, None),
-            };
-            let ratio = |a: Option<f64>, b: f64, inverted: bool| match a {
-                Some(a) if a > 0.0 && b > 0.0 => {
-                    format!("{:.2}x", if inverted { b / a } else { a / b })
-                }
-                _ => "-".to_string(),
-            };
-            println!(
-                "{:>4} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}",
-                d as usize,
-                od.map(|v| format!("{v:.3}")).unwrap_or("-".into()),
-                format!("{nd:.3}"),
-                ratio(od, nd, false),
-                ot.map(|v| format!("{v:.0}")).unwrap_or("-".into()),
-                format!("{nt:.0}"),
-                ratio(ot, nt, true),
-            );
-        }
+        print!("{}", compare_table(&json, &old));
     }
+    ExitCode::SUCCESS
 }

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compare;
 pub mod experiments;
 pub mod report;
 

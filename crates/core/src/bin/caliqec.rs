@@ -4,22 +4,67 @@
 //! caliqec characterize [--rows N] [--cols N] [--seed S]
 //! caliqec plan         [--rows N] [--cols N] [--distance D] [--delta-d K] [--p-tar P]
 //! caliqec simulate     [--rows N] [--cols N] [--distance D] [--hours H] [--no-enlarge]
+//!                      [--strict] [--faults SPEC] [--trace-out FILE]
 //! caliqec draw         [--distance D] [--lattice square|heavy-hex] [--hole R,C ...]
 //! caliqec help
 //! ```
 //!
 //! Every subcommand builds a synthetic device (the substitution for hardware
 //! access documented in DESIGN.md), so the tool runs self-contained.
+//!
+//! Errors map to distinct exit codes so scripts can tell failure classes
+//! apart: 1 runtime, 2 usage, 3 validation, 4 I/O, 5 degraded-under-strict.
 
-use caliqec::{compile, run_runtime, CaliqecConfig, Preparation};
+use caliqec::{compile, run_runtime_with_faults, CaliqecConfig, Preparation};
 use caliqec_code::{
     code_distance, data_coord, draw_layout, DeformInstruction, DeformedPatch, Lattice,
 };
 use caliqec_device::{DeviceConfig, DeviceModel};
+use caliqec_match::FaultPlan;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::io::Write;
 use std::process::ExitCode;
+
+/// Classified CLI failures; each class owns a distinct exit code.
+enum CliError {
+    /// Anything that went wrong while executing an otherwise-valid request
+    /// (exit 1).
+    Runtime(String),
+    /// Malformed command line or environment configuration (exit 2).
+    Usage(String),
+    /// Structurally invalid inputs rejected by the framework's validators
+    /// (exit 3).
+    Validation(String),
+    /// Filesystem failures, e.g. an unwritable `--trace-out` path (exit 4).
+    Io(String),
+    /// `--strict` was set and the run needed the decoder degradation
+    /// ladder (exit 5).
+    Degraded(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Runtime(_) => ExitCode::from(1),
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Validation(_) => ExitCode::from(3),
+            CliError::Io(_) => ExitCode::from(4),
+            CliError::Degraded(_) => ExitCode::from(5),
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Runtime(m)
+            | CliError::Usage(m)
+            | CliError::Validation(m)
+            | CliError::Io(m)
+            | CliError::Degraded(m) => m,
+        }
+    }
+}
 
 struct Args {
     flags: HashMap<String, String>,
@@ -34,7 +79,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {a:?}"))?;
-        if key == "no-enlarge" || key == "probe" {
+        if key == "no-enlarge" || key == "probe" || key == "strict" {
             flags.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -80,10 +125,10 @@ impl Args {
     }
 }
 
-fn device_from(args: &Args) -> Result<(DeviceModel, StdRng), String> {
-    let rows = args.usize_or("rows", 5)?;
-    let cols = args.usize_or("cols", 5)?;
-    let mut rng = StdRng::seed_from_u64(args.u64_or("seed", 0)?);
+fn device_from(args: &Args) -> Result<(DeviceModel, StdRng), CliError> {
+    let rows = args.usize_or("rows", 5).map_err(CliError::Usage)?;
+    let cols = args.usize_or("cols", 5).map_err(CliError::Usage)?;
+    let mut rng = StdRng::seed_from_u64(args.u64_or("seed", 0).map_err(CliError::Usage)?);
     let device = DeviceModel::synthetic(
         &DeviceConfig {
             rows,
@@ -95,10 +140,11 @@ fn device_from(args: &Args) -> Result<(DeviceModel, StdRng), String> {
     Ok((device, rng))
 }
 
-fn cmd_characterize(args: &Args) -> Result<(), String> {
+fn cmd_characterize(args: &Args) -> Result<(), CliError> {
     let (device, mut rng) = device_from(args)?;
     let prep = if args.flags.contains_key("probe") {
-        Preparation::run_with_probes(&device, args.usize_or("threads", 0)?, &mut rng)
+        let threads = args.usize_or("threads", 0).map_err(CliError::Usage)?;
+        Preparation::run_with_probes(&device, threads, &mut rng)
     } else {
         Preparation::run(&device, &mut rng)
     };
@@ -121,12 +167,25 @@ fn cmd_characterize(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_plan(args: &Args) -> Result<(), String> {
+/// Parses `--distance`, rejecting values the patch builders cannot
+/// represent (they assert on dimensions < 2) with a typed validation
+/// error instead of a caught panic.
+fn distance_flag(args: &Args) -> Result<usize, CliError> {
+    let d = args.usize_or("distance", 5).map_err(CliError::Usage)?;
+    if d < 2 {
+        return Err(CliError::Validation(format!(
+            "--distance must be at least 2, got {d}"
+        )));
+    }
+    Ok(d)
+}
+
+fn cmd_plan(args: &Args) -> Result<(), CliError> {
     let (device, mut rng) = device_from(args)?;
     let config = CaliqecConfig {
-        distance: args.usize_or("distance", 5)?,
-        delta_d: args.usize_or("delta-d", 4)?,
-        p_tar: args.f64_or("p-tar", 5e-3)?,
+        distance: distance_flag(args)?,
+        delta_d: args.usize_or("delta-d", 4).map_err(CliError::Usage)?,
+        p_tar: args.f64_or("p-tar", 5e-3).map_err(CliError::Usage)?,
         ..CaliqecConfig::default()
     };
     let prep = Preparation::run(&device, &mut rng);
@@ -151,20 +210,64 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(args: &Args) -> Result<(), String> {
+/// Resolves the decoder fault-injection plan for `simulate`: the
+/// `--faults SPEC` flag wins over the `CALIQEC_FAULTS` environment
+/// variable; both use the `kind@chunk,...` grammar of
+/// [`FaultPlan::parse`].
+fn fault_plan_from(args: &Args) -> Result<Option<FaultPlan>, CliError> {
+    if let Some(spec) = args.flags.get("faults") {
+        let plan = FaultPlan::parse(spec)
+            .map_err(|e| CliError::Usage(format!("--faults {spec:?}: {e}")))?;
+        return Ok(Some(plan));
+    }
+    FaultPlan::from_env().map_err(|e| CliError::Usage(format!("CALIQEC_FAULTS: {e}")))
+}
+
+/// Silences the default panic hook for the engine's named worker threads
+/// while faults are armed, so injected (caught and retried) panics don't
+/// spray backtraces over the trace output. Panics on any other thread
+/// still print normally.
+fn quiet_worker_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let worker = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("caliqec-ler-"));
+        if !worker {
+            default_hook(info);
+        }
+    }));
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), CliError> {
     let (device, mut rng) = device_from(args)?;
     let config = CaliqecConfig {
-        distance: args.usize_or("distance", 5)?,
-        delta_d: args.usize_or("delta-d", 4)?,
+        distance: distance_flag(args)?,
+        delta_d: args.usize_or("delta-d", 4).map_err(CliError::Usage)?,
         enlarge: !args.flags.contains_key("no-enlarge"),
-        threads: args.usize_or("threads", 0)?,
-        mc_shots: args.usize_or("mc-shots", 0)?,
+        threads: args.usize_or("threads", 0).map_err(CliError::Usage)?,
+        mc_shots: args.usize_or("mc-shots", 0).map_err(CliError::Usage)?,
         ..CaliqecConfig::default()
     };
-    let hours = args.f64_or("hours", 24.0)?;
+    let hours = args.f64_or("hours", 24.0).map_err(CliError::Usage)?;
+    if hours.is_nan() || hours <= 0.0 {
+        return Err(CliError::Usage(format!(
+            "--hours wants a positive number, got {hours}"
+        )));
+    }
+    let strict = args.flags.contains_key("strict");
+    let faults = fault_plan_from(args)?;
+    if faults.is_some() && config.mc_shots == 0 {
+        return Err(CliError::Usage(
+            "fault injection needs Monte-Carlo sampling; pass --mc-shots S > 0".to_string(),
+        ));
+    }
+    if faults.is_some() {
+        quiet_worker_panics();
+    }
     let prep = Preparation::run(&device, &mut rng);
     let plan = compile(&device, &prep, &config, &mut rng);
-    let report = run_runtime(&device, Some(&plan), &config, hours, 96);
+    let report = run_runtime_with_faults(&device, Some(&plan), &config, hours, 96, faults.as_ref());
     println!("hours  mean_p    distance  qubits  LER       measured  calibrating");
     for p in report.trace.iter().step_by(8) {
         let measured = p
@@ -182,15 +285,52 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         report.exceedance_fraction() * 100.0,
         report.max_physical_qubits
     );
+    if report.faulted_chunks > 0 || report.degraded_shots > 0 {
+        // Diagnostics go to stderr so the stdout trace stays bit-identical
+        // to a fault-free run.
+        eprintln!(
+            "decoder degradation: {} faulted chunks, {} retries, {} shots on degraded rungs",
+            report.faulted_chunks, report.retried_chunks, report.degraded_shots
+        );
+    }
+    if let Some(path) = args.flags.get("trace-out") {
+        write_trace_csv(path, &report)
+            .map_err(|e| CliError::Io(format!("cannot write trace to {path:?}: {e}")))?;
+        println!("trace written to {path}");
+    }
+    if strict && report.degraded() {
+        return Err(CliError::Degraded(format!(
+            "--strict: run needed the degradation ladder ({} faulted chunks, {} degraded shots)",
+            report.faulted_chunks, report.degraded_shots
+        )));
+    }
     Ok(())
 }
 
-fn cmd_draw(args: &Args) -> Result<(), String> {
-    let d = args.usize_or("distance", 5)?;
+/// Writes the runtime trace as CSV, one row per trace point.
+fn write_trace_csv(path: &str, report: &caliqec::RuntimeReport) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(
+        out,
+        "hours,mean_p,distance,physical_qubits,ler,measured_ler,calibrating"
+    )?;
+    for p in &report.trace {
+        let measured = p.measured_ler.map_or(String::new(), |m| format!("{m:e}"));
+        writeln!(
+            out,
+            "{:.4},{:e},{},{},{:e},{measured},{}",
+            p.hours, p.mean_p, p.distance, p.physical_qubits, p.ler, p.calibrating
+        )?;
+    }
+    out.flush()
+}
+
+fn cmd_draw(args: &Args) -> Result<(), CliError> {
+    let d = distance_flag(args)?;
     let lattice = match args.flags.get("lattice").map(String::as_str) {
         None | Some("square") => Lattice::Square,
         Some("heavy-hex") | Some("heavyhex") => Lattice::HeavyHex,
-        Some(other) => return Err(format!("unknown lattice {other:?}")),
+        Some(other) => return Err(CliError::Usage(format!("unknown lattice {other:?}"))),
     };
     let mut patch = DeformedPatch::new(lattice, d, d);
     for &(r, c) in &args.holes {
@@ -198,9 +338,11 @@ fn cmd_draw(args: &Args) -> Result<(), String> {
             .apply(DeformInstruction::DataQRm {
                 qubit: data_coord(r, c),
             })
-            .map_err(|e| format!("cannot isolate ({r},{c}): {e}"))?;
+            .map_err(|e| CliError::Validation(format!("cannot isolate ({r},{c}): {e}")))?;
     }
-    let layout = patch.layout().map_err(|e| e.to_string())?;
+    let layout = patch
+        .layout()
+        .map_err(|e| CliError::Validation(e.to_string()))?;
     println!("{}", draw_layout(&layout));
     let dist = code_distance(&layout);
     println!(
@@ -224,30 +366,44 @@ USAGE:
   caliqec plan [--rows N] [--cols N] [--distance D] [--delta-d K] [--p-tar P]
       Compile the calibration plan (Algorithm 1 + adaptive batching).
   caliqec simulate [--rows N] [--cols N] [--distance D] [--hours H] [--no-enlarge]
-                   [--threads T] [--mc-shots S]
+                   [--threads T] [--mc-shots S] [--strict] [--faults SPEC]
+                   [--trace-out FILE]
       Run the in-situ calibration runtime and print the LER trace.
       --mc-shots S > 0 measures each trace point by Monte Carlo on the
       parallel LER engine; --threads T sets the worker count (default:
       the CALIQEC_THREADS environment variable, else all cores).
+      --faults SPEC (or the CALIQEC_FAULTS environment variable) injects
+      decoder faults as kind@chunk[,kind@chunk...] with kinds panic,
+      stall, corrupt, badweights; the engine recovers them on its
+      degradation ladder and the summary reports the fallout.
+      --strict exits with code 5 if any measurement was degraded.
+      --trace-out FILE writes the full trace as CSV.
   caliqec draw [--distance D] [--lattice square|heavy-hex] [--hole R,C ...]
       Render a (deformed) patch as ASCII art.
   caliqec help
+
+EXIT CODES:
+  0 success   1 runtime error   2 usage error   3 invalid input
+  4 I/O error 5 degraded run under --strict
 ";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprint!("{HELP}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let args = match parse_args(&argv[1..]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
-    let result = match cmd.as_str() {
+    // Unrecoverable framework panics (e.g. the LER engine exhausting its
+    // degradation ladder) become classified runtime errors instead of an
+    // abort, so scripts always see one of the documented exit codes.
+    let dispatch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match cmd.as_str() {
         "characterize" => cmd_characterize(&args),
         "plan" => cmd_plan(&args),
         "simulate" => cmd_simulate(&args),
@@ -256,13 +412,23 @@ fn main() -> ExitCode {
             print!("{HELP}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?} (try `caliqec help`)")),
-    };
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?} (try `caliqec help`)"
+        ))),
+    }));
+    let result = dispatch.unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "command panicked".to_string());
+        Err(CliError::Runtime(msg))
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            e.exit_code()
         }
     }
 }

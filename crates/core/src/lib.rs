@@ -48,4 +48,4 @@ mod runtime;
 
 pub use config::CaliqecConfig;
 pub use pipeline::{compile, device_qubit_to_patch, CompiledBatch, CompiledPlan, Preparation};
-pub use runtime::{run_runtime, RuntimeReport, TracePoint};
+pub use runtime::{run_runtime, run_runtime_with_faults, RuntimeReport, TracePoint};

@@ -16,7 +16,7 @@ use caliqec_code::{
     PatchLayout, Side,
 };
 use caliqec_device::DeviceModel;
-use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, UnionFindDecoder};
+use caliqec_match::{graph_for_circuit, FaultPlan, LerEngine, SampleOptions, UnionFindDecoder};
 use caliqec_sched::ler;
 use caliqec_stab::chunk_seed;
 
@@ -54,9 +54,27 @@ pub struct RuntimeReport {
     pub ler_exceedances: usize,
     /// The LER target used for exceedance accounting.
     pub ler_target: f64,
+    /// Total decoder-chunk faults observed across all Monte-Carlo
+    /// measurements (zero unless faults were injected or a decoder
+    /// genuinely misbehaved).
+    pub faulted_chunks: usize,
+    /// Total quarantined-chunk retries on the degradation ladder. Equals
+    /// [`RuntimeReport::faulted_chunks`] whenever every measurement
+    /// completed.
+    pub retried_chunks: usize,
+    /// Total shots decoded on a degraded ladder rung (predecode disabled
+    /// or reference decoder).
+    pub degraded_shots: usize,
 }
 
 impl RuntimeReport {
+    /// Whether any Monte-Carlo measurement had to fall back to a degraded
+    /// decoder configuration (`--strict` in the CLI turns this into a
+    /// nonzero exit).
+    pub fn degraded(&self) -> bool {
+        self.faulted_chunks > 0 || self.degraded_shots > 0
+    }
+
     /// Fraction of the run spent above the LER target.
     pub fn exceedance_fraction(&self) -> f64 {
         if self.trace.is_empty() {
@@ -82,6 +100,23 @@ pub fn run_runtime(
     config: &CaliqecConfig,
     horizon_hours: f64,
     steps: usize,
+) -> RuntimeReport {
+    run_runtime_with_faults(device, plan, config, horizon_hours, steps, None)
+}
+
+/// [`run_runtime`] with an explicit decoder fault-injection plan armed on
+/// every Monte-Carlo measurement (chaos testing; see
+/// [`caliqec_match::FaultPlan`]). The engine recovers injected faults on
+/// its degradation ladder, so the trace stays bit-identical to the
+/// fault-free run; the report's `faulted_chunks` / `retried_chunks` /
+/// `degraded_shots` counters record what happened.
+pub fn run_runtime_with_faults(
+    device: &DeviceModel,
+    plan: Option<&CompiledPlan>,
+    config: &CaliqecConfig,
+    horizon_hours: f64,
+    steps: usize,
+    faults: Option<&FaultPlan>,
 ) -> RuntimeReport {
     assert!(steps > 0 && horizon_hours > 0.0);
     let d = config.distance;
@@ -171,7 +206,11 @@ pub fn run_runtime(
             / device.gates.len() as f64;
         let measured_ler = (config.mc_shots > 0).then(|| {
             let layout = cached.as_ref().map(|(_, l)| l).unwrap_or(&pristine_layout);
-            measure_point_ler(layout, mean_p, config, k as u64)
+            let run = measure_point_ler(layout, mean_p, config, k as u64, faults);
+            report.faulted_chunks += run.faulted_chunks;
+            report.retried_chunks += run.retried_chunks;
+            report.degraded_shots += run.degraded_shots;
+            run.estimate.per_shot()
         });
         let point = TracePoint {
             hours: t,
@@ -230,12 +269,17 @@ fn measure_point_ler(
     mean_p: f64,
     config: &CaliqecConfig,
     point_index: u64,
-) -> f64 {
+    faults: Option<&FaultPlan>,
+) -> caliqec_match::EngineRun {
     let noise = NoiseModel::uniform(mean_p.clamp(1e-9, 0.3));
     let rounds = config.distance.max(1);
     let mem = memory_circuit(layout, &noise, rounds, MemoryBasis::Z);
     let graph = graph_for_circuit(&mem.circuit);
-    let run = LerEngine::new(config.threads).estimate_circuit(
+    let mut engine = LerEngine::new(config.threads);
+    if let Some(plan) = faults {
+        engine = engine.with_faults(plan.clone());
+    }
+    engine.estimate_circuit(
         &mem.circuit,
         &|| UnionFindDecoder::new(graph.clone()),
         SampleOptions {
@@ -243,8 +287,7 @@ fn measure_point_ler(
             ..SampleOptions::default()
         },
         chunk_seed(0xCA11_0EC5, point_index),
-    );
-    run.estimate.per_shot()
+    )
 }
 
 #[cfg(test)]
@@ -327,6 +370,27 @@ mod tests {
             "mc_shots > 0 must measure"
         );
         assert_eq!(ms_a, ms_b, "trace must not depend on thread count");
+    }
+
+    #[test]
+    fn injected_faults_leave_trace_bit_identical() {
+        let (device, plan, mut config) = setup(true);
+        config.mc_shots = 256;
+        config.threads = 2;
+        let clean = run_runtime(&device, Some(&plan), &config, 8.0, 4);
+        assert_eq!(clean.faulted_chunks, 0);
+        assert_eq!(clean.degraded_shots, 0);
+        assert!(!clean.degraded());
+        let faults = FaultPlan::new().panic_at(0);
+        let chaos = run_runtime_with_faults(&device, Some(&plan), &config, 8.0, 4, Some(&faults));
+        let ms_clean: Vec<_> = clean.trace.iter().map(|p| p.measured_ler).collect();
+        let ms_chaos: Vec<_> = chaos.trace.iter().map(|p| p.measured_ler).collect();
+        assert_eq!(ms_clean, ms_chaos, "ladder retry must preserve the trace");
+        // Chunk 0 faults once per measured trace point.
+        assert_eq!(chaos.faulted_chunks, chaos.trace.len());
+        assert_eq!(chaos.faulted_chunks, chaos.retried_chunks);
+        assert!(chaos.degraded_shots > 0);
+        assert!(chaos.degraded());
     }
 
     #[test]

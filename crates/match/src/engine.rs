@@ -19,18 +19,52 @@
 //!
 //! Wall-clock, per-phase timing, and throughput land in [`EngineRun`],
 //! deliberately outside `LerEstimate` so estimates stay comparable.
+//!
+//! # Failure model
+//!
+//! The engine is hardened against decoder faults (see DESIGN.md §9):
+//!
+//! - Inputs are validated up front by the fallible entry points
+//!   ([`LerEngine::try_estimate`] and friends) — a malformed circuit or
+//!   matching graph returns a typed [`EngineError`] instead of panicking
+//!   inside a worker.
+//! - Each chunk's sample+decode runs under `catch_unwind`. A chunk that
+//!   panics (or stalls, or trips graph validation) is quarantined and
+//!   re-run with the **same** [`chunk_seed`]`(base_seed, idx)` on the next
+//!   rung of a degradation ladder: rung 0 is the factory's decoder with
+//!   its predecoder, rung 1 a freshly built decoder without the
+//!   predecoder, rung 2 a [`ReferenceUnionFind`] over the factory's
+//!   fallback graph. Because the sampled shots depend only on the chunk
+//!   seed, a retry re-decodes the *identical* syndrome stream.
+//! - A worker panic can no longer cascade: the shared mutex recovers from
+//!   poisoning via `PoisonError::into_inner`, and a chunk that faults on
+//!   every rung surfaces as one typed [`EngineError::ChunkFailed`].
+//! - Every fault is accounted in [`EngineRun`] (`faulted_chunks`,
+//!   `retried_chunks`, `degraded_shots`, per-rung and per-kind counters);
+//!   when no fault fires the results are bit-identical to the unhardened
+//!   engine and all fault counters are zero.
+//!
+//! The [`crate::faults`] module can inject faults at chosen chunk indices
+//! to exercise this machinery deterministically; injection only ever fires
+//! on a chunk's first (rung-0) attempt.
 
 use crate::decode::{Decoder, LerEstimate, SampleOptions};
+use crate::error::{EngineError, ValidationError};
+use crate::faults::{FaultKind, FaultPlan};
+use crate::graph::MatchingGraph;
 use crate::predecode::Predecoder;
+use crate::reference::ReferenceUnionFind;
 use caliqec_stab::{
     chunk_seed, resolve_threads, BatchEvents, Circuit, CompiledCircuit, FrameState, SparseBatch,
     BATCH,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Builds per-worker decoder instances for parallel estimation.
 ///
@@ -45,7 +79,9 @@ pub trait DecoderFactory: Sync {
     /// The decoder type produced.
     type Decoder: Decoder;
 
-    /// Builds one decoder. Called once per worker thread.
+    /// Builds one decoder. Called once per worker thread (and once more
+    /// after any quarantined chunk, since a panicking decoder may leave
+    /// its scratch torn).
     fn build(&self) -> Self::Decoder;
 
     /// Optional tier-1 predecoder placed in front of every decoder this
@@ -53,6 +89,21 @@ pub trait DecoderFactory: Sync {
     /// The default is `None` — plain factories decode every nonempty shot
     /// in full. Wrap a factory in [`crate::Tiered`] to enable it.
     fn predecoder(&self) -> Option<Predecoder> {
+        None
+    }
+
+    /// Validates whatever inputs this factory bakes into its decoders.
+    /// The fallible engine entry points call this before launching
+    /// workers; the default factory has nothing visible to check.
+    fn validate(&self) -> Result<(), ValidationError> {
+        Ok(())
+    }
+
+    /// The matching graph backing this factory's decoders, if the factory
+    /// exposes one. Rung 2 of the degradation ladder builds a
+    /// [`ReferenceUnionFind`] from it; without one the ladder ends at
+    /// rung 1.
+    fn fallback_graph(&self) -> Option<&MatchingGraph> {
         None
     }
 }
@@ -110,6 +161,11 @@ impl ChunkPlan {
 /// plus one overflow bucket for 32-or-more defects.
 pub const DEFECT_HIST_BUCKETS: usize = 33;
 
+/// Rungs of the decoder degradation ladder: the factory decoder with its
+/// predecoder, a fresh factory decoder without predecode, and a
+/// [`ReferenceUnionFind`] over the factory's fallback graph.
+pub const LADDER_RUNGS: usize = 3;
+
 /// Outcome of sampling and decoding one chunk.
 #[derive(Clone, Copy, Debug)]
 struct ChunkResult {
@@ -124,6 +180,70 @@ struct ChunkResult {
     extract_seconds: f64,
     predecode_seconds: f64,
     decode_seconds: f64,
+}
+
+/// Why one chunk attempt did not produce a result.
+#[derive(Clone, Debug)]
+enum ChunkFault {
+    /// The decode panicked (caught by `catch_unwind`).
+    Panicked(String),
+    /// The attempt overran its stall deadline.
+    Stalled {
+        /// How long the attempt took.
+        elapsed: Duration,
+        /// The deadline it overran.
+        deadline: Duration,
+    },
+    /// The graph presented to the attempt failed validation.
+    InvalidGraph(ValidationError),
+}
+
+impl fmt::Display for ChunkFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkFault::Panicked(msg) => write!(f, "panicked: {msg}"),
+            ChunkFault::Stalled { elapsed, deadline } => write!(
+                f,
+                "stalled: {:.1} ms exceeded the {:.1} ms deadline",
+                elapsed.as_secs_f64() * 1e3,
+                deadline.as_secs_f64() * 1e3
+            ),
+            ChunkFault::InvalidGraph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Per-chunk fault bookkeeping accumulated by a worker, merged into
+/// [`Shared`] under one lock.
+#[derive(Clone, Copy, Debug, Default)]
+struct FaultTally {
+    faults: usize,
+    retries: usize,
+    panics: usize,
+    stalls: usize,
+    graphs: usize,
+}
+
+impl FaultTally {
+    fn record(&mut self, fault: &ChunkFault) {
+        self.faults += 1;
+        match fault {
+            ChunkFault::Panicked(_) => self.panics += 1,
+            ChunkFault::Stalled { .. } => self.stalls += 1,
+            ChunkFault::InvalidGraph(_) => self.graphs += 1,
+        }
+    }
 }
 
 /// Samples and decodes one chunk from its deterministic seed.
@@ -238,6 +358,78 @@ fn run_chunk<D: Decoder>(
     }
 }
 
+/// Runs one panic-isolated attempt at a chunk, injecting the scheduled
+/// fault first (injections only reach rung-0 attempts; retries pass
+/// `injected = None`).
+///
+/// Injections model real failure classes: `Panic` is a decoder bug,
+/// `CorruptDefects` hands the decoder an out-of-range node id as corrupted
+/// syndrome extraction would (the resulting index panic is caught like any
+/// other), `Stall` sleeps past the stall deadline and is treated as timed
+/// out **only on the injected attempt** — legitimate slow chunks are never
+/// deadline-checked, so a loaded machine cannot trigger spurious retries —
+/// and `BadWeights` validates a weight-poisoned copy of the fallback graph,
+/// surfacing the typed [`ValidationError`] a corrupted calibration feed
+/// would produce.
+#[allow(clippy::too_many_arguments)]
+fn attempt_chunk<D: Decoder>(
+    compiled: &CompiledCircuit,
+    decoder: &mut D,
+    predecoder: Option<&mut Predecoder>,
+    state: &mut FrameState,
+    events: &mut BatchEvents,
+    sparse: &mut SparseBatch,
+    plan: &ChunkPlan,
+    chunk: usize,
+    base_seed: u64,
+    injected: Option<FaultKind>,
+    faults: Option<&FaultPlan>,
+    fallback_graph: Option<&MatchingGraph>,
+) -> Result<ChunkResult, ChunkFault> {
+    if let Some(kind) = injected {
+        match kind {
+            FaultKind::Stall => {
+                let plan_ref = faults.expect("stall injection without an armed plan");
+                let started = Instant::now();
+                std::thread::sleep(plan_ref.stall_sleep());
+                let elapsed = started.elapsed();
+                if elapsed >= plan_ref.stall_deadline() {
+                    return Err(ChunkFault::Stalled {
+                        elapsed,
+                        deadline: plan_ref.stall_deadline(),
+                    });
+                }
+            }
+            FaultKind::BadWeights => {
+                let poisoned = crate::faults::poison_weights(fallback_graph);
+                if let Err(e) = poisoned.validate() {
+                    return Err(ChunkFault::InvalidGraph(e));
+                }
+            }
+            FaultKind::Panic | FaultKind::CorruptDefects => {
+                let caught = std::panic::catch_unwind(AssertUnwindSafe(|| match kind {
+                    FaultKind::Panic => panic!("injected decoder panic at chunk {chunk}"),
+                    FaultKind::CorruptDefects => {
+                        // A corrupted syndrome stream: one defect id far past
+                        // every node the decoder knows.
+                        decoder.decode(&[usize::MAX / 2]);
+                    }
+                    _ => unreachable!("handled above"),
+                }));
+                if let Err(payload) = caught {
+                    return Err(ChunkFault::Panicked(panic_message(payload)));
+                }
+            }
+        }
+    }
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_chunk(
+            compiled, decoder, predecoder, state, events, sparse, plan, chunk, base_seed,
+        )
+    }))
+    .map_err(|payload| ChunkFault::Panicked(panic_message(payload)))
+}
+
 /// Result of one [`LerEngine::estimate`] run: the estimate plus
 /// throughput/timing counters.
 ///
@@ -285,6 +477,25 @@ pub struct EngineRun {
     /// Histogram of per-shot defect counts: bucket `i < 32` counts shots
     /// with exactly `i` defects, the last bucket shots with ≥ 32.
     pub defect_histogram: [u64; DEFECT_HIST_BUCKETS],
+    /// Fault events observed across all chunk attempts (a chunk that
+    /// faults on two rungs counts twice). Zero when no fault fired.
+    pub faulted_chunks: usize,
+    /// Retry attempts launched in response to faults. In every `Ok` run
+    /// each fault triggers exactly one retry on the next rung, so
+    /// `retried_chunks == faulted_chunks` — no fault is silently dropped.
+    pub retried_chunks: usize,
+    /// Shots whose chunk completed on a rung above 0 (decoded by a
+    /// degraded configuration).
+    pub degraded_shots: usize,
+    /// Chunks completed per ladder rung (`rung_chunks[0]` is the pristine
+    /// fast path; entries sum to `chunks_executed`).
+    pub rung_chunks: [usize; LADDER_RUNGS],
+    /// Fault events that were caught panics.
+    pub panic_faults: usize,
+    /// Fault events that were stall-deadline overruns.
+    pub stall_faults: usize,
+    /// Fault events that were graph-validation failures.
+    pub graph_faults: usize,
 }
 
 impl EngineRun {
@@ -295,6 +506,13 @@ impl EngineRun {
         }
         self.estimate.shots as f64 / self.wall_seconds
     }
+
+    /// True when any chunk completed on a rung above 0 (the run degraded
+    /// but recovered). The `caliqec` CLI's `--strict` mode turns this into
+    /// a nonzero exit.
+    pub fn degraded(&self) -> bool {
+        self.rung_chunks[1..].iter().any(|&c| c > 0)
+    }
 }
 
 /// Aggregation state shared by workers under a mutex.
@@ -303,6 +521,8 @@ struct Shared {
     /// First chunk index at which the cumulative failure budget is met,
     /// once known (requires the full prefix to have completed).
     cut: Option<usize>,
+    /// First ladder-exhaustion error, if any; set once, ends the run.
+    fatal: Option<EngineError>,
     chunks_executed: usize,
     sample_seconds: f64,
     extract_seconds: f64,
@@ -313,6 +533,13 @@ struct Shared {
     predecoded_defects: usize,
     residual_shots: usize,
     defect_histogram: [u64; DEFECT_HIST_BUCKETS],
+    faulted_chunks: usize,
+    retried_chunks: usize,
+    degraded_shots: usize,
+    rung_chunks: [usize; LADDER_RUNGS],
+    panic_faults: usize,
+    stall_faults: usize,
+    graph_faults: usize,
 }
 
 impl Shared {
@@ -334,8 +561,18 @@ impl Shared {
     }
 }
 
+/// Locks the shared state, recovering from poisoning: a worker that
+/// panicked while holding the lock has already been quarantined by
+/// `catch_unwind`, and the counters it was merging are monotone — the
+/// worst case is one chunk's statistics lost, never a torn estimate, so
+/// the remaining workers keep going instead of cascading N secondary
+/// panics.
+fn lock_shared<'a>(shared: &'a Mutex<Shared>) -> MutexGuard<'a, Shared> {
+    shared.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Thread-parallel Monte-Carlo LER estimator. See the module docs for the
-/// determinism contract.
+/// determinism contract and the failure model.
 ///
 /// # Examples
 ///
@@ -361,19 +598,36 @@ impl Shared {
 /// // A single perfectly-heralded error is always corrected.
 /// assert_eq!(run.estimate.failures, 0);
 /// assert_eq!(run.estimate.shots, 640);
+/// assert_eq!(run.faulted_chunks, 0);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct LerEngine {
     threads: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl LerEngine {
     /// Creates an engine with `threads` workers (0 = auto: honours the
     /// `CALIQEC_THREADS` environment variable, else all available cores).
+    /// No fault plan is armed; [`LerEngine::with_faults`] injects one.
     pub fn new(threads: usize) -> LerEngine {
         LerEngine {
             threads: resolve_threads(threads),
+            faults: None,
         }
+    }
+
+    /// Arms a fault-injection plan (empty plans disarm). Library
+    /// constructors never read the environment; binaries that honour
+    /// `CALIQEC_FAULTS` combine this with [`FaultPlan::from_env`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> LerEngine {
+        self.faults = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+
+    /// The armed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The resolved worker count.
@@ -383,6 +637,12 @@ impl LerEngine {
 
     /// Estimates the residual LER of `compiled` using per-worker decoders
     /// from `factory`. Deterministic in `(options, base_seed)`.
+    ///
+    /// Infallible wrapper over [`LerEngine::try_estimate`]: panics on a
+    /// typed [`EngineError`] (invalid inputs, or a chunk that exhausted
+    /// the degradation ladder). Every pre-hardening call site used this
+    /// signature; new code that wants to handle failure should call
+    /// `try_estimate`.
     pub fn estimate<F: DecoderFactory>(
         &self,
         compiled: &CompiledCircuit,
@@ -390,13 +650,34 @@ impl LerEngine {
         options: SampleOptions,
         base_seed: u64,
     ) -> EngineRun {
+        self.try_estimate(compiled, factory, options, base_seed)
+            .unwrap_or_else(|e| panic!("engine run failed: {e}"))
+    }
+
+    /// Fallible estimation: validates `compiled` and the factory's graph
+    /// up front, then runs the hardened chunk loop. Returns a typed
+    /// [`EngineError`] for invalid inputs or a chunk that faulted on every
+    /// rung of the degradation ladder; all recovered faults are reported
+    /// in the returned [`EngineRun`] instead.
+    pub fn try_estimate<F: DecoderFactory>(
+        &self,
+        compiled: &CompiledCircuit,
+        factory: &F,
+        options: SampleOptions,
+        base_seed: u64,
+    ) -> Result<EngineRun, EngineError> {
+        compiled.validate()?;
+        factory.validate()?;
         let started = Instant::now();
         let plan = ChunkPlan::new(options);
         let threads = self.threads.min(plan.num_chunks).max(1);
+        let faults = self.faults.as_ref();
+        let fallback = factory.fallback_graph();
         let next = AtomicUsize::new(0);
         let shared = Mutex::new(Shared {
             results: vec![None; plan.num_chunks],
             cut: None,
+            fatal: None,
             chunks_executed: 0,
             sample_seconds: 0.0,
             extract_seconds: 0.0,
@@ -407,69 +688,39 @@ impl LerEngine {
             predecoded_defects: 0,
             residual_shots: 0,
             defect_histogram: [0; DEFECT_HIST_BUCKETS],
+            faulted_chunks: 0,
+            retried_chunks: 0,
+            degraded_shots: 0,
+            rung_chunks: [0; LADDER_RUNGS],
+            panic_faults: 0,
+            stall_faults: 0,
+            graph_faults: 0,
         });
 
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let mut decoder = factory.build();
-                    let mut predecoder = factory.predecoder();
-                    let mut state = FrameState::new(compiled);
-                    let mut events = BatchEvents::default();
-                    let mut sparse = SparseBatch::new();
-                    loop {
-                        if shared.lock().unwrap().cut.is_some() {
-                            break;
-                        }
-                        let chunk = next.fetch_add(1, Ordering::Relaxed);
-                        if chunk >= plan.num_chunks {
-                            break;
-                        }
-                        let result = run_chunk(
-                            compiled,
-                            &mut decoder,
-                            predecoder.as_mut(),
-                            &mut state,
-                            &mut events,
-                            &mut sparse,
-                            &plan,
-                            chunk,
-                            base_seed,
-                        );
-                        let mut sh = shared.lock().unwrap();
-                        sh.chunks_executed += 1;
-                        sh.sample_seconds += result.sample_seconds;
-                        sh.extract_seconds += result.extract_seconds;
-                        sh.predecode_seconds += result.predecode_seconds;
-                        sh.decode_seconds += result.decode_seconds;
-                        sh.tier0_shots += result.tier0_shots;
-                        sh.predecoded_shots += result.predecoded_shots;
-                        sh.predecoded_defects += result.predecoded_defects;
-                        sh.residual_shots += result.residual_shots;
-                        for (acc, &b) in sh
-                            .defect_histogram
-                            .iter_mut()
-                            .zip(result.defect_histogram.iter())
-                        {
-                            *acc += b;
-                        }
-                        sh.results[chunk] = Some(result);
-                        if plan.max_failures > 0 && sh.cut.is_none() {
-                            sh.recompute_cut(plan.max_failures);
-                        }
-                    }
-                });
+            for worker in 0..threads {
+                let spawned = std::thread::Builder::new()
+                    .name(format!("caliqec-ler-{worker}"))
+                    .spawn_scoped(scope, || {
+                        worker_loop(
+                            compiled, factory, &plan, base_seed, faults, fallback, &next, &shared,
+                        )
+                    });
+                spawned.expect("spawn LER worker thread");
             }
         });
 
-        let sh = shared.into_inner().unwrap();
+        let sh = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
+        if let Some(fatal) = sh.fatal {
+            return Err(fatal);
+        }
         let included = sh.cut.map_or(plan.num_chunks, |k| k + 1);
         let mut estimate = LerEstimate::default();
         for result in sh.results[..included].iter().flatten() {
             estimate.shots += result.batches * BATCH;
             estimate.failures += result.failures;
         }
-        EngineRun {
+        Ok(EngineRun {
             estimate,
             threads,
             chunks_included: included,
@@ -484,7 +735,14 @@ impl LerEngine {
             predecoded_defects: sh.predecoded_defects,
             residual_shots: sh.residual_shots,
             defect_histogram: sh.defect_histogram,
-        }
+            faulted_chunks: sh.faulted_chunks,
+            retried_chunks: sh.retried_chunks,
+            degraded_shots: sh.degraded_shots,
+            rung_chunks: sh.rung_chunks,
+            panic_faults: sh.panic_faults,
+            stall_faults: sh.stall_faults,
+            graph_faults: sh.graph_faults,
+        })
     }
 
     /// Convenience: compiles `circuit` and estimates in one call.
@@ -497,13 +755,198 @@ impl LerEngine {
     ) -> EngineRun {
         self.estimate(&CompiledCircuit::new(circuit), factory, options, base_seed)
     }
+
+    /// Fallible form of [`LerEngine::estimate_circuit`]: validates the
+    /// circuit IR before compiling, so malformed programs (e.g. from
+    /// [`Circuit::from_ops`]) surface as [`EngineError::Circuit`].
+    pub fn try_estimate_circuit<F: DecoderFactory>(
+        &self,
+        circuit: &Circuit,
+        factory: &F,
+        options: SampleOptions,
+        base_seed: u64,
+    ) -> Result<EngineRun, EngineError> {
+        circuit.validate()?;
+        self.try_estimate(&CompiledCircuit::new(circuit), factory, options, base_seed)
+    }
+}
+
+/// The body of one worker thread: claim chunks, run each up the
+/// degradation ladder, merge results.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<F: DecoderFactory>(
+    compiled: &CompiledCircuit,
+    factory: &F,
+    plan: &ChunkPlan,
+    base_seed: u64,
+    faults: Option<&FaultPlan>,
+    fallback: Option<&MatchingGraph>,
+    next: &AtomicUsize,
+    shared: &Mutex<Shared>,
+) {
+    let mut decoder = factory.build();
+    let mut predecoder = factory.predecoder();
+    let mut state = FrameState::new(compiled);
+    let mut events = BatchEvents::default();
+    let mut sparse = SparseBatch::new();
+    loop {
+        {
+            let sh = lock_shared(shared);
+            if sh.cut.is_some() || sh.fatal.is_some() {
+                break;
+            }
+        }
+        let chunk = next.fetch_add(1, Ordering::Relaxed);
+        if chunk >= plan.num_chunks {
+            break;
+        }
+
+        // Degradation ladder: rung 0 = factory decoder + predecoder;
+        // rung 1 = fresh factory decoder, no predecode; rung 2 =
+        // ReferenceUnionFind over the fallback graph. Every rung re-runs
+        // the same chunk seed, so the retried syndrome stream is
+        // identical; injected faults only fire at rung 0.
+        let mut tally = FaultTally::default();
+        let mut rung = 0usize;
+        let outcome: Result<(ChunkResult, usize), (ChunkFault, usize)> = loop {
+            let injected = if rung == 0 {
+                faults.and_then(|p| p.injection(chunk))
+            } else {
+                None
+            };
+            let attempt = match rung {
+                0 => attempt_chunk(
+                    compiled,
+                    &mut decoder,
+                    predecoder.as_mut(),
+                    &mut state,
+                    &mut events,
+                    &mut sparse,
+                    plan,
+                    chunk,
+                    base_seed,
+                    injected,
+                    faults,
+                    fallback,
+                ),
+                1 => {
+                    let mut fresh = factory.build();
+                    attempt_chunk(
+                        compiled,
+                        &mut fresh,
+                        None,
+                        &mut state,
+                        &mut events,
+                        &mut sparse,
+                        plan,
+                        chunk,
+                        base_seed,
+                        None,
+                        faults,
+                        fallback,
+                    )
+                }
+                _ => match fallback {
+                    Some(graph) => {
+                        let mut reference = ReferenceUnionFind::new(graph.clone());
+                        attempt_chunk(
+                            compiled,
+                            &mut reference,
+                            None,
+                            &mut state,
+                            &mut events,
+                            &mut sparse,
+                            plan,
+                            chunk,
+                            base_seed,
+                            None,
+                            faults,
+                            fallback,
+                        )
+                    }
+                    None => Err(ChunkFault::InvalidGraph(ValidationError::CsrInconsistent {
+                        detail: "no fallback graph available for rung 2".into(),
+                    })),
+                },
+            };
+            match attempt {
+                Ok(result) => break Ok((result, rung)),
+                Err(fault) => {
+                    tally.record(&fault);
+                    if rung == 0 {
+                        // Quarantine: the long-lived decoder's scratch may
+                        // be torn mid-panic; rebuild before it ever touches
+                        // another chunk.
+                        decoder = factory.build();
+                        predecoder = factory.predecoder();
+                    }
+                    // Rung 2 without a fallback graph cannot be attempted;
+                    // stop the ladder one rung early rather than count a
+                    // phantom retry.
+                    let next_rung_possible =
+                        rung + 1 < LADDER_RUNGS && (rung + 1 < 2 || fallback.is_some());
+                    if !next_rung_possible {
+                        break Err((fault, rung));
+                    }
+                    tally.retries += 1;
+                    rung += 1;
+                }
+            }
+        };
+
+        let mut sh = lock_shared(shared);
+        sh.faulted_chunks += tally.faults;
+        sh.retried_chunks += tally.retries;
+        sh.panic_faults += tally.panics;
+        sh.stall_faults += tally.stalls;
+        sh.graph_faults += tally.graphs;
+        match outcome {
+            Ok((result, rung)) => {
+                sh.chunks_executed += 1;
+                sh.rung_chunks[rung] += 1;
+                if rung > 0 {
+                    sh.degraded_shots += result.batches * BATCH;
+                }
+                sh.sample_seconds += result.sample_seconds;
+                sh.extract_seconds += result.extract_seconds;
+                sh.predecode_seconds += result.predecode_seconds;
+                sh.decode_seconds += result.decode_seconds;
+                sh.tier0_shots += result.tier0_shots;
+                sh.predecoded_shots += result.predecoded_shots;
+                sh.predecoded_defects += result.predecoded_defects;
+                sh.residual_shots += result.residual_shots;
+                for (acc, &b) in sh
+                    .defect_histogram
+                    .iter_mut()
+                    .zip(result.defect_histogram.iter())
+                {
+                    *acc += b;
+                }
+                sh.results[chunk] = Some(result);
+                if plan.max_failures > 0 && sh.cut.is_none() {
+                    sh.recompute_cut(plan.max_failures);
+                }
+            }
+            Err((fault, rung)) => {
+                if sh.fatal.is_none() {
+                    sh.fatal = Some(EngineError::ChunkFailed {
+                        chunk,
+                        rung,
+                        reason: fault.to_string(),
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// The serial reference path: runs the engine's exact chunk schedule on
 /// the calling thread with a caller-owned decoder. [`LerEngine::estimate`]
 /// returns the same [`LerEstimate`] bit-for-bit at any thread count; the
 /// classic [`crate::estimate_ler`] wraps this with a base seed drawn from
-/// its caller's RNG.
+/// its caller's RNG. This path is deliberately unhardened — it owns no
+/// factory to rebuild a decoder from — and exists as the plain-Rust
+/// oracle the hardened engine is tested against.
 pub fn estimate_ler_seeded<D: Decoder>(
     compiled: &CompiledCircuit,
     decoder: &mut D,
@@ -540,6 +983,7 @@ pub fn estimate_ler_seeded<D: Decoder>(
 mod tests {
     use super::*;
     use crate::decode::graph_for_circuit;
+    use crate::predecode::Tiered;
     use crate::unionfind::UnionFindDecoder;
     use caliqec_stab::{Basis, Noise1};
 
@@ -583,6 +1027,10 @@ mod tests {
                 42,
             );
             assert_eq!(run.estimate, serial, "threads={threads}");
+            assert_eq!(run.faulted_chunks, 0);
+            assert_eq!(run.retried_chunks, 0);
+            assert_eq!(run.degraded_shots, 0);
+            assert!(!run.degraded());
         }
     }
 
@@ -719,5 +1167,49 @@ mod tests {
     fn thread_resolution() {
         assert_eq!(LerEngine::new(3).threads(), 3);
         assert!(LerEngine::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn try_estimate_rejects_malformed_circuits() {
+        use caliqec_stab::{MeasIdx, Op};
+        let bad = Circuit::from_ops(1, vec![Op::Detector(vec![MeasIdx(7)])]);
+        let graph = graph_for_circuit(&rep_circuit(3, 0.05));
+        let result = LerEngine::new(1).try_estimate_circuit(
+            &bad,
+            &|| UnionFindDecoder::new(graph.clone()),
+            SampleOptions::default(),
+            1,
+        );
+        assert!(matches!(result, Err(EngineError::Circuit(_))));
+    }
+
+    #[test]
+    fn injected_faults_recover_bit_identically() {
+        let c = rep_circuit(5, 0.08);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let opts = SampleOptions {
+            min_shots: 5_000,
+            ..Default::default()
+        };
+        let factory = Tiered::new(&graph, {
+            let graph = graph.clone();
+            move || UnionFindDecoder::new(graph.clone())
+        });
+        let clean = LerEngine::new(2).estimate(&compiled, &factory, opts, 42);
+        assert_eq!(clean.faulted_chunks, 0);
+
+        let plan = FaultPlan::new().panic_at(0).corrupt_defects_at(2);
+        let faulty = LerEngine::new(2)
+            .with_faults(plan)
+            .try_estimate(&compiled, &factory, opts, 42)
+            .expect("ladder must recover from injected faults");
+        assert_eq!(faulty.estimate, clean.estimate, "retry changed the LER");
+        assert_eq!(faulty.faulted_chunks, 2);
+        assert_eq!(faulty.retried_chunks, 2);
+        assert_eq!(faulty.panic_faults, 2);
+        assert!(faulty.degraded());
+        assert_eq!(faulty.rung_chunks[1], 2);
+        assert!(faulty.degraded_shots > 0);
     }
 }

@@ -6,6 +6,7 @@
 //! errors under circuit-level noise) are decomposed into existing edges in the
 //! style of Stim's `decompose_errors`.
 
+use crate::error::ValidationError;
 use caliqec_stab::{DetIdx, DetectorErrorModel};
 use std::collections::HashMap;
 
@@ -202,6 +203,170 @@ impl MatchingGraph {
         }
     }
 
+    /// Builds a graph directly from an edge list **without** invariant
+    /// checks, recomputing the CSR adjacency.
+    ///
+    /// Unlike [`MatchingGraph::from_dem`] this can represent malformed
+    /// graphs (out-of-range endpoints are skipped during the CSR build so
+    /// construction itself cannot panic) — the intended pairing is
+    /// [`MatchingGraph::validate`], which reports every defect as a typed
+    /// [`ValidationError`]. Fault-injection tests and external graph
+    /// sources construct graphs this way.
+    pub fn from_edges(
+        num_detectors: usize,
+        num_observables: usize,
+        edges: Vec<Edge>,
+    ) -> MatchingGraph {
+        let num_nodes = num_detectors + 1;
+        let mut degree = vec![0u32; num_nodes];
+        for e in &edges {
+            if e.u < num_nodes {
+                degree[e.u] += 1;
+            }
+            if e.v != e.u && e.v < num_nodes {
+                degree[e.v] += 1;
+            }
+        }
+        let mut adj_offsets = vec![0u32; num_nodes + 1];
+        for n in 0..num_nodes {
+            adj_offsets[n + 1] = adj_offsets[n] + degree[n];
+        }
+        let mut cursor = adj_offsets.clone();
+        let mut adj_edges = vec![0u32; adj_offsets[num_nodes] as usize];
+        for (i, e) in edges.iter().enumerate() {
+            if e.u < num_nodes {
+                adj_edges[cursor[e.u] as usize] = i as u32;
+                cursor[e.u] += 1;
+            }
+            if e.v != e.u && e.v < num_nodes {
+                adj_edges[cursor[e.v] as usize] = i as u32;
+                cursor[e.v] += 1;
+            }
+        }
+        MatchingGraph {
+            num_detectors,
+            num_observables,
+            edges,
+            adj_offsets,
+            adj_edges,
+        }
+    }
+
+    /// Re-checks every invariant the decoders rely on, returning the first
+    /// defect as a typed [`ValidationError`]:
+    ///
+    /// - every edge endpoint is a detector or the boundary;
+    /// - every edge weight is finite and non-negative, every probability a
+    ///   finite number in `(0, 1]`;
+    /// - the CSR adjacency agrees with the edge list (monotone offsets, one
+    ///   slot per distinct endpoint, incidence entries point at incident
+    ///   edges);
+    /// - every edge-bearing detector node can reach the boundary, so any
+    ///   single defect is matchable.
+    ///
+    /// [`MatchingGraph::from_dem`] only produces valid graphs; graphs from
+    /// [`MatchingGraph::from_edges`] or mutated by fault injection may not
+    /// be, and the hardened engine validates before launching workers.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let num_nodes = self.num_nodes();
+        for (i, e) in self.edges.iter().enumerate() {
+            for node in [e.u, e.v] {
+                if node >= num_nodes {
+                    return Err(ValidationError::EndpointOutOfRange {
+                        edge: i,
+                        node,
+                        num_nodes,
+                    });
+                }
+            }
+            if !e.weight.is_finite() {
+                return Err(ValidationError::NonFiniteWeight {
+                    edge: i,
+                    weight: e.weight,
+                });
+            }
+            if e.weight < 0.0 {
+                return Err(ValidationError::NegativeWeight {
+                    edge: i,
+                    weight: e.weight,
+                });
+            }
+            if !e.probability.is_finite() || e.probability <= 0.0 || e.probability > 1.0 {
+                return Err(ValidationError::BadProbability {
+                    edge: i,
+                    probability: e.probability,
+                });
+            }
+        }
+        self.validate_csr()?;
+        // BFS from the boundary: every edge-bearing detector must be
+        // reachable, or a single defect there could never be matched.
+        let mut reached = vec![false; num_nodes];
+        let mut queue = vec![self.boundary()];
+        reached[self.boundary()] = true;
+        while let Some(node) = queue.pop() {
+            for &ei in self.incident(node) {
+                let other = self.other_endpoint(ei as usize, node);
+                if !reached[other] {
+                    reached[other] = true;
+                    queue.push(other);
+                }
+            }
+        }
+        for (node, seen) in reached.iter().enumerate().take(self.num_detectors) {
+            if !seen && !self.incident(node).is_empty() {
+                return Err(ValidationError::Unreachable { node });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the CSR adjacency against the edge list.
+    fn validate_csr(&self) -> Result<(), ValidationError> {
+        let num_nodes = self.num_nodes();
+        if self.adj_offsets.len() != num_nodes + 1
+            || self.adj_offsets.first() != Some(&0)
+            || self.adj_offsets.windows(2).any(|w| w[0] > w[1])
+            || self.adj_offsets.last().copied().unwrap_or(0) as usize != self.adj_edges.len()
+        {
+            return Err(ValidationError::CsrInconsistent {
+                detail: format!(
+                    "offsets malformed ({} nodes, {} slots)",
+                    num_nodes,
+                    self.adj_edges.len()
+                ),
+            });
+        }
+        let expected_slots: usize = self
+            .edges
+            .iter()
+            .map(|e| if e.u == e.v { 1 } else { 2 })
+            .sum();
+        if self.adj_edges.len() != expected_slots {
+            return Err(ValidationError::CsrInconsistent {
+                detail: format!(
+                    "{} incidence slots for {} expected endpoint slots",
+                    self.adj_edges.len(),
+                    expected_slots
+                ),
+            });
+        }
+        for node in 0..num_nodes {
+            for &ei in self.incident(node) {
+                let incident_to_node = self
+                    .edges
+                    .get(ei as usize)
+                    .is_some_and(|e| e.u == node || e.v == node);
+                if !incident_to_node {
+                    return Err(ValidationError::CsrInconsistent {
+                        detail: format!("node {node} lists non-incident edge {ei}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of detector nodes.
     pub fn num_detectors(&self) -> usize {
         self.num_detectors
@@ -380,6 +545,77 @@ mod tests {
         for e in g.edges() {
             assert!(e.u < g.num_nodes() && e.v < g.num_nodes());
             assert!(e.probability > 0.0 && e.probability < 1.0);
+        }
+    }
+
+    #[test]
+    fn validate_accepts_dem_graphs() {
+        let g = MatchingGraph::from_dem(&extract_dem(&chain_circuit(0.01)));
+        assert!(g.validate().is_ok());
+    }
+
+    fn edge(u: NodeId, v: NodeId, probability: f64, weight: f64) -> Edge {
+        Edge {
+            u,
+            v,
+            probability,
+            weight,
+            observables: 0,
+        }
+    }
+
+    #[test]
+    fn validate_catches_malformed_graphs() {
+        use crate::error::ValidationError;
+
+        // Endpoint past the boundary.
+        let g = MatchingGraph::from_edges(2, 1, vec![edge(0, 7, 0.01, 1.0)]);
+        assert!(matches!(
+            g.validate(),
+            Err(ValidationError::EndpointOutOfRange { node: 7, .. })
+        ));
+
+        // NaN weight.
+        let g = MatchingGraph::from_edges(2, 1, vec![edge(0, 2, 0.01, f64::NAN)]);
+        assert!(matches!(
+            g.validate(),
+            Err(ValidationError::NonFiniteWeight { .. })
+        ));
+
+        // Negative weight.
+        let g = MatchingGraph::from_edges(2, 1, vec![edge(0, 2, 0.01, -3.0)]);
+        assert!(matches!(
+            g.validate(),
+            Err(ValidationError::NegativeWeight { .. })
+        ));
+
+        // Probability outside (0, 1].
+        let g = MatchingGraph::from_edges(2, 1, vec![edge(0, 2, 0.0, 1.0)]);
+        assert!(matches!(
+            g.validate(),
+            Err(ValidationError::BadProbability { .. })
+        ));
+
+        // Node 0–1 component stranded away from the boundary (node 2).
+        let g = MatchingGraph::from_edges(2, 1, vec![edge(0, 1, 0.01, 1.0)]);
+        assert!(matches!(
+            g.validate(),
+            Err(ValidationError::Unreachable { node: 0 })
+        ));
+
+        // Edge-free detectors are fine — they can never fire.
+        let g = MatchingGraph::from_edges(3, 1, vec![edge(0, 3, 0.01, 1.0)]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn from_edges_matches_from_dem_adjacency() {
+        let g = MatchingGraph::from_dem(&extract_dem(&chain_circuit(0.01)));
+        let rebuilt =
+            MatchingGraph::from_edges(g.num_detectors(), g.num_observables(), g.edges().to_vec());
+        assert!(rebuilt.validate().is_ok());
+        for node in 0..g.num_nodes() {
+            assert_eq!(g.incident(node), rebuilt.incident(node));
         }
     }
 

@@ -25,6 +25,12 @@
 //! - [`LerEngine`]: the thread-parallel Monte-Carlo engine behind
 //!   `estimate_ler`, deterministic in `(options, base_seed)` regardless of
 //!   thread count, with per-run throughput counters in [`EngineRun`].
+//!   Hardened against decoder faults: inputs are validated up front
+//!   ([`MatchingGraph::validate`], typed [`ValidationError`]/[`EngineError`]),
+//!   each chunk runs panic-isolated with a deterministic same-seed retry on
+//!   a degradation ladder, and [`FaultPlan`] can inject faults (panics,
+//!   stalls, corrupted defects, poisoned weights) at chosen chunks to prove
+//!   it all works.
 //!
 //! # Example
 //!
@@ -56,6 +62,8 @@
 
 mod decode;
 mod engine;
+mod error;
+mod faults;
 mod graph;
 mod mwpm;
 mod predecode;
@@ -63,7 +71,11 @@ mod reference;
 mod unionfind;
 
 pub use decode::{estimate_ler, graph_for_circuit, Decoder, LerEstimate, SampleOptions};
-pub use engine::{estimate_ler_seeded, DecoderFactory, EngineRun, LerEngine, DEFECT_HIST_BUCKETS};
+pub use engine::{
+    estimate_ler_seeded, DecoderFactory, EngineRun, LerEngine, DEFECT_HIST_BUCKETS, LADDER_RUNGS,
+};
+pub use error::{EngineError, ValidationError};
+pub use faults::{poison_weights, FaultKind, FaultPlan, Injection};
 pub use graph::{Edge, MatchingGraph, NodeId};
 pub use mwpm::MwpmDecoder;
 pub use predecode::{Predecoder, Tiered};

@@ -187,6 +187,14 @@ impl MwpmDecoder {
         Self::build(graph, Self::DEFAULT_MAX_EXACT, true)
     }
 
+    /// Validating constructor: rejects a malformed graph with a typed
+    /// error instead of letting NaN weights corrupt the Dijkstra trees or
+    /// out-of-range endpoints panic mid-decode.
+    pub fn try_new(graph: MatchingGraph) -> Result<MwpmDecoder, crate::error::ValidationError> {
+        graph.validate()?;
+        Ok(MwpmDecoder::new(graph))
+    }
+
     /// Creates a decoder solving exactly up to `max_exact` defects.
     ///
     /// # Panics

@@ -561,25 +561,51 @@ impl Predecoder {
 pub struct Tiered<F> {
     factory: F,
     predecoder: Option<Predecoder>,
+    /// The decoders' matching graph, kept for engine-side validation and
+    /// as the rung-2 degradation fallback.
+    fallback: Option<MatchingGraph>,
 }
 
 impl<F: DecoderFactory> Tiered<F> {
     /// Wraps `factory` with a predecoder built for `graph` (which must be
-    /// the graph the factory's decoders use).
+    /// the graph the factory's decoders use). The graph is retained as the
+    /// engine's rung-2 degradation fallback.
     pub fn new(graph: &MatchingGraph, factory: F) -> Tiered<F> {
         Tiered {
             factory,
             predecoder: Some(Predecoder::new(graph)),
+            fallback: Some(graph.clone()),
         }
     }
 
+    /// Validating form of [`Tiered::new`]: rejects a malformed `graph`
+    /// with a typed error *before* the predecoder's Dijkstra table build
+    /// ever walks it (NaN weights would poison the distance tables).
+    pub fn try_new(
+        graph: &MatchingGraph,
+        factory: F,
+    ) -> Result<Tiered<F>, crate::error::ValidationError> {
+        graph.validate()?;
+        Ok(Tiered::new(graph, factory))
+    }
+
     /// Wraps `factory` with the fast path disabled: every nonempty shot
-    /// goes to the full decoder.
+    /// goes to the full decoder. No graph is retained; chain
+    /// [`Tiered::with_fallback_graph`] to keep rung 2 of the engine's
+    /// degradation ladder available.
     pub fn without_predecode(factory: F) -> Tiered<F> {
         Tiered {
             factory,
             predecoder: None,
+            fallback: None,
         }
+    }
+
+    /// Retains `graph` for engine-side validation and the rung-2
+    /// degradation fallback without enabling the predecoder.
+    pub fn with_fallback_graph(mut self, graph: &MatchingGraph) -> Tiered<F> {
+        self.fallback = Some(graph.clone());
+        self
     }
 }
 
@@ -592,6 +618,19 @@ impl<F: DecoderFactory> DecoderFactory for Tiered<F> {
 
     fn predecoder(&self) -> Option<Predecoder> {
         self.predecoder.clone()
+    }
+
+    fn validate(&self) -> Result<(), crate::error::ValidationError> {
+        if let Some(graph) = &self.fallback {
+            graph.validate()?;
+        }
+        self.factory.validate()
+    }
+
+    fn fallback_graph(&self) -> Option<&MatchingGraph> {
+        self.fallback
+            .as_ref()
+            .or_else(|| self.factory.fallback_graph())
     }
 }
 

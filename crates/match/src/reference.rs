@@ -43,6 +43,15 @@ pub struct ReferenceUnionFind {
 }
 
 impl ReferenceUnionFind {
+    /// Validating constructor: rejects a malformed graph with a typed
+    /// error, mirroring [`crate::UnionFindDecoder::try_new`].
+    pub fn try_new(
+        graph: MatchingGraph,
+    ) -> Result<ReferenceUnionFind, crate::error::ValidationError> {
+        graph.validate()?;
+        Ok(ReferenceUnionFind::new(graph))
+    }
+
     /// Creates a decoder owning its matching graph.
     pub fn new(graph: MatchingGraph) -> ReferenceUnionFind {
         let n = graph.num_nodes();

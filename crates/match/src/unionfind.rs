@@ -104,6 +104,16 @@ pub struct UnionFindDecoder {
 }
 
 impl UnionFindDecoder {
+    /// Validating constructor: rejects a malformed graph with a typed
+    /// error instead of letting NaN weights hang the growth loop or
+    /// out-of-range endpoints panic mid-decode.
+    pub fn try_new(
+        graph: MatchingGraph,
+    ) -> Result<UnionFindDecoder, crate::error::ValidationError> {
+        graph.validate()?;
+        Ok(UnionFindDecoder::new(graph))
+    }
+
     /// Creates a decoder owning its matching graph.
     pub fn new(graph: MatchingGraph) -> UnionFindDecoder {
         let n = graph.num_nodes();

@@ -6,6 +6,7 @@
 //! channels, and `DETECTOR` / `OBSERVABLE` annotations defined over absolute
 //! measurement-record indices.
 
+use crate::error::{check_probability, check_qubit_index, CircuitError};
 use crate::pauli::Qubit;
 use std::fmt;
 
@@ -321,6 +322,115 @@ impl Circuit {
         defs
     }
 
+    /// Builds a circuit directly from an instruction list without invariant
+    /// checks, recomputing the measurement/detector/observable counters by
+    /// scanning `ops`.
+    ///
+    /// Unlike the fluent builder methods this performs **no** validation, so
+    /// it can represent malformed programs — the intended pairing is
+    /// [`Circuit::validate`], which reports every defect as a typed
+    /// [`CircuitError`] instead of panicking. Fault-injection tests and
+    /// deserialization paths construct circuits this way.
+    pub fn from_ops(num_qubits: usize, ops: Vec<Op>) -> Circuit {
+        let mut num_measurements = 0u32;
+        let mut num_detectors = 0u32;
+        let mut num_observables = 0usize;
+        for op in &ops {
+            match op {
+                Op::Measure { .. } => num_measurements += 1,
+                Op::Detector(_) => num_detectors += 1,
+                Op::Observable(i, _) => num_observables = num_observables.max(i + 1),
+                _ => {}
+            }
+        }
+        Circuit {
+            num_qubits,
+            ops,
+            num_measurements,
+            num_detectors,
+            num_observables,
+        }
+    }
+
+    /// Re-checks every invariant the samplers rely on, returning the first
+    /// defect as a typed [`CircuitError`].
+    ///
+    /// The fluent builder enforces these invariants with asserts at
+    /// construction time, but circuits from [`Circuit::from_ops`] or external
+    /// text may violate them; validating up front keeps malformed programs
+    /// from panicking deep inside the sampling hot path.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        if self.num_observables > 64 {
+            return Err(CircuitError::TooManyObservables {
+                num_observables: self.num_observables,
+            });
+        }
+        let mut seen_meas = 0u32;
+        for op in &self.ops {
+            match op {
+                Op::G1(_, qs) => {
+                    for &q in qs {
+                        check_qubit_index(q, self.num_qubits)?;
+                    }
+                }
+                Op::G2(_, pairs) => {
+                    for &(a, b) in pairs {
+                        check_qubit_index(a, self.num_qubits)?;
+                        check_qubit_index(b, self.num_qubits)?;
+                        if a == b {
+                            return Err(CircuitError::DuplicatePairTarget { qubit: a });
+                        }
+                    }
+                }
+                Op::Measure { qubit, flip, .. } => {
+                    check_qubit_index(*qubit, self.num_qubits)?;
+                    check_probability(*flip)?;
+                    seen_meas += 1;
+                }
+                Op::Reset(_, qs) => {
+                    for &q in qs {
+                        check_qubit_index(q, self.num_qubits)?;
+                    }
+                }
+                Op::Noise1(_, p, qs) => {
+                    check_probability(*p)?;
+                    for &q in qs {
+                        check_qubit_index(q, self.num_qubits)?;
+                    }
+                }
+                Op::Noise2(_, p, pairs) => {
+                    check_probability(*p)?;
+                    for &(a, b) in pairs {
+                        check_qubit_index(a, self.num_qubits)?;
+                        check_qubit_index(b, self.num_qubits)?;
+                        if a == b {
+                            return Err(CircuitError::DuplicatePairTarget { qubit: a });
+                        }
+                    }
+                }
+                Op::Detector(meas) | Op::Observable(_, meas) => {
+                    for m in meas {
+                        if m.0 >= seen_meas {
+                            return Err(CircuitError::RecordOutOfRange {
+                                record: m.0,
+                                num_measurements: seen_meas as usize,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if seen_meas != self.num_measurements {
+            return Err(CircuitError::TableInconsistent {
+                detail: format!(
+                    "circuit records {} measurements but ops contain {}",
+                    self.num_measurements, seen_meas
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Total count of elementary noise-channel applications (an upper bound on
     /// distinct error mechanisms before signature merging).
     pub fn num_noise_sites(&self) -> usize {
@@ -457,6 +567,66 @@ mod tests {
         c.noise2(Noise2::Depolarize2, 0.01, &[(0, 1)]);
         c.measure(0, Basis::Z, 0.01);
         assert_eq!(c.num_noise_sites(), 5);
+    }
+
+    #[test]
+    fn from_ops_recomputes_counters() {
+        let ops = vec![
+            Op::Measure {
+                basis: Basis::Z,
+                qubit: 0,
+                flip: 0.0,
+            },
+            Op::Detector(vec![MeasIdx(0)]),
+            Op::Observable(2, vec![MeasIdx(0)]),
+        ];
+        let c = Circuit::from_ops(1, ops);
+        assert_eq!(c.num_measurements(), 1);
+        assert_eq!(c.num_detectors(), 1);
+        assert_eq!(c.num_observables(), 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_malformed_ops() {
+        let c = Circuit::from_ops(1, vec![Op::G1(Gate1::H, vec![5])]);
+        assert!(matches!(
+            c.validate(),
+            Err(crate::CircuitError::QubitOutOfRange { qubit: 5, .. })
+        ));
+
+        let c = Circuit::from_ops(2, vec![Op::Noise1(Noise1::XError, 1.5, vec![0])]);
+        assert!(matches!(
+            c.validate(),
+            Err(crate::CircuitError::BadProbability { .. })
+        ));
+
+        let c = Circuit::from_ops(2, vec![Op::Noise1(Noise1::XError, f64::NAN, vec![0])]);
+        assert!(c.validate().is_err());
+
+        let c = Circuit::from_ops(2, vec![Op::G2(Gate2::Cx, vec![(1, 1)])]);
+        assert!(matches!(
+            c.validate(),
+            Err(crate::CircuitError::DuplicatePairTarget { qubit: 1 })
+        ));
+
+        let c = Circuit::from_ops(1, vec![Op::Detector(vec![MeasIdx(3)])]);
+        assert!(matches!(
+            c.validate(),
+            Err(crate::CircuitError::RecordOutOfRange { record: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        let mut c = Circuit::new(3);
+        c.reset(Basis::Z, &[0, 1, 2]);
+        c.noise1(Noise1::XError, 0.01, &[0, 1]);
+        c.cx(0, 2);
+        let m = c.measure(2, Basis::Z, 0.0);
+        c.detector(&[m]);
+        c.observable(0, &[m]);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

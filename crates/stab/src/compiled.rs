@@ -14,6 +14,7 @@
 //! [`BatchEvents`] — a property the differential tests rely on.
 
 use crate::circuit::{Basis, Circuit, Gate1, Gate2, Noise1, Noise2, Op};
+use crate::error::{check_probability, check_qubit_index, CircuitError};
 use crate::frame::{bernoulli_mask, for_each_set_bit, BatchEvents, BATCH};
 use crate::pauli::Pauli;
 use crate::sim::two_qubit_pauli;
@@ -197,6 +198,113 @@ impl CompiledCircuit {
     /// Number of logical observables.
     pub fn num_observables(&self) -> usize {
         self.num_observables
+    }
+
+    /// Re-checks every invariant [`Self::sample_batch_into`] relies on
+    /// (instruction qubit bounds, finite probabilities in `[0, 1]`,
+    /// measurement count, monotone in-range detector/observable tables),
+    /// returning the first defect as a typed [`CircuitError`].
+    ///
+    /// [`CompiledCircuit::new`] only produces valid programs from valid
+    /// circuits, but the LER engine validates before launching workers so a
+    /// malformed circuit (e.g. from [`Circuit::from_ops`]) surfaces as one
+    /// typed error instead of a panic inside a worker thread.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        if self.num_observables > 64 {
+            return Err(CircuitError::TooManyObservables {
+                num_observables: self.num_observables,
+            });
+        }
+        let mut meas_count = 0usize;
+        for instr in &self.instrs {
+            match *instr {
+                Instr::H(q) | Instr::SGate(q) | Instr::Reset(q) => {
+                    check_qubit_index(q, self.num_qubits)?;
+                }
+                Instr::Cx(a, b) | Instr::Cz(a, b) | Instr::Swap(a, b) => {
+                    check_qubit_index(a, self.num_qubits)?;
+                    check_qubit_index(b, self.num_qubits)?;
+                    if a == b {
+                        return Err(CircuitError::DuplicatePairTarget { qubit: a });
+                    }
+                }
+                Instr::Meas { q, flip, .. } => {
+                    check_qubit_index(q, self.num_qubits)?;
+                    check_probability(flip)?;
+                    meas_count += 1;
+                }
+                Instr::NoiseX { q, p }
+                | Instr::NoiseY { q, p }
+                | Instr::NoiseZ { q, p }
+                | Instr::Dep1 { q, p } => {
+                    check_qubit_index(q, self.num_qubits)?;
+                    check_probability(p)?;
+                }
+                Instr::Dep2 { a, b, p } => {
+                    check_qubit_index(a, self.num_qubits)?;
+                    check_qubit_index(b, self.num_qubits)?;
+                    if a == b {
+                        return Err(CircuitError::DuplicatePairTarget { qubit: a });
+                    }
+                    check_probability(p)?;
+                }
+            }
+        }
+        if meas_count != self.num_measurements {
+            return Err(CircuitError::TableInconsistent {
+                detail: format!(
+                    "program records {} measurements but instrs contain {meas_count}",
+                    self.num_measurements
+                ),
+            });
+        }
+        Self::validate_csr(
+            "detector",
+            &self.det_offsets,
+            &self.det_meas,
+            self.num_detectors,
+            self.num_measurements,
+        )?;
+        Self::validate_csr(
+            "observable",
+            &self.obs_offsets,
+            &self.obs_meas,
+            self.num_observables,
+            self.num_measurements,
+        )?;
+        Ok(())
+    }
+
+    /// Checks one CSR table: `rows + 1` monotone offsets ending at the entry
+    /// count, every entry a valid measurement record.
+    fn validate_csr(
+        table: &str,
+        offsets: &[u32],
+        entries: &[u32],
+        rows: usize,
+        num_measurements: usize,
+    ) -> Result<(), CircuitError> {
+        if offsets.len() != rows + 1
+            || offsets.first() != Some(&0)
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets.last().copied().unwrap_or(0) as usize != entries.len()
+        {
+            return Err(CircuitError::TableInconsistent {
+                detail: format!(
+                    "{table} offsets malformed ({rows} rows, {} entries)",
+                    entries.len()
+                ),
+            });
+        }
+        for &m in entries {
+            if m as usize >= num_measurements {
+                return Err(CircuitError::RecordOutOfRange {
+                    record: m,
+                    num_measurements,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Samples one batch of [`BATCH`] shots into `events`, reusing its
@@ -583,5 +691,40 @@ mod tests {
     fn resolve_threads_prefers_explicit_request() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn validate_accepts_compiled_builder_output() {
+        let compiled = CompiledCircuit::new(&kitchen_sink());
+        assert!(compiled.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_malformed_programs() {
+        use crate::circuit::{MeasIdx, Op};
+
+        // Out-of-range qubit reaches the compiled program via from_ops.
+        let c = Circuit::from_ops(1, vec![Op::G1(Gate1::H, vec![9])]);
+        let compiled = CompiledCircuit::new(&c);
+        assert!(matches!(
+            compiled.validate(),
+            Err(crate::CircuitError::QubitOutOfRange { qubit: 9, .. })
+        ));
+
+        // Bad noise probability.
+        let c = Circuit::from_ops(1, vec![Op::Noise1(Noise1::XError, -0.5, vec![0])]);
+        let compiled = CompiledCircuit::new(&c);
+        assert!(matches!(
+            compiled.validate(),
+            Err(crate::CircuitError::BadProbability { .. })
+        ));
+
+        // Detector over a nonexistent record.
+        let c = Circuit::from_ops(1, vec![Op::Detector(vec![MeasIdx(5)])]);
+        let compiled = CompiledCircuit::new(&c);
+        assert!(matches!(
+            compiled.validate(),
+            Err(crate::CircuitError::RecordOutOfRange { record: 5, .. })
+        ));
     }
 }

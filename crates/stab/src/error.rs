@@ -1,0 +1,139 @@
+//! Typed validation errors for circuits and compiled sampling programs.
+//!
+//! The fluent [`Circuit`](crate::Circuit) builder asserts its invariants at
+//! construction time, but circuits also arrive from the text parser, from
+//! [`Circuit::from_ops`](crate::Circuit::from_ops), and (in principle) from
+//! future deserialization paths. [`Circuit::validate`](crate::Circuit::validate)
+//! and [`CompiledCircuit::validate`](crate::CompiledCircuit::validate)
+//! re-check every invariant the samplers rely on and return a
+//! [`CircuitError`] instead of letting a malformed program panic deep in
+//! the sampling hot path.
+
+use crate::pauli::Qubit;
+use std::fmt;
+
+/// A structural defect found while validating a [`Circuit`](crate::Circuit)
+/// or [`CompiledCircuit`](crate::CompiledCircuit).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CircuitError {
+    /// An operation targets a qubit index at or past `num_qubits`.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: Qubit,
+        /// The circuit's qubit count.
+        num_qubits: usize,
+    },
+    /// A two-qubit gate or noise channel targets the same qubit twice.
+    DuplicatePairTarget {
+        /// The repeated qubit index.
+        qubit: Qubit,
+    },
+    /// A noise or measurement-flip probability is not a finite number in
+    /// `[0, 1]`.
+    BadProbability {
+        /// The offending probability.
+        probability: f64,
+    },
+    /// A detector or observable references a measurement record at or past
+    /// `num_measurements`.
+    RecordOutOfRange {
+        /// The offending record index.
+        record: u32,
+        /// The circuit's measurement count.
+        num_measurements: usize,
+    },
+    /// More logical observables than the 64-bit observable masks can hold.
+    TooManyObservables {
+        /// The circuit's observable count.
+        num_observables: usize,
+    },
+    /// An internal table of a compiled circuit is inconsistent (offsets
+    /// non-monotone, counter mismatch, ...). Indicates corruption rather
+    /// than a buildable-but-wrong circuit.
+    TableInconsistent {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range (circuit has {num_qubits} qubits)")
+            }
+            CircuitError::DuplicatePairTarget { qubit } => {
+                write!(f, "two-qubit operation targets qubit {qubit} twice")
+            }
+            CircuitError::BadProbability { probability } => {
+                write!(f, "probability {probability} is not a finite number in [0, 1]")
+            }
+            CircuitError::RecordOutOfRange {
+                record,
+                num_measurements,
+            } => write!(
+                f,
+                "measurement record {record} out of range (circuit has {num_measurements} measurements)"
+            ),
+            CircuitError::TooManyObservables { num_observables } => write!(
+                f,
+                "{num_observables} observables exceed the 64-bit observable mask"
+            ),
+            CircuitError::TableInconsistent { detail } => {
+                write!(f, "compiled circuit table inconsistent: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Checks that `p` is a finite probability in `[0, 1]`.
+pub(crate) fn check_probability(p: f64) -> Result<(), CircuitError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(CircuitError::BadProbability { probability: p })
+    }
+}
+
+/// Checks that `q` indexes one of `num_qubits` qubits.
+pub(crate) fn check_qubit_index(q: Qubit, num_qubits: usize) -> Result<(), CircuitError> {
+    if (q as usize) < num_qubits {
+        Ok(())
+    } else {
+        Err(CircuitError::QubitOutOfRange {
+            qubit: q,
+            num_qubits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_bounds() {
+        assert!(check_probability(0.0).is_ok());
+        assert!(check_probability(1.0).is_ok());
+        assert!(check_probability(-0.1).is_err());
+        assert!(check_probability(1.5).is_err());
+        assert!(check_probability(f64::NAN).is_err());
+        assert!(check_probability(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: 7,
+            num_qubits: 4,
+        };
+        assert!(e.to_string().contains("qubit 7"));
+        let e = CircuitError::RecordOutOfRange {
+            record: 9,
+            num_measurements: 3,
+        };
+        assert!(e.to_string().contains("record 9"));
+    }
+}

@@ -51,6 +51,7 @@
 mod circuit;
 mod compiled;
 mod dem;
+mod error;
 mod frame;
 mod pauli;
 mod sim;
@@ -60,6 +61,7 @@ mod text;
 pub use circuit::{Basis, Circuit, DetIdx, Gate1, Gate2, MeasIdx, Noise1, Noise2, Op};
 pub use compiled::{chunk_seed, resolve_threads, CompiledCircuit, FrameState};
 pub use dem::{extract_dem, DetectorErrorModel, ErrorMechanism};
+pub use error::CircuitError;
 pub use frame::{
     for_each_set_bit, BatchEvents, FrameSampler, InterpretingSampler, SparseBatch, BATCH,
 };

@@ -1,0 +1,161 @@
+//! Chaos suite for the hardened LER engine: every injectable fault kind
+//! must be recovered on the degradation ladder with a bit-identical
+//! logical-error estimate and honest accounting in [`EngineRun`], and a
+//! fault-free run must report zero faults.
+
+use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+use caliqec_match::{
+    graph_for_circuit, EngineRun, FaultKind, FaultPlan, LerEngine, SampleOptions, Tiered,
+    UnionFindDecoder,
+};
+use caliqec_stab::CompiledCircuit;
+use std::sync::Once;
+
+/// Silences the default panic hook for the engine's named worker threads,
+/// so the injected (caught and retried) panics don't spray backtraces over
+/// the test output. Panics on any other thread still print normally.
+fn quiet_worker_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("caliqec-ler-"));
+            if !worker {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// A small d = 3 memory workload plus the tiered union-find factory the
+/// production pipeline uses (its fallback graph enables all three ladder
+/// rungs).
+fn workload() -> (
+    CompiledCircuit,
+    Tiered<impl Fn() -> UnionFindDecoder + Sync>,
+) {
+    let mem = memory_circuit(
+        &rotated_patch(3, 3),
+        &NoiseModel::uniform(3e-3),
+        3,
+        MemoryBasis::Z,
+    );
+    let compiled = CompiledCircuit::new(&mem.circuit);
+    let graph = graph_for_circuit(&mem.circuit);
+    let factory = Tiered::new(&graph, {
+        let graph = graph.clone();
+        move || UnionFindDecoder::new(graph.clone())
+    });
+    (compiled, factory)
+}
+
+const OPTS: SampleOptions = SampleOptions {
+    min_shots: 2_000,
+    max_failures: 0,
+    max_shots: 0,
+};
+const SEED: u64 = 0xC4A05;
+
+fn run_clean() -> EngineRun {
+    let (compiled, factory) = workload();
+    LerEngine::new(2).estimate(&compiled, &factory, OPTS, SEED)
+}
+
+fn run_with(plan: FaultPlan, threads: usize) -> EngineRun {
+    let (compiled, factory) = workload();
+    LerEngine::new(threads)
+        .with_faults(plan)
+        .try_estimate(&compiled, &factory, OPTS, SEED)
+        .expect("engine must recover injected faults on the ladder")
+}
+
+#[test]
+fn every_injection_kind_recovers_bit_identically() {
+    quiet_worker_panics();
+    let clean = run_clean();
+    let kinds = [
+        (FaultPlan::new().panic_at(0), FaultKind::Panic),
+        (FaultPlan::new().stall_at(1), FaultKind::Stall),
+        (
+            FaultPlan::new().corrupt_defects_at(0),
+            FaultKind::CorruptDefects,
+        ),
+        (FaultPlan::new().bad_weights_at(2), FaultKind::BadWeights),
+    ];
+    for (plan, kind) in kinds {
+        let chaos = run_with(plan, 2);
+        assert_eq!(
+            (chaos.estimate.shots, chaos.estimate.failures),
+            (clean.estimate.shots, clean.estimate.failures),
+            "{kind}: estimate must be bit-identical to the clean run"
+        );
+        assert_eq!(chaos.faulted_chunks, 1, "{kind}: one injection, one fault");
+        assert_eq!(chaos.retried_chunks, 1, "{kind}: every fault retries once");
+        assert!(chaos.degraded(), "{kind}: run must admit it degraded");
+        assert!(chaos.degraded_shots > 0, "{kind}");
+        assert_eq!(chaos.rung_chunks[1], 1, "{kind}: retry lands on rung 1");
+        let (panics, stalls, graphs) = match kind {
+            FaultKind::Panic | FaultKind::CorruptDefects => (1, 0, 0),
+            FaultKind::Stall => (0, 1, 0),
+            FaultKind::BadWeights => (0, 0, 1),
+        };
+        assert_eq!(
+            (chaos.panic_faults, chaos.stall_faults, chaos.graph_faults),
+            (panics, stalls, graphs),
+            "{kind}: per-kind accounting"
+        );
+    }
+}
+
+#[test]
+fn faults_off_reports_zero_faulted_chunks() {
+    quiet_worker_panics();
+    let clean = run_clean();
+    assert_eq!(clean.faulted_chunks, 0);
+    assert_eq!(clean.retried_chunks, 0);
+    assert_eq!(clean.degraded_shots, 0);
+    assert_eq!(clean.rung_chunks[1], 0);
+    assert_eq!(clean.rung_chunks[2], 0);
+    assert!(!clean.degraded());
+
+    // Arming an empty plan is the same as not arming at all.
+    let (compiled, factory) = workload();
+    let empty = LerEngine::new(2)
+        .with_faults(FaultPlan::new())
+        .try_estimate(&compiled, &factory, OPTS, SEED)
+        .expect("empty plan cannot fault");
+    assert_eq!(empty.faulted_chunks, 0);
+    assert_eq!(
+        (empty.estimate.shots, empty.estimate.failures),
+        (clean.estimate.shots, clean.estimate.failures)
+    );
+}
+
+#[test]
+fn recovery_is_thread_count_independent() {
+    quiet_worker_panics();
+    let plan = FaultPlan::new().panic_at(0).corrupt_defects_at(2);
+    let one = run_with(plan.clone(), 1);
+    let many = run_with(plan, 4);
+    assert_eq!(
+        (one.estimate.shots, one.estimate.failures),
+        (many.estimate.shots, many.estimate.failures),
+        "ladder retries must not break thread-count determinism"
+    );
+    assert_eq!(one.faulted_chunks, 2);
+    assert_eq!(many.faulted_chunks, 2);
+    assert_eq!(one.faulted_chunks, one.retried_chunks);
+    assert_eq!(many.faulted_chunks, many.retried_chunks);
+}
+
+#[test]
+fn spec_grammar_round_trips_through_parse() {
+    let plan = FaultPlan::parse("panic@0,stall@3,corrupt@1,badweights@7").expect("valid spec");
+    assert_eq!(plan.injections().len(), 4);
+    assert_eq!(plan.injection(3), Some(FaultKind::Stall));
+    assert_eq!(plan.injection(5), None);
+    assert!(FaultPlan::parse("panic@").is_err());
+    assert!(FaultPlan::parse("meltdown@1").is_err());
+}
