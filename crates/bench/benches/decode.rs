@@ -9,7 +9,7 @@ use caliqec_match::{
     graph_for_circuit, Decoder, MatchingGraph, MwpmDecoder, Predecoder, ReferenceUnionFind,
     UnionFindDecoder,
 };
-use caliqec_stab::{BatchEvents, FrameSampler, SparseBatch, BATCH};
+use caliqec_stab::{extract_dem, BatchEvents, FrameSampler, RateTable, SparseBatch, BATCH};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -276,6 +276,45 @@ fn bench_two_tier(c: &mut Criterion) {
     group.finish();
 }
 
+/// Incremental calibration update vs full rebuild: reweighting the graph
+/// in place from provenance (`MatchingGraph::reweight`) against the
+/// from-scratch path a naive calibration feed forces (`DetectorErrorModel::
+/// reweighted` + `MatchingGraph::from_dem`). The two produce bit-identical
+/// weights (see `tests/reweight_validation.rs`); only the cost differs —
+/// the incremental path must be at least an order of magnitude cheaper at
+/// d = 11, since it skips hyperedge decomposition, edge sorting, and CSR
+/// assembly.
+fn bench_reweight(c: &mut Criterion) {
+    for d in [7usize, 11] {
+        let mem = memory_circuit(
+            &rotated_patch(d, d),
+            &NoiseModel::uniform(3e-3),
+            d,
+            MemoryBasis::Z,
+        );
+        let dem = extract_dem(&mem.circuit);
+        let graph = MatchingGraph::from_dem(&dem);
+        let rates = RateTable::uniform(4e-3);
+        let mut group = c.benchmark_group(format!("reweight_d{d}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(graph.edges().len() as u64));
+        group.bench_function("incremental", |b| {
+            let mut g = graph.clone();
+            b.iter(|| {
+                g.reweight(&rates).expect("graph carries provenance");
+                g.weight_epoch()
+            });
+        });
+        group.bench_function("rebuild_from_dem", |b| {
+            b.iter(|| {
+                let fresh = MatchingGraph::from_dem(&dem.reweighted(&rates));
+                fresh.edges().len()
+            });
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_union_find,
@@ -283,6 +322,7 @@ criterion_group!(
     bench_extraction,
     bench_decode_pipeline,
     bench_mwpm_cache,
-    bench_two_tier
+    bench_two_tier,
+    bench_reweight
 );
 criterion_main!(benches);

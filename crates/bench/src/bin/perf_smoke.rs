@@ -105,7 +105,8 @@ fn main() -> ExitCode {
                 "\"extract_seconds\": {:.6}, \"predecode_seconds\": {:.6}, ",
                 "\"decode_seconds\": {:.6}, \"tier0_shots\": {}, ",
                 "\"predecoded_shots\": {}, \"predecoded_defects\": {}, ",
-                "\"residual_shots\": {}, \"defect_histogram\": [{}]}}"
+                "\"residual_shots\": {}, \"reweight_seconds\": {:.6}, ",
+                "\"epochs\": {}, \"defect_histogram\": [{}]}}"
             ),
             d,
             p,
@@ -123,6 +124,8 @@ fn main() -> ExitCode {
             run.predecoded_shots,
             run.predecoded_defects,
             run.residual_shots,
+            run.reweight_seconds,
+            run.epochs,
             histogram,
         )
         .expect("write to string");

@@ -66,6 +66,6 @@ pub use heavyhex::{bridge_role, heavy_hex_patch, BridgeRole};
 pub use layout::{
     BoundaryInfo, ChainPart, Coord, LayoutError, PatchLayout, Readout, StabKind, Stabilizer,
 };
-pub use memory::{memory_circuit, MemoryBasis, MemoryCircuit, NoiseModel};
+pub use memory::{drift_rate_table, memory_circuit, MemoryBasis, MemoryCircuit, NoiseModel};
 pub use square::{data_coord, face_ancilla, face_kind, rotated_patch, PITCH};
 pub use surgery::{zz_surgery_circuit, SurgeryCircuit, ZzSurgery};

@@ -12,7 +12,9 @@
 //! calibration experiments (Figs. 10 and 13).
 
 use crate::layout::{Coord, PatchLayout, Readout, StabKind};
-use caliqec_stab::{Basis, Circuit, MeasIdx, Noise1, Noise2, Qubit};
+use caliqec_stab::{
+    Basis, Circuit, DetectorErrorModel, ErrorSource, MeasIdx, Noise1, Noise2, Qubit, RateTable,
+};
 use std::collections::{BTreeMap, HashMap};
 
 /// Circuit-level noise parameters with per-site drift overrides.
@@ -357,6 +359,44 @@ pub fn memory_circuit(
     }
 }
 
+/// Builds a [`RateTable`] assigning every error source of `dem` (a model
+/// extracted from `mem`'s circuit) the effective rate `noise` prescribes
+/// for its gate, keyed back to lattice coordinates via `mem.qubit_at`.
+///
+/// This is the recalibration seam: extract the DEM (and matching graph)
+/// once from a *baseline* noise model, then feed tables built from drifted
+/// models into `MatchingGraph::reweight` — no circuit regeneration or DEM
+/// re-extraction. Source kinds map exactly as [`memory_circuit`] emits
+/// them: `XError` sites are reset flips (`p_reset`), `Depolarize1` sites
+/// take the per-qubit one-qubit rate ([`NoiseModel::p1_at`]),
+/// `Depolarize2` sites the per-coupler rate ([`NoiseModel::p2_at`]), and
+/// measurement flips `p_meas`. One caveat: gate-attached and idling
+/// `Depolarize1` noise on the same qubit share one source (gate identity,
+/// not program location), so both take `p1_at` — exact whenever `p1 ==
+/// p_idle` or the qubit carries an override, which covers the uniform and
+/// drift-override models used in the calibration experiments.
+pub fn drift_rate_table(
+    mem: &MemoryCircuit,
+    dem: &DetectorErrorModel,
+    noise: &NoiseModel,
+) -> RateTable {
+    let coord_of: HashMap<Qubit, Coord> = mem.qubit_at.iter().map(|(&c, &q)| (q, c)).collect();
+    let mut rates = RateTable::identity();
+    for &source in &dem.sources {
+        let p = match source {
+            ErrorSource::Noise1(Noise1::XError, _) => noise.p_reset,
+            ErrorSource::Noise1(_, q) => coord_of.get(&q).map_or(noise.p1, |&c| noise.p1_at(c)),
+            ErrorSource::Noise2(_, a, b) => match (coord_of.get(&a), coord_of.get(&b)) {
+                (Some(&ca), Some(&cb)) => noise.p2_at(ca, cb),
+                _ => noise.p2,
+            },
+            ErrorSource::MeasureFlip(_) => noise.p_meas,
+        };
+        rates.set(source, p);
+    }
+    rates
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +503,45 @@ mod tests {
             MemoryBasis::Z,
         );
         assert!(mem.circuit.num_noise_sites() > 50);
+    }
+
+    #[test]
+    fn drift_rate_table_reweight_matches_fresh_extraction() {
+        use caliqec_match::MatchingGraph;
+        use caliqec_stab::extract_dem;
+
+        let layout = rotated_patch(3, 3);
+        let mem = memory_circuit(&layout, &NoiseModel::uniform(0.002), 3, MemoryBasis::Z);
+        let dem = extract_dem(&mem.circuit);
+        let mut graph = MatchingGraph::from_dem(&dem);
+
+        let mut drifted = NoiseModel::uniform(0.002);
+        drifted.drift_qubit(data_coord(1, 1), 0.02);
+        drifted.drift_pair(data_coord(0, 0), data_coord(0, 1), 0.03);
+        graph
+            .reweight(&drift_rate_table(&mem, &dem, &drifted))
+            .unwrap();
+
+        // Regenerating the circuit under the drifted model and re-extracting
+        // must agree bit-for-bit with the incremental reweight: the circuit
+        // structure is identical, only the noise-op probabilities moved.
+        let fresh_mem = memory_circuit(&layout, &drifted, 3, MemoryBasis::Z);
+        let fresh = MatchingGraph::from_dem(&extract_dem(&fresh_mem.circuit));
+        assert_eq!(graph.num_nodes(), fresh.num_nodes());
+        assert_eq!(graph.edges().len(), fresh.edges().len());
+        let mut moved = 0usize;
+        for (a, b) in graph.edges().iter().zip(fresh.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+            if a.probability != 0.002 {
+                moved += 1;
+            }
+        }
+        assert!(
+            moved > 0,
+            "drift must actually move some edge probabilities"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! caliqec characterize [--rows N] [--cols N] [--seed S]
 //! caliqec plan         [--rows N] [--cols N] [--distance D] [--delta-d K] [--p-tar P]
 //! caliqec simulate     [--rows N] [--cols N] [--distance D] [--hours H] [--no-enlarge]
-//!                      [--strict] [--faults SPEC] [--trace-out FILE]
+//!                      [--strict] [--faults SPEC] [--trace-out FILE] [--drift-aware]
 //! caliqec draw         [--distance D] [--lattice square|heavy-hex] [--hole R,C ...]
 //! caliqec help
 //! ```
@@ -79,7 +79,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {a:?}"))?;
-        if key == "no-enlarge" || key == "probe" || key == "strict" {
+        if key == "no-enlarge" || key == "probe" || key == "strict" || key == "drift-aware" {
             flags.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -247,6 +247,7 @@ fn cmd_simulate(args: &Args) -> Result<(), CliError> {
         enlarge: !args.flags.contains_key("no-enlarge"),
         threads: args.usize_or("threads", 0).map_err(CliError::Usage)?,
         mc_shots: args.usize_or("mc-shots", 0).map_err(CliError::Usage)?,
+        drift_aware: args.flags.contains_key("drift-aware"),
         ..CaliqecConfig::default()
     };
     let hours = args.f64_or("hours", 24.0).map_err(CliError::Usage)?;
@@ -291,6 +292,13 @@ fn cmd_simulate(args: &Args) -> Result<(), CliError> {
         eprintln!(
             "decoder degradation: {} faulted chunks, {} retries, {} shots on degraded rungs",
             report.faulted_chunks, report.retried_chunks, report.degraded_shots
+        );
+    }
+    if config.drift_aware {
+        // Timing is machine-dependent; stderr keeps stdout reproducible.
+        eprintln!(
+            "drift-aware decoding: {:.3}s reweighting cached matching graphs",
+            report.reweight_seconds
         );
     }
     if let Some(path) = args.flags.get("trace-out") {
@@ -367,8 +375,12 @@ USAGE:
       Compile the calibration plan (Algorithm 1 + adaptive batching).
   caliqec simulate [--rows N] [--cols N] [--distance D] [--hours H] [--no-enlarge]
                    [--threads T] [--mc-shots S] [--strict] [--faults SPEC]
-                   [--trace-out FILE]
+                   [--trace-out FILE] [--drift-aware]
       Run the in-situ calibration runtime and print the LER trace.
+      --drift-aware decodes each measured point by incrementally
+      reweighting a cached matching graph to the drifted rates instead of
+      re-extracting the error model (bit-identical trace, cheaper setup;
+      reweight time is reported on stderr).
       --mc-shots S > 0 measures each trace point by Monte Carlo on the
       parallel LER engine; --threads T sets the worker count (default:
       the CALIQEC_THREADS environment variable, else all cores).

@@ -31,6 +31,14 @@ pub struct CaliqecConfig {
     /// LER with the parallel engine and reports it in
     /// [`crate::TracePoint::measured_ler`].
     pub mc_shots: usize,
+    /// Calibration-aware decoding: when set, Monte-Carlo trace points reuse
+    /// a per-layout reference matching graph and incrementally reweight it
+    /// to the instant's drifted rates (`MatchingGraph::reweight`) instead of
+    /// re-extracting a detector error model per point. Measured LERs are
+    /// bit-identical either way (the reweight is exact); only the decode
+    /// setup cost changes, reported in
+    /// [`crate::RuntimeReport::reweight_seconds`].
+    pub drift_aware: bool,
 }
 
 impl Default for CaliqecConfig {
@@ -45,6 +53,7 @@ impl Default for CaliqecConfig {
             enlarge: true,
             threads: 0,
             mc_shots: 0,
+            drift_aware: false,
         }
     }
 }

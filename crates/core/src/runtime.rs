@@ -16,9 +16,12 @@ use caliqec_code::{
     PatchLayout, Side,
 };
 use caliqec_device::DeviceModel;
-use caliqec_match::{graph_for_circuit, FaultPlan, LerEngine, SampleOptions, UnionFindDecoder};
+use caliqec_match::{
+    graph_for_circuit, EpochSchedule, FaultPlan, LerEngine, MatchingGraph, SampleOptions,
+    UnionFindDecoder,
+};
 use caliqec_sched::ler;
-use caliqec_stab::chunk_seed;
+use caliqec_stab::{chunk_seed, CompiledCircuit, RateTable};
 
 /// One sample of the runtime trace.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -65,6 +68,10 @@ pub struct RuntimeReport {
     /// Total shots decoded on a degraded ladder rung (predecode disabled
     /// or reference decoder).
     pub degraded_shots: usize,
+    /// Total seconds spent reweighting cached matching graphs (and
+    /// rebuilding their weight-derived predecoder tables) across all
+    /// Monte-Carlo measurements. Zero unless `config.drift_aware` is set.
+    pub reweight_seconds: f64,
 }
 
 impl RuntimeReport {
@@ -158,6 +165,10 @@ pub fn run_runtime_with_faults(
 
     // Cache the deformed layout per active window index to avoid rebuilding.
     let mut cached: Option<(usize, PatchLayout)> = None;
+    // Drift-aware decoding: one reference matching graph per layout window,
+    // incrementally reweighted to each trace point's rates. Keyed like the
+    // layout cache (`None` = pristine patch).
+    let mut ref_graph: Option<(Option<usize>, MatchingGraph)> = None;
     let pristine = DeformedPatch::new(config.lattice, d, d);
     let pristine_layout = pristine.layout().expect("pristine patch valid");
     let pristine_qubits = pristine_layout.num_physical_qubits();
@@ -206,10 +217,23 @@ pub fn run_runtime_with_faults(
             / device.gates.len() as f64;
         let measured_ler = (config.mc_shots > 0).then(|| {
             let layout = cached.as_ref().map(|(_, l)| l).unwrap_or(&pristine_layout);
-            let run = measure_point_ler(layout, mean_p, config, k as u64, faults);
+            let run = if config.drift_aware {
+                measure_point_ler_drift_aware(
+                    layout,
+                    mean_p,
+                    config,
+                    k as u64,
+                    faults,
+                    active,
+                    &mut ref_graph,
+                )
+            } else {
+                measure_point_ler(layout, mean_p, config, k as u64, faults)
+            };
             report.faulted_chunks += run.faulted_chunks;
             report.retried_chunks += run.retried_chunks;
             report.degraded_shots += run.degraded_shots;
+            report.reweight_seconds += run.reweight_seconds;
             run.estimate.per_shot()
         });
         let point = TracePoint {
@@ -282,6 +306,53 @@ fn measure_point_ler(
     engine.estimate_circuit(
         &mem.circuit,
         &|| UnionFindDecoder::new(graph.clone()),
+        SampleOptions {
+            min_shots: config.mc_shots,
+            ..SampleOptions::default()
+        },
+        chunk_seed(0xCA11_0EC5, point_index),
+    )
+}
+
+/// Calibration-aware variant of [`measure_point_ler`]: the matching graph
+/// is extracted once per layout window at the freshly-calibrated rate `p0`
+/// and incrementally reweighted to the instant's mean drifted rate via a
+/// single-epoch schedule, instead of re-extracting a detector error model
+/// at every trace point. Because the per-point noise is uniform, the
+/// reweighted graph is bit-identical to a freshly extracted one, so the
+/// measured trace matches [`measure_point_ler`] exactly; only the decode
+/// setup cost (reported as `reweight_seconds`) differs. The sampled
+/// circuit is still regenerated per point — physical noise must drift even
+/// when the decoder updates incrementally.
+fn measure_point_ler_drift_aware(
+    layout: &PatchLayout,
+    mean_p: f64,
+    config: &CaliqecConfig,
+    point_index: u64,
+    faults: Option<&FaultPlan>,
+    window: Option<usize>,
+    ref_graph: &mut Option<(Option<usize>, MatchingGraph)>,
+) -> caliqec_match::EngineRun {
+    let p = mean_p.clamp(1e-9, 0.3);
+    let rounds = config.distance.max(1);
+    let mem = memory_circuit(layout, &NoiseModel::uniform(p), rounds, MemoryBasis::Z);
+    if ref_graph.as_ref().map(|(k, _)| *k) != Some(window) {
+        let p_ref = config.p0.clamp(1e-9, 0.3);
+        let ref_mem = memory_circuit(layout, &NoiseModel::uniform(p_ref), rounds, MemoryBasis::Z);
+        *ref_graph = Some((window, graph_for_circuit(&ref_mem.circuit)));
+    }
+    let (_, graph) = ref_graph.as_ref().expect("cache filled above");
+    let mut engine = LerEngine::new(config.threads);
+    if let Some(plan) = faults {
+        engine = engine.with_faults(plan.clone());
+    }
+    let mut schedule = EpochSchedule::new(1.0);
+    schedule.push(0.0, RateTable::uniform(p));
+    engine.estimate_epochs(
+        &CompiledCircuit::new(&mem.circuit),
+        graph,
+        &|g: &MatchingGraph| UnionFindDecoder::new(g.clone()),
+        &schedule,
         SampleOptions {
             min_shots: config.mc_shots,
             ..SampleOptions::default()
@@ -391,6 +462,27 @@ mod tests {
         assert_eq!(chaos.faulted_chunks, chaos.retried_chunks);
         assert!(chaos.degraded_shots > 0);
         assert!(chaos.degraded());
+    }
+
+    #[test]
+    fn drift_aware_trace_is_bit_identical_to_plain() {
+        let (device, plan, mut config) = setup(true);
+        config.mc_shots = 256;
+        config.threads = 2;
+        let plain = run_runtime(&device, Some(&plan), &config, 8.0, 4);
+        assert_eq!(plain.reweight_seconds, 0.0);
+        config.drift_aware = true;
+        let aware = run_runtime(&device, Some(&plan), &config, 8.0, 4);
+        let ms_plain: Vec<_> = plain.trace.iter().map(|p| p.measured_ler).collect();
+        let ms_aware: Vec<_> = aware.trace.iter().map(|p| p.measured_ler).collect();
+        assert_eq!(
+            ms_plain, ms_aware,
+            "incremental reweighting must not change the measured trace"
+        );
+        assert!(
+            aware.reweight_seconds > 0.0,
+            "drift-aware runs must account their reweight time"
+        );
     }
 
     #[test]

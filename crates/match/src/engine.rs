@@ -55,8 +55,8 @@ use crate::graph::MatchingGraph;
 use crate::predecode::Predecoder;
 use crate::reference::ReferenceUnionFind;
 use caliqec_stab::{
-    chunk_seed, resolve_threads, BatchEvents, Circuit, CompiledCircuit, FrameState, SparseBatch,
-    BATCH,
+    chunk_seed, resolve_threads, BatchEvents, Circuit, CompiledCircuit, FrameState, RateTable,
+    SparseBatch, BATCH,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -116,6 +116,94 @@ impl<D: Decoder, F: Fn() -> D + Sync> DecoderFactory for F {
     }
 }
 
+/// Builds decoders over a *given* graph, for the calibration-epoch entry
+/// points where the engine owns one reweighted graph per epoch.
+///
+/// Blanket-implemented for any `Fn(&MatchingGraph) -> D` closure that is
+/// `Sync`:
+///
+/// ```ignore
+/// engine.estimate_epochs(&compiled, &graph,
+///     &|g: &MatchingGraph| UnionFindDecoder::new(g.clone()),
+///     &schedule, opts, seed);
+/// ```
+pub trait GraphDecoderFactory: Sync {
+    /// The decoder type produced.
+    type Decoder: Decoder;
+
+    /// Builds one decoder over `graph` (already reweighted for the epoch it
+    /// will decode).
+    fn build_for(&self, graph: &MatchingGraph) -> Self::Decoder;
+}
+
+impl<D: Decoder, F: Fn(&MatchingGraph) -> D + Sync> GraphDecoderFactory for F {
+    type Decoder = D;
+
+    fn build_for(&self, graph: &MatchingGraph) -> D {
+        self(graph)
+    }
+}
+
+/// One calibration epoch: the per-gate rates in force from `hours` onward
+/// (until the next epoch starts).
+#[derive(Clone, Debug)]
+pub struct CalibrationEpoch {
+    /// Simulated device time (hours) at which these rates take effect.
+    pub hours: f64,
+    /// Per-gate rates characterized at that time.
+    pub rates: RateTable,
+}
+
+/// A schedule of calibration epochs over a simulated run horizon.
+///
+/// [`LerEngine::estimate_epochs`] spreads the shot budget uniformly over
+/// `[0, horizon_hours]` and decodes each chunk with the epoch active at the
+/// chunk's midpoint time — the epoch with the largest `hours` not exceeding
+/// it (the first epoch covers any earlier time). An empty schedule behaves
+/// as a single identity epoch: every chunk decodes with the base graph
+/// unchanged.
+#[derive(Clone, Debug)]
+pub struct EpochSchedule {
+    horizon_hours: f64,
+    epochs: Vec<CalibrationEpoch>,
+}
+
+impl EpochSchedule {
+    /// An empty schedule over `horizon_hours` of simulated time.
+    pub fn new(horizon_hours: f64) -> EpochSchedule {
+        EpochSchedule {
+            horizon_hours: horizon_hours.max(0.0),
+            epochs: Vec::new(),
+        }
+    }
+
+    /// Appends an epoch, keeping the list sorted by start time (stable:
+    /// among equal start times the later push wins the later slot).
+    pub fn push(&mut self, hours: f64, rates: RateTable) {
+        let at = self.epochs.partition_point(|e| e.hours <= hours);
+        self.epochs.insert(at, CalibrationEpoch { hours, rates });
+    }
+
+    /// The simulated run horizon in hours.
+    pub fn horizon_hours(&self) -> f64 {
+        self.horizon_hours
+    }
+
+    /// The epochs, sorted by start time.
+    pub fn epochs(&self) -> &[CalibrationEpoch] {
+        &self.epochs
+    }
+
+    /// Index (into [`EpochSchedule::epochs`]) of the epoch active at
+    /// simulated time `hours`: the last epoch starting at or before it,
+    /// clamped to the first. Returns 0 for an empty schedule.
+    pub fn active_at(&self, hours: f64) -> usize {
+        self.epochs
+            .partition_point(|e| e.hours <= hours)
+            .saturating_sub(1)
+    }
+}
+
 /// The deterministic work schedule shared by the parallel engine and the
 /// serial reference path.
 #[derive(Clone, Copy, Debug)]
@@ -158,8 +246,23 @@ impl ChunkPlan {
 }
 
 /// Buckets of the per-run defect-count histogram: exact counts `0..=31`
-/// plus one overflow bucket for 32-or-more defects.
-pub const DEFECT_HIST_BUCKETS: usize = 33;
+/// plus log-scaled tail buckets (32–63, 64–127, 128–255, ≥256). At d = 15
+/// a single ≥32 overflow bucket used to swallow >99% of shots; the log tail
+/// keeps the dense regime visible.
+pub const DEFECT_HIST_BUCKETS: usize = 36;
+
+/// Maps a per-shot defect count to its bucket in
+/// [`EngineRun::defect_histogram`]: counts below 32 map to themselves, the
+/// tail is log-scaled (32–63 → 32, 64–127 → 33, 128–255 → 34, ≥256 → 35).
+pub fn defect_hist_bucket(defects: usize) -> usize {
+    match defects {
+        0..=31 => defects,
+        32..=63 => 32,
+        64..=127 => 33,
+        128..=255 => 34,
+        _ => 35,
+    }
+}
 
 /// Rungs of the decoder degradation ladder: the factory decoder with its
 /// predecoder, a fresh factory decoder without predecode, and a
@@ -298,12 +401,19 @@ fn run_chunk<D: Decoder>(
             Some(pre) => {
                 for s in 0..BATCH {
                     let defects = sparse.defect_count(s);
-                    defect_histogram[defects.min(DEFECT_HIST_BUCKETS - 1)] += 1;
+                    defect_histogram[defect_hist_bucket(defects)] += 1;
                     if defects == 0 {
                         tier0_shots += 1;
                         if sparse.observables(s) != 0 {
                             failures += 1;
                         }
+                    } else if defects > Predecoder::MAX_CERT_DEFECTS {
+                        // Cheap early-out on the raw defect count: dense
+                        // shots can never certify, so skip the predecoder's
+                        // unit partitioning entirely (at d ≥ 15 this is
+                        // nearly every shot, and `predecode_seconds` used to
+                        // pay for all of them).
+                        residual.push(s as u32);
                     } else if let Some(mask) = pre.predecode(sparse.defects(s)) {
                         predecoded_shots += 1;
                         predecoded_defects += defects;
@@ -318,7 +428,7 @@ fn run_chunk<D: Decoder>(
             None => {
                 for s in 0..BATCH {
                     let defects = sparse.defect_count(s);
-                    defect_histogram[defects.min(DEFECT_HIST_BUCKETS - 1)] += 1;
+                    defect_histogram[defect_hist_bucket(defects)] += 1;
                     if defects == 0 {
                         tier0_shots += 1;
                         if sparse.observables(s) != 0 {
@@ -475,8 +585,16 @@ pub struct EngineRun {
     /// Shots decoded by the full decoder (tier 2).
     pub residual_shots: usize,
     /// Histogram of per-shot defect counts: bucket `i < 32` counts shots
-    /// with exactly `i` defects, the last bucket shots with ≥ 32.
+    /// with exactly `i` defects; the tail is log-scaled per
+    /// [`defect_hist_bucket`] (32–63, 64–127, 128–255, ≥256).
     pub defect_histogram: [u64; DEFECT_HIST_BUCKETS],
+    /// Seconds spent building per-epoch reweighted graphs and predecoder
+    /// tables before workers launched. Zero on the single-graph entry
+    /// points, where no reweighting happens.
+    pub reweight_seconds: f64,
+    /// Calibration epochs active during the run (1 on the single-graph
+    /// entry points).
+    pub epochs: usize,
     /// Fault events observed across all chunk attempts (a chunk that
     /// faults on two rungs counts twice). Zero when no fault fired.
     pub faulted_chunks: usize,
@@ -543,6 +661,33 @@ struct Shared {
 }
 
 impl Shared {
+    /// Fresh shared state for a run of `num_chunks` chunks, all counters
+    /// zeroed.
+    fn new(num_chunks: usize) -> Shared {
+        Shared {
+            results: vec![None; num_chunks],
+            cut: None,
+            fatal: None,
+            chunks_executed: 0,
+            sample_seconds: 0.0,
+            extract_seconds: 0.0,
+            predecode_seconds: 0.0,
+            decode_seconds: 0.0,
+            tier0_shots: 0,
+            predecoded_shots: 0,
+            predecoded_defects: 0,
+            residual_shots: 0,
+            defect_histogram: [0; DEFECT_HIST_BUCKETS],
+            faulted_chunks: 0,
+            retried_chunks: 0,
+            degraded_shots: 0,
+            rung_chunks: [0; LADDER_RUNGS],
+            panic_faults: 0,
+            stall_faults: 0,
+            graph_faults: 0,
+        }
+    }
+
     /// Recomputes the early-stop cut over the completed prefix.
     fn recompute_cut(&mut self, max_failures: usize) {
         let mut failures = 0usize;
@@ -674,28 +819,7 @@ impl LerEngine {
         let faults = self.faults.as_ref();
         let fallback = factory.fallback_graph();
         let next = AtomicUsize::new(0);
-        let shared = Mutex::new(Shared {
-            results: vec![None; plan.num_chunks],
-            cut: None,
-            fatal: None,
-            chunks_executed: 0,
-            sample_seconds: 0.0,
-            extract_seconds: 0.0,
-            predecode_seconds: 0.0,
-            decode_seconds: 0.0,
-            tier0_shots: 0,
-            predecoded_shots: 0,
-            predecoded_defects: 0,
-            residual_shots: 0,
-            defect_histogram: [0; DEFECT_HIST_BUCKETS],
-            faulted_chunks: 0,
-            retried_chunks: 0,
-            degraded_shots: 0,
-            rung_chunks: [0; LADDER_RUNGS],
-            panic_faults: 0,
-            stall_faults: 0,
-            graph_faults: 0,
-        });
+        let shared = Mutex::new(Shared::new(plan.num_chunks));
 
         std::thread::scope(|scope| {
             for worker in 0..threads {
@@ -711,38 +835,7 @@ impl LerEngine {
         });
 
         let sh = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
-        if let Some(fatal) = sh.fatal {
-            return Err(fatal);
-        }
-        let included = sh.cut.map_or(plan.num_chunks, |k| k + 1);
-        let mut estimate = LerEstimate::default();
-        for result in sh.results[..included].iter().flatten() {
-            estimate.shots += result.batches * BATCH;
-            estimate.failures += result.failures;
-        }
-        Ok(EngineRun {
-            estimate,
-            threads,
-            chunks_included: included,
-            chunks_executed: sh.chunks_executed,
-            wall_seconds: started.elapsed().as_secs_f64(),
-            sample_seconds: sh.sample_seconds,
-            extract_seconds: sh.extract_seconds,
-            predecode_seconds: sh.predecode_seconds,
-            decode_seconds: sh.decode_seconds,
-            tier0_shots: sh.tier0_shots,
-            predecoded_shots: sh.predecoded_shots,
-            predecoded_defects: sh.predecoded_defects,
-            residual_shots: sh.residual_shots,
-            defect_histogram: sh.defect_histogram,
-            faulted_chunks: sh.faulted_chunks,
-            retried_chunks: sh.retried_chunks,
-            degraded_shots: sh.degraded_shots,
-            rung_chunks: sh.rung_chunks,
-            panic_faults: sh.panic_faults,
-            stall_faults: sh.stall_faults,
-            graph_faults: sh.graph_faults,
-        })
+        assemble_run(sh, &plan, threads, started, 0.0, 1)
     }
 
     /// Convenience: compiles `circuit` and estimates in one call.
@@ -769,6 +862,194 @@ impl LerEngine {
         circuit.validate()?;
         self.try_estimate(&CompiledCircuit::new(circuit), factory, options, base_seed)
     }
+
+    /// Calibration-aware estimation: infallible wrapper over
+    /// [`LerEngine::try_estimate_epochs`], panicking on a typed error like
+    /// [`LerEngine::estimate`] does.
+    pub fn estimate_epochs<F: GraphDecoderFactory>(
+        &self,
+        compiled: &CompiledCircuit,
+        graph: &MatchingGraph,
+        factory: &F,
+        schedule: &EpochSchedule,
+        options: SampleOptions,
+        base_seed: u64,
+    ) -> EngineRun {
+        self.try_estimate_epochs(compiled, graph, factory, schedule, options, base_seed)
+            .unwrap_or_else(|e| panic!("engine epoch run failed: {e}"))
+    }
+
+    /// Calibration-aware estimation over a schedule of `(t, RateTable)`
+    /// epochs.
+    ///
+    /// The shot budget maps uniformly onto simulated time `[0,
+    /// horizon_hours]`; chunk `i` (of `n`) decodes with the epoch active at
+    /// its midpoint `horizon · (i + ½) / n`. Each epoch gets one graph —
+    /// the base `graph` incrementally reweighted via
+    /// [`MatchingGraph::reweight`] (identity rate tables skip the reweight,
+    /// so a single-epoch identity schedule is bit-identical to
+    /// [`LerEngine::try_estimate`] over a [`crate::Tiered`] factory) — plus
+    /// a fresh [`Predecoder`] over it, since the predecoder's tables are
+    /// weight-derived. Upfront reweight + table-build time is reported as
+    /// [`EngineRun::reweight_seconds`].
+    ///
+    /// Chunks keep the same deterministic [`chunk_seed`] schedule as
+    /// [`LerEngine::try_estimate`] — the sampled syndrome stream depends
+    /// only on `(options, base_seed)`, never on the epoch schedule; only
+    /// decode weights vary. The degradation ladder is preserved: rung 1
+    /// rebuilds the epoch's decoder without predecoding, rung 2 falls back
+    /// to [`ReferenceUnionFind`] over the epoch graph.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_estimate_epochs<F: GraphDecoderFactory>(
+        &self,
+        compiled: &CompiledCircuit,
+        graph: &MatchingGraph,
+        factory: &F,
+        schedule: &EpochSchedule,
+        options: SampleOptions,
+        base_seed: u64,
+    ) -> Result<EngineRun, EngineError> {
+        compiled.validate()?;
+        graph.validate()?;
+        let started = Instant::now();
+        let plan = ChunkPlan::new(options);
+
+        // Build one context per epoch up front (an empty schedule is one
+        // implicit identity epoch). Reweighting is incremental on a clone
+        // of the caller's graph — topology untouched, weights recomputed
+        // from the epoch's rates — and each context re-derives the
+        // weight-dependent predecoder tables.
+        let reweight_started = Instant::now();
+        let mut contexts: Vec<EpochContext> = Vec::new();
+        if schedule.epochs().is_empty() {
+            contexts.push(EpochContext::identity(graph));
+        } else {
+            for epoch in schedule.epochs() {
+                contexts.push(EpochContext::reweighted(graph, &epoch.rates)?);
+            }
+        }
+        let reweight_seconds = reweight_started.elapsed().as_secs_f64();
+
+        let chunk_epoch: Vec<u32> = (0..plan.num_chunks)
+            .map(|i| {
+                let t = schedule.horizon_hours() * (i as f64 + 0.5) / plan.num_chunks as f64;
+                schedule.active_at(t).min(contexts.len() - 1) as u32
+            })
+            .collect();
+
+        let threads = self.threads.min(plan.num_chunks).max(1);
+        let faults = self.faults.as_ref();
+        let next = AtomicUsize::new(0);
+        let shared = Mutex::new(Shared::new(plan.num_chunks));
+
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let spawned = std::thread::Builder::new()
+                    .name(format!("caliqec-ler-{worker}"))
+                    .spawn_scoped(scope, || {
+                        epoch_worker_loop(
+                            compiled,
+                            factory,
+                            &contexts,
+                            &chunk_epoch,
+                            &plan,
+                            base_seed,
+                            faults,
+                            &next,
+                            &shared,
+                        )
+                    });
+                spawned.expect("spawn LER worker thread");
+            }
+        });
+
+        let sh = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
+        assemble_run(
+            sh,
+            &plan,
+            threads,
+            started,
+            reweight_seconds,
+            contexts.len(),
+        )
+    }
+}
+
+/// Per-epoch decode context: the reweighted graph and the predecoder
+/// re-derived from it (predecoder tables are weight-dependent — see
+/// [`Predecoder::is_current_for`]).
+struct EpochContext {
+    graph: MatchingGraph,
+    predecoder: Predecoder,
+}
+
+impl EpochContext {
+    /// Context for an identity epoch: the base graph verbatim.
+    fn identity(graph: &MatchingGraph) -> EpochContext {
+        let graph = graph.clone();
+        let predecoder = Predecoder::new(&graph);
+        EpochContext { graph, predecoder }
+    }
+
+    /// Context for a drifted epoch: base graph incrementally reweighted
+    /// (identity tables skip the reweight so the clone stays bit-identical
+    /// to the base), then validated.
+    fn reweighted(base: &MatchingGraph, rates: &RateTable) -> Result<EpochContext, EngineError> {
+        let mut graph = base.clone();
+        if !rates.is_identity() {
+            graph.reweight(rates)?;
+            graph.validate()?;
+        }
+        let predecoder = Predecoder::new(&graph);
+        Ok(EpochContext { graph, predecoder })
+    }
+}
+
+/// Folds the merged shared state into the final [`EngineRun`], applying the
+/// deterministic early-stop cut. Common tail of [`LerEngine::try_estimate`]
+/// and [`LerEngine::try_estimate_epochs`].
+fn assemble_run(
+    sh: Shared,
+    plan: &ChunkPlan,
+    threads: usize,
+    started: Instant,
+    reweight_seconds: f64,
+    epochs: usize,
+) -> Result<EngineRun, EngineError> {
+    if let Some(fatal) = sh.fatal {
+        return Err(fatal);
+    }
+    let included = sh.cut.map_or(plan.num_chunks, |k| k + 1);
+    let mut estimate = LerEstimate::default();
+    for result in sh.results[..included].iter().flatten() {
+        estimate.shots += result.batches * BATCH;
+        estimate.failures += result.failures;
+    }
+    Ok(EngineRun {
+        estimate,
+        threads,
+        chunks_included: included,
+        chunks_executed: sh.chunks_executed,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        sample_seconds: sh.sample_seconds,
+        extract_seconds: sh.extract_seconds,
+        predecode_seconds: sh.predecode_seconds,
+        decode_seconds: sh.decode_seconds,
+        tier0_shots: sh.tier0_shots,
+        predecoded_shots: sh.predecoded_shots,
+        predecoded_defects: sh.predecoded_defects,
+        residual_shots: sh.residual_shots,
+        defect_histogram: sh.defect_histogram,
+        reweight_seconds,
+        epochs,
+        faulted_chunks: sh.faulted_chunks,
+        retried_chunks: sh.retried_chunks,
+        degraded_shots: sh.degraded_shots,
+        rung_chunks: sh.rung_chunks,
+        panic_faults: sh.panic_faults,
+        stall_faults: sh.stall_faults,
+        graph_faults: sh.graph_faults,
+    })
 }
 
 /// The body of one worker thread: claim chunks, run each up the
@@ -894,49 +1175,187 @@ fn worker_loop<F: DecoderFactory>(
             }
         };
 
-        let mut sh = lock_shared(shared);
-        sh.faulted_chunks += tally.faults;
-        sh.retried_chunks += tally.retries;
-        sh.panic_faults += tally.panics;
-        sh.stall_faults += tally.stalls;
-        sh.graph_faults += tally.graphs;
-        match outcome {
-            Ok((result, rung)) => {
-                sh.chunks_executed += 1;
-                sh.rung_chunks[rung] += 1;
-                if rung > 0 {
-                    sh.degraded_shots += result.batches * BATCH;
-                }
-                sh.sample_seconds += result.sample_seconds;
-                sh.extract_seconds += result.extract_seconds;
-                sh.predecode_seconds += result.predecode_seconds;
-                sh.decode_seconds += result.decode_seconds;
-                sh.tier0_shots += result.tier0_shots;
-                sh.predecoded_shots += result.predecoded_shots;
-                sh.predecoded_defects += result.predecoded_defects;
-                sh.residual_shots += result.residual_shots;
-                for (acc, &b) in sh
-                    .defect_histogram
-                    .iter_mut()
-                    .zip(result.defect_histogram.iter())
-                {
-                    *acc += b;
-                }
-                sh.results[chunk] = Some(result);
-                if plan.max_failures > 0 && sh.cut.is_none() {
-                    sh.recompute_cut(plan.max_failures);
-                }
+        merge_chunk(shared, plan, chunk, &tally, outcome);
+    }
+}
+
+/// Merges one chunk's outcome (success at some rung, or ladder exhaustion)
+/// and its fault tally into the shared state. Common to [`worker_loop`] and
+/// [`epoch_worker_loop`].
+fn merge_chunk(
+    shared: &Mutex<Shared>,
+    plan: &ChunkPlan,
+    chunk: usize,
+    tally: &FaultTally,
+    outcome: Result<(ChunkResult, usize), (ChunkFault, usize)>,
+) {
+    let mut sh = lock_shared(shared);
+    sh.faulted_chunks += tally.faults;
+    sh.retried_chunks += tally.retries;
+    sh.panic_faults += tally.panics;
+    sh.stall_faults += tally.stalls;
+    sh.graph_faults += tally.graphs;
+    match outcome {
+        Ok((result, rung)) => {
+            sh.chunks_executed += 1;
+            sh.rung_chunks[rung] += 1;
+            if rung > 0 {
+                sh.degraded_shots += result.batches * BATCH;
             }
-            Err((fault, rung)) => {
-                if sh.fatal.is_none() {
-                    sh.fatal = Some(EngineError::ChunkFailed {
-                        chunk,
-                        rung,
-                        reason: fault.to_string(),
-                    });
-                }
+            sh.sample_seconds += result.sample_seconds;
+            sh.extract_seconds += result.extract_seconds;
+            sh.predecode_seconds += result.predecode_seconds;
+            sh.decode_seconds += result.decode_seconds;
+            sh.tier0_shots += result.tier0_shots;
+            sh.predecoded_shots += result.predecoded_shots;
+            sh.predecoded_defects += result.predecoded_defects;
+            sh.residual_shots += result.residual_shots;
+            for (acc, &b) in sh
+                .defect_histogram
+                .iter_mut()
+                .zip(result.defect_histogram.iter())
+            {
+                *acc += b;
+            }
+            sh.results[chunk] = Some(result);
+            if plan.max_failures > 0 && sh.cut.is_none() {
+                sh.recompute_cut(plan.max_failures);
             }
         }
+        Err((fault, rung)) => {
+            if sh.fatal.is_none() {
+                sh.fatal = Some(EngineError::ChunkFailed {
+                    chunk,
+                    rung,
+                    reason: fault.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// The body of one epoch-aware worker thread: like [`worker_loop`], but the
+/// chunk→epoch map selects which per-epoch `(decoder, predecoder)` pair
+/// decodes each chunk. Pairs are built lazily per worker (workers typically
+/// touch a contiguous band of chunks, hence few epochs) and quarantined on
+/// a rung-0 fault exactly like the single-graph loop.
+#[allow(clippy::too_many_arguments)]
+fn epoch_worker_loop<F: GraphDecoderFactory>(
+    compiled: &CompiledCircuit,
+    factory: &F,
+    contexts: &[EpochContext],
+    chunk_epoch: &[u32],
+    plan: &ChunkPlan,
+    base_seed: u64,
+    faults: Option<&FaultPlan>,
+    next: &AtomicUsize,
+    shared: &Mutex<Shared>,
+) {
+    let mut cache: Vec<Option<(F::Decoder, Predecoder)>> =
+        (0..contexts.len()).map(|_| None).collect();
+    let mut state = FrameState::new(compiled);
+    let mut events = BatchEvents::default();
+    let mut sparse = SparseBatch::new();
+    loop {
+        {
+            let sh = lock_shared(shared);
+            if sh.cut.is_some() || sh.fatal.is_some() {
+                break;
+            }
+        }
+        let chunk = next.fetch_add(1, Ordering::Relaxed);
+        if chunk >= plan.num_chunks {
+            break;
+        }
+        let epoch = chunk_epoch[chunk] as usize;
+        let ctx = &contexts[epoch];
+
+        // Same three-rung ladder as `worker_loop`, anchored on the epoch's
+        // graph: rung 1 rebuilds the epoch decoder without predecoding,
+        // rung 2 is the reference oracle over the epoch graph (always
+        // available here, unlike opaque factories).
+        let mut tally = FaultTally::default();
+        let mut rung = 0usize;
+        let outcome: Result<(ChunkResult, usize), (ChunkFault, usize)> = loop {
+            let injected = if rung == 0 {
+                faults.and_then(|p| p.injection(chunk))
+            } else {
+                None
+            };
+            let attempt = match rung {
+                0 => {
+                    let (decoder, predecoder) = cache[epoch].get_or_insert_with(|| {
+                        (factory.build_for(&ctx.graph), ctx.predecoder.clone())
+                    });
+                    attempt_chunk(
+                        compiled,
+                        decoder,
+                        Some(predecoder),
+                        &mut state,
+                        &mut events,
+                        &mut sparse,
+                        plan,
+                        chunk,
+                        base_seed,
+                        injected,
+                        faults,
+                        Some(&ctx.graph),
+                    )
+                }
+                1 => {
+                    let mut fresh = factory.build_for(&ctx.graph);
+                    attempt_chunk(
+                        compiled,
+                        &mut fresh,
+                        None,
+                        &mut state,
+                        &mut events,
+                        &mut sparse,
+                        plan,
+                        chunk,
+                        base_seed,
+                        None,
+                        faults,
+                        Some(&ctx.graph),
+                    )
+                }
+                _ => {
+                    let mut reference = ReferenceUnionFind::new(ctx.graph.clone());
+                    attempt_chunk(
+                        compiled,
+                        &mut reference,
+                        None,
+                        &mut state,
+                        &mut events,
+                        &mut sparse,
+                        plan,
+                        chunk,
+                        base_seed,
+                        None,
+                        faults,
+                        Some(&ctx.graph),
+                    )
+                }
+            };
+            match attempt {
+                Ok(result) => break Ok((result, rung)),
+                Err(fault) => {
+                    tally.record(&fault);
+                    if rung == 0 {
+                        // Quarantine the epoch's cached pair; it is rebuilt
+                        // from the context on next use.
+                        cache[epoch] = None;
+                    }
+                    if rung + 1 >= LADDER_RUNGS {
+                        break Err((fault, rung));
+                    }
+                    tally.retries += 1;
+                    rung += 1;
+                }
+            }
+        };
+
+        merge_chunk(shared, plan, chunk, &tally, outcome);
     }
 }
 
@@ -1211,5 +1630,132 @@ mod tests {
         assert!(faulty.degraded());
         assert_eq!(faulty.rung_chunks[1], 2);
         assert!(faulty.degraded_shots > 0);
+    }
+
+    #[test]
+    fn defect_hist_buckets_are_exact_then_logarithmic() {
+        for d in 0..32 {
+            assert_eq!(defect_hist_bucket(d), d);
+        }
+        assert_eq!(defect_hist_bucket(32), 32);
+        assert_eq!(defect_hist_bucket(63), 32);
+        assert_eq!(defect_hist_bucket(64), 33);
+        assert_eq!(defect_hist_bucket(127), 33);
+        assert_eq!(defect_hist_bucket(128), 34);
+        assert_eq!(defect_hist_bucket(255), 34);
+        assert_eq!(defect_hist_bucket(256), 35);
+        assert_eq!(defect_hist_bucket(usize::MAX), 35);
+        assert_eq!(DEFECT_HIST_BUCKETS, 36);
+    }
+
+    #[test]
+    fn epoch_schedule_resolves_active_epoch() {
+        let empty = EpochSchedule::new(10.0);
+        assert_eq!(empty.active_at(5.0), 0);
+
+        let mut sched = EpochSchedule::new(12.0);
+        sched.push(8.0, RateTable::uniform(0.02));
+        sched.push(0.0, RateTable::identity());
+        sched.push(4.0, RateTable::uniform(0.01));
+        assert_eq!(sched.epochs().len(), 3);
+        assert!(sched.epochs()[0].hours <= sched.epochs()[1].hours);
+        assert!(sched.epochs()[1].hours <= sched.epochs()[2].hours);
+        assert_eq!(sched.active_at(-1.0), 0); // clamped to first epoch
+        assert_eq!(sched.active_at(0.0), 0);
+        assert_eq!(sched.active_at(3.9), 0);
+        assert_eq!(sched.active_at(4.0), 1);
+        assert_eq!(sched.active_at(7.9), 1);
+        assert_eq!(sched.active_at(8.0), 2);
+        assert_eq!(sched.active_at(100.0), 2);
+    }
+
+    #[test]
+    fn identity_epoch_schedule_matches_tiered_run() {
+        let c = rep_circuit(5, 0.08);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let opts = SampleOptions {
+            min_shots: 5_000,
+            ..Default::default()
+        };
+        let factory = Tiered::new(&graph, {
+            let graph = graph.clone();
+            move || UnionFindDecoder::new(graph.clone())
+        });
+        let baseline = LerEngine::new(2).estimate(&compiled, &factory, opts, 42);
+
+        for schedule in [EpochSchedule::new(10.0), {
+            let mut s = EpochSchedule::new(10.0);
+            s.push(0.0, RateTable::identity());
+            s
+        }] {
+            let run = LerEngine::new(2).estimate_epochs(
+                &compiled,
+                &graph,
+                &|g: &MatchingGraph| UnionFindDecoder::new(g.clone()),
+                &schedule,
+                opts,
+                42,
+            );
+            assert_eq!(run.estimate, baseline.estimate);
+            assert_eq!(run.tier0_shots, baseline.tier0_shots);
+            assert_eq!(run.predecoded_shots, baseline.predecoded_shots);
+            assert_eq!(run.residual_shots, baseline.residual_shots);
+            assert_eq!(run.defect_histogram, baseline.defect_histogram);
+            assert_eq!(run.epochs, 1);
+            assert!(run.reweight_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn epoch_runs_are_deterministic_across_thread_counts() {
+        let c = rep_circuit(5, 0.08);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let opts = SampleOptions {
+            min_shots: 5_000,
+            ..Default::default()
+        };
+        let mut schedule = EpochSchedule::new(10.0);
+        schedule.push(0.0, RateTable::identity());
+        schedule.push(5.0, RateTable::uniform(0.12));
+        let factory = |g: &MatchingGraph| UnionFindDecoder::new(g.clone());
+        let first =
+            LerEngine::new(1).estimate_epochs(&compiled, &graph, &factory, &schedule, opts, 7);
+        assert_eq!(first.epochs, 2);
+        for threads in [2, 4] {
+            let run = LerEngine::new(threads)
+                .estimate_epochs(&compiled, &graph, &factory, &schedule, opts, 7);
+            assert_eq!(run.estimate, first.estimate, "threads={threads}");
+            assert_eq!(run.defect_histogram, first.defect_histogram);
+        }
+    }
+
+    #[test]
+    fn epoch_run_recovers_from_injected_faults() {
+        let c = rep_circuit(5, 0.08);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let opts = SampleOptions {
+            min_shots: 5_000,
+            ..Default::default()
+        };
+        let mut schedule = EpochSchedule::new(10.0);
+        schedule.push(0.0, RateTable::identity());
+        schedule.push(5.0, RateTable::uniform(0.12));
+        let factory = |g: &MatchingGraph| UnionFindDecoder::new(g.clone());
+        let clean =
+            LerEngine::new(2).estimate_epochs(&compiled, &graph, &factory, &schedule, opts, 7);
+        assert_eq!(clean.faulted_chunks, 0);
+
+        let plan = FaultPlan::new().panic_at(0).corrupt_defects_at(2);
+        let faulty = LerEngine::new(2)
+            .with_faults(plan)
+            .try_estimate_epochs(&compiled, &graph, &factory, &schedule, opts, 7)
+            .expect("epoch ladder must recover from injected faults");
+        assert_eq!(faulty.estimate, clean.estimate, "retry changed the LER");
+        assert_eq!(faulty.faulted_chunks, 2);
+        assert_eq!(faulty.retried_chunks, 2);
+        assert!(faulty.degraded());
     }
 }

@@ -60,6 +60,12 @@ pub enum ValidationError {
         /// The stranded node.
         node: NodeId,
     },
+    /// The graph carries no DEM provenance, so
+    /// [`MatchingGraph::reweight`](crate::MatchingGraph::reweight) cannot
+    /// recompute its probabilities. Graphs built by
+    /// [`MatchingGraph::from_edges`](crate::MatchingGraph::from_edges) are in
+    /// this state.
+    NoProvenance,
 }
 
 impl fmt::Display for ValidationError {
@@ -87,6 +93,9 @@ impl fmt::Display for ValidationError {
             }
             ValidationError::Unreachable { node } => {
                 write!(f, "node {node} has edges but cannot reach the boundary")
+            }
+            ValidationError::NoProvenance => {
+                write!(f, "graph carries no DEM provenance; cannot reweight")
             }
         }
     }

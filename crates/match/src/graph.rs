@@ -7,7 +7,7 @@
 //! style of Stim's `decompose_errors`.
 
 use crate::error::ValidationError;
-use caliqec_stab::{DetIdx, DetectorErrorModel};
+use caliqec_stab::{DetIdx, DetectorErrorModel, ErrorSource, RateTable};
 use std::collections::HashMap;
 
 /// Identifier of a node in a [`MatchingGraph`]: a detector or the boundary.
@@ -56,10 +56,19 @@ pub struct MatchingGraph {
     /// contiguous memory instead of chasing one heap box per node.
     adj_offsets: Vec<u32>,
     adj_edges: Vec<u32>,
+    /// Mechanism provenance retained by [`MatchingGraph::from_dem`] so edge
+    /// probabilities can be recomputed from updated per-gate rates without
+    /// re-extracting the DEM. `None` for [`MatchingGraph::from_edges`]
+    /// graphs.
+    provenance: Option<Provenance>,
+    /// Bumped by every [`MatchingGraph::reweight`]; weight-derived caches
+    /// (MWPM Dijkstra cache, predecoder tables) stamp the epoch they were
+    /// built against and are stale when it no longer matches.
+    weight_epoch: u64,
 }
 
 fn probability_to_weight(p: f64) -> f64 {
-    let p = p.clamp(1e-12, 0.5);
+    let p = p.clamp(MatchingGraph::P_MIN, MatchingGraph::P_MAX);
     ((1.0 - p) / p).ln()
 }
 
@@ -67,8 +76,28 @@ fn xor_combine(a: f64, b: f64) -> f64 {
     a * (1.0 - b) + b * (1.0 - a)
 }
 
+/// Flattened provenance of a graph built from a DEM: which interned physical
+/// sources contribute to each mechanism, and which mechanisms were folded
+/// into each edge, both in their exact extraction/absorb order so a replay
+/// under the identity rate table is bit-identical to the original build.
+#[derive(Clone, Debug, Default)]
+struct Provenance {
+    /// Interned physical sources, copied from the DEM.
+    sources: Vec<ErrorSource>,
+    /// CSR over mechanisms: contributions of mechanism `m` occupy
+    /// `contrib_*[mech_off[m]..mech_off[m + 1]]`.
+    mech_off: Vec<u32>,
+    contrib_source: Vec<u32>,
+    contrib_base: Vec<f64>,
+    contrib_div: Vec<f64>,
+    /// CSR over edges: DEM mechanism indices XOR-folded into edge `i`, in
+    /// absorb order, occupy `edge_mech[edge_off[i]..edge_off[i + 1]]`.
+    edge_off: Vec<u32>,
+    edge_mech: Vec<u32>,
+}
+
 /// Accumulator for one edge while merging mechanisms.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct EdgeAcc {
     /// XOR-combined probability of all contributing mechanisms.
     prob: f64,
@@ -78,11 +107,18 @@ struct EdgeAcc {
     /// conflicting mechanism only overrides the mask when it is stronger
     /// (its disagreement then becomes bounded decoder noise instead).
     obs_weight: f64,
+    /// DEM mechanism indices absorbed into this edge, in absorb order.
+    /// Zero-probability mechanisms are skipped: folding 0 is an exact
+    /// no-op, and they are frozen under reweighting anyway.
+    mechs: Vec<u32>,
 }
 
 impl EdgeAcc {
-    fn absorb(&mut self, prob: f64, obs: u64) {
+    fn absorb(&mut self, mech: u32, prob: f64, obs: u64) {
         self.prob = xor_combine(self.prob, prob);
+        if prob > 0.0 {
+            self.mechs.push(mech);
+        }
         if obs != self.obs && prob > self.obs_weight {
             self.obs = obs;
             self.obs_weight = prob;
@@ -111,19 +147,20 @@ impl MatchingGraph {
                 _ => None,
             }
         };
-        for mech in &dem.mechanisms {
+        for (mi, mech) in dem.mechanisms.iter().enumerate() {
             if let Some(k) = key(&mech.detectors) {
-                edge_map
-                    .entry(k)
-                    .or_default()
-                    .absorb(mech.probability, mech.observables);
+                edge_map.entry(k).or_default().absorb(
+                    mi as u32,
+                    mech.probability,
+                    mech.observables,
+                );
             }
         }
         // Second pass: decompose hyperedges into known edges. The components'
         // existing observable masks usually already explain the hyperedge's
         // flips (e.g. a data Y error = a known X-error edge ⊕ a known
         // Z-error edge); any residual lands on a fresh component.
-        for mech in &dem.mechanisms {
+        for (mi, mech) in dem.mechanisms.iter().enumerate() {
             if mech.detectors.len() <= 2 {
                 continue;
             }
@@ -146,7 +183,7 @@ impl MatchingGraph {
                 } else {
                     0
                 };
-                entry.absorb(mech.probability, obs);
+                entry.absorb(mi as u32, mech.probability, obs);
             }
             // If every component already existed and their masks do not
             // explain the mechanism (residual != 0 with no fresh edge), the
@@ -155,18 +192,51 @@ impl MatchingGraph {
             // hyperedges.
         }
 
-        let mut edges: Vec<Edge> = edge_map
+        let mut keyed: Vec<((NodeId, NodeId), EdgeAcc)> = edge_map
             .into_iter()
             .filter(|(_, acc)| acc.prob > 0.0)
-            .map(|((u, v), acc)| Edge {
+            .collect();
+        keyed.sort_by_key(|&((u, v), _)| (u, v));
+        let mut edges: Vec<Edge> = Vec::with_capacity(keyed.len());
+        let mut edge_off: Vec<u32> = Vec::with_capacity(keyed.len() + 1);
+        let mut edge_mech: Vec<u32> = Vec::new();
+        edge_off.push(0);
+        for ((u, v), acc) in keyed {
+            edges.push(Edge {
                 u,
                 v,
                 probability: acc.prob,
                 weight: probability_to_weight(acc.prob),
                 observables: acc.obs,
-            })
-            .collect();
-        edges.sort_by_key(|a| (a.u, a.v));
+            });
+            edge_mech.extend_from_slice(&acc.mechs);
+            edge_off.push(edge_mech.len() as u32);
+        }
+
+        // Flatten the per-mechanism source contributions into a CSR aligned
+        // with `dem.mechanisms`.
+        let mut mech_off: Vec<u32> = Vec::with_capacity(dem.mechanisms.len() + 1);
+        let mut contrib_source: Vec<u32> = Vec::new();
+        let mut contrib_base: Vec<f64> = Vec::new();
+        let mut contrib_div: Vec<f64> = Vec::new();
+        mech_off.push(0);
+        for mech in &dem.mechanisms {
+            for c in &mech.sources {
+                contrib_source.push(c.source);
+                contrib_base.push(c.base);
+                contrib_div.push(c.divisor);
+            }
+            mech_off.push(contrib_source.len() as u32);
+        }
+        let provenance = Provenance {
+            sources: dem.sources.clone(),
+            mech_off,
+            contrib_source,
+            contrib_base,
+            contrib_div,
+            edge_off,
+            edge_mech,
+        };
 
         // Two-pass CSR build: count degrees, prefix-sum into offsets, fill.
         // Edges are visited in ascending index order, so each node's
@@ -200,6 +270,8 @@ impl MatchingGraph {
             edges,
             adj_offsets,
             adj_edges,
+            provenance: Some(provenance),
+            weight_epoch: 0,
         }
     }
 
@@ -249,6 +321,8 @@ impl MatchingGraph {
             edges,
             adj_offsets,
             adj_edges,
+            provenance: None,
+            weight_epoch: 0,
         }
     }
 
@@ -365,6 +439,86 @@ impl MatchingGraph {
             }
         }
         Ok(())
+    }
+
+    /// Probability floor for weight conversion. Drift can push a rate toward
+    /// zero, whose weight would be `+inf`; `probability_to_weight` clamps to
+    /// `[P_MIN, P_MAX]` so every edge weight stays finite. Matches
+    /// [`RateTable::MIN_RATE`].
+    pub const P_MIN: f64 = 1e-12;
+    /// Probability ceiling for weight conversion. Merged probabilities past
+    /// the zero-information point 0.5 would produce negative weights;
+    /// clamping caps them at weight 0. Matches [`RateTable::MAX_RATE`].
+    pub const P_MAX: f64 = 0.5;
+
+    /// Recomputes every edge probability and weight from updated per-gate
+    /// `rates`, in place, on the existing CSR layout.
+    ///
+    /// Topology (edge list, endpoints, adjacency) and observable masks are
+    /// untouched, so [`MatchingGraph::validate`] stays cheap and decoders
+    /// keyed on structure need no rebuild. The computation replays the
+    /// extraction-time XOR folds from the retained provenance: sources
+    /// absent from `rates` keep their recorded base component, which makes
+    /// the [`RateTable::identity`] reweight bit-identical to the original
+    /// build, and a reweight equal to a fresh
+    /// `MatchingGraph::from_dem(&dem.reweighted(rates))` bit-identical in
+    /// probability and weight.
+    ///
+    /// Bumps [`MatchingGraph::weight_epoch`]; weight-derived state (the MWPM
+    /// Dijkstra cache, the predecoder's potential and near tables) must be
+    /// invalidated — decoders wrapping a graph expose their own `reweight`
+    /// hooks that do so.
+    ///
+    /// Errors with [`ValidationError::NoProvenance`] on graphs built by
+    /// [`MatchingGraph::from_edges`], which carry no provenance.
+    pub fn reweight(&mut self, rates: &RateTable) -> Result<(), ValidationError> {
+        let prov = self
+            .provenance
+            .as_ref()
+            .ok_or(ValidationError::NoProvenance)?;
+        // Resolve each interned source once.
+        let resolved: Vec<Option<f64>> = prov.sources.iter().map(|s| rates.get(s)).collect();
+        // Replay the extraction-time contribution fold per mechanism.
+        let num_mechs = prov.mech_off.len() - 1;
+        let mut mech_prob = vec![0.0f64; num_mechs];
+        for (m, out) in mech_prob.iter_mut().enumerate() {
+            let lo = prov.mech_off[m] as usize;
+            let hi = prov.mech_off[m + 1] as usize;
+            let mut acc = 0.0f64;
+            for c in lo..hi {
+                let p = match resolved[prov.contrib_source[c] as usize] {
+                    Some(rate) => rate / prov.contrib_div[c],
+                    None => prov.contrib_base[c],
+                };
+                acc = acc * (1.0 - p) + p * (1.0 - acc);
+            }
+            *out = acc;
+        }
+        // Replay the per-edge absorb fold.
+        for (i, e) in self.edges.iter_mut().enumerate() {
+            let lo = prov.edge_off[i] as usize;
+            let hi = prov.edge_off[i + 1] as usize;
+            let mut acc = 0.0f64;
+            for &m in &prov.edge_mech[lo..hi] {
+                acc = xor_combine(acc, mech_prob[m as usize]);
+            }
+            e.probability = acc;
+            e.weight = probability_to_weight(acc);
+        }
+        self.weight_epoch += 1;
+        Ok(())
+    }
+
+    /// True when the graph retains the DEM provenance needed by
+    /// [`MatchingGraph::reweight`].
+    pub fn has_provenance(&self) -> bool {
+        self.provenance.is_some()
+    }
+
+    /// Monotone counter of in-place reweights. Weight-derived caches stamp
+    /// the epoch they were built against; a mismatch means they are stale.
+    pub fn weight_epoch(&self) -> u64 {
+        self.weight_epoch
     }
 
     /// Number of detector nodes.
@@ -517,6 +671,80 @@ mod tests {
     fn weights_decrease_with_probability() {
         assert!(probability_to_weight(0.001) > probability_to_weight(0.01));
         assert!(probability_to_weight(0.01) > probability_to_weight(0.1));
+    }
+
+    #[test]
+    fn weight_conversion_clamps_low_edge() {
+        // p -> 0 would be an infinite weight; the floor keeps it finite and
+        // saturated at the P_MIN weight.
+        let floor = probability_to_weight(MatchingGraph::P_MIN);
+        assert!(floor.is_finite() && floor > 0.0);
+        assert_eq!(probability_to_weight(0.0).to_bits(), floor.to_bits());
+        assert_eq!(probability_to_weight(1e-300).to_bits(), floor.to_bits());
+        assert_eq!(probability_to_weight(-0.1).to_bits(), floor.to_bits());
+    }
+
+    #[test]
+    fn weight_conversion_clamps_high_edge() {
+        // Merged p past 0.5 would go negative; the ceiling caps at weight 0.
+        assert_eq!(probability_to_weight(MatchingGraph::P_MAX), 0.0);
+        assert_eq!(probability_to_weight(0.9), 0.0);
+        assert_eq!(probability_to_weight(1.0), 0.0);
+    }
+
+    #[test]
+    fn identity_reweight_is_bit_identical_and_bumps_epoch() {
+        let g0 = MatchingGraph::from_dem(&extract_dem(&chain_circuit(0.01)));
+        let mut g = g0.clone();
+        assert!(g.has_provenance());
+        assert_eq!(g.weight_epoch(), 0);
+        g.reweight(&RateTable::identity()).unwrap();
+        assert_eq!(g.weight_epoch(), 1);
+        for (a, b) in g0.edges().iter().zip(g.edges()) {
+            assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn reweight_matches_fresh_rebuild() {
+        let dem = extract_dem(&chain_circuit(0.01));
+        let rates = RateTable::uniform(0.05);
+        let mut incremental = MatchingGraph::from_dem(&dem);
+        incremental.reweight(&rates).unwrap();
+        let fresh = MatchingGraph::from_dem(&dem.reweighted(&rates));
+        assert_eq!(incremental.edges().len(), fresh.edges().len());
+        for (a, b) in incremental.edges().iter().zip(fresh.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn reweight_at_extreme_rates_still_validates() {
+        // Legally-drifted rates are clamped to [MIN_RATE, MAX_RATE]; even the
+        // extremes must leave a graph that passes validation.
+        for rate in [0.0, 1e-30, 0.5, 1.0, f64::INFINITY] {
+            let mut g = MatchingGraph::from_dem(&extract_dem(&chain_circuit(0.01)));
+            g.reweight(&RateTable::uniform(rate)).unwrap();
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn reweight_without_provenance_is_rejected() {
+        let src = MatchingGraph::from_dem(&extract_dem(&chain_circuit(0.01)));
+        let mut g = MatchingGraph::from_edges(
+            src.num_detectors(),
+            src.num_observables(),
+            src.edges().to_vec(),
+        );
+        assert!(!g.has_provenance());
+        assert_eq!(
+            g.reweight(&RateTable::identity()),
+            Err(ValidationError::NoProvenance)
+        );
     }
 
     #[test]

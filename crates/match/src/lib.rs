@@ -31,6 +31,13 @@
 //!   a degradation ladder, and [`FaultPlan`] can inject faults (panics,
 //!   stalls, corrupted defects, poisoned weights) at chosen chunks to prove
 //!   it all works.
+//! - Calibration-aware reweighting: graphs built from a DEM keep per-edge
+//!   provenance, so [`MatchingGraph::reweight`] recomputes probabilities and
+//!   weights in place from an updated [`caliqec_stab::RateTable`] without
+//!   re-extracting the DEM ([`MwpmDecoder::reweight`] and
+//!   [`UnionFindDecoder::reweight`] also invalidate their weight-derived
+//!   caches), and [`LerEngine::estimate_epochs`] decodes a shot budget under
+//!   an [`EpochSchedule`] of drifting per-gate rates (DESIGN.md §10).
 //!
 //! # Example
 //!
@@ -72,7 +79,8 @@ mod unionfind;
 
 pub use decode::{estimate_ler, graph_for_circuit, Decoder, LerEstimate, SampleOptions};
 pub use engine::{
-    estimate_ler_seeded, DecoderFactory, EngineRun, LerEngine, DEFECT_HIST_BUCKETS, LADDER_RUNGS,
+    defect_hist_bucket, estimate_ler_seeded, CalibrationEpoch, DecoderFactory, EngineRun,
+    EpochSchedule, GraphDecoderFactory, LerEngine, DEFECT_HIST_BUCKETS, LADDER_RUNGS,
 };
 pub use error::{EngineError, ValidationError};
 pub use faults::{poison_weights, FaultKind, FaultPlan, Injection};

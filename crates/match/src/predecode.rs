@@ -375,6 +375,11 @@ pub struct Predecoder {
 }
 
 impl Predecoder {
+    /// Shots with more defects than this can never certify (see the module
+    /// constant); callers may early-out on `SparseBatch::defect_count`
+    /// before paying any predecode bookkeeping.
+    pub const MAX_CERT_DEFECTS: usize = MAX_CERT_DEFECTS;
+
     /// Builds the certification tables for `graph`. This is the expensive
     /// part (a truncated Dijkstra per node); share the result across
     /// workers by cloning.
@@ -385,6 +390,16 @@ impl Predecoder {
             tables,
             is_defect: vec![false; n],
         }
+    }
+
+    /// True when the certification tables were built against the current
+    /// weight epoch of `graph`. Every table (potential π, boundary and
+    /// frustration distances, near tables, truncation radius) is derived
+    /// from edge weights, so a [`MatchingGraph::reweight`] makes this
+    /// predecoder stale; rebuild with [`Predecoder::new`] on the reweighted
+    /// graph.
+    pub fn is_current_for(&self, graph: &MatchingGraph) -> bool {
+        self.tables.graph.weight_epoch() == graph.weight_epoch()
     }
 
     /// Attempts to certify and locally decode a whole shot.

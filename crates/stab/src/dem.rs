@@ -9,8 +9,51 @@
 
 use crate::circuit::{Basis, Circuit, DetIdx, Gate1, Gate2, MeasIdx, Noise1, Noise2, Op};
 use crate::pauli::{Pauli, Qubit};
+use crate::rates::RateTable;
 use crate::sim::two_qubit_pauli;
 use std::collections::HashMap;
+
+/// The physical origin of an error-mechanism component: which noise channel
+/// acting on which qubit(s) produced it.
+///
+/// This is the provenance key of the calibration loop. A characterization pass
+/// measures per-gate rates keyed by `ErrorSource`; a [`RateTable`] carries the
+/// updated rates; [`DetectorErrorModel::reweighted`] (and the incremental
+/// `MatchingGraph::reweight` in `caliqec-match`) recompute merged
+/// probabilities without re-extracting the DEM.
+///
+/// Identity is the *gate*, not the circuit site: every instance of the same
+/// channel on the same qubit(s) shares one source and therefore one rate.
+/// Note that gate-attached and idling depolarization on the same qubit
+/// collapse to one `Noise1(Depolarize1, q)` source.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ErrorSource {
+    /// A single-qubit noise channel on a qubit.
+    Noise1(Noise1, Qubit),
+    /// A two-qubit noise channel on an ordered qubit pair.
+    Noise2(Noise2, Qubit, Qubit),
+    /// A classical readout flip of a measurement on a qubit.
+    MeasureFlip(Qubit),
+}
+
+/// One recorded contribution of a physical source to a merged mechanism.
+///
+/// `base` is the component probability exactly as computed at extraction time
+/// (e.g. `p / 3.0` for one leg of `Depolarize1`); `divisor` maps an updated
+/// per-source rate to the component probability as `rate / divisor`. Storing
+/// the divisor — rather than a precomputed reciprocal — makes the reweighted
+/// fold bit-identical to extraction whenever the updated rate equals the
+/// original one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SourceContribution {
+    /// Index into [`DetectorErrorModel::sources`].
+    pub source: u32,
+    /// Component probability recorded at extraction time.
+    pub base: f64,
+    /// Rate-to-component divisor: 1.0, 3.0 (`Depolarize1`) or 15.0
+    /// (`Depolarize2`).
+    pub divisor: f64,
+}
 
 /// One merged error mechanism: a probability and the detectors/observables it
 /// flips.
@@ -23,6 +66,11 @@ pub struct ErrorMechanism {
     pub detectors: Vec<DetIdx>,
     /// Bitmask of flipped logical observables.
     pub observables: u64,
+    /// Contributing physical sources in the order they were XOR-folded into
+    /// `probability` at extraction time. Zero-probability components are not
+    /// recorded (folding 0 is an exact no-op), so a mechanism with an empty
+    /// list has probability 0 and is frozen under reweighting.
+    pub sources: Vec<SourceContribution>,
 }
 
 /// A detector error model: the error mechanisms of a circuit reduced to their
@@ -35,6 +83,9 @@ pub struct DetectorErrorModel {
     pub num_observables: usize,
     /// Merged error mechanisms, sorted by signature.
     pub mechanisms: Vec<ErrorMechanism>,
+    /// Interned physical sources referenced by
+    /// [`SourceContribution::source`].
+    pub sources: Vec<ErrorSource>,
 }
 
 impl DetectorErrorModel {
@@ -52,6 +103,35 @@ impl DetectorErrorModel {
             .iter()
             .filter(|m| m.detectors.len() > 2)
             .count()
+    }
+
+    /// Returns a copy with every mechanism probability recomputed from
+    /// `rates`, replaying the extraction-time XOR fold over the recorded
+    /// [`SourceContribution`]s.
+    ///
+    /// Sources absent from `rates` (and every source, under
+    /// [`RateTable::identity`]) keep their recorded `base` component, which
+    /// makes the identity reweight bit-identical to the original model.
+    /// Zero-probability mechanisms have no recorded contributions and are
+    /// frozen, so the mechanism set — and hence any graph topology derived
+    /// from it — is stable under every rate table.
+    pub fn reweighted(&self, rates: &RateTable) -> DetectorErrorModel {
+        let mut out = self.clone();
+        for mech in &mut out.mechanisms {
+            if mech.sources.is_empty() {
+                continue;
+            }
+            let mut acc = 0.0f64;
+            for c in &mech.sources {
+                let p = match rates.get(&self.sources[c.source as usize]) {
+                    Some(rate) => rate / c.divisor,
+                    None => c.base,
+                };
+                acc = acc * (1.0 - p) + p * (1.0 - acc);
+            }
+            mech.probability = acc;
+        }
+        out
     }
 }
 
@@ -230,74 +310,100 @@ pub fn extract_dem(circuit: &Circuit) -> DetectorErrorModel {
     }
 
     let ops = circuit.ops();
-    let mut signatures: HashMap<(Vec<DetIdx>, u64), f64> = HashMap::new();
+    type Signature = (Vec<DetIdx>, u64);
+    let mut signatures: HashMap<Signature, (f64, Vec<SourceContribution>)> = HashMap::new();
     let mut flipped = Vec::new();
 
-    let record = |flipped: &mut Vec<MeasIdx>, p: f64, signatures: &mut HashMap<_, f64>| {
-        // Convert flipped measurements to a detector/observable signature.
-        let mut det_count: HashMap<DetIdx, usize> = HashMap::new();
-        let mut obs = 0u64;
-        for m in flipped.iter() {
-            if let Some(ds) = meas_to_dets.get(&m.0) {
-                for &d in ds {
-                    *det_count.entry(d).or_default() += 1;
+    // Interned provenance sources: one id per (channel, qubits) gate identity.
+    let mut sources: Vec<ErrorSource> = Vec::new();
+    let mut source_ids: HashMap<ErrorSource, u32> = HashMap::new();
+    let mut intern = |s: ErrorSource| -> u32 {
+        *source_ids.entry(s).or_insert_with(|| {
+            sources.push(s);
+            (sources.len() - 1) as u32
+        })
+    };
+
+    let record =
+        |flipped: &mut Vec<MeasIdx>,
+         p: f64,
+         source: u32,
+         divisor: f64,
+         signatures: &mut HashMap<Signature, (f64, Vec<SourceContribution>)>| {
+            // Convert flipped measurements to a detector/observable signature.
+            let mut det_count: HashMap<DetIdx, usize> = HashMap::new();
+            let mut obs = 0u64;
+            for m in flipped.iter() {
+                if let Some(ds) = meas_to_dets.get(&m.0) {
+                    for &d in ds {
+                        *det_count.entry(d).or_default() += 1;
+                    }
+                }
+                if let Some(&o) = meas_to_obs.get(&m.0) {
+                    obs ^= o;
                 }
             }
-            if let Some(&o) = meas_to_obs.get(&m.0) {
-                obs ^= o;
+            let mut dets: Vec<DetIdx> = det_count
+                .into_iter()
+                .filter_map(|(d, c)| (c % 2 == 1).then_some(d))
+                .collect();
+            dets.sort_unstable();
+            flipped.clear();
+            if dets.is_empty() && obs == 0 {
+                return; // invisible mechanism
             }
-        }
-        let mut dets: Vec<DetIdx> = det_count
-            .into_iter()
-            .filter_map(|(d, c)| (c % 2 == 1).then_some(d))
-            .collect();
-        dets.sort_unstable();
-        flipped.clear();
-        if dets.is_empty() && obs == 0 {
-            return; // invisible mechanism
-        }
-        let entry = signatures.entry((dets, obs)).or_insert(0.0);
-        *entry = *entry * (1.0 - p) + p * (1.0 - *entry);
-    };
+            let entry = signatures.entry((dets, obs)).or_insert((0.0, Vec::new()));
+            entry.0 = entry.0 * (1.0 - p) + p * (1.0 - entry.0);
+            if p > 0.0 {
+                entry.1.push(SourceContribution {
+                    source,
+                    base: p,
+                    divisor,
+                });
+            }
+        };
 
     let mut next_meas = 0u32;
     for (i, op) in ops.iter().enumerate() {
         match op {
-            Op::Measure { flip, .. } => {
+            Op::Measure { qubit, flip, .. } => {
                 if *flip > 0.0 {
+                    let src = intern(ErrorSource::MeasureFlip(*qubit));
                     flipped.push(MeasIdx(next_meas));
-                    record(&mut flipped, *flip, &mut signatures);
+                    record(&mut flipped, *flip, src, 1.0, &mut signatures);
                 }
                 next_meas += 1;
             }
             Op::Noise1(kind, p, qs) => {
-                let components: &[(Pauli, f64)] = match kind {
-                    Noise1::XError => &[(Pauli::X, *p)],
-                    Noise1::YError => &[(Pauli::Y, *p)],
-                    Noise1::ZError => &[(Pauli::Z, *p)],
+                let components: &[(Pauli, f64, f64)] = match kind {
+                    Noise1::XError => &[(Pauli::X, *p, 1.0)],
+                    Noise1::YError => &[(Pauli::Y, *p, 1.0)],
+                    Noise1::ZError => &[(Pauli::Z, *p, 1.0)],
                     Noise1::Depolarize1 => &[
-                        (Pauli::X, *p / 3.0),
-                        (Pauli::Y, *p / 3.0),
-                        (Pauli::Z, *p / 3.0),
+                        (Pauli::X, *p / 3.0, 3.0),
+                        (Pauli::Y, *p / 3.0, 3.0),
+                        (Pauli::Z, *p / 3.0, 3.0),
                     ],
                 };
                 for &q in qs {
-                    for &(pauli, cp) in components {
+                    let src = intern(ErrorSource::Noise1(*kind, q));
+                    for &(pauli, cp, divisor) in components {
                         let frame = PropFrame::from_pauli(q, pauli);
                         propagate_from(frame, ops, i + 1, next_meas, &mut flipped);
-                        record(&mut flipped, cp, &mut signatures);
+                        record(&mut flipped, cp, src, divisor, &mut signatures);
                     }
                 }
             }
             Op::Noise2(kind, p, pairs) => match kind {
                 Noise2::Depolarize2 => {
                     for &(a, b) in pairs {
+                        let src = intern(ErrorSource::Noise2(*kind, a, b));
                         for comp in 0..15 {
                             let (pa, pb) = two_qubit_pauli(comp);
                             let mut frame = PropFrame::from_pauli(a, pa);
                             frame.mul(b, pb);
                             propagate_from(frame, ops, i + 1, next_meas, &mut flipped);
-                            record(&mut flipped, *p / 15.0, &mut signatures);
+                            record(&mut flipped, *p / 15.0, src, 15.0, &mut signatures);
                         }
                     }
                 }
@@ -308,11 +414,14 @@ pub fn extract_dem(circuit: &Circuit) -> DetectorErrorModel {
 
     let mut mechanisms: Vec<ErrorMechanism> = signatures
         .into_iter()
-        .map(|((detectors, observables), probability)| ErrorMechanism {
-            probability,
-            detectors,
-            observables,
-        })
+        .map(
+            |((detectors, observables), (probability, sources))| ErrorMechanism {
+                probability,
+                detectors,
+                observables,
+                sources,
+            },
+        )
         .collect();
     mechanisms.sort_by(|a, b| {
         a.detectors
@@ -323,6 +432,7 @@ pub fn extract_dem(circuit: &Circuit) -> DetectorErrorModel {
         num_detectors: circuit.num_detectors(),
         num_observables: circuit.num_observables(),
         mechanisms,
+        sources,
     }
 }
 
@@ -439,6 +549,79 @@ mod tests {
         assert_eq!(dem.mechanisms.len(), 3);
         for m in &dem.mechanisms {
             assert!(m.probability > 0.0);
+        }
+    }
+
+    #[test]
+    fn provenance_records_sources_and_divisors() {
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        c.noise1(Noise1::Depolarize1, 0.3, &[0]);
+        let m = c.measure(0, Basis::Z, 0.02);
+        c.detector(&[m]);
+        let dem = extract_dem(&c);
+        assert_eq!(
+            dem.sources,
+            vec![
+                ErrorSource::Noise1(Noise1::Depolarize1, 0),
+                ErrorSource::MeasureFlip(0),
+            ]
+        );
+        // X and Y legs merge with the readout flip into one mechanism with
+        // three contributions, XOR-folded in extraction order.
+        assert_eq!(dem.mechanisms.len(), 1);
+        let mech = &dem.mechanisms[0];
+        assert_eq!(mech.sources.len(), 3);
+        // X and Y legs are recorded first (the noise op precedes the
+        // measurement), then the readout flip.
+        assert_eq!(mech.sources[0].source, 0);
+        assert_eq!(mech.sources[0].divisor, 3.0);
+        assert_eq!(mech.sources[0].base, 0.3 / 3.0);
+        assert_eq!(mech.sources[1].source, 0);
+        assert_eq!(mech.sources[2].source, 1);
+        assert_eq!(mech.sources[2].divisor, 1.0);
+        assert_eq!(mech.sources[2].base, 0.02);
+    }
+
+    #[test]
+    fn identity_reweight_is_bit_identical() {
+        let mut c = Circuit::new(2);
+        c.reset(Basis::Z, &[0, 1]);
+        c.noise1(Noise1::Depolarize1, 0.013, &[0, 1]);
+        c.noise2(Noise2::Depolarize2, 0.007, &[(0, 1)]);
+        let m0 = c.measure(0, Basis::Z, 0.003);
+        let m1 = c.measure(1, Basis::Z, 0.003);
+        c.detector(&[m0]);
+        c.detector(&[m1]);
+        let dem = extract_dem(&c);
+        let re = dem.reweighted(&RateTable::identity());
+        for (a, b) in dem.mechanisms.iter().zip(re.mechanisms.iter()) {
+            assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+        }
+    }
+
+    #[test]
+    fn reweighted_matches_fresh_extraction() {
+        // Reweighting the p=0.1 model with rate 0.2 must reproduce — bit for
+        // bit — the model extracted from the p=0.2 circuit.
+        let build = |p: f64| {
+            let mut c = Circuit::new(2);
+            c.reset(Basis::Z, &[0, 1]);
+            c.noise1(Noise1::Depolarize1, p, &[0, 1]);
+            c.noise2(Noise2::Depolarize2, p, &[(0, 1)]);
+            let m0 = c.measure(0, Basis::Z, p);
+            let m1 = c.measure(1, Basis::Z, p);
+            c.detector(&[m0]);
+            c.detector(&[m1]);
+            extract_dem(&c)
+        };
+        let dem = build(0.1);
+        let fresh = build(0.2);
+        let re = dem.reweighted(&RateTable::uniform(0.2));
+        assert_eq!(re.mechanisms.len(), fresh.mechanisms.len());
+        for (a, b) in re.mechanisms.iter().zip(fresh.mechanisms.iter()) {
+            assert_eq!(a.detectors, b.detectors);
+            assert_eq!(a.probability.to_bits(), b.probability.to_bits());
         }
     }
 

@@ -54,18 +54,20 @@ mod dem;
 mod error;
 mod frame;
 mod pauli;
+mod rates;
 mod sim;
 mod tableau;
 mod text;
 
 pub use circuit::{Basis, Circuit, DetIdx, Gate1, Gate2, MeasIdx, Noise1, Noise2, Op};
 pub use compiled::{chunk_seed, resolve_threads, CompiledCircuit, FrameState};
-pub use dem::{extract_dem, DetectorErrorModel, ErrorMechanism};
+pub use dem::{extract_dem, DetectorErrorModel, ErrorMechanism, ErrorSource, SourceContribution};
 pub use error::CircuitError;
 pub use frame::{
     for_each_set_bit, BatchEvents, FrameSampler, InterpretingSampler, SparseBatch, BATCH,
 };
 pub use pauli::{Pauli, Qubit, SparsePauli};
+pub use rates::RateTable;
 pub use sim::{
     check_deterministic_detectors, noiseless_shot, simulate_shot, NondeterministicDetector,
     ShotResult,

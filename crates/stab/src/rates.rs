@@ -1,0 +1,126 @@
+//! Per-source physical error rates — the calibration-to-decoder interface.
+//!
+//! A [`RateTable`] carries updated per-gate error rates keyed by
+//! [`ErrorSource`]. It is produced by characterization / drift models
+//! (`caliqec-device`, `caliqec-core`) and consumed by
+//! [`DetectorErrorModel::reweighted`](crate::DetectorErrorModel::reweighted)
+//! and by the incremental `MatchingGraph::reweight` in `caliqec-match`.
+
+use crate::dem::ErrorSource;
+use std::collections::HashMap;
+
+/// A table of per-source physical error rates.
+///
+/// Lookup is two-level: an explicit per-source entry wins, otherwise the
+/// optional uniform default applies, otherwise the source is *unchanged* and
+/// consumers fall back to the probability recorded at extraction time. The
+/// empty table with no default ([`RateTable::identity`]) therefore leaves
+/// every probability bit-identical.
+///
+/// All stored rates are clamped to
+/// [[`RateTable::MIN_RATE`], [`RateTable::MAX_RATE`]] so that any legally
+/// drifted table keeps merged edge probabilities inside the open interval
+/// `(0, 1)` and graph validation can never fail after a reweight.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RateTable {
+    rates: HashMap<ErrorSource, f64>,
+    default: Option<f64>,
+}
+
+impl RateTable {
+    /// Smallest storable rate. Matches the probability floor used by
+    /// `probability_to_weight` in `caliqec-match`.
+    pub const MIN_RATE: f64 = 1e-12;
+    /// Largest storable rate: 0.5 is the zero-information point of a binary
+    /// symmetric channel; beyond it edge weights would turn negative.
+    pub const MAX_RATE: f64 = 0.5;
+
+    /// The identity table: no entries, no default — every source keeps its
+    /// extraction-time probability.
+    pub fn identity() -> RateTable {
+        RateTable::default()
+    }
+
+    /// A table mapping *every* source to `rate` (clamped).
+    pub fn uniform(rate: f64) -> RateTable {
+        RateTable {
+            rates: HashMap::new(),
+            default: Some(Self::clamp(rate)),
+        }
+    }
+
+    fn clamp(rate: f64) -> f64 {
+        if rate.is_nan() {
+            Self::MIN_RATE
+        } else {
+            rate.clamp(Self::MIN_RATE, Self::MAX_RATE)
+        }
+    }
+
+    /// Sets the rate for one source, clamping it to the legal range.
+    pub fn set(&mut self, source: ErrorSource, rate: f64) {
+        self.rates.insert(source, Self::clamp(rate));
+    }
+
+    /// Looks up the effective rate for `source`: explicit entry, else the
+    /// uniform default, else `None` (keep the extraction-time probability).
+    pub fn get(&self, source: &ErrorSource) -> Option<f64> {
+        self.rates.get(source).copied().or(self.default)
+    }
+
+    /// True when this table changes nothing (no entries and no default).
+    pub fn is_identity(&self) -> bool {
+        self.rates.is_empty() && self.default.is_none()
+    }
+
+    /// Number of explicit per-source entries (the uniform default, if any,
+    /// is not counted).
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// True when the table has no explicit per-source entries.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Noise1;
+
+    const SRC: ErrorSource = ErrorSource::Noise1(Noise1::XError, 0);
+
+    #[test]
+    fn identity_resolves_nothing() {
+        let t = RateTable::identity();
+        assert!(t.is_identity());
+        assert_eq!(t.get(&SRC), None);
+    }
+
+    #[test]
+    fn explicit_entry_beats_default() {
+        let mut t = RateTable::uniform(0.01);
+        assert!(!t.is_identity());
+        assert_eq!(t.get(&SRC), Some(0.01));
+        t.set(SRC, 0.2);
+        assert_eq!(t.get(&SRC), Some(0.2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn rates_are_clamped_to_legal_range() {
+        let mut t = RateTable::identity();
+        t.set(SRC, 0.0);
+        assert_eq!(t.get(&SRC), Some(RateTable::MIN_RATE));
+        t.set(SRC, 0.9);
+        assert_eq!(t.get(&SRC), Some(RateTable::MAX_RATE));
+        t.set(SRC, f64::NAN);
+        assert_eq!(t.get(&SRC), Some(RateTable::MIN_RATE));
+        assert_eq!(
+            RateTable::uniform(f64::INFINITY).get(&SRC),
+            Some(RateTable::MAX_RATE)
+        );
+    }
+}

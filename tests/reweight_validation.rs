@@ -1,0 +1,256 @@
+//! Validation of the calibration-aware reweighting pipeline:
+//!
+//! - incremental [`MatchingGraph::reweight`] versus a from-scratch rebuild
+//!   ([`DetectorErrorModel::reweighted`] + [`MatchingGraph::from_dem`]) —
+//!   same CSR topology, probability and weight bits identical, on random
+//!   circuits and rate tables;
+//! - identity-rate-table reweighting leaves engine output bit-identical to
+//!   the golden fingerprints of `sparse_decode_validation.rs` — the
+//!   reweight machinery is exact, not merely approximately right;
+//! - decoder invalidation hooks: a warmed [`MwpmDecoder`] reweighted in
+//!   place must agree with a cold decoder on the drifted graph (its
+//!   Dijkstra cache is weight-dependent), and likewise the scratch-reusing
+//!   [`UnionFindDecoder`] (its growth/weight array caches edge weights);
+//! - [`Predecoder::is_current_for`] goes stale exactly when the graph's
+//!   weight epoch moves.
+
+use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+use caliqec_match::{
+    graph_for_circuit, Decoder, EpochSchedule, LerEngine, MatchingGraph, MwpmDecoder, Predecoder,
+    SampleOptions, Tiered, UnionFindDecoder,
+};
+use caliqec_stab::{extract_dem, CompiledCircuit, FrameSampler, RateTable, SparseBatch, BATCH};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small surface-code memory circuit: the realistic syndrome source.
+fn memory(d: usize, p: f64, rounds: usize) -> caliqec_code::MemoryCircuit {
+    memory_circuit(
+        &rotated_patch(d, d),
+        &NoiseModel::uniform(p),
+        rounds,
+        MemoryBasis::Z,
+    )
+}
+
+/// Asserts that two graphs share their CSR topology and carry bit-identical
+/// probabilities and weights. Observable masks are deliberately excluded:
+/// reweighting freezes each edge's observable resolution at extraction
+/// time, while a fresh build re-resolves it under the drifted
+/// probabilities — by design (see DESIGN.md §10).
+fn assert_weights_bit_identical(got: &MatchingGraph, want: &MatchingGraph, ctx: &str) {
+    assert_eq!(got.num_nodes(), want.num_nodes(), "{ctx}: node count");
+    assert_eq!(got.edges().len(), want.edges().len(), "{ctx}: edge count");
+    for (i, (a, b)) in got.edges().iter().zip(want.edges()).enumerate() {
+        assert_eq!((a.u, a.v), (b.u, b.v), "{ctx}: edge {i} endpoints");
+        assert_eq!(
+            a.probability.to_bits(),
+            b.probability.to_bits(),
+            "{ctx}: edge {i} probability {} vs {}",
+            a.probability,
+            b.probability
+        );
+        assert_eq!(
+            a.weight.to_bits(),
+            b.weight.to_bits(),
+            "{ctx}: edge {i} weight {} vs {}",
+            a.weight,
+            b.weight
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incrementally reweighting a provenance-carrying graph produces the
+    /// exact bits a from-scratch rebuild from the reweighted DEM produces,
+    /// for random circuits, uniform drift levels, and per-source
+    /// overrides.
+    #[test]
+    fn incremental_reweight_matches_fresh_rebuild(
+        d_idx in 0usize..2,
+        rounds in 1usize..4,
+        p_milli in 1u32..30,
+        drift_tenth_milli in 1u32..400,
+        overrides in 0usize..6,
+        override_rate_tenth_milli in 1u32..400,
+    ) {
+        let d = [3usize, 5][d_idx];
+        let mem = memory(d, p_milli as f64 * 1e-3, rounds);
+        let dem = extract_dem(&mem.circuit);
+        let mut rates = RateTable::uniform(drift_tenth_milli as f64 * 1e-4);
+        for source in dem.sources.iter().take(overrides) {
+            rates.set(*source, override_rate_tenth_milli as f64 * 1e-4);
+        }
+
+        let mut incremental = MatchingGraph::from_dem(&dem);
+        incremental.reweight(&rates).expect("graph carries provenance");
+        let fresh = MatchingGraph::from_dem(&dem.reweighted(&rates));
+        assert_weights_bit_identical(&incremental, &fresh, "proptest");
+        prop_assert_eq!(incremental.weight_epoch(), 1);
+        prop_assert!(incremental.validate().is_ok());
+    }
+
+    /// Reweighting a warmed decoder in place agrees with a cold decoder
+    /// built over the drifted graph — the MWPM Dijkstra cache and the
+    /// union-find growth/weight scratch are invalidated, not leaked.
+    #[test]
+    fn warmed_decoders_agree_after_reweight(
+        p_milli in 1u32..20,
+        drift_milli in 1u32..40,
+        seed in 0u64..1_000,
+    ) {
+        let mem = memory(3, p_milli as f64 * 1e-3, 3);
+        let graph = graph_for_circuit(&mem.circuit);
+        let rates = RateTable::uniform(drift_milli as f64 * 1e-3);
+        let mut drifted = graph.clone();
+        drifted.reweight(&rates).expect("graph carries provenance");
+
+        let mut mwpm = MwpmDecoder::new(graph.clone());
+        let mut uf = UnionFindDecoder::new(graph.clone());
+        let mut sampler = FrameSampler::new(&mem.circuit);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sparse = SparseBatch::new();
+        // Warm both decoders (fills the MWPM shortest-path-tree cache and
+        // dirties the union-find scratch) on one batch...
+        let ev = sampler.sample_batch(&mut rng);
+        sparse.extract(&ev);
+        for s in 0..BATCH {
+            mwpm.decode(sparse.defects(s));
+            uf.decode(sparse.defects(s));
+        }
+        // ...then reweight in place and check against cold oracles.
+        mwpm.reweight(&rates).expect("graph carries provenance");
+        uf.reweight(&rates).expect("graph carries provenance");
+        let mut cold_mwpm = MwpmDecoder::without_cache(drifted.clone());
+        let mut cold_uf = UnionFindDecoder::new(drifted.clone());
+        let ev = sampler.sample_batch(&mut rng);
+        sparse.extract(&ev);
+        for s in 0..BATCH {
+            let defects = sparse.defects(s);
+            prop_assert_eq!(mwpm.decode(defects), cold_mwpm.decode(defects));
+            prop_assert_eq!(uf.decode(defects), cold_uf.decode(defects));
+        }
+    }
+}
+
+/// Identity-rate-table reweighting must leave engine output bit-identical
+/// to the golden fingerprints captured on the pre-provenance tree (the
+/// same table as `sparse_decode_validation.rs`): recording provenance and
+/// replaying the probability folds is exact.
+#[test]
+fn identity_reweight_preserves_engine_fingerprints() {
+    struct Case {
+        d: usize,
+        p: f64,
+        min_shots: usize,
+        seed: u64,
+        uf_expect: (usize, usize),
+    }
+    let cases = [
+        Case {
+            d: 3,
+            p: 3e-3,
+            min_shots: 20_000,
+            seed: 0xABCD,
+            uf_expect: (20_032, 305),
+        },
+        Case {
+            d: 5,
+            p: 2e-3,
+            min_shots: 10_000,
+            seed: 0xBEEF,
+            uf_expect: (10_048, 16),
+        },
+        Case {
+            d: 7,
+            p: 3e-3,
+            min_shots: 5_000,
+            seed: 0xCAFE,
+            uf_expect: (5_056, 14),
+        },
+    ];
+    for Case {
+        d,
+        p,
+        min_shots,
+        seed,
+        uf_expect,
+    } in cases
+    {
+        let mem = memory(d, p, d);
+        let compiled = CompiledCircuit::new(&mem.circuit);
+        let mut graph = graph_for_circuit(&mem.circuit);
+        graph
+            .reweight(&RateTable::identity())
+            .expect("graph carries provenance");
+        assert_eq!(graph.weight_epoch(), 1, "reweight must bump the epoch");
+        let opts = SampleOptions {
+            min_shots,
+            ..Default::default()
+        };
+        for threads in [1usize, 2] {
+            let run = LerEngine::new(threads).estimate(
+                &compiled,
+                &|| UnionFindDecoder::new(graph.clone()),
+                opts,
+                seed,
+            );
+            assert_eq!(
+                (run.estimate.shots, run.estimate.failures),
+                uf_expect,
+                "identity-reweighted UF d={d} threads={threads}"
+            );
+            let tiered = LerEngine::new(threads).estimate(
+                &compiled,
+                &Tiered::new(&graph, {
+                    let graph = graph.clone();
+                    move || UnionFindDecoder::new(graph.clone())
+                }),
+                opts,
+                seed,
+            );
+            assert_eq!(
+                (tiered.estimate.shots, tiered.estimate.failures),
+                uf_expect,
+                "identity-reweighted tiered UF d={d} threads={threads}"
+            );
+            // The calibration-epoch entry point with an identity schedule
+            // is the same computation again.
+            let epoch_run = LerEngine::new(threads).estimate_epochs(
+                &compiled,
+                &graph,
+                &|g: &MatchingGraph| UnionFindDecoder::new(g.clone()),
+                &EpochSchedule::new(1.0),
+                opts,
+                seed,
+            );
+            assert_eq!(
+                (epoch_run.estimate.shots, epoch_run.estimate.failures),
+                uf_expect,
+                "identity epoch run d={d} threads={threads}"
+            );
+            assert_eq!(epoch_run.epochs, 1);
+        }
+    }
+}
+
+/// The predecoder knows when its weight-derived tables went stale.
+#[test]
+fn predecoder_staleness_tracks_weight_epoch() {
+    let mem = memory(3, 2e-3, 3);
+    let mut graph = graph_for_circuit(&mem.circuit);
+    let pre = Predecoder::new(&graph);
+    assert!(pre.is_current_for(&graph));
+    graph
+        .reweight(&RateTable::uniform(4e-3))
+        .expect("graph carries provenance");
+    assert!(
+        !pre.is_current_for(&graph),
+        "reweighting must invalidate predecoder tables"
+    );
+    let rebuilt = Predecoder::new(&graph);
+    assert!(rebuilt.is_current_for(&graph));
+}
