@@ -5,6 +5,7 @@
 
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
 use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, UnionFindDecoder};
+use caliqec_obs::ObsSink;
 use caliqec_stab::{BatchEvents, CompiledCircuit, FrameSampler, FrameState, BATCH};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -69,9 +70,38 @@ fn bench_engine_thread_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Same d = 11 pipeline with the observability sink disabled vs. enabled:
+/// the enabled run pays two clock reads per decoded shot plus the
+/// lock-free counter traffic, and the issue budget caps the gap at 2%.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mem = memory(11);
+    let compiled = CompiledCircuit::new(&mem.circuit);
+    let graph = graph_for_circuit(&mem.circuit);
+    let options = SampleOptions {
+        min_shots: 64 * BATCH,
+        max_failures: 0,
+        max_shots: 0,
+    };
+    let mut group = c.benchmark_group("engine_obs_overhead_d11");
+    group.sample_size(2);
+    group.throughput(Throughput::Elements(options.min_shots as u64));
+    for (name, sink) in [
+        ("obs_off", ObsSink::disabled()),
+        ("obs_on", ObsSink::enabled()),
+    ] {
+        group.bench_function(name, |b| {
+            let engine = LerEngine::new(1).with_obs(sink.clone());
+            let factory = || UnionFindDecoder::new(graph.clone());
+            b.iter(|| engine.estimate(&compiled, &factory, options, 0xD11));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sampling_throughput,
-    bench_engine_thread_sweep
+    bench_engine_thread_sweep,
+    bench_obs_overhead
 );
 criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Regenerates the routing experiment (see the experiments module docs).
 fn main() {
+    caliqec_bench::quiet_by_default();
     println!(
         "{}",
         caliqec_bench::experiments::routing::run(&Default::default())

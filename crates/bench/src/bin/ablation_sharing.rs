@@ -1,5 +1,6 @@
 //! Regenerates the sharing experiment (see the experiments module docs).
 fn main() {
+    caliqec_bench::quiet_by_default();
     println!(
         "{}",
         caliqec_bench::experiments::sharing::run(&Default::default())

@@ -7,8 +7,10 @@
 //! The decode stack is the production two-tier pipeline: empty shots skip
 //! decoding outright (tier 0), certifiable sparse shots resolve in the
 //! predecoder (tier 1), and only the residue reaches the union-find
-//! decoder. Per-tier shot counters, the predecode/decode timing split, and
-//! the defect-count histogram all land in the JSON.
+//! decoder. Per-tier shot counters, the predecode/decode timing split, the
+//! defect-count histogram, and per-tier per-shot latency percentiles
+//! (`tier1_p50_us`..`tier2_p99_us`, from the engine's observability sink)
+//! all land in the JSON.
 //!
 //! Flags: `--shots N` (shot budget per config, default 100 000),
 //! `--threads N` (worker count, default auto), `--out PATH`,
@@ -16,15 +18,21 @@
 //! `--compare OLD.json` (after running, print a per-config speedup table
 //! against a previously written file — a missing, corrupt, or
 //! wrong-schema baseline is a clean error and a nonzero exit, not a
-//! panic; see `caliqec_bench::compare`).
+//! panic; see `caliqec_bench::compare` — and warn on stderr when decode
+//! time or a p99 latency regressed by more than 10%).
 //! Results are deterministic in the shot budget; timings obviously are not.
 
-use caliqec_bench::compare::{compare_table, load_baseline};
+use caliqec_bench::compare::{compare_table, load_baseline, regression_warnings};
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
 use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, Tiered, UnionFindDecoder};
+use caliqec_obs::{Hist, ObsSink};
 use caliqec_stab::CompiledCircuit;
 use std::fmt::Write as _;
 use std::process::ExitCode;
+
+/// Warn when a compared percentile or decode time regresses by more than
+/// this ratio (new > old × threshold).
+const REGRESSION_WARN_RATIO: f64 = 1.10;
 
 /// Best-effort current commit hash; "unknown" outside a git checkout.
 fn git_commit() -> String {
@@ -45,11 +53,15 @@ fn main() -> ExitCode {
     let out = caliqec_bench::string_from_args("out", "BENCH_decode.json");
     let label = caliqec_bench::string_from_args("label", "");
     let compare = caliqec_bench::string_from_args("compare", "");
-    let engine = LerEngine::new(threads);
     let p = 1e-3;
 
     let mut configs = String::new();
     for (i, d) in [7usize, 11, 15].into_iter().enumerate() {
+        // One sink per config so the per-tier latency histograms don't mix
+        // distances; observation is passive, so the estimate is
+        // bit-identical to an uninstrumented engine.
+        let sink = ObsSink::enabled();
+        let engine = LerEngine::new(threads).with_obs(sink.clone());
         eprintln!(
             "perf_smoke: d={d}, {shots} shots, {} threads...",
             engine.threads()
@@ -86,6 +98,26 @@ fn main() -> ExitCode {
             run.predecoded_shots,
             run.residual_shots,
         );
+        // The phase timers partition each chunk's wall clock per worker, so
+        // their sum across workers can never exceed workers × run wall
+        // (5% slack for timer granularity).
+        let phase_sum =
+            run.sample_seconds + run.extract_seconds + run.predecode_seconds + run.decode_seconds;
+        if phase_sum > run.threads as f64 * run.wall_seconds * 1.05 {
+            eprintln!(
+                "perf_smoke: error: phase timers exceed the wall budget: \
+                 {phase_sum:.6}s over {} × {:.6}s — timing attribution is broken",
+                run.threads, run.wall_seconds
+            );
+            return ExitCode::from(1);
+        }
+        let snap = sink.snapshot();
+        let tier1 = snap
+            .hist(Hist::PredecodeShot)
+            .cloned()
+            .unwrap_or_else(|| caliqec_obs::HistSnapshot::empty(Hist::PredecodeShot.name()));
+        let tier2 = snap.decode_shot_hist();
+        let us = |h: &caliqec_obs::HistSnapshot, q: f64| h.quantile_nanos(q) / 1e3;
         if i > 0 {
             configs.push_str(",\n");
         }
@@ -106,7 +138,11 @@ fn main() -> ExitCode {
                 "\"decode_seconds\": {:.6}, \"tier0_shots\": {}, ",
                 "\"predecoded_shots\": {}, \"predecoded_defects\": {}, ",
                 "\"residual_shots\": {}, \"reweight_seconds\": {:.6}, ",
-                "\"epochs\": {}, \"defect_histogram\": [{}]}}"
+                "\"epochs\": {}, ",
+                "\"tier1_p50_us\": {:.3}, \"tier1_p95_us\": {:.3}, ",
+                "\"tier1_p99_us\": {:.3}, \"tier2_p50_us\": {:.3}, ",
+                "\"tier2_p95_us\": {:.3}, \"tier2_p99_us\": {:.3}, ",
+                "\"defect_histogram\": [{}]}}"
             ),
             d,
             p,
@@ -126,6 +162,12 @@ fn main() -> ExitCode {
             run.residual_shots,
             run.reweight_seconds,
             run.epochs,
+            us(&tier1, 0.50),
+            us(&tier1, 0.95),
+            us(&tier1, 0.99),
+            us(&tier2, 0.50),
+            us(&tier2, 0.95),
+            us(&tier2, 0.99),
             histogram,
         )
         .expect("write to string");
@@ -152,6 +194,9 @@ fn main() -> ExitCode {
         };
         println!("perf_smoke: this run vs {compare}");
         print!("{}", compare_table(&json, &old));
+        for warning in regression_warnings(&json, &old, REGRESSION_WARN_RATIO) {
+            eprintln!("perf_smoke: warning: {warning}");
+        }
     }
     ExitCode::SUCCESS
 }

@@ -143,6 +143,39 @@ pub fn compare_table(new_json: &str, old_json: &str) -> String {
     out
 }
 
+/// Scans matching configs for timing regressions: any of `decode_seconds`,
+/// `tier1_p99_us`, or `tier2_p99_us` growing past `old × warn_ratio` yields
+/// one warning line. Fields absent from either side (e.g. a pre-percentile
+/// baseline) are skipped, so old baselines keep comparing cleanly.
+pub fn regression_warnings(new_json: &str, old_json: &str, warn_ratio: f64) -> Vec<String> {
+    let mut warnings = Vec::new();
+    for new_frag in config_fragments(new_json) {
+        let Some(d) = field_num(new_frag, "d") else {
+            continue;
+        };
+        let Some(old_frag) = config_fragments(old_json)
+            .into_iter()
+            .find(|f| field_num(f, "d") == Some(d))
+        else {
+            continue;
+        };
+        for key in ["decode_seconds", "tier1_p99_us", "tier2_p99_us"] {
+            let (Some(new_v), Some(old_v)) = (field_num(new_frag, key), field_num(old_frag, key))
+            else {
+                continue;
+            };
+            if old_v > 0.0 && new_v > old_v * warn_ratio {
+                warnings.push(format!(
+                    "d={}: {key} regressed {:.0}% ({old_v:.3} -> {new_v:.3})",
+                    d as usize,
+                    (new_v / old_v - 1.0) * 100.0,
+                ));
+            }
+        }
+    }
+    warnings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +238,25 @@ mod tests {
         assert!(table.contains("2.00x"), "speedup column missing:\n{table}");
         let lines: Vec<_> = table.lines().collect();
         assert_eq!(lines.len(), 3, "header + one row per config:\n{table}");
+    }
+
+    #[test]
+    fn regression_warnings_flag_slowdowns_and_skip_missing_fields() {
+        let old = r#"{"configs": [
+            {"d": 7, "decode_seconds": 1.0, "tier2_p99_us": 10.0},
+            {"d": 11, "decode_seconds": 1.0}
+        ]}"#;
+        // d=7 decode regressed 50%, p99 improved; d=11 has no percentile
+        // on either side and its decode held steady.
+        let new = r#"{"configs": [
+            {"d": 7, "decode_seconds": 1.5, "tier2_p99_us": 8.0},
+            {"d": 11, "decode_seconds": 1.05, "tier2_p99_us": 3.0}
+        ]}"#;
+        let warnings = regression_warnings(new, old, 1.10);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("d=7"), "{}", warnings[0]);
+        assert!(warnings[0].contains("decode_seconds"), "{}", warnings[0]);
+        assert!(regression_warnings(new, old, 2.0).is_empty());
     }
 
     #[test]

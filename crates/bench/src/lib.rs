@@ -13,6 +13,14 @@ pub mod compare;
 pub mod experiments;
 pub mod report;
 
+/// Drops the default log level to quiet for the figure/table/reproduce
+/// binaries: their stdout report is the artifact, so observability chatter
+/// stays off unless the user opts back in with `CALIQEC_LOG=info` (the
+/// environment variable still wins over this default).
+pub fn quiet_by_default() {
+    caliqec_obs::verbosity::set_default(caliqec_obs::Verbosity::Quiet);
+}
+
 /// Parses `--threads N` (or `--threads=N`) from the process arguments for
 /// the experiment binaries. Returns 0 (= auto: `CALIQEC_THREADS` if set,
 /// else all cores) when absent or malformed.

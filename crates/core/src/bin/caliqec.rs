@@ -4,7 +4,9 @@
 //! caliqec characterize [--rows N] [--cols N] [--seed S]
 //! caliqec plan         [--rows N] [--cols N] [--distance D] [--delta-d K] [--p-tar P]
 //! caliqec simulate     [--rows N] [--cols N] [--distance D] [--hours H] [--no-enlarge]
-//!                      [--strict] [--faults SPEC] [--trace-out FILE] [--drift-aware]
+//!                      [--strict] [--faults SPEC] [--drift-aware] [--quiet]
+//!                      [--trace-csv FILE] [--metrics-out FILE] [--trace-out FILE]
+//!                      [--prom-out FILE]
 //! caliqec draw         [--distance D] [--lattice square|heavy-hex] [--hole R,C ...]
 //! caliqec help
 //! ```
@@ -15,12 +17,16 @@
 //! Errors map to distinct exit codes so scripts can tell failure classes
 //! apart: 1 runtime, 2 usage, 3 validation, 4 I/O, 5 degraded-under-strict.
 
-use caliqec::{compile, run_runtime_with_faults, CaliqecConfig, Preparation};
+use caliqec::{compile, run_runtime_observed, CaliqecConfig, Preparation};
 use caliqec_code::{
     code_distance, data_coord, draw_layout, DeformInstruction, DeformedPatch, Lattice,
 };
 use caliqec_device::{DeviceConfig, DeviceModel};
 use caliqec_match::FaultPlan;
+use caliqec_obs::{
+    render_chrome_trace, render_json, render_prometheus, render_summary, verbosity, ObsSink,
+    Verbosity,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -37,7 +43,8 @@ enum CliError {
     /// Structurally invalid inputs rejected by the framework's validators
     /// (exit 3).
     Validation(String),
-    /// Filesystem failures, e.g. an unwritable `--trace-out` path (exit 4).
+    /// Filesystem failures, e.g. an unwritable `--metrics-out` path
+    /// (exit 4).
     Io(String),
     /// `--strict` was set and the run needed the decoder degradation
     /// ladder (exit 5).
@@ -79,7 +86,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {a:?}"))?;
-        if key == "no-enlarge" || key == "probe" || key == "strict" || key == "drift-aware" {
+        if key == "no-enlarge"
+            || key == "probe"
+            || key == "strict"
+            || key == "drift-aware"
+            || key == "quiet"
+        {
             flags.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -266,9 +278,29 @@ fn cmd_simulate(args: &Args) -> Result<(), CliError> {
     if faults.is_some() {
         quiet_worker_panics();
     }
+    // The observability sink stays disabled (zero-cost) unless an export
+    // was requested; the trace is bit-identical either way.
+    let want_obs = ["metrics-out", "trace-out", "prom-out"]
+        .iter()
+        .any(|k| args.flags.contains_key(*k));
+    let sink = ObsSink::new(want_obs);
+    if want_obs && config.mc_shots == 0 {
+        return Err(CliError::Usage(
+            "observability exports record the Monte-Carlo engine; pass --mc-shots S > 0"
+                .to_string(),
+        ));
+    }
     let prep = Preparation::run(&device, &mut rng);
     let plan = compile(&device, &prep, &config, &mut rng);
-    let report = run_runtime_with_faults(&device, Some(&plan), &config, hours, 96, faults.as_ref());
+    let report = run_runtime_observed(
+        &device,
+        Some(&plan),
+        &config,
+        hours,
+        96,
+        faults.as_ref(),
+        &sink,
+    );
     println!("hours  mean_p    distance  qubits  LER       measured  calibrating");
     for p in report.trace.iter().step_by(8) {
         let measured = p
@@ -286,7 +318,8 @@ fn cmd_simulate(args: &Args) -> Result<(), CliError> {
         report.exceedance_fraction() * 100.0,
         report.max_physical_qubits
     );
-    if report.faulted_chunks > 0 || report.degraded_shots > 0 {
+    let loud = verbosity::loud(Verbosity::Info);
+    if loud && (report.faulted_chunks > 0 || report.degraded_shots > 0) {
         // Diagnostics go to stderr so the stdout trace stays bit-identical
         // to a fault-free run.
         eprintln!(
@@ -294,17 +327,43 @@ fn cmd_simulate(args: &Args) -> Result<(), CliError> {
             report.faulted_chunks, report.retried_chunks, report.degraded_shots
         );
     }
-    if config.drift_aware {
+    if loud && config.drift_aware {
         // Timing is machine-dependent; stderr keeps stdout reproducible.
         eprintln!(
             "drift-aware decoding: {:.3}s reweighting cached matching graphs",
             report.reweight_seconds
         );
     }
-    if let Some(path) = args.flags.get("trace-out") {
+    if let Some(path) = args.flags.get("trace-csv") {
         write_trace_csv(path, &report)
             .map_err(|e| CliError::Io(format!("cannot write trace to {path:?}: {e}")))?;
-        println!("trace written to {path}");
+        if loud {
+            eprintln!("trace CSV written to {path}");
+        }
+    }
+    if sink.is_enabled() {
+        let snap = sink.snapshot();
+        if let Some(path) = args.flags.get("metrics-out") {
+            write_text(path, &render_json(&snap))?;
+            if loud {
+                eprintln!("metrics snapshot written to {path}");
+            }
+        }
+        if let Some(path) = args.flags.get("trace-out") {
+            write_text(path, &render_chrome_trace(&snap))?;
+            if loud {
+                eprintln!("Chrome trace written to {path} (open in ui.perfetto.dev)");
+            }
+        }
+        if let Some(path) = args.flags.get("prom-out") {
+            write_text(path, &render_prometheus(&snap))?;
+            if loud {
+                eprintln!("Prometheus exposition written to {path}");
+            }
+        }
+        if loud {
+            eprint!("{}", render_summary(&snap));
+        }
     }
     if strict && report.degraded() {
         return Err(CliError::Degraded(format!(
@@ -313,6 +372,12 @@ fn cmd_simulate(args: &Args) -> Result<(), CliError> {
         )));
     }
     Ok(())
+}
+
+/// Writes one rendered export to `path`, classifying failures as I/O
+/// errors (exit 4).
+fn write_text(path: &str, body: &str) -> Result<(), CliError> {
+    std::fs::write(path, body).map_err(|e| CliError::Io(format!("cannot write {path:?}: {e}")))
 }
 
 /// Writes the runtime trace as CSV, one row per trace point.
@@ -375,7 +440,8 @@ USAGE:
       Compile the calibration plan (Algorithm 1 + adaptive batching).
   caliqec simulate [--rows N] [--cols N] [--distance D] [--hours H] [--no-enlarge]
                    [--threads T] [--mc-shots S] [--strict] [--faults SPEC]
-                   [--trace-out FILE] [--drift-aware]
+                   [--drift-aware] [--quiet] [--trace-csv FILE]
+                   [--metrics-out FILE] [--trace-out FILE] [--prom-out FILE]
       Run the in-situ calibration runtime and print the LER trace.
       --drift-aware decodes each measured point by incrementally
       reweighting a cached matching graph to the drifted rates instead of
@@ -389,7 +455,18 @@ USAGE:
       stall, corrupt, badweights; the engine recovers them on its
       degradation ladder and the summary reports the fallout.
       --strict exits with code 5 if any measurement was degraded.
-      --trace-out FILE writes the full trace as CSV.
+      --trace-csv FILE writes the full LER trace as CSV.
+      Observability (needs --mc-shots; recording is passive, the trace is
+      bit-identical with it on or off):
+      --metrics-out FILE writes a JSON snapshot of engine counters,
+      latency histograms (p50/p95/p99), and the event journal.
+      --trace-out FILE writes a Chrome trace-event JSON of chunk/fault/
+      retry/reweight timelines; open it in ui.perfetto.dev or
+      chrome://tracing.
+      --prom-out FILE writes Prometheus text exposition format.
+      --quiet silences stderr diagnostics and the metrics summary; the
+      CALIQEC_LOG environment variable (quiet|info|debug) sets the same
+      level when the flag is absent.
   caliqec draw [--distance D] [--lattice square|heavy-hex] [--hole R,C ...]
       Render a (deformed) patch as ASCII art.
   caliqec help
@@ -412,6 +489,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.flags.contains_key("quiet") {
+        verbosity::set(Verbosity::Quiet);
+    }
     // Unrecoverable framework panics (e.g. the LER engine exhausting its
     // degradation ladder) become classified runtime errors instead of an
     // abort, so scripts always see one of the documented exit codes.

@@ -20,6 +20,7 @@ use caliqec_match::{
     graph_for_circuit, EpochSchedule, FaultPlan, LerEngine, MatchingGraph, SampleOptions,
     UnionFindDecoder,
 };
+use caliqec_obs::ObsSink;
 use caliqec_sched::ler;
 use caliqec_stab::{chunk_seed, CompiledCircuit, RateTable};
 
@@ -125,6 +126,32 @@ pub fn run_runtime_with_faults(
     steps: usize,
     faults: Option<&FaultPlan>,
 ) -> RuntimeReport {
+    run_runtime_observed(
+        device,
+        plan,
+        config,
+        horizon_hours,
+        steps,
+        faults,
+        &ObsSink::disabled(),
+    )
+}
+
+/// [`run_runtime_with_faults`] with an observability sink attached to every
+/// Monte-Carlo measurement engine. The sink is passive: it never steers the
+/// engine, so the trace is bit-identical whether `obs` is enabled or
+/// disabled — only the sink's metrics, histograms, and journal differ.
+/// Each trace-point measurement registers as one engine run in the sink.
+#[allow(clippy::too_many_arguments)]
+pub fn run_runtime_observed(
+    device: &DeviceModel,
+    plan: Option<&CompiledPlan>,
+    config: &CaliqecConfig,
+    horizon_hours: f64,
+    steps: usize,
+    faults: Option<&FaultPlan>,
+    obs: &ObsSink,
+) -> RuntimeReport {
     assert!(steps > 0 && horizon_hours > 0.0);
     let d = config.distance;
     let ler_target = ler(d, config.p_tar);
@@ -224,11 +251,12 @@ pub fn run_runtime_with_faults(
                     config,
                     k as u64,
                     faults,
+                    obs,
                     active,
                     &mut ref_graph,
                 )
             } else {
-                measure_point_ler(layout, mean_p, config, k as u64, faults)
+                measure_point_ler(layout, mean_p, config, k as u64, faults, obs)
             };
             report.faulted_chunks += run.faulted_chunks;
             report.retried_chunks += run.retried_chunks;
@@ -294,12 +322,13 @@ fn measure_point_ler(
     config: &CaliqecConfig,
     point_index: u64,
     faults: Option<&FaultPlan>,
+    obs: &ObsSink,
 ) -> caliqec_match::EngineRun {
     let noise = NoiseModel::uniform(mean_p.clamp(1e-9, 0.3));
     let rounds = config.distance.max(1);
     let mem = memory_circuit(layout, &noise, rounds, MemoryBasis::Z);
     let graph = graph_for_circuit(&mem.circuit);
-    let mut engine = LerEngine::new(config.threads);
+    let mut engine = LerEngine::new(config.threads).with_obs(obs.clone());
     if let Some(plan) = faults {
         engine = engine.with_faults(plan.clone());
     }
@@ -324,12 +353,14 @@ fn measure_point_ler(
 /// setup cost (reported as `reweight_seconds`) differs. The sampled
 /// circuit is still regenerated per point — physical noise must drift even
 /// when the decoder updates incrementally.
+#[allow(clippy::too_many_arguments)]
 fn measure_point_ler_drift_aware(
     layout: &PatchLayout,
     mean_p: f64,
     config: &CaliqecConfig,
     point_index: u64,
     faults: Option<&FaultPlan>,
+    obs: &ObsSink,
     window: Option<usize>,
     ref_graph: &mut Option<(Option<usize>, MatchingGraph)>,
 ) -> caliqec_match::EngineRun {
@@ -342,7 +373,7 @@ fn measure_point_ler_drift_aware(
         *ref_graph = Some((window, graph_for_circuit(&ref_mem.circuit)));
     }
     let (_, graph) = ref_graph.as_ref().expect("cache filled above");
-    let mut engine = LerEngine::new(config.threads);
+    let mut engine = LerEngine::new(config.threads).with_obs(obs.clone());
     if let Some(plan) = faults {
         engine = engine.with_faults(plan.clone());
     }
@@ -483,6 +514,27 @@ mod tests {
             aware.reweight_seconds > 0.0,
             "drift-aware runs must account their reweight time"
         );
+    }
+
+    #[test]
+    fn observed_runtime_is_bit_identical_and_counts_runs() {
+        let (device, plan, mut config) = setup(true);
+        config.mc_shots = 256;
+        config.threads = 2;
+        let plain = run_runtime(&device, Some(&plan), &config, 8.0, 4);
+        let sink = ObsSink::enabled();
+        let observed = run_runtime_observed(&device, Some(&plan), &config, 8.0, 4, None, &sink);
+        let ms_plain: Vec<_> = plain.trace.iter().map(|p| p.measured_ler).collect();
+        let ms_obs: Vec<_> = observed.trace.iter().map(|p| p.measured_ler).collect();
+        assert_eq!(ms_plain, ms_obs, "observation must not perturb the trace");
+        let snap = sink.snapshot();
+        assert_eq!(
+            snap.counter("runs_started"),
+            observed.trace.len() as u64,
+            "one engine run per measured trace point"
+        );
+        assert!(snap.counter("chunks_finished") > 0);
+        assert!(!snap.events.is_empty());
     }
 
     #[test]

@@ -54,6 +54,7 @@ use crate::faults::{FaultKind, FaultPlan};
 use crate::graph::MatchingGraph;
 use crate::predecode::Predecoder;
 use crate::reference::ReferenceUnionFind;
+use caliqec_obs::{Counter, Event, EventKind, Gauge, Hist, ObsSink, WorkerObs};
 use caliqec_stab::{
     chunk_seed, resolve_threads, BatchEvents, Circuit, CompiledCircuit, FrameState, RateTable,
     SparseBatch, BATCH,
@@ -349,18 +350,70 @@ impl FaultTally {
     }
 }
 
+impl ChunkFault {
+    /// Stable tag used in journal [`EventKind::Fault`] events.
+    fn tag(&self) -> &'static str {
+        match self {
+            ChunkFault::Panicked(_) => "panic",
+            ChunkFault::Stalled { .. } => "stall",
+            ChunkFault::InvalidGraph(_) => "invalid_graph",
+        }
+    }
+
+    /// The obs counter accounting this fault kind.
+    fn counter(&self) -> Counter {
+        match self {
+            ChunkFault::Panicked(_) => Counter::FaultsPanic,
+            ChunkFault::Stalled { .. } => Counter::FaultsStall,
+            ChunkFault::InvalidGraph(_) => Counter::FaultsGraph,
+        }
+    }
+}
+
+/// The per-shot decode-latency histogram for a given ladder rung.
+fn decode_hist_for(rung: usize) -> Hist {
+    match rung {
+        0 => Hist::DecodeShotRung0,
+        1 => Hist::DecodeShotRung1,
+        _ => Hist::DecodeShotRung2,
+    }
+}
+
+/// Records one epoch-context build (metrics + journal) on the coordinator
+/// handle. `started` is the [`WorkerObs::clock`] reading taken before the
+/// build; a disabled handle makes this a no-op.
+fn record_reweight(coord: &mut WorkerObs, epoch: u32, started: Option<Instant>) {
+    if let Some(t0) = started {
+        let nanos = t0.elapsed().as_nanos() as u64;
+        coord.add(Counter::EpochReweights, 1);
+        coord.record(Hist::EpochReweight, nanos);
+        coord.event(EventKind::EpochReweight { epoch, nanos });
+    }
+}
+
 /// Samples and decodes one chunk from its deterministic seed.
 ///
-/// The phases are timed separately: frame sampling, word-sparse syndrome
-/// extraction into `sparse`, tier dispatch (empty-shot skip + predecoder
-/// certification), and full decoding of the residual shots. Extraction
-/// used to be (mis)attributed to the decode counter; keeping the phases
-/// apart makes the decode numbers comparable across pipeline strategies.
+/// The phases are timed separately and *partition* the chunk's wall time:
+/// frame sampling (`t0..t1`), word-sparse syndrome extraction plus
+/// tier-dispatch bookkeeping (`t1..t2` — defect counting, the histogram,
+/// and tier-0 skips are syndrome accounting, so they are charged to
+/// `extract_seconds`, not to a decode phase), predecoder certification
+/// (`t2..t3`), and full decoding of the residual shots (`t3..t4`).
+/// Historically the defect scan was charged to `predecode_seconds` and the
+/// loop-tail bookkeeping to `decode_seconds`; the four-way split makes
+/// `sample + extract + predecode + decode <= wall` hold per worker with
+/// each phase measuring only its own work.
 ///
 /// Tier dispatch preserves the failure count bit for bit: tier-0 skips
 /// reproduce `decode(&[]) == 0`, and a [`Predecoder`] only certifies shots
 /// whose local correction provably equals the full decoder's. The residual
-/// shots reach `decoder` in ascending shot order, exactly as before.
+/// shots reach `decoder` in ascending shot order, exactly as before (the
+/// dense shots and the failed predecode candidates are merged by shot
+/// index).
+///
+/// When `obs` is enabled, per-shot predecode/decode latencies land in the
+/// histograms (`decode_hist` selects the rung-specific decode histogram);
+/// a disabled handle costs one branch per shot and reads no clock.
 #[allow(clippy::too_many_arguments)]
 fn run_chunk<D: Decoder>(
     compiled: &CompiledCircuit,
@@ -372,6 +425,8 @@ fn run_chunk<D: Decoder>(
     plan: &ChunkPlan,
     chunk: usize,
     base_seed: u64,
+    obs: &mut WorkerObs,
+    decode_hist: Hist,
 ) -> ChunkResult {
     let mut rng = StdRng::seed_from_u64(chunk_seed(base_seed, chunk as u64));
     let batches = plan.batches_in(chunk);
@@ -385,73 +440,96 @@ fn run_chunk<D: Decoder>(
     let mut extract_seconds = 0.0;
     let mut predecode_seconds = 0.0;
     let mut decode_seconds = 0.0;
-    let mut residual: Vec<u32> = Vec::with_capacity(BATCH);
+    // Dense shots go straight to the full decoder; `cand` holds the
+    // predecoder candidates, whose failures land in `uncertified`.
+    let mut dense: Vec<u32> = Vec::with_capacity(BATCH);
+    let mut cand: Vec<u32> = Vec::with_capacity(BATCH);
+    let mut uncertified: Vec<u32> = Vec::with_capacity(BATCH);
+    let has_pre = predecoder.is_some();
     for _ in 0..batches {
         let t0 = Instant::now();
         compiled.sample_batch_into(state, &mut rng, events);
         let t1 = Instant::now();
         sparse.extract(events);
-        let t2 = Instant::now();
         // Tier dispatch: tier 0 (empty defect list — identity correction,
-        // the prediction is the frame's observable word itself) and tier 1
-        // (predecoder certification) run first; only residual shots reach
-        // the full decoder below.
-        residual.clear();
-        match predecoder.as_deref_mut() {
-            Some(pre) => {
-                for s in 0..BATCH {
-                    let defects = sparse.defect_count(s);
-                    defect_histogram[defect_hist_bucket(defects)] += 1;
-                    if defects == 0 {
-                        tier0_shots += 1;
-                        if sparse.observables(s) != 0 {
-                            failures += 1;
-                        }
-                    } else if defects > Predecoder::MAX_CERT_DEFECTS {
-                        // Cheap early-out on the raw defect count: dense
-                        // shots can never certify, so skip the predecoder's
-                        // unit partitioning entirely (at d ≥ 15 this is
-                        // nearly every shot, and `predecode_seconds` used to
-                        // pay for all of them).
-                        residual.push(s as u32);
-                    } else if let Some(mask) = pre.predecode(sparse.defects(s)) {
-                        predecoded_shots += 1;
-                        predecoded_defects += defects;
-                        if mask != sparse.observables(s) {
-                            failures += 1;
-                        }
-                    } else {
-                        residual.push(s as u32);
-                    }
+        // the prediction is the frame's observable word itself) is resolved
+        // here; shots past the certification bound go straight to `dense`
+        // (at d ≥ 15 this is nearly every shot, and the predecoder phase
+        // used to pay for all of them).
+        dense.clear();
+        cand.clear();
+        for s in 0..BATCH {
+            let defects = sparse.defect_count(s);
+            defect_histogram[defect_hist_bucket(defects)] += 1;
+            if defects == 0 {
+                tier0_shots += 1;
+                if sparse.observables(s) != 0 {
+                    failures += 1;
                 }
+            } else if has_pre && defects <= Predecoder::MAX_CERT_DEFECTS {
+                cand.push(s as u32);
+            } else {
+                dense.push(s as u32);
             }
-            None => {
-                for s in 0..BATCH {
-                    let defects = sparse.defect_count(s);
-                    defect_histogram[defect_hist_bucket(defects)] += 1;
-                    if defects == 0 {
-                        tier0_shots += 1;
-                        if sparse.observables(s) != 0 {
-                            failures += 1;
-                        }
-                    } else {
-                        residual.push(s as u32);
+        }
+        let t2 = Instant::now();
+        uncertified.clear();
+        if let Some(pre) = predecoder.as_deref_mut() {
+            let mut shot_t = obs.clock();
+            for &s in &cand {
+                let s = s as usize;
+                if let Some(mask) = pre.predecode(sparse.defects(s)) {
+                    predecoded_shots += 1;
+                    predecoded_defects += sparse.defect_count(s);
+                    if mask != sparse.observables(s) {
+                        failures += 1;
                     }
+                } else {
+                    uncertified.push(s as u32);
                 }
+                shot_t = obs.record_since(Hist::PredecodeShot, shot_t);
             }
         }
         let t3 = Instant::now();
-        for &s in &residual {
-            let s = s as usize;
-            if decoder.decode(sparse.defects(s)) != sparse.observables(s) {
-                failures += 1;
+        // Decode dense ∪ uncertified in ascending shot order (both lists
+        // are ascending — a two-pointer merge preserves the historic decode
+        // order exactly).
+        {
+            let mut shot_t = obs.clock();
+            let (mut i, mut j) = (0usize, 0usize);
+            loop {
+                let s = match (dense.get(i), uncertified.get(j)) {
+                    (Some(&a), Some(&b)) => {
+                        if a < b {
+                            i += 1;
+                            a
+                        } else {
+                            j += 1;
+                            b
+                        }
+                    }
+                    (Some(&a), None) => {
+                        i += 1;
+                        a
+                    }
+                    (None, Some(&b)) => {
+                        j += 1;
+                        b
+                    }
+                    (None, None) => break,
+                } as usize;
+                if decoder.decode(sparse.defects(s)) != sparse.observables(s) {
+                    failures += 1;
+                }
+                shot_t = obs.record_since(decode_hist, shot_t);
             }
         }
-        residual_shots += residual.len();
+        let t4 = Instant::now();
+        residual_shots += dense.len() + uncertified.len();
         sample_seconds += (t1 - t0).as_secs_f64();
         extract_seconds += (t2 - t1).as_secs_f64();
         predecode_seconds += (t3 - t2).as_secs_f64();
-        decode_seconds += t3.elapsed().as_secs_f64();
+        decode_seconds += (t4 - t3).as_secs_f64();
     }
     ChunkResult {
         batches,
@@ -495,6 +573,8 @@ fn attempt_chunk<D: Decoder>(
     injected: Option<FaultKind>,
     faults: Option<&FaultPlan>,
     fallback_graph: Option<&MatchingGraph>,
+    obs: &mut WorkerObs,
+    decode_hist: Hist,
 ) -> Result<ChunkResult, ChunkFault> {
     if let Some(kind) = injected {
         match kind {
@@ -534,7 +614,17 @@ fn attempt_chunk<D: Decoder>(
     }
     std::panic::catch_unwind(AssertUnwindSafe(|| {
         run_chunk(
-            compiled, decoder, predecoder, state, events, sparse, plan, chunk, base_seed,
+            compiled,
+            decoder,
+            predecoder,
+            state,
+            events,
+            sparse,
+            plan,
+            chunk,
+            base_seed,
+            obs,
+            decode_hist,
         )
     }))
     .map_err(|payload| ChunkFault::Panicked(panic_message(payload)))
@@ -560,13 +650,14 @@ pub struct EngineRun {
     pub wall_seconds: f64,
     /// CPU seconds spent sampling batches, summed across workers.
     pub sample_seconds: f64,
-    /// CPU seconds spent extracting sparse syndromes from frame words,
-    /// summed across workers.
+    /// CPU seconds spent extracting sparse syndromes from frame words plus
+    /// tier-dispatch bookkeeping (defect counting, the histogram, tier-0
+    /// skips), summed across workers.
     pub extract_seconds: f64,
-    /// CPU seconds spent on tier dispatch (empty-shot skips and predecoder
-    /// certification), summed across workers. Split out of
-    /// `decode_seconds` so the full-decoder cost stays comparable with and
-    /// without the fast path.
+    /// CPU seconds spent in predecoder certification proper, summed across
+    /// workers. Split out of `decode_seconds` so the full-decoder cost
+    /// stays comparable with and without the fast path; dispatch
+    /// bookkeeping is charged to `extract_seconds`.
     pub predecode_seconds: f64,
     /// CPU seconds spent in the full decoder on residual shots, summed
     /// across workers.
@@ -749,16 +840,19 @@ fn lock_shared<'a>(shared: &'a Mutex<Shared>) -> MutexGuard<'a, Shared> {
 pub struct LerEngine {
     threads: usize,
     faults: Option<FaultPlan>,
+    obs: ObsSink,
 }
 
 impl LerEngine {
     /// Creates an engine with `threads` workers (0 = auto: honours the
     /// `CALIQEC_THREADS` environment variable, else all available cores).
     /// No fault plan is armed; [`LerEngine::with_faults`] injects one.
+    /// Observability is disabled; [`LerEngine::with_obs`] attaches a sink.
     pub fn new(threads: usize) -> LerEngine {
         LerEngine {
             threads: resolve_threads(threads),
             faults: None,
+            obs: ObsSink::disabled(),
         }
     }
 
@@ -768,6 +862,22 @@ impl LerEngine {
     pub fn with_faults(mut self, plan: FaultPlan) -> LerEngine {
         self.faults = if plan.is_empty() { None } else { Some(plan) };
         self
+    }
+
+    /// Attaches an observability sink: metrics, per-shot latency
+    /// histograms, and the structured event journal record into it during
+    /// every subsequent run. Nothing recorded is ever read back by
+    /// decoding, so results stay bit-identical whether the sink is enabled
+    /// or [`ObsSink::disabled`] (the default).
+    pub fn with_obs(mut self, obs: ObsSink) -> LerEngine {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability sink (disabled unless
+    /// [`LerEngine::with_obs`] replaced it).
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
     }
 
     /// The armed fault plan, if any.
@@ -821,13 +931,29 @@ impl LerEngine {
         let next = AtomicUsize::new(0);
         let shared = Mutex::new(Shared::new(plan.num_chunks));
 
+        let run_id = self.obs.begin_run();
+        let mut coord = self.obs.worker(run_id, Event::COORDINATOR);
+        coord.add(Counter::RunsStarted, 1);
+        coord.set(Gauge::Workers, threads as u64);
+        coord.set(Gauge::ChunksPlanned, plan.num_chunks as u64);
+        coord.set(Gauge::Epochs, 1);
+        coord.event(EventKind::RunStart {
+            threads: threads as u32,
+            chunks: plan.num_chunks as u32,
+        });
+        coord.flush();
+
         std::thread::scope(|scope| {
+            let plan = &plan;
+            let next = &next;
+            let shared = &shared;
             for worker in 0..threads {
+                let obs = self.obs.worker(run_id, worker as u32);
                 let spawned = std::thread::Builder::new()
                     .name(format!("caliqec-ler-{worker}"))
-                    .spawn_scoped(scope, || {
+                    .spawn_scoped(scope, move || {
                         worker_loop(
-                            compiled, factory, &plan, base_seed, faults, fallback, &next, &shared,
+                            compiled, factory, plan, base_seed, faults, fallback, next, shared, obs,
                         )
                     });
                 spawned.expect("spawn LER worker thread");
@@ -914,6 +1040,10 @@ impl LerEngine {
         let started = Instant::now();
         let plan = ChunkPlan::new(options);
 
+        let run_id = self.obs.begin_run();
+        let mut coord = self.obs.worker(run_id, Event::COORDINATOR);
+        coord.add(Counter::RunsStarted, 1);
+
         // Build one context per epoch up front (an empty schedule is one
         // implicit identity epoch). Reweighting is incremental on a clone
         // of the caller's graph — topology untouched, weights recomputed
@@ -922,10 +1052,14 @@ impl LerEngine {
         let reweight_started = Instant::now();
         let mut contexts: Vec<EpochContext> = Vec::new();
         if schedule.epochs().is_empty() {
+            let t = coord.clock();
             contexts.push(EpochContext::identity(graph));
+            record_reweight(&mut coord, 0, t);
         } else {
-            for epoch in schedule.epochs() {
+            for (i, epoch) in schedule.epochs().iter().enumerate() {
+                let t = coord.clock();
                 contexts.push(EpochContext::reweighted(graph, &epoch.rates)?);
+                record_reweight(&mut coord, i as u32, t);
             }
         }
         let reweight_seconds = reweight_started.elapsed().as_secs_f64();
@@ -942,21 +1076,37 @@ impl LerEngine {
         let next = AtomicUsize::new(0);
         let shared = Mutex::new(Shared::new(plan.num_chunks));
 
+        coord.set(Gauge::Workers, threads as u64);
+        coord.set(Gauge::ChunksPlanned, plan.num_chunks as u64);
+        coord.set(Gauge::Epochs, contexts.len() as u64);
+        coord.event(EventKind::RunStart {
+            threads: threads as u32,
+            chunks: plan.num_chunks as u32,
+        });
+        coord.flush();
+
         std::thread::scope(|scope| {
+            let plan = &plan;
+            let next = &next;
+            let shared = &shared;
+            let contexts = &contexts;
+            let chunk_epoch = &chunk_epoch;
             for worker in 0..threads {
+                let obs = self.obs.worker(run_id, worker as u32);
                 let spawned = std::thread::Builder::new()
                     .name(format!("caliqec-ler-{worker}"))
-                    .spawn_scoped(scope, || {
+                    .spawn_scoped(scope, move || {
                         epoch_worker_loop(
                             compiled,
                             factory,
-                            &contexts,
-                            &chunk_epoch,
-                            &plan,
+                            contexts,
+                            chunk_epoch,
+                            plan,
                             base_seed,
                             faults,
-                            &next,
-                            &shared,
+                            next,
+                            shared,
+                            obs,
                         )
                     });
                 spawned.expect("spawn LER worker thread");
@@ -1052,6 +1202,50 @@ fn assemble_run(
     })
 }
 
+/// Records the metrics and journal entry for a chunk that completed on
+/// `rung`. `attempt_started` is the [`WorkerObs::clock`] reading taken when
+/// the successful attempt began; on a disabled handle everything no-ops.
+fn observe_chunk_finish(
+    obs: &mut WorkerObs,
+    result: &ChunkResult,
+    rung: usize,
+    attempt_started: Option<Instant>,
+) {
+    if !obs.enabled() {
+        return;
+    }
+    let _ = obs.record_since(Hist::ChunkWall, attempt_started);
+    obs.add(Counter::ChunksFinished, 1);
+    obs.add(Counter::ShotsTier0, result.tier0_shots as u64);
+    obs.add(Counter::ShotsTier1, result.predecoded_shots as u64);
+    obs.add(Counter::ShotsTier2, result.residual_shots as u64);
+    let shots = (result.batches * BATCH) as u64;
+    if rung > 0 {
+        obs.add(Counter::ShotsDegraded, shots);
+    }
+    obs.event(EventKind::ChunkFinish {
+        rung: rung as u8,
+        shots: shots as u32,
+        failures: result.failures as u32,
+        tier0: result.tier0_shots as u32,
+        tier1: result.predecoded_shots as u32,
+        tier2: result.residual_shots as u32,
+        sample_nanos: (result.sample_seconds * 1e9) as u64,
+        extract_nanos: (result.extract_seconds * 1e9) as u64,
+        predecode_nanos: (result.predecode_seconds * 1e9) as u64,
+        decode_nanos: (result.decode_seconds * 1e9) as u64,
+    });
+}
+
+/// Records the journal entry and counter for one chunk-attempt fault.
+fn observe_chunk_fault(obs: &mut WorkerObs, fault: &ChunkFault, rung: usize) {
+    obs.add(fault.counter(), 1);
+    obs.event(EventKind::Fault {
+        kind: fault.tag(),
+        rung: rung as u8,
+    });
+}
+
 /// The body of one worker thread: claim chunks, run each up the
 /// degradation ladder, merge results.
 #[allow(clippy::too_many_arguments)]
@@ -1064,6 +1258,7 @@ fn worker_loop<F: DecoderFactory>(
     fallback: Option<&MatchingGraph>,
     next: &AtomicUsize,
     shared: &Mutex<Shared>,
+    mut obs: WorkerObs,
 ) {
     let mut decoder = factory.build();
     let mut predecoder = factory.predecoder();
@@ -1081,6 +1276,8 @@ fn worker_loop<F: DecoderFactory>(
         if chunk >= plan.num_chunks {
             break;
         }
+        obs.begin_chunk(chunk as u32);
+        obs.add(Counter::ChunksStarted, 1);
 
         // Degradation ladder: rung 0 = factory decoder + predecoder;
         // rung 1 = fresh factory decoder, no predecode; rung 2 =
@@ -1095,6 +1292,9 @@ fn worker_loop<F: DecoderFactory>(
             } else {
                 None
             };
+            obs.event(EventKind::ChunkStart { rung: rung as u8 });
+            let attempt_started = obs.clock();
+            let decode_hist = decode_hist_for(rung);
             let attempt = match rung {
                 0 => attempt_chunk(
                     compiled,
@@ -1109,6 +1309,8 @@ fn worker_loop<F: DecoderFactory>(
                     injected,
                     faults,
                     fallback,
+                    &mut obs,
+                    decode_hist,
                 ),
                 1 => {
                     let mut fresh = factory.build();
@@ -1125,6 +1327,8 @@ fn worker_loop<F: DecoderFactory>(
                         None,
                         faults,
                         fallback,
+                        &mut obs,
+                        decode_hist,
                     )
                 }
                 _ => match fallback {
@@ -1143,6 +1347,8 @@ fn worker_loop<F: DecoderFactory>(
                             None,
                             faults,
                             fallback,
+                            &mut obs,
+                            decode_hist,
                         )
                     }
                     None => Err(ChunkFault::InvalidGraph(ValidationError::CsrInconsistent {
@@ -1151,8 +1357,12 @@ fn worker_loop<F: DecoderFactory>(
                 },
             };
             match attempt {
-                Ok(result) => break Ok((result, rung)),
+                Ok(result) => {
+                    observe_chunk_finish(&mut obs, &result, rung, attempt_started);
+                    break Ok((result, rung));
+                }
                 Err(fault) => {
+                    observe_chunk_fault(&mut obs, &fault, rung);
                     tally.record(&fault);
                     if rung == 0 {
                         // Quarantine: the long-lived decoder's scratch may
@@ -1171,11 +1381,14 @@ fn worker_loop<F: DecoderFactory>(
                     }
                     tally.retries += 1;
                     rung += 1;
+                    obs.add(Counter::Retries, 1);
+                    obs.event(EventKind::Retry { rung: rung as u8 });
                 }
             }
         };
 
         merge_chunk(shared, plan, chunk, &tally, outcome);
+        obs.flush();
     }
 }
 
@@ -1250,6 +1463,7 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
     faults: Option<&FaultPlan>,
     next: &AtomicUsize,
     shared: &Mutex<Shared>,
+    mut obs: WorkerObs,
 ) {
     let mut cache: Vec<Option<(F::Decoder, Predecoder)>> =
         (0..contexts.len()).map(|_| None).collect();
@@ -1269,6 +1483,8 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
         }
         let epoch = chunk_epoch[chunk] as usize;
         let ctx = &contexts[epoch];
+        obs.begin_chunk(chunk as u32);
+        obs.add(Counter::ChunksStarted, 1);
 
         // Same three-rung ladder as `worker_loop`, anchored on the epoch's
         // graph: rung 1 rebuilds the epoch decoder without predecoding,
@@ -1282,6 +1498,9 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
             } else {
                 None
             };
+            obs.event(EventKind::ChunkStart { rung: rung as u8 });
+            let attempt_started = obs.clock();
+            let decode_hist = decode_hist_for(rung);
             let attempt = match rung {
                 0 => {
                     let (decoder, predecoder) = cache[epoch].get_or_insert_with(|| {
@@ -1300,6 +1519,8 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                         injected,
                         faults,
                         Some(&ctx.graph),
+                        &mut obs,
+                        decode_hist,
                     )
                 }
                 1 => {
@@ -1317,6 +1538,8 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                         None,
                         faults,
                         Some(&ctx.graph),
+                        &mut obs,
+                        decode_hist,
                     )
                 }
                 _ => {
@@ -1334,12 +1557,18 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                         None,
                         faults,
                         Some(&ctx.graph),
+                        &mut obs,
+                        decode_hist,
                     )
                 }
             };
             match attempt {
-                Ok(result) => break Ok((result, rung)),
+                Ok(result) => {
+                    observe_chunk_finish(&mut obs, &result, rung, attempt_started);
+                    break Ok((result, rung));
+                }
                 Err(fault) => {
+                    observe_chunk_fault(&mut obs, &fault, rung);
                     tally.record(&fault);
                     if rung == 0 {
                         // Quarantine the epoch's cached pair; it is rebuilt
@@ -1351,11 +1580,14 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                     }
                     tally.retries += 1;
                     rung += 1;
+                    obs.add(Counter::Retries, 1);
+                    obs.event(EventKind::Retry { rung: rung as u8 });
                 }
             }
         };
 
         merge_chunk(shared, plan, chunk, &tally, outcome);
+        obs.flush();
     }
 }
 
@@ -1377,6 +1609,7 @@ pub fn estimate_ler_seeded<D: Decoder>(
     let mut events = BatchEvents::default();
     let mut sparse = SparseBatch::new();
     let mut estimate = LerEstimate::default();
+    let mut obs = WorkerObs::disabled();
     for chunk in 0..plan.num_chunks {
         let result = run_chunk(
             compiled,
@@ -1388,6 +1621,8 @@ pub fn estimate_ler_seeded<D: Decoder>(
             &plan,
             chunk,
             base_seed,
+            &mut obs,
+            Hist::DecodeShotRung0,
         );
         estimate.shots += result.batches * BATCH;
         estimate.failures += result.failures;
@@ -1630,6 +1865,145 @@ mod tests {
         assert!(faulty.degraded());
         assert_eq!(faulty.rung_chunks[1], 2);
         assert!(faulty.degraded_shots > 0);
+    }
+
+    /// Observability must be passive: an enabled sink changes no result
+    /// bit, and its merged view reconciles with the run's own counters.
+    #[test]
+    fn observed_run_is_bit_identical_and_reconciles() {
+        let c = rep_circuit(5, 0.08);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let opts = SampleOptions {
+            min_shots: 5_000,
+            ..Default::default()
+        };
+        let factory = Tiered::new(&graph, {
+            let graph = graph.clone();
+            move || UnionFindDecoder::new(graph.clone())
+        });
+        let plain = LerEngine::new(2).estimate(&compiled, &factory, opts, 42);
+
+        let sink = ObsSink::enabled();
+        let observed = LerEngine::new(2)
+            .with_obs(sink.clone())
+            .estimate(&compiled, &factory, opts, 42);
+        assert_eq!(observed.estimate, plain.estimate, "obs changed the LER");
+        assert_eq!(observed.defect_histogram, plain.defect_histogram);
+        assert_eq!(observed.tier0_shots, plain.tier0_shots);
+
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter("runs_started"), 1);
+        assert_eq!(
+            snap.counter("chunks_finished"),
+            observed.chunks_executed as u64
+        );
+        assert_eq!(snap.counter("shots_tier0"), observed.tier0_shots as u64);
+        assert_eq!(
+            snap.counter("shots_tier1"),
+            observed.predecoded_shots as u64
+        );
+        assert_eq!(snap.counter("shots_tier2"), observed.residual_shots as u64);
+        assert_eq!(snap.counter("faults_panic"), 0);
+        let decode_hist = snap.decode_shot_hist();
+        assert_eq!(decode_hist.count, observed.residual_shots as u64);
+        assert!(snap.hist(Hist::PredecodeShot).unwrap().count > 0);
+
+        // Journal: a RunStart, then one ChunkStart+ChunkFinish pair per
+        // chunk, in chunk order.
+        let starts = snap
+            .events
+            .iter()
+            .filter(|e| e.kind.tag() == "chunk_start")
+            .count();
+        let finishes: Vec<&Event> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind.tag() == "chunk_finish")
+            .collect();
+        assert_eq!(starts, observed.chunks_executed);
+        assert_eq!(finishes.len(), observed.chunks_executed);
+        assert!(finishes.windows(2).all(|w| w[0].chunk < w[1].chunk));
+        assert_eq!(snap.events[0].kind.tag(), "run_start");
+        let shots: u64 = finishes
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::ChunkFinish { shots, .. } => shots as u64,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(shots, observed.estimate.shots as u64);
+    }
+
+    /// The journal (timestamps aside) must be identical at any thread
+    /// count: its order depends only on the deterministic chunk schedule.
+    #[test]
+    fn journal_is_thread_count_independent() {
+        let c = rep_circuit(5, 0.08);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let opts = SampleOptions {
+            min_shots: 5_000,
+            ..Default::default()
+        };
+        let journal_of = |threads: usize| {
+            let sink = ObsSink::enabled();
+            LerEngine::new(threads).with_obs(sink.clone()).estimate(
+                &compiled,
+                &|| UnionFindDecoder::new(graph.clone()),
+                opts,
+                42,
+            );
+            sink.snapshot()
+                .events
+                .iter()
+                .map(|e| (e.run, e.chunk, e.seq, e.kind.tag()))
+                .collect::<Vec<_>>()
+        };
+        let single = journal_of(1);
+        assert!(!single.is_empty());
+        for threads in [2, 4] {
+            assert_eq!(journal_of(threads), single, "threads={threads}");
+        }
+    }
+
+    /// Epoch runs record one reweight event per context and reconcile the
+    /// epoch gauge.
+    #[test]
+    fn epoch_run_records_reweight_events() {
+        let c = rep_circuit(5, 0.08);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let opts = SampleOptions {
+            min_shots: 2_000,
+            ..Default::default()
+        };
+        let mut schedule = EpochSchedule::new(10.0);
+        schedule.push(0.0, RateTable::identity());
+        schedule.push(5.0, RateTable::uniform(0.12));
+        let sink = ObsSink::enabled();
+        let run = LerEngine::new(2).with_obs(sink.clone()).estimate_epochs(
+            &compiled,
+            &graph,
+            &|g: &MatchingGraph| UnionFindDecoder::new(g.clone()),
+            &schedule,
+            opts,
+            7,
+        );
+        assert_eq!(run.epochs, 2);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter("epoch_reweights"), 2);
+        assert_eq!(snap.hist(Hist::EpochReweight).unwrap().count, 2);
+        let reweights = snap
+            .events
+            .iter()
+            .filter(|e| e.kind.tag() == "epoch_reweight")
+            .count();
+        assert_eq!(reweights, 2);
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|&(name, value)| name == "epochs" && value == 2));
     }
 
     #[test]

@@ -77,6 +77,7 @@ mod predecode;
 mod reference;
 mod unionfind;
 
+pub use caliqec_obs as obs;
 pub use decode::{estimate_ler, graph_for_circuit, Decoder, LerEstimate, SampleOptions};
 pub use engine::{
     defect_hist_bucket, estimate_ler_seeded, CalibrationEpoch, DecoderFactory, EngineRun,

@@ -1,0 +1,456 @@
+//! Lock-free metric shards: counters, gauges, and log-bucketed latency
+//! histograms.
+//!
+//! The metric *names* are closed enums ([`Counter`], [`Gauge`], [`Hist`]),
+//! so a shard is a handful of fixed-size atomic arrays — no hashing, no
+//! allocation, no locking on the record path. Each worker thread records
+//! into its own [`Shard`] (handed out by `ObsSink::worker`), so the atomics
+//! are uncontended; a snapshot sums the shards after the fact.
+//!
+//! Histograms bucket latencies by the binary order of magnitude of the
+//! nanosecond count: bucket `i` covers `[2^i, 2^{i+1})` ns (bucket 0 also
+//! absorbs 0). Forty-eight buckets reach past 2^48 ns ≈ 78 h, far beyond
+//! any chunk. Quantiles are read back with linear interpolation inside the
+//! winning bucket, so p50/p95/p99 resolve to ~±50% of the true value —
+//! plenty for "did tier-2 p99 regress 3×" questions, at the cost of one
+//! `leading_zeros` and one relaxed increment per sample.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log-scaled latency buckets per histogram.
+pub const HIST_BUCKETS: usize = 48;
+
+/// Maps a nanosecond latency to its histogram bucket: the binary order of
+/// magnitude, saturated to the last bucket.
+#[inline]
+pub fn latency_bucket(nanos: u64) -> usize {
+    if nanos < 2 {
+        0
+    } else {
+        ((63 - nanos.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` in nanoseconds.
+#[inline]
+pub fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Exclusive upper bound of bucket `i` in nanoseconds.
+#[inline]
+pub fn bucket_hi(i: usize) -> u64 {
+    1u64 << (i + 1)
+}
+
+/// Monotone event counters. Closed set: adding a counter is a code change,
+/// which keeps shards allocation-free and exporters exhaustive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Engine runs started on this sink.
+    RunsStarted,
+    /// Chunks claimed by workers (counted once per chunk, not per attempt).
+    ChunksStarted,
+    /// Chunks that completed on some ladder rung.
+    ChunksFinished,
+    /// Shots with an empty defect list (tier 0: decoding skipped).
+    ShotsTier0,
+    /// Shots resolved by the tier-1 predecoder.
+    ShotsTier1,
+    /// Shots decoded by the full decoder (tier 2).
+    ShotsTier2,
+    /// Shots decoded on a degraded ladder rung (rung > 0).
+    ShotsDegraded,
+    /// Chunk attempts that ended in a caught panic.
+    FaultsPanic,
+    /// Chunk attempts that overran their stall deadline.
+    FaultsStall,
+    /// Chunk attempts rejected by graph validation.
+    FaultsGraph,
+    /// Ladder retries launched in response to faults.
+    Retries,
+    /// Per-epoch graph reweights performed before workers launched.
+    EpochReweights,
+}
+
+impl Counter {
+    /// Every counter, in export order.
+    pub const ALL: [Counter; 12] = [
+        Counter::RunsStarted,
+        Counter::ChunksStarted,
+        Counter::ChunksFinished,
+        Counter::ShotsTier0,
+        Counter::ShotsTier1,
+        Counter::ShotsTier2,
+        Counter::ShotsDegraded,
+        Counter::FaultsPanic,
+        Counter::FaultsStall,
+        Counter::FaultsGraph,
+        Counter::Retries,
+        Counter::EpochReweights,
+    ];
+
+    /// Stable snake-case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::RunsStarted => "runs_started",
+            Counter::ChunksStarted => "chunks_started",
+            Counter::ChunksFinished => "chunks_finished",
+            Counter::ShotsTier0 => "shots_tier0",
+            Counter::ShotsTier1 => "shots_tier1",
+            Counter::ShotsTier2 => "shots_tier2",
+            Counter::ShotsDegraded => "shots_degraded",
+            Counter::FaultsPanic => "faults_panic",
+            Counter::FaultsStall => "faults_stall",
+            Counter::FaultsGraph => "faults_graph",
+            Counter::Retries => "retries",
+            Counter::EpochReweights => "epoch_reweights",
+        }
+    }
+}
+
+/// Last-value gauges describing the run's shape. Merged across shards by
+/// maximum, so any shard that set the value wins over the zero default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Worker threads the engine launched.
+    Workers,
+    /// Chunks in the deterministic schedule.
+    ChunksPlanned,
+    /// Calibration epochs active during the run.
+    Epochs,
+}
+
+impl Gauge {
+    /// Every gauge, in export order.
+    pub const ALL: [Gauge; 3] = [Gauge::Workers, Gauge::ChunksPlanned, Gauge::Epochs];
+
+    /// Stable snake-case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::Workers => "workers",
+            Gauge::ChunksPlanned => "chunks_planned",
+            Gauge::Epochs => "epochs",
+        }
+    }
+}
+
+/// Latency histograms. Per-shot tiers are split by decode tier and ladder
+/// rung so the service question — "what is p99 decode latency, and does it
+/// survive degradation?" — reads straight off the snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Per-shot latency of a tier-1 predecoder certification attempt
+    /// (successful or not — failed candidates continue to the full
+    /// decoder).
+    PredecodeShot,
+    /// Per-shot full-decode latency on the pristine rung 0.
+    DecodeShotRung0,
+    /// Per-shot full-decode latency on rung 1 (no predecode, fresh decoder).
+    DecodeShotRung1,
+    /// Per-shot full-decode latency on rung 2 (reference decoder).
+    DecodeShotRung2,
+    /// Wall time of one whole chunk attempt (sample + extract + dispatch +
+    /// decode).
+    ChunkWall,
+    /// Time to build one epoch's reweighted graph + predecoder tables.
+    EpochReweight,
+}
+
+impl Hist {
+    /// Every histogram, in export order.
+    pub const ALL: [Hist; 6] = [
+        Hist::PredecodeShot,
+        Hist::DecodeShotRung0,
+        Hist::DecodeShotRung1,
+        Hist::DecodeShotRung2,
+        Hist::ChunkWall,
+        Hist::EpochReweight,
+    ];
+
+    /// Stable snake-case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::PredecodeShot => "predecode_shot",
+            Hist::DecodeShotRung0 => "decode_shot_rung0",
+            Hist::DecodeShotRung1 => "decode_shot_rung1",
+            Hist::DecodeShotRung2 => "decode_shot_rung2",
+            Hist::ChunkWall => "chunk_wall",
+            Hist::EpochReweight => "epoch_reweight",
+        }
+    }
+}
+
+/// One histogram's atomics inside a shard.
+#[derive(Debug)]
+struct HistShard {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl HistShard {
+    fn new() -> HistShard {
+        HistShard {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One worker's private slab of metric atomics. Only its owning worker
+/// writes it (relaxed stores — no contention); snapshots read it from any
+/// thread.
+#[derive(Debug)]
+pub struct Shard {
+    counters: [AtomicU64; Counter::ALL.len()],
+    gauges: [AtomicU64; Gauge::ALL.len()],
+    hists: [HistShard; Hist::ALL.len()],
+}
+
+impl Default for Shard {
+    fn default() -> Shard {
+        Shard::new()
+    }
+}
+
+impl Shard {
+    /// A zeroed shard.
+    pub fn new() -> Shard {
+        Shard {
+            counters: [const { AtomicU64::new(0) }; Counter::ALL.len()],
+            gauges: [const { AtomicU64::new(0) }; Gauge::ALL.len()],
+            hists: [
+                HistShard::new(),
+                HistShard::new(),
+                HistShard::new(),
+                HistShard::new(),
+                HistShard::new(),
+                HistShard::new(),
+            ],
+        }
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&self, c: Counter, delta: u64) {
+        self.counters[c as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets a gauge to `value`.
+    #[inline]
+    pub fn set(&self, g: Gauge, value: u64) {
+        self.gauges[g as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Records one latency sample into a histogram.
+    #[inline]
+    pub fn record(&self, h: Hist, nanos: u64) {
+        let hs = &self.hists[h as usize];
+        hs.buckets[latency_bucket(nanos)].fetch_add(1, Ordering::Relaxed);
+        hs.count.fetch_add(1, Ordering::Relaxed);
+        hs.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one histogram, merged across shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Stable metric name ([`Hist::name`], or a caller-chosen name for
+    /// merged views).
+    pub name: &'static str,
+    /// Per-bucket sample counts (bucket `i` covers `[2^i, 2^{i+1})` ns).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all recorded latencies in nanoseconds.
+    pub sum_nanos: u64,
+}
+
+impl HistSnapshot {
+    /// An empty histogram named `name`.
+    pub fn empty(name: &'static str) -> HistSnapshot {
+        HistSnapshot {
+            name,
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+        }
+    }
+
+    /// Sums several histograms into one view named `name` (e.g. the three
+    /// per-rung decode histograms into one tier-2 histogram).
+    pub fn merged(name: &'static str, parts: &[&HistSnapshot]) -> HistSnapshot {
+        let mut out = HistSnapshot::empty(name);
+        for p in parts {
+            for (acc, b) in out.buckets.iter_mut().zip(p.buckets.iter()) {
+                *acc += b;
+            }
+            out.count += p.count;
+            out.sum_nanos += p.sum_nanos;
+        }
+        out
+    }
+
+    /// The `q`-quantile latency in nanoseconds (`q` in `[0, 1]`), linearly
+    /// interpolated inside the winning bucket. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile_nanos(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let next = seen + b;
+            if (next as f64) >= target {
+                let into = (target - seen as f64) / b as f64;
+                let lo = bucket_lo(i) as f64;
+                let hi = bucket_hi(i) as f64;
+                return lo + into * (hi - lo);
+            }
+            seen = next;
+        }
+        bucket_hi(HIST_BUCKETS - 1) as f64
+    }
+
+    /// Mean latency in nanoseconds (0 for an empty histogram).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+}
+
+/// Named `(metric, value)` pairs in export order.
+pub(crate) type NamedValues = Vec<(&'static str, u64)>;
+
+/// Sums `shards` into `(counters, gauges, histograms)` snapshot vectors.
+/// Counters add; gauges take the maximum (only one shard sets each).
+pub(crate) fn merge_shards(
+    shards: &[std::sync::Arc<Shard>],
+) -> (NamedValues, NamedValues, Vec<HistSnapshot>) {
+    let counters = Counter::ALL
+        .iter()
+        .map(|&c| {
+            let total: u64 = shards
+                .iter()
+                .map(|s| s.counters[c as usize].load(Ordering::Relaxed))
+                .sum();
+            (c.name(), total)
+        })
+        .collect();
+    let gauges = Gauge::ALL
+        .iter()
+        .map(|&g| {
+            let max = shards
+                .iter()
+                .map(|s| s.gauges[g as usize].load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0);
+            (g.name(), max)
+        })
+        .collect();
+    let hists = Hist::ALL
+        .iter()
+        .map(|&h| {
+            let mut out = HistSnapshot::empty(h.name());
+            for s in shards {
+                let hs = &s.hists[h as usize];
+                for (acc, b) in out.buckets.iter_mut().zip(hs.buckets.iter()) {
+                    *acc += b.load(Ordering::Relaxed);
+                }
+                out.count += hs.count.load(Ordering::Relaxed);
+                out.sum_nanos += hs.sum_nanos.load(Ordering::Relaxed);
+            }
+            out
+        })
+        .collect();
+    (counters, gauges, hists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_binary_orders_of_magnitude() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(3), 1);
+        assert_eq!(latency_bucket(4), 2);
+        assert_eq!(latency_bucket(1023), 9);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(latency_bucket(u64::MAX), HIST_BUCKETS - 1);
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(latency_bucket(bucket_lo(i).max(1)), i.min(HIST_BUCKETS - 1));
+            assert!(bucket_lo(i) < bucket_hi(i));
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = HistSnapshot::empty("t");
+        assert_eq!(h.quantile_nanos(0.5), 0.0);
+        // 100 samples at exactly 1024 ns -> bucket 10 = [1024, 2048).
+        h.buckets[10] = 100;
+        h.count = 100;
+        h.sum_nanos = 100 * 1024;
+        let p50 = h.quantile_nanos(0.5);
+        assert!((1024.0..2048.0).contains(&p50), "{p50}");
+        let p99 = h.quantile_nanos(0.99);
+        assert!(p99 >= p50, "{p99} < {p50}");
+        assert!((h.mean_nanos() - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shard_record_and_merge_round_trip() {
+        let shard = std::sync::Arc::new(Shard::new());
+        shard.add(Counter::ShotsTier2, 7);
+        shard.add(Counter::ShotsTier2, 3);
+        shard.set(Gauge::Workers, 4);
+        shard.record(Hist::DecodeShotRung0, 1000);
+        shard.record(Hist::DecodeShotRung0, 2000);
+        let (counters, gauges, hists) = merge_shards(&[shard]);
+        assert!(counters.contains(&("shots_tier2", 10)));
+        assert!(gauges.contains(&("workers", 4)));
+        let h = hists
+            .iter()
+            .find(|h| h.name == "decode_shot_rung0")
+            .unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_nanos, 3000);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn merged_histograms_sum_parts() {
+        let mut a = HistSnapshot::empty("a");
+        a.buckets[3] = 5;
+        a.count = 5;
+        a.sum_nanos = 50;
+        let mut b = HistSnapshot::empty("b");
+        b.buckets[4] = 2;
+        b.count = 2;
+        b.sum_nanos = 40;
+        let m = HistSnapshot::merged("m", &[&a, &b]);
+        assert_eq!(m.count, 7);
+        assert_eq!(m.sum_nanos, 90);
+        assert_eq!(m.buckets[3], 5);
+        assert_eq!(m.buckets[4], 2);
+    }
+}

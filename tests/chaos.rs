@@ -8,6 +8,7 @@ use caliqec_match::{
     graph_for_circuit, EngineRun, FaultKind, FaultPlan, LerEngine, SampleOptions, Tiered,
     UnionFindDecoder,
 };
+use caliqec_obs::{EventKind, ObsSink, Snapshot};
 use caliqec_stab::CompiledCircuit;
 use std::sync::Once;
 
@@ -69,6 +70,17 @@ fn run_with(plan: FaultPlan, threads: usize) -> EngineRun {
         .with_faults(plan)
         .try_estimate(&compiled, &factory, OPTS, SEED)
         .expect("engine must recover injected faults on the ladder")
+}
+
+fn run_observed(plan: FaultPlan, threads: usize) -> (EngineRun, Snapshot) {
+    let (compiled, factory) = workload();
+    let sink = ObsSink::enabled();
+    let run = LerEngine::new(threads)
+        .with_faults(plan)
+        .with_obs(sink.clone())
+        .try_estimate(&compiled, &factory, OPTS, SEED)
+        .expect("engine must recover injected faults on the ladder");
+    (run, sink.snapshot())
 }
 
 #[test]
@@ -148,6 +160,106 @@ fn recovery_is_thread_count_independent() {
     assert_eq!(many.faulted_chunks, 2);
     assert_eq!(one.faulted_chunks, one.retried_chunks);
     assert_eq!(many.faulted_chunks, many.retried_chunks);
+}
+
+#[test]
+fn every_injected_fault_has_a_matching_journal_event() {
+    quiet_worker_panics();
+    let kinds = [
+        (FaultPlan::new().panic_at(0), 0u32, "panic"),
+        (FaultPlan::new().stall_at(1), 1, "stall"),
+        (FaultPlan::new().corrupt_defects_at(0), 0, "panic"),
+        (FaultPlan::new().bad_weights_at(2), 2, "invalid_graph"),
+    ];
+    for (plan, chunk, tag) in kinds {
+        let (_run, snap) = run_observed(plan, 2);
+        let faults: Vec<_> = snap
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Fault { kind, rung } => Some((e.chunk, kind, rung)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            faults,
+            vec![(chunk, tag, 0u8)],
+            "{tag}@{chunk}: exactly one fault event on rung 0"
+        );
+        let retries: Vec<_> = snap
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Retry { rung } => Some((e.chunk, rung)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            retries,
+            vec![(chunk, 1u8)],
+            "{tag}@{chunk}: the retry relaunches the faulted chunk on rung 1"
+        );
+        // The journal's retry must be ordered after its fault within the
+        // chunk (same worker assigns both sequence numbers).
+        let fault_pos = snap
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::Fault { .. }))
+            .unwrap();
+        let retry_pos = snap
+            .events
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::Retry { .. }))
+            .unwrap();
+        assert!(fault_pos < retry_pos, "{tag}@{chunk}: fault before retry");
+    }
+}
+
+#[test]
+fn journal_counts_reconcile_with_run_accounting() {
+    quiet_worker_panics();
+    let plan = FaultPlan::new().panic_at(0).stall_at(1).bad_weights_at(3);
+    let (run, snap) = run_observed(plan, 4);
+    let count_kind = |want: &str| {
+        snap.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Fault { kind, .. } if kind == want))
+            .count()
+    };
+    assert_eq!(
+        count_kind("panic") + count_kind("stall") + count_kind("invalid_graph"),
+        run.faulted_chunks,
+        "every fault in the run log appears in the journal"
+    );
+    assert_eq!(count_kind("panic"), run.panic_faults);
+    assert_eq!(count_kind("stall"), run.stall_faults);
+    assert_eq!(count_kind("invalid_graph"), run.graph_faults);
+    let retries = snap
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Retry { .. }))
+        .count();
+    assert_eq!(retries, run.retried_chunks);
+    // Chunks finished per rung reconcile with the run's ladder counters.
+    for rung in 0..3u8 {
+        let finished = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ChunkFinish { rung: r, .. } if r == rung))
+            .count();
+        assert_eq!(
+            finished, run.rung_chunks[rung as usize],
+            "rung {rung}: journal finishes match rung_chunks"
+        );
+    }
+    // Snapshot counters agree with both views.
+    assert_eq!(
+        snap.counter("faults_panic") + snap.counter("faults_stall") + snap.counter("faults_graph"),
+        run.faulted_chunks as u64
+    );
+    assert_eq!(snap.counter("retries"), run.retried_chunks as u64);
+    assert_eq!(snap.counter("shots_degraded"), run.degraded_shots as u64);
+    assert_eq!(snap.counter("chunks_finished"), run.chunks_executed as u64);
 }
 
 #[test]
