@@ -6,8 +6,8 @@
 
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
 use caliqec_match::{
-    graph_for_circuit, Decoder, MatchingGraph, MwpmDecoder, Predecoder, ReferenceUnionFind,
-    UnionFindDecoder,
+    graph_for_circuit, ClusterTier, Decoder, MatchingGraph, MwpmDecoder, Predecoder,
+    ReferenceUnionFind, UnionFindDecoder, MAX_CLUSTER_DEFECTS,
 };
 use caliqec_stab::{extract_dem, BatchEvents, FrameSampler, RateTable, SparseBatch, BATCH};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -276,6 +276,75 @@ fn bench_two_tier(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dense-regime cluster tier at the d = 15 wall: monolithic union-find
+/// over whole dense shots (`cluster_off`) vs flood-decomposition with
+/// certified peeling plus one union-find call on the residual union
+/// (`cluster_on`), plus the decomposition cost alone (`decompose_only`).
+/// Shots are the p = 1e-3 circuit-noise stream restricted to the dense
+/// regime (> MAX_CLUSTER_DEFECTS defects), i.e. exactly the shots the
+/// engine routes through the tier.
+fn bench_dense_cluster(c: &mut Criterion) {
+    let mem = memory_circuit(
+        &rotated_patch(15, 15),
+        &NoiseModel::uniform(1e-3),
+        15,
+        MemoryBasis::Z,
+    );
+    let graph = graph_for_circuit(&mem.circuit);
+    let mut sampler = FrameSampler::new(&mem.circuit);
+    let mut rng = StdRng::seed_from_u64(15);
+    let mut sparse = SparseBatch::new();
+    let mut dense: Vec<Vec<usize>> = Vec::new();
+    while dense.len() < 128 {
+        let ev = sampler.sample_batch(&mut rng);
+        sparse.extract(&ev);
+        for s in 0..BATCH {
+            if sparse.defect_count(s) > MAX_CLUSTER_DEFECTS {
+                dense.push(sparse.defects(s).to_vec());
+                if dense.len() >= 128 {
+                    break;
+                }
+            }
+        }
+    }
+    let mut group = c.benchmark_group("dense_cluster_d15");
+    group.sample_size(20);
+    group.bench_function("cluster_off", |b| {
+        let mut dec = UnionFindDecoder::new(graph.clone());
+        let mut i = 0;
+        b.iter(|| {
+            let s = &dense[i % dense.len()];
+            i += 1;
+            dec.decode(s)
+        });
+    });
+    group.bench_function("cluster_on", |b| {
+        let mut tier = ClusterTier::new(&graph);
+        let mut dec = UnionFindDecoder::new(graph.clone());
+        let mut i = 0;
+        b.iter(|| {
+            let s = &dense[i % dense.len()];
+            i += 1;
+            let out = tier.decompose(s);
+            if out.fully_peeled() {
+                out.mask
+            } else {
+                out.mask ^ dec.decode(tier.residual_defects())
+            }
+        });
+    });
+    group.bench_function("decompose_only", |b| {
+        let mut tier = ClusterTier::new(&graph);
+        let mut i = 0;
+        b.iter(|| {
+            let s = &dense[i % dense.len()];
+            i += 1;
+            tier.decompose(s).mask
+        });
+    });
+    group.finish();
+}
+
 /// Incremental calibration update vs full rebuild: reweighting the graph
 /// in place from provenance (`MatchingGraph::reweight`) against the
 /// from-scratch path a naive calibration feed forces (`DetectorErrorModel::
@@ -323,6 +392,7 @@ criterion_group!(
     bench_decode_pipeline,
     bench_mwpm_cache,
     bench_two_tier,
+    bench_dense_cluster,
     bench_reweight
 );
 criterion_main!(benches);

@@ -3,7 +3,10 @@
 //! extraction on surface-code memory circuits.
 
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
-use caliqec_stab::{extract_dem, noiseless_shot, FrameSampler, BATCH};
+use caliqec_stab::{
+    chunk_seed, extract_dem, noiseless_shot, BatchEvents, CompiledCircuit, FrameSampler,
+    FrameState, WideFrameState, BATCH, LANES,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,6 +46,49 @@ fn bench_tableau_shot(c: &mut Criterion) {
     group.finish();
 }
 
+/// The word-level SIMD sampler: LANES batches sampled in lockstep over
+/// `[u64; LANES]` rows vs the same batches sampled one at a time. Both
+/// paths draw from identical per-batch RNG streams and produce
+/// bit-identical events (`wide_lanes_are_bit_identical_to_narrow_batches`
+/// in caliqec-stab); only throughput differs. d = 15 is the dense-regime
+/// workload whose sample phase the engine batches this way.
+fn bench_sample_simd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_simd");
+    group.sample_size(20);
+    for d in [11usize, 15] {
+        let mem = memory(d);
+        let compiled = CompiledCircuit::new(&mem.circuit);
+        group.throughput(Throughput::Elements((LANES * BATCH) as u64));
+        group.bench_with_input(BenchmarkId::new("narrow", d), &compiled, |b, compiled| {
+            let mut state = FrameState::new(compiled);
+            let mut events = BatchEvents::default();
+            let mut batch = 0u64;
+            b.iter(|| {
+                for _ in 0..LANES {
+                    let mut rng = StdRng::seed_from_u64(chunk_seed(0x50D1, batch));
+                    batch += 1;
+                    compiled.sample_batch_into(&mut state, &mut rng, &mut events);
+                }
+                events.detectors.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("wide", d), &compiled, |b, compiled| {
+            let mut state = WideFrameState::new(compiled);
+            let mut events: [BatchEvents; LANES] = std::array::from_fn(|_| BatchEvents::default());
+            let mut batch = 0u64;
+            b.iter(|| {
+                let mut rngs: [StdRng; LANES] = std::array::from_fn(|l| {
+                    StdRng::seed_from_u64(chunk_seed(0x50D1, batch + l as u64))
+                });
+                batch += LANES as u64;
+                compiled.sample_batches_wide_into(&mut state, &mut rngs, &mut events);
+                events[0].detectors.len()
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_dem_extraction(c: &mut Criterion) {
     let mut group = c.benchmark_group("dem_extraction");
     group.sample_size(10);
@@ -59,6 +105,7 @@ criterion_group!(
     benches,
     bench_frame_sampler,
     bench_tableau_shot,
+    bench_sample_simd,
     bench_dem_extraction
 );
 criterion_main!(benches);

@@ -1,19 +1,32 @@
 //! Decode-pipeline performance smoke: runs the Monte-Carlo LER engine on
-//! fixed-seed d ∈ {7, 11, 15} circuit-noise workloads and writes per-config
-//! throughput/phase-timing numbers to a JSON file (`BENCH_decode.json` at
-//! the repo root by default), stamped with the current git commit so a
-//! checked-in file is traceable to the tree that produced it.
+//! fixed-seed circuit-noise workloads (`--configs`, default d ∈ {7, 11, 15};
+//! pass `--configs 7,11,15,21` to opt into the d = 21 row) and writes
+//! per-config throughput/phase-timing numbers to a JSON file
+//! (`BENCH_decode.json` at the repo root by default), stamped with the
+//! current git commit so a checked-in file is traceable to the tree that
+//! produced it.
 //!
-//! The decode stack is the production two-tier pipeline: empty shots skip
+//! The decode stack is the production tiered pipeline: empty shots skip
 //! decoding outright (tier 0), certifiable sparse shots resolve in the
-//! predecoder (tier 1), and only the residue reaches the union-find
-//! decoder. Per-tier shot counters, the predecode/decode timing split, the
-//! defect-count histogram, and per-tier per-shot latency percentiles
-//! (`tier1_p50_us`..`tier2_p99_us`, from the engine's observability sink)
-//! all land in the JSON.
+//! predecoder (tier 1), dense shots are flood-decomposed by the cluster
+//! tier (fully-peeled shots never reach a decoder call), and only the
+//! residue reaches the union-find decoder. Per-tier shot counters, the
+//! sample/extract/predecode/cluster/decode timing split, the defect-count
+//! and cluster-size histograms, and per-tier per-shot latency percentiles
+//! (from the engine's observability sink) all land in the JSON. A tier
+//! that never fired contributes **no** percentile fields — consumers
+//! (including `--compare`) must treat the fields as optional rather than
+//! read zeros that were never measured.
+//!
+//! The binary also asserts the engine's accounting invariants and exits
+//! nonzero when they fail: the four tiers must partition the shot budget,
+//! the defect histogram must sum to the shots, the cluster-size histogram
+//! must sum to `clusters_total`, and the phase timers must fit the wall
+//! budget.
 //!
 //! Flags: `--shots N` (shot budget per config, default 100 000),
-//! `--threads N` (worker count, default auto), `--out PATH`,
+//! `--threads N` (worker count, default auto), `--configs LIST`
+//! (comma-separated distances), `--out PATH`,
 //! `--label TEXT` (free-form run label stamped into the JSON),
 //! `--compare OLD.json` (after running, print a per-config speedup table
 //! against a previously written file — a missing, corrupt, or
@@ -25,7 +38,7 @@
 use caliqec_bench::compare::{compare_table, load_baseline, regression_warnings};
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
 use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, Tiered, UnionFindDecoder};
-use caliqec_obs::{Hist, ObsSink};
+use caliqec_obs::{Hist, HistSnapshot, ObsSink};
 use caliqec_stab::CompiledCircuit;
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -47,16 +60,58 @@ fn git_commit() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Renders a tier's latency percentiles as JSON fields, or nothing at all
+/// when the tier never fired — absent fields, not zeros.
+fn percentile_fields(prefix: &str, h: &HistSnapshot) -> String {
+    if h.count == 0 {
+        return String::new();
+    }
+    let us = |q: f64| h.quantile_nanos(q) / 1e3;
+    format!(
+        "\"{prefix}_p50_us\": {:.3}, \"{prefix}_p95_us\": {:.3}, \"{prefix}_p99_us\": {:.3}, ",
+        us(0.50),
+        us(0.95),
+        us(0.99),
+    )
+}
+
+/// Renders a histogram slice as a JSON array body.
+fn histogram_body(hist: &[u64]) -> String {
+    let mut out = String::new();
+    for (j, count) in hist.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{count}").expect("write to string");
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let shots = caliqec_bench::usize_from_args("shots", 100_000);
     let threads = caliqec_bench::threads_from_args();
     let out = caliqec_bench::string_from_args("out", "BENCH_decode.json");
     let label = caliqec_bench::string_from_args("label", "");
     let compare = caliqec_bench::string_from_args("compare", "");
+    let configs_arg = caliqec_bench::string_from_args("configs", "7,11,15");
     let p = 1e-3;
 
+    let mut distances = Vec::new();
+    for part in configs_arg.split(',') {
+        match part.trim().parse::<usize>() {
+            Ok(d) if d >= 3 && d % 2 == 1 => distances.push(d),
+            _ => {
+                eprintln!(
+                    "perf_smoke: error: --configs wants comma-separated odd distances >= 3, \
+                     got {part:?}"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let mut configs = String::new();
-    for (i, d) in [7usize, 11, 15].into_iter().enumerate() {
+    for (i, d) in distances.iter().copied().enumerate() {
         // One sink per config so the per-tier latency histograms don't mix
         // distances; observation is passive, so the estimate is
         // bit-identical to an uninstrumented engine.
@@ -79,7 +134,8 @@ fn main() -> ExitCode {
             &Tiered::new(&graph, {
                 let graph = graph.clone();
                 move || UnionFindDecoder::new(graph.clone())
-            }),
+            })
+            .with_cluster(),
             SampleOptions {
                 min_shots: shots,
                 ..Default::default()
@@ -88,21 +144,63 @@ fn main() -> ExitCode {
         );
         eprintln!(
             "perf_smoke: d={d}: {:.0} shots/s (sample {:.3}s, extract {:.3}s, \
-             predecode {:.3}s, decode {:.3}s; tier0 {}, predecoded {}, residual {})",
+             predecode {:.3}s, cluster {:.3}s, decode {:.3}s; tier0 {}, predecoded {}, \
+             clustered {}, residual {})",
             run.shots_per_sec(),
             run.sample_seconds,
             run.extract_seconds,
             run.predecode_seconds,
+            run.cluster_seconds,
             run.decode_seconds,
             run.tier0_shots,
             run.predecoded_shots,
+            run.clustered_shots,
             run.residual_shots,
         );
+        // Accounting invariants: the four tiers partition the shot budget
+        // and each histogram sums to the population it claims to cover. A
+        // violation means the engine's tier dispatch is broken, which
+        // would silently skew every number this binary reports.
+        let partition =
+            run.tier0_shots + run.predecoded_shots + run.clustered_shots + run.residual_shots;
+        if partition != run.estimate.shots {
+            eprintln!(
+                "perf_smoke: error: tier partition broke at d={d}: \
+                 {} + {} + {} + {} = {partition} != {} shots",
+                run.tier0_shots,
+                run.predecoded_shots,
+                run.clustered_shots,
+                run.residual_shots,
+                run.estimate.shots
+            );
+            return ExitCode::from(3);
+        }
+        let defect_sum: u64 = run.defect_histogram.iter().sum();
+        if defect_sum != run.estimate.shots as u64 {
+            eprintln!(
+                "perf_smoke: error: defect histogram sums to {defect_sum}, \
+                 expected {} shots at d={d}",
+                run.estimate.shots
+            );
+            return ExitCode::from(3);
+        }
+        let cluster_sum: u64 = run.cluster_size_histogram.iter().sum();
+        if cluster_sum != run.clusters_total {
+            eprintln!(
+                "perf_smoke: error: cluster-size histogram sums to {cluster_sum}, \
+                 expected clusters_total = {} at d={d}",
+                run.clusters_total
+            );
+            return ExitCode::from(3);
+        }
         // The phase timers partition each chunk's wall clock per worker, so
         // their sum across workers can never exceed workers × run wall
         // (5% slack for timer granularity).
-        let phase_sum =
-            run.sample_seconds + run.extract_seconds + run.predecode_seconds + run.decode_seconds;
+        let phase_sum = run.sample_seconds
+            + run.extract_seconds
+            + run.predecode_seconds
+            + run.cluster_seconds
+            + run.decode_seconds;
         if phase_sum > run.threads as f64 * run.wall_seconds * 1.05 {
             eprintln!(
                 "perf_smoke: error: phase timers exceed the wall budget: \
@@ -115,18 +213,14 @@ fn main() -> ExitCode {
         let tier1 = snap
             .hist(Hist::PredecodeShot)
             .cloned()
-            .unwrap_or_else(|| caliqec_obs::HistSnapshot::empty(Hist::PredecodeShot.name()));
+            .unwrap_or_else(|| HistSnapshot::empty(Hist::PredecodeShot.name()));
+        let cluster_hist = snap
+            .hist(Hist::ClusterShot)
+            .cloned()
+            .unwrap_or_else(|| HistSnapshot::empty(Hist::ClusterShot.name()));
         let tier2 = snap.decode_shot_hist();
-        let us = |h: &caliqec_obs::HistSnapshot, q: f64| h.quantile_nanos(q) / 1e3;
         if i > 0 {
             configs.push_str(",\n");
-        }
-        let mut histogram = String::new();
-        for (j, count) in run.defect_histogram.iter().enumerate() {
-            if j > 0 {
-                histogram.push_str(", ");
-            }
-            write!(histogram, "{count}").expect("write to string");
         }
         write!(
             configs,
@@ -135,14 +229,16 @@ fn main() -> ExitCode {
                 "\"shots\": {}, \"failures\": {}, \"shots_per_sec\": {:.1}, ",
                 "\"wall_seconds\": {:.6}, \"sample_seconds\": {:.6}, ",
                 "\"extract_seconds\": {:.6}, \"predecode_seconds\": {:.6}, ",
+                "\"cluster_seconds\": {:.6}, ",
                 "\"decode_seconds\": {:.6}, \"tier0_shots\": {}, ",
                 "\"predecoded_shots\": {}, \"predecoded_defects\": {}, ",
+                "\"clustered_shots\": {}, \"clustered_defects\": {}, ",
+                "\"clusters_total\": {}, ",
                 "\"residual_shots\": {}, \"reweight_seconds\": {:.6}, ",
                 "\"epochs\": {}, ",
-                "\"tier1_p50_us\": {:.3}, \"tier1_p95_us\": {:.3}, ",
-                "\"tier1_p99_us\": {:.3}, \"tier2_p50_us\": {:.3}, ",
-                "\"tier2_p95_us\": {:.3}, \"tier2_p99_us\": {:.3}, ",
-                "\"defect_histogram\": [{}]}}"
+                "{}{}{}",
+                "\"defect_histogram\": [{}], ",
+                "\"cluster_size_histogram\": [{}]}}"
             ),
             d,
             p,
@@ -155,20 +251,22 @@ fn main() -> ExitCode {
             run.sample_seconds,
             run.extract_seconds,
             run.predecode_seconds,
+            run.cluster_seconds,
             run.decode_seconds,
             run.tier0_shots,
             run.predecoded_shots,
             run.predecoded_defects,
+            run.clustered_shots,
+            run.clustered_defects,
+            run.clusters_total,
             run.residual_shots,
             run.reweight_seconds,
             run.epochs,
-            us(&tier1, 0.50),
-            us(&tier1, 0.95),
-            us(&tier1, 0.99),
-            us(&tier2, 0.50),
-            us(&tier2, 0.95),
-            us(&tier2, 0.99),
-            histogram,
+            percentile_fields("tier1", &tier1),
+            percentile_fields("cluster", &cluster_hist),
+            percentile_fields("tier2", &tier2),
+            histogram_body(&run.defect_histogram),
+            histogram_body(&run.cluster_size_histogram),
         )
         .expect("write to string");
     }

@@ -5,8 +5,13 @@
 //! determinism contract: **results depend only on `(options, base_seed)`
 //! — never on the thread count or scheduling order.** Concretely:
 //!
-//! - The chunk size is a function of the shot budget alone, and chunk `i`
-//!   samples from an RNG seeded by [`chunk_seed`]`(base_seed, i)`.
+//! - The chunk size is a function of the shot budget alone, and every
+//!   64-shot batch `b` (numbered globally across the run) samples from its
+//!   own RNG seeded by [`chunk_seed`]`(base_seed, b)`. Per-*batch* seeding
+//!   makes batches independent streams, which lets a chunk sample
+//!   [`LANES`] of them in SIMD lockstep ([`CompiledCircuit::sample_batches_wide_into`])
+//!   while each batch stays bit-identical to a narrow
+//!   `sample_batch_into` replay with the same seed.
 //! - `max_failures` early-stopping is resolved at chunk granularity: the
 //!   run is cut at the *first* chunk at which the cumulative failure count
 //!   over chunks `0..=k` reaches the budget, and only chunks up to the cut
@@ -30,12 +35,12 @@
 //!   inside a worker.
 //! - Each chunk's sample+decode runs under `catch_unwind`. A chunk that
 //!   panics (or stalls, or trips graph validation) is quarantined and
-//!   re-run with the **same** [`chunk_seed`]`(base_seed, idx)` on the next
+//!   re-run with the **same** per-batch seed schedule on the next
 //!   rung of a degradation ladder: rung 0 is the factory's decoder with
 //!   its predecoder, rung 1 a freshly built decoder without the
 //!   predecoder, rung 2 a [`ReferenceUnionFind`] over the factory's
-//!   fallback graph. Because the sampled shots depend only on the chunk
-//!   seed, a retry re-decodes the *identical* syndrome stream.
+//!   fallback graph. Because the sampled shots depend only on the chunk's
+//!   batch seeds, a retry re-decodes the *identical* syndrome stream.
 //! - A worker panic can no longer cascade: the shared mutex recovers from
 //!   poisoning via `PoisonError::into_inner`, and a chunk that faults on
 //!   every rung surfaces as one typed [`EngineError::ChunkFailed`].
@@ -48,6 +53,7 @@
 //! to exercise this machinery deterministically; injection only ever fires
 //! on a chunk's first (rung-0) attempt.
 
+use crate::cluster::{cluster_hist_bucket, ClusterTier, CLUSTER_HIST_BUCKETS};
 use crate::decode::{Decoder, LerEstimate, SampleOptions};
 use crate::error::{EngineError, ValidationError};
 use crate::faults::{FaultKind, FaultPlan};
@@ -57,7 +63,7 @@ use crate::reference::ReferenceUnionFind;
 use caliqec_obs::{Counter, Event, EventKind, Gauge, Hist, ObsSink, WorkerObs};
 use caliqec_stab::{
     chunk_seed, resolve_threads, BatchEvents, Circuit, CompiledCircuit, FrameState, RateTable,
-    SparseBatch, BATCH,
+    SparseBatch, WideFrameState, BATCH, LANES,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -100,6 +106,15 @@ pub trait DecoderFactory: Sync {
         Ok(())
     }
 
+    /// Optional dense-regime cluster tier placed in front of every rung-0
+    /// decoder (one instance per worker; instances share their tables).
+    /// The default is `None` — dense shots decode monolithically. Wrap a
+    /// factory in [`crate::Tiered`] and call [`crate::Tiered::with_cluster`]
+    /// to enable it.
+    fn cluster_tier(&self) -> Option<ClusterTier> {
+        None
+    }
+
     /// The matching graph backing this factory's decoders, if the factory
     /// exposes one. Rung 2 of the degradation ladder builds a
     /// [`ReferenceUnionFind`] from it; without one the ladder ends at
@@ -135,6 +150,14 @@ pub trait GraphDecoderFactory: Sync {
     /// Builds one decoder over `graph` (already reweighted for the epoch it
     /// will decode).
     fn build_for(&self, graph: &MatchingGraph) -> Self::Decoder;
+
+    /// Whether epoch contexts should carry a dense-regime cluster tier
+    /// (built per epoch from the epoch predecoder's tables, since both are
+    /// weight-derived). Defaults to off, mirroring
+    /// [`DecoderFactory::cluster_tier`].
+    fn cluster(&self) -> bool {
+        false
+    }
 }
 
 impl<D: Decoder, F: Fn(&MatchingGraph) -> D + Sync> GraphDecoderFactory for F {
@@ -239,10 +262,38 @@ impl ChunkPlan {
         }
     }
 
+    /// Global index of the first batch of `chunk` — the unit the
+    /// per-batch RNG schedule is keyed on ([`chunk_seed`]`(base_seed,
+    /// first_batch + k)` seeds the chunk's `k`-th batch).
+    fn first_batch(&self, chunk: usize) -> usize {
+        chunk * self.chunk_batches
+    }
+
     /// Number of batches chunk `chunk` samples (the last chunk may be short).
     fn batches_in(&self, chunk: usize) -> usize {
-        let start = chunk * self.chunk_batches;
-        self.chunk_batches.min(self.max_batches - start)
+        self.chunk_batches
+            .min(self.max_batches - self.first_batch(chunk))
+    }
+}
+
+/// Per-worker sampling scratch, reused across every rung of every chunk a
+/// worker touches: the narrow frame state (tail batches), the [`LANES`]-wide
+/// lockstep state, one [`BatchEvents`] per lane, and the sparse extractor.
+struct SampleScratch {
+    state: FrameState,
+    wide: WideFrameState,
+    events: [BatchEvents; LANES],
+    sparse: SparseBatch,
+}
+
+impl SampleScratch {
+    fn new(compiled: &CompiledCircuit) -> SampleScratch {
+        SampleScratch {
+            state: FrameState::new(compiled),
+            wide: WideFrameState::new(compiled),
+            events: std::array::from_fn(|_| BatchEvents::default()),
+            sparse: SparseBatch::new(),
+        }
     }
 }
 
@@ -279,10 +330,15 @@ struct ChunkResult {
     predecoded_shots: usize,
     predecoded_defects: usize,
     residual_shots: usize,
+    clustered_shots: usize,
+    clustered_defects: usize,
+    clusters_total: u64,
+    cluster_size_histogram: [u64; CLUSTER_HIST_BUCKETS],
     defect_histogram: [u64; DEFECT_HIST_BUCKETS],
     sample_seconds: f64,
     extract_seconds: f64,
     predecode_seconds: f64,
+    cluster_seconds: f64,
     decode_seconds: f64,
 }
 
@@ -414,31 +470,46 @@ fn record_reweight(coord: &mut WorkerObs, epoch: u32, started: Option<Instant>) 
 /// When `obs` is enabled, per-shot predecode/decode latencies land in the
 /// histograms (`decode_hist` selects the rung-specific decode histogram);
 /// a disabled handle costs one branch per shot and reads no clock.
+///
+/// When a [`ClusterTier`] is supplied (rung 0 of a cluster-enabled
+/// [`crate::Tiered`] factory only), dense shots are flood-decomposed into
+/// independent clusters first: certified clusters are peeled without a
+/// decoder call (a fully-peeled shot counts as `clustered`, not
+/// `residual`), and each uncertified cluster is decoded by its own
+/// `decoder.decode` call on the cluster's defect slice, the masks XORed.
+/// Decomposition time is charged to `cluster_seconds`; per-cluster decoder
+/// calls to `decode_seconds`. The per-batch phase timestamps are replaced
+/// by per-shot interval sums on this path, so the timers still never
+/// exceed wall clock.
 #[allow(clippy::too_many_arguments)]
 fn run_chunk<D: Decoder>(
     compiled: &CompiledCircuit,
     decoder: &mut D,
     mut predecoder: Option<&mut Predecoder>,
-    state: &mut FrameState,
-    events: &mut BatchEvents,
-    sparse: &mut SparseBatch,
+    mut cluster: Option<&mut ClusterTier>,
+    scratch: &mut SampleScratch,
     plan: &ChunkPlan,
     chunk: usize,
     base_seed: u64,
     obs: &mut WorkerObs,
     decode_hist: Hist,
 ) -> ChunkResult {
-    let mut rng = StdRng::seed_from_u64(chunk_seed(base_seed, chunk as u64));
     let batches = plan.batches_in(chunk);
+    let first_batch = plan.first_batch(chunk) as u64;
     let mut failures = 0usize;
     let mut tier0_shots = 0usize;
     let mut predecoded_shots = 0usize;
     let mut predecoded_defects = 0usize;
     let mut residual_shots = 0usize;
+    let mut clustered_shots = 0usize;
+    let mut clustered_defects = 0usize;
+    let mut clusters_total = 0u64;
+    let mut cluster_size_histogram = [0u64; CLUSTER_HIST_BUCKETS];
     let mut defect_histogram = [0u64; DEFECT_HIST_BUCKETS];
     let mut sample_seconds = 0.0;
     let mut extract_seconds = 0.0;
     let mut predecode_seconds = 0.0;
+    let mut cluster_seconds = 0.0;
     let mut decode_seconds = 0.0;
     // Dense shots go straight to the full decoder; `cand` holds the
     // predecoder candidates, whose failures land in `uncertified`.
@@ -446,90 +517,170 @@ fn run_chunk<D: Decoder>(
     let mut cand: Vec<u32> = Vec::with_capacity(BATCH);
     let mut uncertified: Vec<u32> = Vec::with_capacity(BATCH);
     let has_pre = predecoder.is_some();
-    for _ in 0..batches {
+    let SampleScratch {
+        state,
+        wide,
+        events: lane_events,
+        sparse,
+    } = scratch;
+    let mut b = 0usize;
+    while b < batches {
+        // Sample up to LANES batches in lockstep. Each lane is an
+        // independent per-batch RNG stream, so the wide path and the
+        // narrow tail produce bit-identical words for a given batch index
+        // — only the sampling throughput differs.
+        let lanes = LANES.min(batches - b);
         let t0 = Instant::now();
-        compiled.sample_batch_into(state, &mut rng, events);
-        let t1 = Instant::now();
-        sparse.extract(events);
-        // Tier dispatch: tier 0 (empty defect list — identity correction,
-        // the prediction is the frame's observable word itself) is resolved
-        // here; shots past the certification bound go straight to `dense`
-        // (at d ≥ 15 this is nearly every shot, and the predecoder phase
-        // used to pay for all of them).
-        dense.clear();
-        cand.clear();
-        for s in 0..BATCH {
-            let defects = sparse.defect_count(s);
-            defect_histogram[defect_hist_bucket(defects)] += 1;
-            if defects == 0 {
-                tier0_shots += 1;
-                if sparse.observables(s) != 0 {
-                    failures += 1;
-                }
-            } else if has_pre && defects <= Predecoder::MAX_CERT_DEFECTS {
-                cand.push(s as u32);
-            } else {
-                dense.push(s as u32);
+        if lanes == LANES {
+            let mut rngs: [StdRng; LANES] = std::array::from_fn(|l| {
+                StdRng::seed_from_u64(chunk_seed(base_seed, first_batch + (b + l) as u64))
+            });
+            compiled.sample_batches_wide_into(wide, &mut rngs, lane_events);
+        } else {
+            for (l, ev) in lane_events[..lanes].iter_mut().enumerate() {
+                let mut rng =
+                    StdRng::seed_from_u64(chunk_seed(base_seed, first_batch + (b + l) as u64));
+                compiled.sample_batch_into(state, &mut rng, ev);
             }
         }
-        let t2 = Instant::now();
-        uncertified.clear();
-        if let Some(pre) = predecoder.as_deref_mut() {
-            let mut shot_t = obs.clock();
-            for &s in &cand {
-                let s = s as usize;
-                if let Some(mask) = pre.predecode(sparse.defects(s)) {
-                    predecoded_shots += 1;
-                    predecoded_defects += sparse.defect_count(s);
+        sample_seconds += t0.elapsed().as_secs_f64();
+        b += lanes;
+        for events in lane_events[..lanes].iter() {
+            let t1 = Instant::now();
+            sparse.extract(events);
+            // Tier dispatch: tier 0 (empty defect list — identity correction,
+            // the prediction is the frame's observable word itself) is resolved
+            // here; shots past the certification bound go straight to `dense`
+            // (at d ≥ 15 this is nearly every shot, and the predecoder phase
+            // used to pay for all of them).
+            dense.clear();
+            cand.clear();
+            for s in 0..BATCH {
+                let defects = sparse.defect_count(s);
+                defect_histogram[defect_hist_bucket(defects)] += 1;
+                if defects == 0 {
+                    tier0_shots += 1;
+                    if sparse.observables(s) != 0 {
+                        failures += 1;
+                    }
+                } else if has_pre && defects <= Predecoder::MAX_CERT_DEFECTS {
+                    cand.push(s as u32);
+                } else {
+                    dense.push(s as u32);
+                }
+            }
+            let t2 = Instant::now();
+            uncertified.clear();
+            if let Some(pre) = predecoder.as_deref_mut() {
+                // Dense configs leave `cand` empty for almost every batch;
+                // skipping the pass entirely avoids paying the per-shot timer
+                // setup just to report a tier that never fired.
+                if !cand.is_empty() {
+                    let mut shot_t = obs.clock();
+                    for &s in &cand {
+                        let s = s as usize;
+                        if let Some(mask) = pre.predecode(sparse.defects(s)) {
+                            predecoded_shots += 1;
+                            predecoded_defects += sparse.defect_count(s);
+                            if mask != sparse.observables(s) {
+                                failures += 1;
+                            }
+                        } else {
+                            uncertified.push(s as u32);
+                        }
+                        shot_t = obs.record_since(Hist::PredecodeShot, shot_t);
+                    }
+                }
+            }
+            let t3 = Instant::now();
+            predecode_seconds += (t3 - t2).as_secs_f64();
+            if let Some(clu) = cluster.as_deref_mut() {
+                // Dense shots: flood-decompose, peel certified clusters, decode
+                // the residual union in one full-decoder call, XOR the masks.
+                // Phase time is summed per shot (decomposition vs decoding), so
+                // loop-tail bookkeeping is charged to neither and the timers
+                // stay below wall clock.
+                for &s in &dense {
+                    let s = s as usize;
+                    let c0 = Instant::now();
+                    let out = clu.decompose(sparse.defects(s));
+                    let c1 = Instant::now();
+                    cluster_seconds += (c1 - c0).as_secs_f64();
+                    clusters_total += out.clusters as u64;
+                    for &size in clu.cluster_sizes() {
+                        cluster_size_histogram[cluster_hist_bucket(size as usize)] += 1;
+                    }
+                    clustered_defects += out.peeled_defects as usize;
+                    let mut mask = out.mask;
+                    if out.fully_peeled() {
+                        clustered_shots += 1;
+                        if obs.enabled() {
+                            obs.record(Hist::ClusterShot, (c1 - c0).as_nanos() as u64);
+                        }
+                    } else {
+                        residual_shots += 1;
+                        let d0 = Instant::now();
+                        mask ^= decoder.decode(clu.residual_defects());
+                        let d1 = Instant::now();
+                        decode_seconds += (d1 - d0).as_secs_f64();
+                        if obs.enabled() {
+                            obs.record(decode_hist, (d1 - d0).as_nanos() as u64);
+                        }
+                    }
                     if mask != sparse.observables(s) {
                         failures += 1;
                     }
-                } else {
-                    uncertified.push(s as u32);
                 }
-                shot_t = obs.record_since(Hist::PredecodeShot, shot_t);
-            }
-        }
-        let t3 = Instant::now();
-        // Decode dense ∪ uncertified in ascending shot order (both lists
-        // are ascending — a two-pointer merge preserves the historic decode
-        // order exactly).
-        {
-            let mut shot_t = obs.clock();
-            let (mut i, mut j) = (0usize, 0usize);
-            loop {
-                let s = match (dense.get(i), uncertified.get(j)) {
-                    (Some(&a), Some(&b)) => {
-                        if a < b {
+                // The predecoder-declined candidates still decode monolithically
+                // (they are at most MAX_CERT_DEFECTS defects — not dense).
+                let mut shot_t = obs.clock();
+                for &s in &uncertified {
+                    let s = s as usize;
+                    let d0 = Instant::now();
+                    if decoder.decode(sparse.defects(s)) != sparse.observables(s) {
+                        failures += 1;
+                    }
+                    decode_seconds += d0.elapsed().as_secs_f64();
+                    shot_t = obs.record_since(decode_hist, shot_t);
+                }
+                residual_shots += uncertified.len();
+            } else {
+                // Decode dense ∪ uncertified in ascending shot order (both lists
+                // are ascending — a two-pointer merge preserves the historic
+                // decode order exactly).
+                let mut shot_t = obs.clock();
+                let (mut i, mut j) = (0usize, 0usize);
+                loop {
+                    let s = match (dense.get(i), uncertified.get(j)) {
+                        (Some(&a), Some(&b)) => {
+                            if a < b {
+                                i += 1;
+                                a
+                            } else {
+                                j += 1;
+                                b
+                            }
+                        }
+                        (Some(&a), None) => {
                             i += 1;
                             a
-                        } else {
+                        }
+                        (None, Some(&b)) => {
                             j += 1;
                             b
                         }
+                        (None, None) => break,
+                    } as usize;
+                    if decoder.decode(sparse.defects(s)) != sparse.observables(s) {
+                        failures += 1;
                     }
-                    (Some(&a), None) => {
-                        i += 1;
-                        a
-                    }
-                    (None, Some(&b)) => {
-                        j += 1;
-                        b
-                    }
-                    (None, None) => break,
-                } as usize;
-                if decoder.decode(sparse.defects(s)) != sparse.observables(s) {
-                    failures += 1;
+                    shot_t = obs.record_since(decode_hist, shot_t);
                 }
-                shot_t = obs.record_since(decode_hist, shot_t);
+                decode_seconds += (t3.elapsed()).as_secs_f64();
+                residual_shots += dense.len() + uncertified.len();
             }
+            extract_seconds += (t2 - t1).as_secs_f64();
         }
-        let t4 = Instant::now();
-        residual_shots += dense.len() + uncertified.len();
-        sample_seconds += (t1 - t0).as_secs_f64();
-        extract_seconds += (t2 - t1).as_secs_f64();
-        predecode_seconds += (t3 - t2).as_secs_f64();
-        decode_seconds += (t4 - t3).as_secs_f64();
     }
     ChunkResult {
         batches,
@@ -538,10 +689,15 @@ fn run_chunk<D: Decoder>(
         predecoded_shots,
         predecoded_defects,
         residual_shots,
+        clustered_shots,
+        clustered_defects,
+        clusters_total,
+        cluster_size_histogram,
         defect_histogram,
         sample_seconds,
         extract_seconds,
         predecode_seconds,
+        cluster_seconds,
         decode_seconds,
     }
 }
@@ -564,9 +720,8 @@ fn attempt_chunk<D: Decoder>(
     compiled: &CompiledCircuit,
     decoder: &mut D,
     predecoder: Option<&mut Predecoder>,
-    state: &mut FrameState,
-    events: &mut BatchEvents,
-    sparse: &mut SparseBatch,
+    cluster: Option<&mut ClusterTier>,
+    scratch: &mut SampleScratch,
     plan: &ChunkPlan,
     chunk: usize,
     base_seed: u64,
@@ -596,9 +751,16 @@ fn attempt_chunk<D: Decoder>(
                     return Err(ChunkFault::InvalidGraph(e));
                 }
             }
-            FaultKind::Panic | FaultKind::CorruptDefects => {
+            FaultKind::Panic | FaultKind::CorruptDefects | FaultKind::ClusterPanic => {
                 let caught = std::panic::catch_unwind(AssertUnwindSafe(|| match kind {
                     FaultKind::Panic => panic!("injected decoder panic at chunk {chunk}"),
+                    FaultKind::ClusterPanic => {
+                        // A cluster-tier bug: the flood decomposition blows
+                        // up before the first decoder call. The retry rung
+                        // drops the tier entirely (rungs ≥ 1 pass no
+                        // cluster), so recovery decodes monolithically.
+                        panic!("injected cluster-tier panic at chunk {chunk}")
+                    }
                     FaultKind::CorruptDefects => {
                         // A corrupted syndrome stream: one defect id far past
                         // every node the decoder knows.
@@ -617,9 +779,8 @@ fn attempt_chunk<D: Decoder>(
             compiled,
             decoder,
             predecoder,
-            state,
-            events,
-            sparse,
+            cluster,
+            scratch,
             plan,
             chunk,
             base_seed,
@@ -659,6 +820,12 @@ pub struct EngineRun {
     /// stays comparable with and without the fast path; dispatch
     /// bookkeeping is charged to `extract_seconds`.
     pub predecode_seconds: f64,
+    /// CPU seconds spent flood-decomposing dense shots into independent
+    /// clusters and peeling the certified ones (the dense-regime cluster
+    /// tier). Zero unless the factory enables the tier
+    /// ([`crate::Tiered::with_cluster`]). Per-cluster decoder calls on
+    /// uncertified clusters are charged to `decode_seconds`.
+    pub cluster_seconds: f64,
     /// CPU seconds spent in the full decoder on residual shots, summed
     /// across workers.
     pub decode_seconds: f64,
@@ -667,14 +834,30 @@ pub struct EngineRun {
     /// Like the timing counters, the per-tier shot counters and the
     /// histogram cover *all executed* chunks; without early stopping
     /// (`max_failures == 0`) they partition `estimate.shots` exactly:
-    /// `tier0_shots + predecoded_shots + residual_shots == shots`.
+    /// `tier0_shots + predecoded_shots + clustered_shots + residual_shots
+    /// == shots`.
     pub tier0_shots: usize,
     /// Shots fully resolved by the tier-1 predecoder (tier 1).
     pub predecoded_shots: usize,
     /// Total defects across predecoded shots.
     pub predecoded_defects: usize,
-    /// Shots decoded by the full decoder (tier 2).
+    /// Shots decoded by the full decoder (tier 2). A dense shot whose
+    /// decomposition left at least one uncertified cluster counts here (it
+    /// made decoder calls), even though its certified clusters peeled.
     pub residual_shots: usize,
+    /// Dense shots fully resolved by the cluster tier — every flood cluster
+    /// certified and peeled, zero full-decoder calls. Always zero when the
+    /// tier is off.
+    pub clustered_shots: usize,
+    /// Defects peeled by certified clusters across all dense shots
+    /// (including partial peels on shots that still count as residual).
+    pub clustered_defects: usize,
+    /// Flood clusters produced across all dense-shot decompositions.
+    pub clusters_total: u64,
+    /// Histogram of flood-cluster sizes: bucket `i < 15` counts clusters of
+    /// exactly `i + 1` defects; the last bucket is the ≥16 tail
+    /// ([`cluster_hist_bucket`]). Sums to `clusters_total`.
+    pub cluster_size_histogram: [u64; CLUSTER_HIST_BUCKETS],
     /// Histogram of per-shot defect counts: bucket `i < 32` counts shots
     /// with exactly `i` defects; the tail is log-scaled per
     /// [`defect_hist_bucket`] (32–63, 64–127, 128–255, ≥256).
@@ -736,11 +919,16 @@ struct Shared {
     sample_seconds: f64,
     extract_seconds: f64,
     predecode_seconds: f64,
+    cluster_seconds: f64,
     decode_seconds: f64,
     tier0_shots: usize,
     predecoded_shots: usize,
     predecoded_defects: usize,
     residual_shots: usize,
+    clustered_shots: usize,
+    clustered_defects: usize,
+    clusters_total: u64,
+    cluster_size_histogram: [u64; CLUSTER_HIST_BUCKETS],
     defect_histogram: [u64; DEFECT_HIST_BUCKETS],
     faulted_chunks: usize,
     retried_chunks: usize,
@@ -763,11 +951,16 @@ impl Shared {
             sample_seconds: 0.0,
             extract_seconds: 0.0,
             predecode_seconds: 0.0,
+            cluster_seconds: 0.0,
             decode_seconds: 0.0,
             tier0_shots: 0,
             predecoded_shots: 0,
             predecoded_defects: 0,
             residual_shots: 0,
+            clustered_shots: 0,
+            clustered_defects: 0,
+            clusters_total: 0,
+            cluster_size_histogram: [0; CLUSTER_HIST_BUCKETS],
             defect_histogram: [0; DEFECT_HIST_BUCKETS],
             faulted_chunks: 0,
             retried_chunks: 0,
@@ -1019,7 +1212,8 @@ impl LerEngine {
     /// weight-derived. Upfront reweight + table-build time is reported as
     /// [`EngineRun::reweight_seconds`].
     ///
-    /// Chunks keep the same deterministic [`chunk_seed`] schedule as
+    /// Chunks keep the same deterministic per-batch [`chunk_seed`]
+    /// schedule as
     /// [`LerEngine::try_estimate`] — the sampled syndrome stream depends
     /// only on `(options, base_seed)`, never on the epoch schedule; only
     /// decode weights vary. The degradation ladder is preserved: rung 1
@@ -1184,11 +1378,16 @@ fn assemble_run(
         sample_seconds: sh.sample_seconds,
         extract_seconds: sh.extract_seconds,
         predecode_seconds: sh.predecode_seconds,
+        cluster_seconds: sh.cluster_seconds,
         decode_seconds: sh.decode_seconds,
         tier0_shots: sh.tier0_shots,
         predecoded_shots: sh.predecoded_shots,
         predecoded_defects: sh.predecoded_defects,
         residual_shots: sh.residual_shots,
+        clustered_shots: sh.clustered_shots,
+        clustered_defects: sh.clustered_defects,
+        clusters_total: sh.clusters_total,
+        cluster_size_histogram: sh.cluster_size_histogram,
         defect_histogram: sh.defect_histogram,
         reweight_seconds,
         epochs,
@@ -1219,6 +1418,9 @@ fn observe_chunk_finish(
     obs.add(Counter::ShotsTier0, result.tier0_shots as u64);
     obs.add(Counter::ShotsTier1, result.predecoded_shots as u64);
     obs.add(Counter::ShotsTier2, result.residual_shots as u64);
+    if result.clustered_shots > 0 {
+        obs.add(Counter::ShotsCluster, result.clustered_shots as u64);
+    }
     let shots = (result.batches * BATCH) as u64;
     if rung > 0 {
         obs.add(Counter::ShotsDegraded, shots);
@@ -1262,9 +1464,8 @@ fn worker_loop<F: DecoderFactory>(
 ) {
     let mut decoder = factory.build();
     let mut predecoder = factory.predecoder();
-    let mut state = FrameState::new(compiled);
-    let mut events = BatchEvents::default();
-    let mut sparse = SparseBatch::new();
+    let mut cluster = factory.cluster_tier();
+    let mut scratch = SampleScratch::new(compiled);
     loop {
         {
             let sh = lock_shared(shared);
@@ -1300,9 +1501,8 @@ fn worker_loop<F: DecoderFactory>(
                     compiled,
                     &mut decoder,
                     predecoder.as_mut(),
-                    &mut state,
-                    &mut events,
-                    &mut sparse,
+                    cluster.as_mut(),
+                    &mut scratch,
                     plan,
                     chunk,
                     base_seed,
@@ -1318,9 +1518,8 @@ fn worker_loop<F: DecoderFactory>(
                         compiled,
                         &mut fresh,
                         None,
-                        &mut state,
-                        &mut events,
-                        &mut sparse,
+                        None,
+                        &mut scratch,
                         plan,
                         chunk,
                         base_seed,
@@ -1338,9 +1537,8 @@ fn worker_loop<F: DecoderFactory>(
                             compiled,
                             &mut reference,
                             None,
-                            &mut state,
-                            &mut events,
-                            &mut sparse,
+                            None,
+                            &mut scratch,
                             plan,
                             chunk,
                             base_seed,
@@ -1370,6 +1568,7 @@ fn worker_loop<F: DecoderFactory>(
                         // another chunk.
                         decoder = factory.build();
                         predecoder = factory.predecoder();
+                        cluster = factory.cluster_tier();
                     }
                     // Rung 2 without a fallback graph cannot be attempted;
                     // stop the ladder one rung early rather than count a
@@ -1418,11 +1617,22 @@ fn merge_chunk(
             sh.sample_seconds += result.sample_seconds;
             sh.extract_seconds += result.extract_seconds;
             sh.predecode_seconds += result.predecode_seconds;
+            sh.cluster_seconds += result.cluster_seconds;
             sh.decode_seconds += result.decode_seconds;
             sh.tier0_shots += result.tier0_shots;
             sh.predecoded_shots += result.predecoded_shots;
             sh.predecoded_defects += result.predecoded_defects;
             sh.residual_shots += result.residual_shots;
+            sh.clustered_shots += result.clustered_shots;
+            sh.clustered_defects += result.clustered_defects;
+            sh.clusters_total += result.clusters_total;
+            for (acc, &b) in sh
+                .cluster_size_histogram
+                .iter_mut()
+                .zip(result.cluster_size_histogram.iter())
+            {
+                *acc += b;
+            }
             for (acc, &b) in sh
                 .defect_histogram
                 .iter_mut()
@@ -1465,11 +1675,9 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
     shared: &Mutex<Shared>,
     mut obs: WorkerObs,
 ) {
-    let mut cache: Vec<Option<(F::Decoder, Predecoder)>> =
-        (0..contexts.len()).map(|_| None).collect();
-    let mut state = FrameState::new(compiled);
-    let mut events = BatchEvents::default();
-    let mut sparse = SparseBatch::new();
+    type EpochCache<D> = Vec<Option<(D, Predecoder, Option<ClusterTier>)>>;
+    let mut cache: EpochCache<F::Decoder> = (0..contexts.len()).map(|_| None).collect();
+    let mut scratch = SampleScratch::new(compiled);
     loop {
         {
             let sh = lock_shared(shared);
@@ -1503,16 +1711,19 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
             let decode_hist = decode_hist_for(rung);
             let attempt = match rung {
                 0 => {
-                    let (decoder, predecoder) = cache[epoch].get_or_insert_with(|| {
-                        (factory.build_for(&ctx.graph), ctx.predecoder.clone())
+                    let (decoder, predecoder, cluster) = cache[epoch].get_or_insert_with(|| {
+                        let predecoder = ctx.predecoder.clone();
+                        let cluster = factory
+                            .cluster()
+                            .then(|| ClusterTier::from_predecoder(&predecoder));
+                        (factory.build_for(&ctx.graph), predecoder, cluster)
                     });
                     attempt_chunk(
                         compiled,
                         decoder,
                         Some(predecoder),
-                        &mut state,
-                        &mut events,
-                        &mut sparse,
+                        cluster.as_mut(),
+                        &mut scratch,
                         plan,
                         chunk,
                         base_seed,
@@ -1529,9 +1740,8 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                         compiled,
                         &mut fresh,
                         None,
-                        &mut state,
-                        &mut events,
-                        &mut sparse,
+                        None,
+                        &mut scratch,
                         plan,
                         chunk,
                         base_seed,
@@ -1548,9 +1758,8 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                         compiled,
                         &mut reference,
                         None,
-                        &mut state,
-                        &mut events,
-                        &mut sparse,
+                        None,
+                        &mut scratch,
                         plan,
                         chunk,
                         base_seed,
@@ -1605,9 +1814,7 @@ pub fn estimate_ler_seeded<D: Decoder>(
     base_seed: u64,
 ) -> LerEstimate {
     let plan = ChunkPlan::new(options);
-    let mut state = FrameState::new(compiled);
-    let mut events = BatchEvents::default();
-    let mut sparse = SparseBatch::new();
+    let mut scratch = SampleScratch::new(compiled);
     let mut estimate = LerEstimate::default();
     let mut obs = WorkerObs::disabled();
     for chunk in 0..plan.num_chunks {
@@ -1615,9 +1822,8 @@ pub fn estimate_ler_seeded<D: Decoder>(
             compiled,
             decoder,
             None,
-            &mut state,
-            &mut events,
-            &mut sparse,
+            None,
+            &mut scratch,
             &plan,
             chunk,
             base_seed,
@@ -1758,6 +1964,7 @@ mod tests {
             let phases = run.sample_seconds
                 + run.extract_seconds
                 + run.predecode_seconds
+                + run.cluster_seconds
                 + run.decode_seconds;
             assert!(
                 phases <= run.wall_seconds + 1e-9,
@@ -1802,7 +2009,7 @@ mod tests {
         assert_eq!(tiered.estimate, plain.estimate, "fast path changed results");
         for run in [&plain, &tiered] {
             assert_eq!(
-                run.tier0_shots + run.predecoded_shots + run.residual_shots,
+                run.tier0_shots + run.predecoded_shots + run.clustered_shots + run.residual_shots,
                 run.estimate.shots,
                 "tier counters must partition the shots"
             );
@@ -1813,8 +2020,62 @@ mod tests {
             assert_eq!(run.defect_histogram[0], run.tier0_shots as u64);
         }
         assert_eq!(plain.predecoded_shots, 0);
+        assert_eq!(plain.clustered_shots, 0, "cluster tier is opt-in");
+        assert_eq!(tiered.clustered_shots, 0, "cluster tier is opt-in");
         assert!(tiered.predecoded_shots > 0, "predecoder never fired");
         assert!(tiered.predecoded_defects >= tiered.predecoded_shots);
+    }
+
+    /// With the cluster tier armed, the partition invariant extends to the
+    /// clustered column, the cluster-size histogram sums to the cluster
+    /// count, and the estimate matches the documented cluster-on reference
+    /// (the tier is a decoder variant: certified clusters peel exactly,
+    /// uncertified ones decode per cluster).
+    #[test]
+    fn cluster_tier_partitions_and_fires_on_dense_shots() {
+        // Dense-but-separated regime: at d=11, p=1e-3 most shots carry more
+        // than MAX_CERT_DEFECTS defects split across many small clusters, a
+        // deterministic handful of which fully peel.
+        let mem = caliqec_code::memory_circuit(
+            &caliqec_code::rotated_patch(11, 11),
+            &caliqec_code::NoiseModel::uniform(1e-3),
+            11,
+            caliqec_code::MemoryBasis::Z,
+        );
+        let c = mem.circuit;
+        let graph = graph_for_circuit(&c);
+        let compiled = CompiledCircuit::new(&c);
+        let opts = SampleOptions {
+            min_shots: 2_000,
+            ..Default::default()
+        };
+        let factory = crate::predecode::Tiered::new(&graph, {
+            let graph = graph.clone();
+            move || UnionFindDecoder::new(graph.clone())
+        })
+        .with_cluster();
+        let run = LerEngine::new(2).estimate(&compiled, &factory, opts, 5);
+        assert_eq!(
+            run.tier0_shots + run.predecoded_shots + run.clustered_shots + run.residual_shots,
+            run.estimate.shots,
+            "cluster partition invariant"
+        );
+        assert!(run.clusters_total > 0, "no dense shot was decomposed");
+        assert_eq!(
+            run.cluster_size_histogram.iter().sum::<u64>(),
+            run.clusters_total,
+            "cluster-size histogram must cover every cluster"
+        );
+        assert!(
+            run.clustered_shots > 0,
+            "some dense shot must fully peel at d=11, p=1e-3"
+        );
+        assert!(run.cluster_seconds > 0.0);
+        // Determinism: the cluster-on run is reproducible bit for bit.
+        let again = LerEngine::new(1).estimate(&compiled, &factory, opts, 5);
+        assert_eq!(again.estimate, run.estimate);
+        assert_eq!(again.clustered_shots, run.clustered_shots);
+        assert_eq!(again.clusters_total, run.clusters_total);
     }
 
     #[test]

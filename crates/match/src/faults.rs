@@ -33,6 +33,10 @@ pub enum FaultKind {
     /// Present the worker with a graph whose edge weights are NaN/negative
     /// (simulates corrupted calibration data reaching the decoder).
     BadWeights,
+    /// Panic inside the dense-regime cluster tier before the first decoder
+    /// call (simulates a flood-decomposition bug). The retry rung carries
+    /// no cluster tier, so recovery decodes the same chunk monolithically.
+    ClusterPanic,
 }
 
 impl fmt::Display for FaultKind {
@@ -42,6 +46,7 @@ impl fmt::Display for FaultKind {
             FaultKind::Stall => "stall",
             FaultKind::CorruptDefects => "corrupt",
             FaultKind::BadWeights => "badweights",
+            FaultKind::ClusterPanic => "cluster",
         };
         f.write_str(name)
     }
@@ -127,6 +132,15 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a cluster-tier panic at `chunk`.
+    pub fn cluster_panic_at(mut self, chunk: usize) -> FaultPlan {
+        self.injections.push(Injection {
+            chunk,
+            kind: FaultKind::ClusterPanic,
+        });
+        self
+    }
+
     /// Overrides the stall sleep / deadline pair (sleep must exceed the
     /// deadline for the injection to register as a timeout).
     pub fn with_stall_timing(mut self, sleep: Duration, deadline: Duration) -> FaultPlan {
@@ -165,8 +179,8 @@ impl FaultPlan {
 
     /// Parses the `CALIQEC_FAULTS` syntax: a comma-separated list of
     /// `kind@chunk` entries, where `kind` is one of `panic`, `stall`,
-    /// `corrupt`, `badweights` — e.g. `"panic@2,corrupt@0"`. Empty entries
-    /// are skipped, so a trailing comma is harmless.
+    /// `corrupt`, `badweights`, `cluster` — e.g. `"panic@2,corrupt@0"`.
+    /// Empty entries are skipped, so a trailing comma is harmless.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new();
         for entry in spec.split(',') {
@@ -186,9 +200,11 @@ impl FaultPlan {
                 "stall" => FaultKind::Stall,
                 "corrupt" => FaultKind::CorruptDefects,
                 "badweights" => FaultKind::BadWeights,
+                "cluster" => FaultKind::ClusterPanic,
                 other => {
                     return Err(format!(
-                        "unknown fault kind '{other}' (expected panic|stall|corrupt|badweights)"
+                        "unknown fault kind '{other}' (expected \
+                         panic|stall|corrupt|badweights|cluster)"
                     ))
                 }
             };
@@ -290,12 +306,14 @@ mod tests {
 
     #[test]
     fn parse_round_trips_builder() {
-        let parsed = FaultPlan::parse("panic@1, stall@2 ,corrupt@3,badweights@4,").unwrap();
+        let parsed =
+            FaultPlan::parse("panic@1, stall@2 ,corrupt@3,badweights@4,cluster@5,").unwrap();
         let built = FaultPlan::new()
             .panic_at(1)
             .stall_at(2)
             .corrupt_defects_at(3)
-            .bad_weights_at(4);
+            .bad_weights_at(4)
+            .cluster_panic_at(5);
         assert_eq!(parsed, built);
         assert!(FaultPlan::parse("").unwrap().is_empty());
     }
@@ -320,5 +338,6 @@ mod tests {
     fn kinds_display_as_spec_names() {
         assert_eq!(FaultKind::Panic.to_string(), "panic");
         assert_eq!(FaultKind::BadWeights.to_string(), "badweights");
+        assert_eq!(FaultKind::ClusterPanic.to_string(), "cluster");
     }
 }

@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cluster;
 mod decode;
 mod engine;
 mod error;
@@ -78,6 +79,9 @@ mod reference;
 mod unionfind;
 
 pub use caliqec_obs as obs;
+pub use cluster::{
+    cluster_hist_bucket, ClusterOutcome, ClusterTier, CLUSTER_HIST_BUCKETS, MAX_CLUSTER_DEFECTS,
+};
 pub use decode::{estimate_ler, graph_for_circuit, Decoder, LerEstimate, SampleOptions};
 pub use engine::{
     defect_hist_bucket, estimate_ler_seeded, CalibrationEpoch, DecoderFactory, EngineRun,

@@ -105,14 +105,14 @@ use std::sync::Arc;
 
 /// Margin absorbing decoder float tolerances; all certification
 /// inequalities must clear this gap.
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 
 /// Shots with more defects than this skip certification outright: the
 /// O(k²) cross-margin check would cost more than it saves, dense shots
 /// essentially never certify, and staying at or below
 /// [`crate::MwpmDecoder::DEFAULT_MAX_EXACT`] keeps every certified shot on
 /// the exact-DP matching path (the greedy fallback is never in play).
-const MAX_CERT_DEFECTS: usize = 12;
+pub(crate) const MAX_CERT_DEFECTS: usize = 12;
 
 /// Min-heap item for the table-building Dijkstra runs. Node-id tie-break
 /// keeps pop order (and therefore table construction) reproducible.
@@ -139,23 +139,33 @@ impl Ord for HeapItem {
 }
 
 /// Immutable certification tables, built once per graph and shared across
-/// predecoder clones.
+/// predecoder clones (and, via [`crate::ClusterTier`], the dense-regime
+/// cluster tier, which reuses the same radius/potential/margin machinery).
 #[derive(Debug)]
-struct Tables {
-    graph: MatchingGraph,
+pub(crate) struct Tables {
+    pub(crate) graph: MatchingGraph,
     /// Truncation radius of the near tables: they cover all walks of
     /// length ≤ `radius`, so absence of a node certifies distance > radius.
-    radius: f64,
+    pub(crate) radius: f64,
     /// Node potential: `π(root) = 0`, `π(child) = π(parent) ^ obs(edge)`
     /// over a spanning forest. Certified masks are gradients of π.
-    pot: Vec<u64>,
+    pub(crate) pot: Vec<u64>,
     /// Exact shortest boundary distance per node (`INFINITY` if detached).
-    bnd: Vec<f64>,
+    pub(crate) bnd: Vec<f64>,
     /// Distance to the nearest endpoint of a frustrated edge (`INFINITY`
     /// when the potential explains every edge). A ball of smaller radius
     /// contains no frustrated edge, so observable flips inside it are
     /// path-independent.
-    frus: Vec<f64>,
+    pub(crate) frus: Vec<f64>,
+    /// Second gauge (wide tables only, else empty): a potential whose
+    /// frustration wall sits along the observable-crossing columns instead
+    /// of the drainage watershed, so units straddling the π-watershed —
+    /// which fail the `frus` flatness margin — can still certify. See
+    /// [`Tables::single_mask`] / [`Tables::pair_mask`].
+    pub(crate) pot2: Vec<u64>,
+    /// Distance to the nearest frustrated-edge endpoint under `pot2`
+    /// (empty unless the tables are widened).
+    pub(crate) frus2: Vec<f64>,
     /// Truncated near tables, CSR over nodes: for node `n`, targets
     /// `near_node[near_off[n]..near_off[n+1]]` (ascending) with exact
     /// boundary-avoiding shortest distances `near_dist`.
@@ -165,7 +175,25 @@ struct Tables {
 }
 
 impl Tables {
-    fn build(graph: &MatchingGraph) -> Tables {
+    /// Predecoder tables: truncation radius `2 × median edge weight` (with
+    /// headroom), the cheapest balls that still certify single-mechanism
+    /// units of median weight.
+    pub(crate) fn build(graph: &MatchingGraph) -> Tables {
+        Self::build_inner(graph, false)
+    }
+
+    /// Cluster-tier tables: the radius is widened to
+    /// `2 × max(median, min(max_ball_edge, 4 × median))` so the tier's
+    /// unit-weight cap `(radius − EPS) / 2` exceeds every internal edge
+    /// weight (any single-edge defect pair fits under it) while the
+    /// `min(·, 4 × median)` guard keeps pathological weight tails from
+    /// blowing the balls up. On a uniform-weight graph this degenerates to
+    /// the predecoder radius.
+    pub(crate) fn build_wide(graph: &MatchingGraph) -> Tables {
+        Self::build_inner(graph, true)
+    }
+
+    fn build_inner(graph: &MatchingGraph, widen: bool) -> Tables {
         let n = graph.num_nodes();
         let boundary = graph.boundary();
 
@@ -273,6 +301,114 @@ impl Tables {
             }
         }
 
+        // --- Second gauge (wide tables only). The watershed where
+        // drainage basins of opposite crossing parity meet is exactly
+        // where π's frustrated edges concentrate — and at dense-regime
+        // error rates a steady stream of defect pairs straddles it and
+        // fails the flatness margin. A second potential rooted on a
+        // shortest-path tree whose metric penalises observable-crossing
+        // edges moves the wall: drain paths cross only when forced, so
+        // frustration under π₂ hugs the crossing columns at the lattice
+        // edge instead of the mid-bulk watershed. Certification then
+        // accepts a unit flat under *either* gauge (each gauge's gradient
+        // is the physical flip wherever that gauge is flat).
+        let (pot2, frus2) = if widen {
+            let penalty: f64 = graph
+                .edges()
+                .iter()
+                .map(|e| e.weight)
+                .filter(|w| w.is_finite())
+                .sum::<f64>()
+                + 1.0;
+            let mut bnd2 = vec![f64::INFINITY; n];
+            let mut par_node2 = vec![u32::MAX; n];
+            let mut par_edge2 = vec![u32::MAX; n];
+            let mut order2: Vec<u32> = Vec::with_capacity(n);
+            heap.clear();
+            bnd2[boundary] = 0.0;
+            heap.push(HeapItem(0.0, boundary as u32));
+            while let Some(HeapItem(d, u)) = heap.pop() {
+                let u = u as usize;
+                if d > bnd2[u] {
+                    continue;
+                }
+                order2.push(u as u32);
+                for &ei in graph.incident(u) {
+                    let e = &graph.edges()[ei as usize];
+                    let v = graph.other_endpoint(ei as usize, u);
+                    let crossing = if e.observables != 0 { penalty } else { 0.0 };
+                    let nd = d + e.weight + crossing;
+                    if nd < bnd2[v] {
+                        bnd2[v] = nd;
+                        par_node2[v] = u as u32;
+                        par_edge2[v] = ei;
+                        heap.push(HeapItem(nd, v as u32));
+                    }
+                }
+            }
+            let mut pot2 = vec![0u64; n];
+            let mut seen2 = vec![false; n];
+            for &u in &order2 {
+                let u = u as usize;
+                seen2[u] = true;
+                if par_edge2[u] != u32::MAX {
+                    let e = &graph.edges()[par_edge2[u] as usize];
+                    pot2[u] = pot2[par_node2[u] as usize] ^ e.observables;
+                }
+            }
+            let mut stack: Vec<NodeId> = Vec::new();
+            for root in 0..n {
+                if seen2[root] {
+                    continue;
+                }
+                seen2[root] = true;
+                stack.push(root);
+                while let Some(u) = stack.pop() {
+                    for &ei in graph.incident(u) {
+                        let e = &graph.edges()[ei as usize];
+                        let v = graph.other_endpoint(ei as usize, u);
+                        if !seen2[v] {
+                            seen2[v] = true;
+                            pot2[v] = pot2[u] ^ e.observables;
+                            stack.push(v);
+                        }
+                    }
+                }
+            }
+            // frus₂: real-weight distances to π₂-frustrated endpoints,
+            // again not relaxing through the boundary.
+            let mut frus2 = vec![f64::INFINITY; n];
+            heap.clear();
+            for e in graph.edges() {
+                if pot2[e.u] ^ pot2[e.v] != e.observables {
+                    for node in [e.u, e.v] {
+                        if frus2[node] > 0.0 {
+                            frus2[node] = 0.0;
+                            heap.push(HeapItem(0.0, node as u32));
+                        }
+                    }
+                }
+            }
+            while let Some(HeapItem(d, u)) = heap.pop() {
+                let u = u as usize;
+                if d > frus2[u] || u == boundary {
+                    continue;
+                }
+                for &ei in graph.incident(u) {
+                    let e = &graph.edges()[ei as usize];
+                    let v = graph.other_endpoint(ei as usize, u);
+                    let nd = d + e.weight;
+                    if nd < frus2[v] {
+                        frus2[v] = nd;
+                        heap.push(HeapItem(nd, v as u32));
+                    }
+                }
+            }
+            (pot2, frus2)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
         // --- Truncation radius: certification thresholds reach at most
         // W_x + W_y for two unit weights, so 2× the median edge weight
         // (with headroom) covers the typical single-mechanism units while
@@ -286,7 +422,22 @@ impl Tables {
             .collect();
         weights.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
         let median = weights.get(weights.len() / 2).copied().unwrap_or(0.0);
-        let radius = 2.0 * median * 1.01 + 1e-6;
+
+        // Heaviest edge a boundary-avoiding shortest path can use (the ball
+        // Dijkstra below never expands the boundary node, so only edges
+        // with two internal endpoints matter).
+        let max_ball_edge = graph
+            .edges()
+            .iter()
+            .filter(|e| e.u != boundary && e.v != boundary && e.weight.is_finite())
+            .map(|e| e.weight)
+            .fold(0.0f64, f64::max);
+        let base = if widen {
+            median.max(max_ball_edge.min(4.0 * median))
+        } else {
+            median
+        };
+        let radius = 2.0 * base * 1.01 + 1e-6;
 
         // --- Truncated Dijkstra from every node: exact boundary-avoiding
         // shortest distances to every node within `radius`. Absence of a
@@ -342,6 +493,8 @@ impl Tables {
             pot,
             bnd,
             frus,
+            pot2,
+            frus2,
             near_off,
             near_node,
             near_dist,
@@ -351,7 +504,7 @@ impl Tables {
     /// Exact boundary-avoiding distance from `u` to `v`, or `None` when
     /// `v` lies outside `u`'s truncated ball (distance > [`Self::radius`]).
     #[inline]
-    fn near(&self, u: NodeId, v: NodeId) -> Option<f64> {
+    pub(crate) fn near(&self, u: NodeId, v: NodeId) -> Option<f64> {
         let lo = self.near_off[u] as usize;
         let hi = self.near_off[u + 1] as usize;
         let slice = &self.near_node[lo..hi];
@@ -359,6 +512,49 @@ impl Tables {
             .binary_search(&(v as u32))
             .ok()
             .map(|i| self.near_dist[lo + i])
+    }
+
+    /// All nodes within `u`'s truncated ball (ascending node id). Used by
+    /// the cluster tier's flood decomposition: two defects belong to the
+    /// same cluster iff one lies in the other's ball.
+    #[inline]
+    pub(crate) fn ball(&self, u: NodeId) -> &[u32] {
+        let lo = self.near_off[u] as usize;
+        let hi = self.near_off[u + 1] as usize;
+        &self.near_node[lo..hi]
+    }
+
+    /// Gauge-aware boundary-drain mask for a single of unit weight `w`:
+    /// the observable flip of draining `u` to the boundary, under whichever
+    /// potential is frustration-free within radius `w` of `u` (the single's
+    /// entire growth region). `None` when neither gauge is flat there.
+    /// Wide tables only — with `frus2` absent, this is exactly the
+    /// predecoder's single-gauge flatness check.
+    #[inline]
+    pub(crate) fn single_mask(&self, u: NodeId, w: f64) -> Option<u64> {
+        let b = self.graph.boundary();
+        if self.frus[u] > w + EPS {
+            Some(self.pot[u] ^ self.pot[b])
+        } else if !self.frus2.is_empty() && self.frus2[u] > w + EPS {
+            Some(self.pot2[u] ^ self.pot2[b])
+        } else {
+            None
+        }
+    }
+
+    /// Gauge-aware peel mask for an internal pair of unit weight `w`: both
+    /// members' radius-`w` balls (the pair's growth region) must be
+    /// frustration-free under a *common* gauge, whose gradient is then the
+    /// flip of every walk the decoders can realise between them.
+    #[inline]
+    pub(crate) fn pair_mask(&self, u: NodeId, v: NodeId, w: f64) -> Option<u64> {
+        if self.frus[u] > w + EPS && self.frus[v] > w + EPS {
+            Some(self.pot[u] ^ self.pot[v])
+        } else if !self.frus2.is_empty() && self.frus2[u] > w + EPS && self.frus2[v] > w + EPS {
+            Some(self.pot2[u] ^ self.pot2[v])
+        } else {
+            None
+        }
     }
 }
 
@@ -400,6 +596,12 @@ impl Predecoder {
     /// graph.
     pub fn is_current_for(&self, graph: &MatchingGraph) -> bool {
         self.tables.graph.weight_epoch() == graph.weight_epoch()
+    }
+
+    /// The shared certification tables, for the cluster tier to reuse
+    /// (one table build serves both tiers).
+    pub(crate) fn tables(&self) -> &Arc<Tables> {
+        &self.tables
     }
 
     /// Attempts to certify and locally decode a whole shot.
@@ -579,6 +781,10 @@ pub struct Tiered<F> {
     /// The decoders' matching graph, kept for engine-side validation and
     /// as the rung-2 degradation fallback.
     fallback: Option<MatchingGraph>,
+    /// Opt-in dense-regime cluster tier (see [`crate::ClusterTier`]):
+    /// shots too dense for the predecoder are flood-decomposed and decoded
+    /// per cluster instead of monolithically.
+    cluster: bool,
 }
 
 impl<F: DecoderFactory> Tiered<F> {
@@ -590,6 +796,7 @@ impl<F: DecoderFactory> Tiered<F> {
             factory,
             predecoder: Some(Predecoder::new(graph)),
             fallback: Some(graph.clone()),
+            cluster: false,
         }
     }
 
@@ -613,6 +820,7 @@ impl<F: DecoderFactory> Tiered<F> {
             factory,
             predecoder: None,
             fallback: None,
+            cluster: false,
         }
     }
 
@@ -620,6 +828,17 @@ impl<F: DecoderFactory> Tiered<F> {
     /// degradation fallback without enabling the predecoder.
     pub fn with_fallback_graph(mut self, graph: &MatchingGraph) -> Tiered<F> {
         self.fallback = Some(graph.clone());
+        self
+    }
+
+    /// Enables the dense-regime cluster tier (rung 0 only): shots with more
+    /// defects than [`Predecoder::MAX_CERT_DEFECTS`] are flood-decomposed
+    /// into independent clusters, certified clusters are peeled locally,
+    /// and only the uncertified remainder reaches the full decoder. The
+    /// tier shares the predecoder's certification tables, so this is a
+    /// no-op on a [`Tiered::without_predecode`] adapter.
+    pub fn with_cluster(mut self) -> Tiered<F> {
+        self.cluster = true;
         self
     }
 }
@@ -633,6 +852,16 @@ impl<F: DecoderFactory> DecoderFactory for Tiered<F> {
 
     fn predecoder(&self) -> Option<Predecoder> {
         self.predecoder.clone()
+    }
+
+    fn cluster_tier(&self) -> Option<crate::cluster::ClusterTier> {
+        if self.cluster {
+            self.predecoder
+                .as_ref()
+                .map(crate::cluster::ClusterTier::from_predecoder)
+        } else {
+            None
+        }
     }
 
     fn validate(&self) -> Result<(), crate::error::ValidationError> {

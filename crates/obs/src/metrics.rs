@@ -64,6 +64,9 @@ pub enum Counter {
     ShotsTier1,
     /// Shots decoded by the full decoder (tier 2).
     ShotsTier2,
+    /// Dense shots fully resolved by the cluster tier (every flood cluster
+    /// certified and peeled — zero full-decoder calls).
+    ShotsCluster,
     /// Shots decoded on a degraded ladder rung (rung > 0).
     ShotsDegraded,
     /// Chunk attempts that ended in a caught panic.
@@ -80,13 +83,14 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 13] = [
         Counter::RunsStarted,
         Counter::ChunksStarted,
         Counter::ChunksFinished,
         Counter::ShotsTier0,
         Counter::ShotsTier1,
         Counter::ShotsTier2,
+        Counter::ShotsCluster,
         Counter::ShotsDegraded,
         Counter::FaultsPanic,
         Counter::FaultsStall,
@@ -104,6 +108,7 @@ impl Counter {
             Counter::ShotsTier0 => "shots_tier0",
             Counter::ShotsTier1 => "shots_tier1",
             Counter::ShotsTier2 => "shots_tier2",
+            Counter::ShotsCluster => "shots_cluster",
             Counter::ShotsDegraded => "shots_degraded",
             Counter::FaultsPanic => "faults_panic",
             Counter::FaultsStall => "faults_stall",
@@ -157,6 +162,10 @@ pub enum Hist {
     DecodeShotRung1,
     /// Per-shot full-decode latency on rung 2 (reference decoder).
     DecodeShotRung2,
+    /// Per-shot flood-decomposition latency for a dense shot fully
+    /// resolved by the cluster tier (decompose + certify + peel, no
+    /// decoder call).
+    ClusterShot,
     /// Wall time of one whole chunk attempt (sample + extract + dispatch +
     /// decode).
     ChunkWall,
@@ -166,11 +175,12 @@ pub enum Hist {
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 6] = [
+    pub const ALL: [Hist; 7] = [
         Hist::PredecodeShot,
         Hist::DecodeShotRung0,
         Hist::DecodeShotRung1,
         Hist::DecodeShotRung2,
+        Hist::ClusterShot,
         Hist::ChunkWall,
         Hist::EpochReweight,
     ];
@@ -182,6 +192,7 @@ impl Hist {
             Hist::DecodeShotRung0 => "decode_shot_rung0",
             Hist::DecodeShotRung1 => "decode_shot_rung1",
             Hist::DecodeShotRung2 => "decode_shot_rung2",
+            Hist::ClusterShot => "cluster_shot",
             Hist::ChunkWall => "chunk_wall",
             Hist::EpochReweight => "epoch_reweight",
         }
@@ -229,6 +240,7 @@ impl Shard {
             counters: [const { AtomicU64::new(0) }; Counter::ALL.len()],
             gauges: [const { AtomicU64::new(0) }; Gauge::ALL.len()],
             hists: [
+                HistShard::new(),
                 HistShard::new(),
                 HistShard::new(),
                 HistShard::new(),

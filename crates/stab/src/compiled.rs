@@ -15,7 +15,7 @@
 
 use crate::circuit::{Basis, Circuit, Gate1, Gate2, Noise1, Noise2, Op};
 use crate::error::{check_probability, check_qubit_index, CircuitError};
-use crate::frame::{bernoulli_mask, for_each_set_bit, BatchEvents, BATCH};
+use crate::frame::{bernoulli_mask_with, for_each_set_bit, BatchEvents, BATCH};
 use crate::pauli::Pauli;
 use crate::sim::two_qubit_pauli;
 use rand::rngs::StdRng;
@@ -38,18 +38,33 @@ enum Instr {
     Swap(u32, u32),
     /// Reset: discard accumulated error.
     Reset(u32),
-    /// Measurement with optional classical flip noise.
-    Meas { q: u32, basis: Basis, flip: f64 },
-    /// X error with probability `p`.
-    NoiseX { q: u32, p: f64 },
-    /// Y error with probability `p`.
-    NoiseY { q: u32, p: f64 },
-    /// Z error with probability `p`.
-    NoiseZ { q: u32, p: f64 },
-    /// Single-qubit depolarizing channel.
-    Dep1 { q: u32, p: f64 },
-    /// Two-qubit depolarizing channel.
-    Dep2 { a: u32, b: u32, p: f64 },
+    /// Measurement with optional classical flip noise. `l1p` caches
+    /// `ln(1 - flip)` for the geometric skip sampler (unused when
+    /// `flip` is 0 or 1).
+    Meas {
+        q: u32,
+        basis: Basis,
+        flip: f64,
+        l1p: f64,
+    },
+    /// X error with probability `p`; `l1p` caches `ln(1 - p)`.
+    NoiseX { q: u32, p: f64, l1p: f64 },
+    /// Y error with probability `p`; `l1p` caches `ln(1 - p)`.
+    NoiseY { q: u32, p: f64, l1p: f64 },
+    /// Z error with probability `p`; `l1p` caches `ln(1 - p)`.
+    NoiseZ { q: u32, p: f64, l1p: f64 },
+    /// Single-qubit depolarizing channel; `l1p` caches `ln(1 - p)`.
+    Dep1 { q: u32, p: f64, l1p: f64 },
+    /// Two-qubit depolarizing channel; `l1p` caches `ln(1 - p)`.
+    Dep2 { a: u32, b: u32, p: f64, l1p: f64 },
+}
+
+/// `ln(1 - p)`, precomputed once at compile time so the per-batch geometric
+/// skip sampler ([`bernoulli_mask_with`]) never re-derives it on the hot
+/// path. The value is only read for `0 < p < 1`.
+#[inline]
+fn l1p(p: f64) -> f64 {
+    (-p).ln_1p()
 }
 
 /// A [`Circuit`] compiled for repeated batch sampling.
@@ -128,6 +143,7 @@ impl CompiledCircuit {
                         q: *qubit,
                         basis: *basis,
                         flip: *flip,
+                        l1p: l1p(*flip),
                     });
                 }
                 Op::Reset(_, qs) => {
@@ -138,17 +154,38 @@ impl CompiledCircuit {
                 Op::Noise1(kind, p, qs) => {
                     for &q in qs {
                         instrs.push(match kind {
-                            Noise1::XError => Instr::NoiseX { q, p: *p },
-                            Noise1::YError => Instr::NoiseY { q, p: *p },
-                            Noise1::ZError => Instr::NoiseZ { q, p: *p },
-                            Noise1::Depolarize1 => Instr::Dep1 { q, p: *p },
+                            Noise1::XError => Instr::NoiseX {
+                                q,
+                                p: *p,
+                                l1p: l1p(*p),
+                            },
+                            Noise1::YError => Instr::NoiseY {
+                                q,
+                                p: *p,
+                                l1p: l1p(*p),
+                            },
+                            Noise1::ZError => Instr::NoiseZ {
+                                q,
+                                p: *p,
+                                l1p: l1p(*p),
+                            },
+                            Noise1::Depolarize1 => Instr::Dep1 {
+                                q,
+                                p: *p,
+                                l1p: l1p(*p),
+                            },
                         });
                     }
                 }
                 Op::Noise2(kind, p, pairs) => {
                     for &(a, b) in pairs {
                         instrs.push(match kind {
-                            Noise2::Depolarize2 => Instr::Dep2 { a, b, p: *p },
+                            Noise2::Depolarize2 => Instr::Dep2 {
+                                a,
+                                b,
+                                p: *p,
+                                l1p: l1p(*p),
+                            },
                         });
                     }
                 }
@@ -233,14 +270,14 @@ impl CompiledCircuit {
                     check_probability(flip)?;
                     meas_count += 1;
                 }
-                Instr::NoiseX { q, p }
-                | Instr::NoiseY { q, p }
-                | Instr::NoiseZ { q, p }
-                | Instr::Dep1 { q, p } => {
+                Instr::NoiseX { q, p, .. }
+                | Instr::NoiseY { q, p, .. }
+                | Instr::NoiseZ { q, p, .. }
+                | Instr::Dep1 { q, p, .. } => {
                     check_qubit_index(q, self.num_qubits)?;
                     check_probability(p)?;
                 }
-                Instr::Dep2 { a, b, p } => {
+                Instr::Dep2 { a, b, p, .. } => {
                     check_qubit_index(a, self.num_qubits)?;
                     check_qubit_index(b, self.num_qubits)?;
                     if a == b {
@@ -354,14 +391,19 @@ impl CompiledCircuit {
                     x[q] = 0;
                     z[q] = 0;
                 }
-                Instr::Meas { q, basis, flip } => {
+                Instr::Meas {
+                    q,
+                    basis,
+                    flip,
+                    l1p,
+                } => {
                     let q = q as usize;
                     let mut flips = match basis {
                         Basis::Z => x[q],
                         Basis::X => z[q],
                     };
                     if flip > 0.0 {
-                        flips ^= bernoulli_mask(flip, rng);
+                        flips ^= bernoulli_mask_with(flip, l1p, rng);
                     }
                     meas[meas_cursor] = flips;
                     meas_cursor += 1;
@@ -372,20 +414,20 @@ impl CompiledCircuit {
                         Basis::X => x[q] = rng.random::<u64>(),
                     }
                 }
-                Instr::NoiseX { q, p } => {
-                    x[q as usize] ^= bernoulli_mask(p, rng);
+                Instr::NoiseX { q, p, l1p } => {
+                    x[q as usize] ^= bernoulli_mask_with(p, l1p, rng);
                 }
-                Instr::NoiseY { q, p } => {
-                    let hits = bernoulli_mask(p, rng);
+                Instr::NoiseY { q, p, l1p } => {
+                    let hits = bernoulli_mask_with(p, l1p, rng);
                     x[q as usize] ^= hits;
                     z[q as usize] ^= hits;
                 }
-                Instr::NoiseZ { q, p } => {
-                    z[q as usize] ^= bernoulli_mask(p, rng);
+                Instr::NoiseZ { q, p, l1p } => {
+                    z[q as usize] ^= bernoulli_mask_with(p, l1p, rng);
                 }
-                Instr::Dep1 { q, p } => {
+                Instr::Dep1 { q, p, l1p } => {
                     let q = q as usize;
-                    for_each_set_bit(bernoulli_mask(p, rng), |s| {
+                    for_each_set_bit(bernoulli_mask_with(p, l1p, rng), |s| {
                         let bit = 1u64 << s;
                         match Pauli::NON_IDENTITY[rng.random_range(0..3)] {
                             Pauli::X => x[q] ^= bit,
@@ -398,9 +440,9 @@ impl CompiledCircuit {
                         }
                     });
                 }
-                Instr::Dep2 { a, b, p } => {
+                Instr::Dep2 { a, b, p, l1p } => {
                     let (a, b) = (a as usize, b as usize);
-                    for_each_set_bit(bernoulli_mask(p, rng), |s| {
+                    for_each_set_bit(bernoulli_mask_with(p, l1p, rng), |s| {
                         let bit = 1u64 << s;
                         let (pa, pb) = two_qubit_pauli(rng.random_range(0..15));
                         for (q, pq) in [(a, pa), (b, pb)] {
@@ -442,6 +484,207 @@ impl CompiledCircuit {
         let mut events = BatchEvents::default();
         self.sample_batch_into(state, rng, &mut events);
         events
+    }
+
+    /// Samples [`LANES`] independent [`BATCH`]-shot batches in lockstep —
+    /// the word-level wide path behind the LER engine's dense configs.
+    ///
+    /// Lane `l` consumes draws from `rngs[l]` in exactly the order
+    /// [`Self::sample_batch_into`] would, so `events[l]` is **bit-identical**
+    /// to a narrow call with that RNG: widening is purely an execution
+    /// strategy, never a statistics change. What the lockstep buys is
+    /// amortisation — one instruction-stream walk (decode, bounds checks,
+    /// branch prediction) drives `LANES × 64` shots, and the per-qubit
+    /// frame updates become fixed-size `[u64; LANES]` loops the compiler
+    /// turns into vector ops. Noise sites remain per-lane serial (each
+    /// lane's geometric skip depends on its own RNG stream), so the win
+    /// concentrates where dense-circuit sampling spends its time: the gate
+    /// conjugation sweep.
+    pub fn sample_batches_wide_into<R: Rng>(
+        &self,
+        state: &mut WideFrameState,
+        rngs: &mut [R; LANES],
+        events: &mut [BatchEvents; LANES],
+    ) {
+        debug_assert_eq!(state.x.len(), self.num_qubits, "state/circuit mismatch");
+        state.x.fill([0; LANES]);
+        state.z.fill([0; LANES]);
+        state.meas.fill([0; LANES]);
+        let x = &mut state.x[..];
+        let z = &mut state.z[..];
+        let meas = &mut state.meas[..];
+        let mut meas_cursor = 0usize;
+        for instr in &self.instrs {
+            match *instr {
+                Instr::H(q) => {
+                    let q = q as usize;
+                    std::mem::swap(&mut x[q], &mut z[q]);
+                }
+                Instr::SGate(q) => {
+                    let q = q as usize;
+                    for l in 0..LANES {
+                        z[q][l] ^= x[q][l];
+                    }
+                }
+                Instr::Cx(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    let (xa, zb) = (x[a], z[b]);
+                    for (xb, s) in x[b].iter_mut().zip(xa) {
+                        *xb ^= s;
+                    }
+                    for (za, s) in z[a].iter_mut().zip(zb) {
+                        *za ^= s;
+                    }
+                }
+                Instr::Cz(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    let (xa, xb) = (x[a], x[b]);
+                    for l in 0..LANES {
+                        z[a][l] ^= xb[l];
+                    }
+                    for l in 0..LANES {
+                        z[b][l] ^= xa[l];
+                    }
+                }
+                Instr::Swap(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    x.swap(a, b);
+                    z.swap(a, b);
+                }
+                Instr::Reset(q) => {
+                    let q = q as usize;
+                    x[q] = [0; LANES];
+                    z[q] = [0; LANES];
+                }
+                Instr::Meas {
+                    q,
+                    basis,
+                    flip,
+                    l1p,
+                } => {
+                    let q = q as usize;
+                    let mut flips = match basis {
+                        Basis::Z => x[q],
+                        Basis::X => z[q],
+                    };
+                    if flip > 0.0 {
+                        for (l, rng) in rngs.iter_mut().enumerate() {
+                            flips[l] ^= bernoulli_mask_with(flip, l1p, rng);
+                        }
+                    }
+                    meas[meas_cursor] = flips;
+                    meas_cursor += 1;
+                    // Collapse decorrelates the conjugate frame component:
+                    // re-randomize it so later anticommutation is harmless.
+                    let conj = match basis {
+                        Basis::Z => &mut z[q],
+                        Basis::X => &mut x[q],
+                    };
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        conj[l] = rng.random::<u64>();
+                    }
+                }
+                Instr::NoiseX { q, p, l1p } => {
+                    let q = q as usize;
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        x[q][l] ^= bernoulli_mask_with(p, l1p, rng);
+                    }
+                }
+                Instr::NoiseY { q, p, l1p } => {
+                    let q = q as usize;
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        let hits = bernoulli_mask_with(p, l1p, rng);
+                        x[q][l] ^= hits;
+                        z[q][l] ^= hits;
+                    }
+                }
+                Instr::NoiseZ { q, p, l1p } => {
+                    let q = q as usize;
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        z[q][l] ^= bernoulli_mask_with(p, l1p, rng);
+                    }
+                }
+                Instr::Dep1 { q, p, l1p } => {
+                    let q = q as usize;
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        let hits = bernoulli_mask_with(p, l1p, rng);
+                        if hits == 0 {
+                            continue;
+                        }
+                        for_each_set_bit(hits, |s| {
+                            let bit = 1u64 << s;
+                            match Pauli::NON_IDENTITY[rng.random_range(0..3)] {
+                                Pauli::X => x[q][l] ^= bit,
+                                Pauli::Z => z[q][l] ^= bit,
+                                Pauli::Y => {
+                                    x[q][l] ^= bit;
+                                    z[q][l] ^= bit;
+                                }
+                                Pauli::I => unreachable!(),
+                            }
+                        });
+                    }
+                }
+                Instr::Dep2 { a, b, p, l1p } => {
+                    let (a, b) = (a as usize, b as usize);
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        let hits = bernoulli_mask_with(p, l1p, rng);
+                        if hits == 0 {
+                            continue;
+                        }
+                        for_each_set_bit(hits, |s| {
+                            let bit = 1u64 << s;
+                            let (pa, pb) = two_qubit_pauli(rng.random_range(0..15));
+                            for (q, pq) in [(a, pa), (b, pb)] {
+                                if pq.has_x() {
+                                    x[q][l] ^= bit;
+                                }
+                                if pq.has_z() {
+                                    z[q][l] ^= bit;
+                                }
+                            }
+                        });
+                    }
+                }
+            }
+        }
+        // Resolve the detector/observable tables once, fanning each word
+        // out to its lane's events (the narrow path's contract: tables
+        // consume no RNG draws).
+        for ev in events.iter_mut() {
+            ev.detectors.clear();
+            ev.observables.clear();
+        }
+        for w in self.det_offsets.windows(2) {
+            let acc = self.det_meas[w[0] as usize..w[1] as usize].iter().fold(
+                [0u64; LANES],
+                |mut acc, &m| {
+                    let row = &meas[m as usize];
+                    for l in 0..LANES {
+                        acc[l] ^= row[l];
+                    }
+                    acc
+                },
+            );
+            for (l, ev) in events.iter_mut().enumerate() {
+                ev.detectors.push(acc[l]);
+            }
+        }
+        for w in self.obs_offsets.windows(2) {
+            let acc = self.obs_meas[w[0] as usize..w[1] as usize].iter().fold(
+                [0u64; LANES],
+                |mut acc, &m| {
+                    let row = &meas[m as usize];
+                    for l in 0..LANES {
+                        acc[l] ^= row[l];
+                    }
+                    acc
+                },
+            );
+            for (l, ev) in events.iter_mut().enumerate() {
+                ev.observables.push(acc[l]);
+            }
+        }
     }
 
     /// Counts raw (undecoded) observable flips over at least `min_shots`
@@ -518,6 +761,37 @@ impl CompiledCircuit {
             }
         }
         (batches * BATCH, totals)
+    }
+}
+
+/// Number of 64-shot batches [`CompiledCircuit::sample_batches_wide_into`]
+/// samples in lockstep (`LANES × 64 = 256` shots per wide call). Four
+/// `u64` words fill one 256-bit vector register on the targets this
+/// workspace cares about, while staying portable scalar code everywhere
+/// else.
+pub const LANES: usize = 4;
+
+/// Per-thread mutable scratch for the wide sampler: one `[u64; LANES]`
+/// row per qubit/measurement, lane `l` belonging to the `l`-th batch of
+/// the lockstep group. Cheap to create, reused across wide calls.
+#[derive(Clone, Debug)]
+pub struct WideFrameState {
+    /// X-frame row per qubit.
+    x: Vec<[u64; LANES]>,
+    /// Z-frame row per qubit.
+    z: Vec<[u64; LANES]>,
+    /// Measurement-record flip row per measurement.
+    meas: Vec<[u64; LANES]>,
+}
+
+impl WideFrameState {
+    /// Creates scratch sized for `compiled`.
+    pub fn new(compiled: &CompiledCircuit) -> WideFrameState {
+        WideFrameState {
+            x: vec![[0; LANES]; compiled.num_qubits],
+            z: vec![[0; LANES]; compiled.num_qubits],
+            meas: vec![[0; LANES]; compiled.num_measurements],
+        }
     }
 }
 
@@ -626,6 +900,41 @@ mod tests {
                 let ev_b = compiled.sample_batch(&mut state, &mut rng_b);
                 assert_eq!(ev_a.detectors, ev_b.detectors, "seed {seed}");
                 assert_eq!(ev_a.observables, ev_b.observables, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lanes_are_bit_identical_to_narrow_batches() {
+        // The wide sampler's contract: lane l with rngs[l] produces exactly
+        // the events a narrow sample_batch_into would with that RNG, batch
+        // after batch — widening is an execution strategy, not a statistics
+        // change.
+        let c = kitchen_sink();
+        let compiled = CompiledCircuit::new(&c);
+        let mut wide = WideFrameState::new(&compiled);
+        let mut narrow = FrameState::new(&compiled);
+        for seed in 0..8 {
+            let mut wide_rngs: [StdRng; LANES] =
+                std::array::from_fn(|l| StdRng::seed_from_u64(chunk_seed(seed, l as u64)));
+            let mut narrow_rngs: [StdRng; LANES] =
+                std::array::from_fn(|l| StdRng::seed_from_u64(chunk_seed(seed, l as u64)));
+            let mut wide_events: [BatchEvents; LANES] = Default::default();
+            // Multiple wide calls per seed prove the lanes' RNG streams
+            // carry over between lockstep groups exactly like narrow ones.
+            for batch in 0..3 {
+                compiled.sample_batches_wide_into(&mut wide, &mut wide_rngs, &mut wide_events);
+                for (l, rng) in narrow_rngs.iter_mut().enumerate() {
+                    let narrow_ev = compiled.sample_batch(&mut narrow, rng);
+                    assert_eq!(
+                        narrow_ev.detectors, wide_events[l].detectors,
+                        "seed {seed} lane {l} batch {batch} detectors"
+                    );
+                    assert_eq!(
+                        narrow_ev.observables, wide_events[l].observables,
+                        "seed {seed} lane {l} batch {batch} observables"
+                    );
+                }
             }
         }
     }

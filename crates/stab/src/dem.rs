@@ -135,18 +135,42 @@ impl DetectorErrorModel {
     }
 }
 
-/// A sparse Pauli frame used during single-mechanism propagation.
-#[derive(Clone, Debug, Default)]
+/// A dense Pauli frame used during single-mechanism propagation.
+///
+/// Indexed flat by qubit so the per-gate symplectic updates are array
+/// accesses rather than hash lookups — propagation visits every gate
+/// operand whether or not the frame touches it, so lookup cost dominates
+/// extraction. The frame is reused across mechanisms: `touched` remembers
+/// which entries may be non-identity, letting [`PropFrame::reset_to`]
+/// clear in O(support) instead of O(qubits).
+#[derive(Clone, Debug)]
 struct PropFrame {
     /// qubit -> (x, z)
-    q: HashMap<Qubit, (bool, bool)>,
+    xz: Vec<(bool, bool)>,
+    /// Qubits whose entry may have been set since the last reset (may
+    /// contain duplicates).
+    touched: Vec<Qubit>,
+    /// Number of non-identity entries.
+    live: usize,
 }
 
 impl PropFrame {
-    fn from_pauli(qubit: Qubit, p: Pauli) -> PropFrame {
-        let mut f = PropFrame::default();
-        f.mul(qubit, p);
-        f
+    fn new(num_qubits: usize) -> PropFrame {
+        PropFrame {
+            xz: vec![(false, false); num_qubits],
+            touched: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Clears the frame and seeds it with `p` on `qubit`.
+    fn reset_to(&mut self, qubit: Qubit, p: Pauli) {
+        for &q in &self.touched {
+            self.xz[q as usize] = (false, false);
+        }
+        self.touched.clear();
+        self.live = 0;
+        self.mul(qubit, p);
     }
 
     fn mul(&mut self, qubit: Qubit, p: Pauli) {
@@ -154,39 +178,44 @@ impl PropFrame {
             return;
         }
         let (px, pz) = p.xz();
-        let e = self.q.entry(qubit).or_insert((false, false));
-        e.0 ^= px;
-        e.1 ^= pz;
-        if *e == (false, false) {
-            self.q.remove(&qubit);
-        }
+        let (x, z) = self.xz(qubit);
+        self.set(qubit, (x ^ px, z ^ pz));
     }
 
+    #[inline]
     fn xz(&self, qubit: Qubit) -> (bool, bool) {
-        self.q.get(&qubit).copied().unwrap_or((false, false))
+        self.xz[qubit as usize]
     }
 
+    #[inline]
     fn set(&mut self, qubit: Qubit, xz: (bool, bool)) {
-        if xz == (false, false) {
-            self.q.remove(&qubit);
-        } else {
-            self.q.insert(qubit, xz);
+        let e = &mut self.xz[qubit as usize];
+        if *e == xz {
+            return;
         }
+        if *e == (false, false) {
+            self.touched.push(qubit);
+            self.live += 1;
+        } else if xz == (false, false) {
+            self.live -= 1;
+        }
+        *e = xz;
     }
 
     fn clear(&mut self, qubit: Qubit) {
-        self.q.remove(&qubit);
+        self.set(qubit, (false, false));
     }
 
+    #[inline]
     fn is_empty(&self) -> bool {
-        self.q.is_empty()
+        self.live == 0
     }
 }
 
 /// Propagates `frame` through `ops[start..]`, where `meas_base` is the index
 /// of the next measurement record at `ops[start]`.
 fn propagate_from(
-    mut frame: PropFrame,
+    frame: &mut PropFrame,
     ops: &[Op],
     start: usize,
     meas_base: u32,
@@ -194,13 +223,13 @@ fn propagate_from(
 ) {
     let mut next_meas = meas_base;
     for op in &ops[start..] {
+        if frame.is_empty() {
+            // Nothing downstream can repopulate an empty frame (noise ops
+            // are transparent here), so no further measurement can flip.
+            return;
+        }
         match op {
             Op::G1(g, qs) => {
-                if frame.is_empty() {
-                    // Frames never grow from unitaries once empty; fall
-                    // through cheaply (still need to count measurements).
-                    continue;
-                }
                 for &qb in qs {
                     let (x, z) = frame.xz(qb);
                     if !x && !z {
@@ -214,9 +243,6 @@ fn propagate_from(
                 }
             }
             Op::G2(g, pairs) => {
-                if frame.is_empty() {
-                    continue;
-                }
                 for &(a, b) in pairs {
                     let (xa, za) = frame.xz(a);
                     let (xb, zb) = frame.xz(b);
@@ -363,6 +389,19 @@ pub fn extract_dem(circuit: &Circuit) -> DetectorErrorModel {
             }
         };
 
+    // One reusable frame, plus flip lists for the single-Pauli generators
+    // of the current noise site. A k-qubit depolarizing channel has 4^k − 1
+    // Pauli components, but propagation is linear over GF(2) — Clifford
+    // conjugation, measurement collapse ((x, z) → (x, 0)) and reset are all
+    // linear maps on the frame — so every component's flip set is the
+    // parity-XOR of the flips of its 2k generators (X and Z on each qubit).
+    // Propagating only the generators and composing turns 15 circuit walks
+    // per Depolarize2 site into 4, and `record` already reduces repeated
+    // measurement indices by parity, so concatenating generator flip lists
+    // is exact — the output is bit-identical to walking every component.
+    let mut frame = PropFrame::new(circuit.num_qubits());
+    let mut gen: [Vec<MeasIdx>; 4] = Default::default();
+
     let mut next_meas = 0u32;
     for (i, op) in ops.iter().enumerate() {
         match op {
@@ -374,35 +413,66 @@ pub fn extract_dem(circuit: &Circuit) -> DetectorErrorModel {
                 }
                 next_meas += 1;
             }
-            Op::Noise1(kind, p, qs) => {
-                let components: &[(Pauli, f64, f64)] = match kind {
-                    Noise1::XError => &[(Pauli::X, *p, 1.0)],
-                    Noise1::YError => &[(Pauli::Y, *p, 1.0)],
-                    Noise1::ZError => &[(Pauli::Z, *p, 1.0)],
-                    Noise1::Depolarize1 => &[
-                        (Pauli::X, *p / 3.0, 3.0),
-                        (Pauli::Y, *p / 3.0, 3.0),
-                        (Pauli::Z, *p / 3.0, 3.0),
-                    ],
-                };
-                for &q in qs {
-                    let src = intern(ErrorSource::Noise1(*kind, q));
-                    for &(pauli, cp, divisor) in components {
-                        let frame = PropFrame::from_pauli(q, pauli);
-                        propagate_from(frame, ops, i + 1, next_meas, &mut flipped);
-                        record(&mut flipped, cp, src, divisor, &mut signatures);
+            Op::Noise1(kind, p, qs) => match kind {
+                Noise1::XError | Noise1::YError | Noise1::ZError => {
+                    let pauli = match kind {
+                        Noise1::XError => Pauli::X,
+                        Noise1::YError => Pauli::Y,
+                        Noise1::ZError => Pauli::Z,
+                        Noise1::Depolarize1 => unreachable!(),
+                    };
+                    for &q in qs {
+                        let src = intern(ErrorSource::Noise1(*kind, q));
+                        frame.reset_to(q, pauli);
+                        propagate_from(&mut frame, ops, i + 1, next_meas, &mut flipped);
+                        record(&mut flipped, *p, src, 1.0, &mut signatures);
                     }
                 }
-            }
+                Noise1::Depolarize1 => {
+                    for &q in qs {
+                        let src = intern(ErrorSource::Noise1(*kind, q));
+                        for (g, pauli) in gen.iter_mut().zip([Pauli::X, Pauli::Z]) {
+                            g.clear();
+                            frame.reset_to(q, pauli);
+                            propagate_from(&mut frame, ops, i + 1, next_meas, g);
+                        }
+                        let cp = *p / 3.0;
+                        for comp in Pauli::NON_IDENTITY {
+                            let (x, z) = comp.xz();
+                            if x {
+                                flipped.extend_from_slice(&gen[0]);
+                            }
+                            if z {
+                                flipped.extend_from_slice(&gen[1]);
+                            }
+                            record(&mut flipped, cp, src, 3.0, &mut signatures);
+                        }
+                    }
+                }
+            },
             Op::Noise2(kind, p, pairs) => match kind {
                 Noise2::Depolarize2 => {
                     for &(a, b) in pairs {
                         let src = intern(ErrorSource::Noise2(*kind, a, b));
+                        for (g, (q, pauli)) in gen.iter_mut().zip([
+                            (a, Pauli::X),
+                            (a, Pauli::Z),
+                            (b, Pauli::X),
+                            (b, Pauli::Z),
+                        ]) {
+                            g.clear();
+                            frame.reset_to(q, pauli);
+                            propagate_from(&mut frame, ops, i + 1, next_meas, g);
+                        }
                         for comp in 0..15 {
                             let (pa, pb) = two_qubit_pauli(comp);
-                            let mut frame = PropFrame::from_pauli(a, pa);
-                            frame.mul(b, pb);
-                            propagate_from(frame, ops, i + 1, next_meas, &mut flipped);
+                            let (xa, za) = pa.xz();
+                            let (xb, zb) = pb.xz();
+                            for (on, g) in [xa, za, xb, zb].into_iter().zip(gen.iter()) {
+                                if on {
+                                    flipped.extend_from_slice(g);
+                                }
+                            }
                             record(&mut flipped, *p / 15.0, src, 15.0, &mut signatures);
                         }
                     }

@@ -222,6 +222,15 @@ impl SparseBatch {
 ///
 /// Shared with the compiled sampler so both consume RNG draws identically.
 pub(crate) fn bernoulli_mask<R: Rng>(p: f64, rng: &mut R) -> u64 {
+    bernoulli_mask_with(p, (-p).ln_1p(), rng)
+}
+
+/// [`bernoulli_mask`] with `ln(1 - p)` supplied by the caller — the
+/// compiled sampler caches it per instruction at compile time, saving an
+/// `ln_1p` evaluation per noise site per batch. The arithmetic on the
+/// random draws is unchanged, so the sampled masks are bit-identical to
+/// the self-computing variant.
+pub(crate) fn bernoulli_mask_with<R: Rng>(p: f64, log1p: f64, rng: &mut R) -> u64 {
     if p <= 0.0 {
         return 0;
     }
@@ -230,7 +239,6 @@ pub(crate) fn bernoulli_mask<R: Rng>(p: f64, rng: &mut R) -> u64 {
     }
     let mut mask = 0u64;
     // Skip-ahead sampling: the gap between successes is geometric.
-    let log1p = (-p).ln_1p(); // ln(1 - p) < 0
     let mut pos = 0f64;
     loop {
         let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);

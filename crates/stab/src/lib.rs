@@ -60,7 +60,9 @@ mod tableau;
 mod text;
 
 pub use circuit::{Basis, Circuit, DetIdx, Gate1, Gate2, MeasIdx, Noise1, Noise2, Op};
-pub use compiled::{chunk_seed, resolve_threads, CompiledCircuit, FrameState};
+pub use compiled::{
+    chunk_seed, resolve_threads, CompiledCircuit, FrameState, WideFrameState, LANES,
+};
 pub use dem::{extract_dem, DetectorErrorModel, ErrorMechanism, ErrorSource, SourceContribution};
 pub use error::CircuitError;
 pub use frame::{

@@ -95,6 +95,10 @@ fn every_injection_kind_recovers_bit_identically() {
             FaultKind::CorruptDefects,
         ),
         (FaultPlan::new().bad_weights_at(2), FaultKind::BadWeights),
+        (
+            FaultPlan::new().cluster_panic_at(1),
+            FaultKind::ClusterPanic,
+        ),
     ];
     for (plan, kind) in kinds {
         let chaos = run_with(plan, 2);
@@ -109,7 +113,7 @@ fn every_injection_kind_recovers_bit_identically() {
         assert!(chaos.degraded_shots > 0, "{kind}");
         assert_eq!(chaos.rung_chunks[1], 1, "{kind}: retry lands on rung 1");
         let (panics, stalls, graphs) = match kind {
-            FaultKind::Panic | FaultKind::CorruptDefects => (1, 0, 0),
+            FaultKind::Panic | FaultKind::CorruptDefects | FaultKind::ClusterPanic => (1, 0, 0),
             FaultKind::Stall => (0, 1, 0),
             FaultKind::BadWeights => (0, 0, 1),
         };
@@ -262,12 +266,73 @@ fn journal_counts_reconcile_with_run_accounting() {
     assert_eq!(snap.counter("chunks_finished"), run.chunks_executed as u64);
 }
 
+/// A denser d = 7 workload with the cluster tier enabled, so an injected
+/// cluster-tier fault hits the machinery it claims to model (at 8e-3 a
+/// sizable fraction of shots carry more than
+/// `Predecoder::MAX_CERT_DEFECTS` defects and route through the tier).
+fn cluster_workload() -> (
+    CompiledCircuit,
+    Tiered<impl Fn() -> UnionFindDecoder + Sync>,
+) {
+    let mem = memory_circuit(
+        &rotated_patch(7, 7),
+        &NoiseModel::uniform(8e-3),
+        7,
+        MemoryBasis::Z,
+    );
+    let compiled = CompiledCircuit::new(&mem.circuit);
+    let graph = graph_for_circuit(&mem.circuit);
+    let factory = Tiered::new(&graph, {
+        let graph = graph.clone();
+        move || UnionFindDecoder::new(graph.clone())
+    })
+    .with_cluster();
+    (compiled, factory)
+}
+
+#[test]
+fn faulted_cluster_decode_retries_down_the_ladder_bit_identically() {
+    quiet_worker_panics();
+    let (compiled, factory) = cluster_workload();
+    let clean = LerEngine::new(2).estimate(&compiled, &factory, OPTS, SEED);
+    assert!(
+        clean.clustered_shots + clean.clusters_total as usize > 0,
+        "workload must be dense enough for the cluster tier to fire"
+    );
+    assert_eq!(clean.faulted_chunks, 0);
+
+    let (compiled, factory) = cluster_workload();
+    let chaos = LerEngine::new(2)
+        .with_faults(FaultPlan::parse("cluster@0").expect("cluster kind parses"))
+        .try_estimate(&compiled, &factory, OPTS, SEED)
+        .expect("a cluster-tier panic must be recovered on the ladder");
+    assert_eq!(
+        (chaos.estimate.shots, chaos.estimate.failures),
+        (clean.estimate.shots, clean.estimate.failures),
+        "rung-1 monolithic retry must reproduce the clean estimate bit-identically"
+    );
+    assert_eq!(chaos.faulted_chunks, 1);
+    assert_eq!(chaos.panic_faults, 1, "cluster faults account as panics");
+    assert_eq!(
+        chaos.rung_chunks[1], 1,
+        "the retry drops the tier and decodes the chunk monolithically on rung 1"
+    );
+    assert!(chaos.degraded());
+    assert!(
+        chaos.clustered_shots + chaos.clusters_total as usize
+            <= clean.clustered_shots + clean.clusters_total as usize,
+        "the rung-1 chunk contributes no clustered shots"
+    );
+}
+
 #[test]
 fn spec_grammar_round_trips_through_parse() {
-    let plan = FaultPlan::parse("panic@0,stall@3,corrupt@1,badweights@7").expect("valid spec");
-    assert_eq!(plan.injections().len(), 4);
+    let plan =
+        FaultPlan::parse("panic@0,stall@3,corrupt@1,badweights@7,cluster@5").expect("valid spec");
+    assert_eq!(plan.injections().len(), 5);
     assert_eq!(plan.injection(3), Some(FaultKind::Stall));
-    assert_eq!(plan.injection(5), None);
+    assert_eq!(plan.injection(5), Some(FaultKind::ClusterPanic));
+    assert_eq!(plan.injection(6), None);
     assert!(FaultPlan::parse("panic@").is_err());
     assert!(FaultPlan::parse("meltdown@1").is_err());
 }

@@ -5,8 +5,8 @@
 
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
 use caliqec_match::{
-    estimate_ler, graph_for_circuit, Decoder, LerEngine, MwpmDecoder, Predecoder, SampleOptions,
-    Tiered, UnionFindDecoder,
+    estimate_ler, graph_for_circuit, ClusterTier, Decoder, LerEngine, MwpmDecoder, Predecoder,
+    SampleOptions, Tiered, UnionFindDecoder, MAX_CLUSTER_DEFECTS,
 };
 use caliqec_stab::{CompiledCircuit, FrameSampler, SparseBatch, BATCH};
 use proptest::prelude::*;
@@ -124,6 +124,146 @@ proptest! {
             seed,
         );
         prop_assert_eq!(on.estimate, off.estimate, "MWPM backend d={}", d);
+    }
+
+    /// Dense-regime contract: flood-decomposing a dense shot into
+    /// independent clusters, peeling the certified ones, and decoding the
+    /// residual union with the union-find decoder produces exactly the mask
+    /// the monolithic union-find decoder produces on the whole defect list
+    /// — the decomposition is a decoder *variant*, not an approximation.
+    /// Against exact MWPM the comparison is statistical (same treatment as
+    /// `union_find_matches_mwpm_on_most_syndromes`): exact matching admits
+    /// degenerate equal-weight optima with different observable masks, so
+    /// decomposed-MWPM and monolithic-MWPM may legitimately pick different
+    /// ones on a small fraction of shots.
+    #[test]
+    fn cluster_decomposed_decode_matches_monolithic_decoders(
+        d_idx in 0usize..2,
+        p_milli in 5u32..9,
+        seed in 0u64..10_000,
+    ) {
+        let d = [7usize, 9][d_idx];
+        let mem = memory_circuit(
+            &rotated_patch(d, d),
+            &NoiseModel::uniform(p_milli as f64 * 1e-3),
+            d,
+            MemoryBasis::Z,
+        );
+        let graph = graph_for_circuit(&mem.circuit);
+        let mut tier = ClusterTier::new(&graph);
+        let mut uf = UnionFindDecoder::new(graph.clone());
+        let mut mwpm = MwpmDecoder::new(graph);
+        let mut sampler = FrameSampler::new(&mem.circuit);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sparse = SparseBatch::new();
+        let mut dense_seen = 0usize;
+        let mut mwpm_agreed = 0usize;
+        for _ in 0..4 {
+            let ev = sampler.sample_batch(&mut rng);
+            sparse.extract(&ev);
+            for s in 0..BATCH {
+                let defects: Vec<usize> = sparse.defects(s).to_vec();
+                if defects.len() <= MAX_CLUSTER_DEFECTS {
+                    continue;
+                }
+                dense_seen += 1;
+                let out = tier.decompose(&defects);
+                let residual: Vec<usize> = tier.residual_defects().to_vec();
+                prop_assert_eq!(
+                    out.peeled_defects as usize + residual.len(),
+                    defects.len(),
+                    "decomposition partitions the defects, d={}",
+                    d
+                );
+                let uf_mask = if residual.is_empty() {
+                    out.mask
+                } else {
+                    out.mask ^ uf.decode(&residual)
+                };
+                prop_assert_eq!(uf_mask, uf.decode(&defects), "UF d={} {:?}", d, defects);
+                let mwpm_mask = if residual.is_empty() {
+                    out.mask
+                } else {
+                    out.mask ^ mwpm.decode(&residual)
+                };
+                if mwpm_mask == mwpm.decode(&defects) {
+                    mwpm_agreed += 1;
+                }
+            }
+        }
+        // At these noise strengths the dense regime is the common case;
+        // a run that never exercised it would be vacuous.
+        prop_assert!(dense_seen > 0, "no dense shots at d={} p={}e-3", d, p_milli);
+        prop_assert!(
+            mwpm_agreed * 10 >= dense_seen * 9,
+            "decomposed MWPM agreed on only {}/{} dense shots (d={})",
+            mwpm_agreed, dense_seen, d
+        );
+    }
+}
+
+/// Golden fingerprints: the engine's `(shots, failures)` at a pinned seed
+/// must be bit-identical with the cluster tier on and off, and must match
+/// the recorded values — any drift in the sampler's RNG schedule, the tier
+/// dispatch, or the decomposition itself shows up here as a diff against
+/// the goldens, not as a silent statistical shift.
+#[test]
+fn golden_engine_fingerprints_cluster_on_off() {
+    // (d, p, min_shots, golden shots, golden failures)
+    const GOLDENS: [(usize, f64, usize, usize, usize); 3] = [
+        (7, 3e-3, 4_096, 4_096, 10),
+        (11, 1e-3, 2_048, 2_048, 0),
+        (15, 1e-3, 1_024, 1_024, 0),
+    ];
+    for (d, p, min_shots, want_shots, want_failures) in GOLDENS {
+        let mem = memory_circuit(
+            &rotated_patch(d, d),
+            &NoiseModel::uniform(p),
+            d,
+            MemoryBasis::Z,
+        );
+        let compiled = CompiledCircuit::new(&mem.circuit);
+        let graph = graph_for_circuit(&mem.circuit);
+        let opts = SampleOptions {
+            min_shots,
+            ..Default::default()
+        };
+        let on = LerEngine::new(2).estimate(
+            &compiled,
+            &Tiered::new(&graph, {
+                let graph = graph.clone();
+                move || UnionFindDecoder::new(graph.clone())
+            })
+            .with_cluster(),
+            opts,
+            0xF1E1D,
+        );
+        let off = LerEngine::new(2).estimate(
+            &compiled,
+            &Tiered::new(&graph, {
+                let graph = graph.clone();
+                move || UnionFindDecoder::new(graph.clone())
+            }),
+            opts,
+            0xF1E1D,
+        );
+        assert_eq!(
+            on.estimate, off.estimate,
+            "d={d}: cluster on/off must be bit-identical"
+        );
+        assert_eq!(
+            (on.estimate.shots, on.estimate.failures),
+            (want_shots, want_failures),
+            "d={d}: golden fingerprint drifted"
+        );
+        assert_eq!(
+            on.tier0_shots + on.predecoded_shots + on.clustered_shots + on.residual_shots,
+            on.estimate.shots,
+            "d={d}: tier partition must cover every shot"
+        );
+        if d >= 11 {
+            assert!(on.clustered_shots > 0, "d={d}: cluster tier never peeled");
+        }
     }
 }
 
