@@ -37,7 +37,9 @@
 
 use caliqec_bench::compare::{compare_table, load_baseline, regression_warnings};
 use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
-use caliqec_match::{graph_for_circuit, LerEngine, SampleOptions, Tiered, UnionFindDecoder};
+use caliqec_match::{
+    graph_for_circuit, ClusterGate, LerEngine, SampleOptions, Tiered, UnionFindDecoder,
+};
 use caliqec_obs::{Hist, HistSnapshot, ObsSink};
 use caliqec_stab::CompiledCircuit;
 use std::fmt::Write as _;
@@ -68,10 +70,15 @@ fn percentile_fields(prefix: &str, h: &HistSnapshot) -> String {
     }
     let us = |q: f64| h.quantile_nanos(q) / 1e3;
     format!(
-        "\"{prefix}_p50_us\": {:.3}, \"{prefix}_p95_us\": {:.3}, \"{prefix}_p99_us\": {:.3}, ",
+        concat!(
+            "\"{0}_p50_us\": {1:.3}, \"{0}_p95_us\": {2:.3}, ",
+            "\"{0}_p99_us\": {3:.3}, \"{0}_max_us\": {4:.3}, "
+        ),
+        prefix,
         us(0.50),
         us(0.95),
         us(0.99),
+        h.max_nanos as f64 / 1e3,
     )
 }
 
@@ -94,7 +101,18 @@ fn main() -> ExitCode {
     let label = caliqec_bench::string_from_args("label", "");
     let compare = caliqec_bench::string_from_args("compare", "");
     let configs_arg = caliqec_bench::string_from_args("configs", "7,11,15");
+    let cluster_tier = caliqec_bench::string_from_args("cluster-tier", "auto");
     let p = 1e-3;
+
+    let gate = match cluster_tier.as_str() {
+        "auto" => ClusterGate::Auto,
+        "on" => ClusterGate::On,
+        "off" => ClusterGate::Off,
+        other => {
+            eprintln!("perf_smoke: error: --cluster-tier wants auto|on|off, got {other:?}");
+            return ExitCode::from(2);
+        }
+    };
 
     let mut distances = Vec::new();
     for part in configs_arg.split(',') {
@@ -111,16 +129,8 @@ fn main() -> ExitCode {
     }
 
     let mut configs = String::new();
-    for (i, d) in distances.iter().copied().enumerate() {
-        // One sink per config so the per-tier latency histograms don't mix
-        // distances; observation is passive, so the estimate is
-        // bit-identical to an uninstrumented engine.
-        let sink = ObsSink::enabled();
-        let engine = LerEngine::new(threads).with_obs(sink.clone());
-        eprintln!(
-            "perf_smoke: d={d}, {shots} shots, {} threads...",
-            engine.threads()
-        );
+    let mut rows = 0usize;
+    for d in distances.iter().copied() {
         let mem = memory_circuit(
             &rotated_patch(d, d),
             &NoiseModel::uniform(p),
@@ -129,146 +139,170 @@ fn main() -> ExitCode {
         );
         let compiled = CompiledCircuit::new(&mem.circuit);
         let graph = graph_for_circuit(&mem.circuit);
-        let run = engine.estimate(
-            &compiled,
-            &Tiered::new(&graph, {
-                let graph = graph.clone();
-                move || UnionFindDecoder::new(graph.clone())
-            })
-            .with_cluster(),
-            SampleOptions {
-                min_shots: shots,
-                ..Default::default()
-            },
-            0xC0FFEE + d as u64,
-        );
-        eprintln!(
-            "perf_smoke: d={d}: {:.0} shots/s (sample {:.3}s, extract {:.3}s, \
+        // Every config gets a second row pinned to 8 workers so the
+        // checked-in JSON tracks parallel scaling across commits (skipped
+        // when the primary row already resolves to 8 threads — the results
+        // would be byte-identical). Both rows share a seed, so matching
+        // shots/failures double as a thread-determinism check.
+        let mut thread_rows = vec![threads];
+        if LerEngine::new(threads).threads() != 8 {
+            thread_rows.push(8);
+        }
+        for row_threads in thread_rows {
+            // One sink per row so the per-tier latency histograms don't mix
+            // distances or thread counts; observation is passive, so the
+            // estimate is bit-identical to an uninstrumented engine.
+            let sink = ObsSink::enabled();
+            let engine = LerEngine::new(row_threads).with_obs(sink.clone());
+            eprintln!(
+                "perf_smoke: d={d}, {shots} shots, {} threads, cluster tier {cluster_tier}...",
+                engine.threads()
+            );
+            let run = engine.estimate(
+                &compiled,
+                &Tiered::new(&graph, {
+                    let graph = graph.clone();
+                    move || UnionFindDecoder::new(graph.clone())
+                })
+                .with_cluster_gate(gate),
+                SampleOptions {
+                    min_shots: shots,
+                    ..Default::default()
+                },
+                0xC0FFEE + d as u64,
+            );
+            eprintln!(
+                "perf_smoke: d={d}: {:.0} shots/s (sample {:.3}s, extract {:.3}s, \
              predecode {:.3}s, cluster {:.3}s, decode {:.3}s; tier0 {}, predecoded {}, \
              clustered {}, residual {})",
-            run.shots_per_sec(),
-            run.sample_seconds,
-            run.extract_seconds,
-            run.predecode_seconds,
-            run.cluster_seconds,
-            run.decode_seconds,
-            run.tier0_shots,
-            run.predecoded_shots,
-            run.clustered_shots,
-            run.residual_shots,
-        );
-        // Accounting invariants: the four tiers partition the shot budget
-        // and each histogram sums to the population it claims to cover. A
-        // violation means the engine's tier dispatch is broken, which
-        // would silently skew every number this binary reports.
-        let partition =
-            run.tier0_shots + run.predecoded_shots + run.clustered_shots + run.residual_shots;
-        if partition != run.estimate.shots {
-            eprintln!(
-                "perf_smoke: error: tier partition broke at d={d}: \
-                 {} + {} + {} + {} = {partition} != {} shots",
+                run.shots_per_sec(),
+                run.sample_seconds,
+                run.extract_seconds,
+                run.predecode_seconds,
+                run.cluster_seconds,
+                run.decode_seconds,
                 run.tier0_shots,
                 run.predecoded_shots,
                 run.clustered_shots,
                 run.residual_shots,
-                run.estimate.shots
             );
-            return ExitCode::from(3);
-        }
-        let defect_sum: u64 = run.defect_histogram.iter().sum();
-        if defect_sum != run.estimate.shots as u64 {
-            eprintln!(
-                "perf_smoke: error: defect histogram sums to {defect_sum}, \
+            // Accounting invariants: the four tiers partition the shot budget
+            // and each histogram sums to the population it claims to cover. A
+            // violation means the engine's tier dispatch is broken, which
+            // would silently skew every number this binary reports.
+            let partition =
+                run.tier0_shots + run.predecoded_shots + run.clustered_shots + run.residual_shots;
+            if partition != run.estimate.shots {
+                eprintln!(
+                    "perf_smoke: error: tier partition broke at d={d}: \
+                 {} + {} + {} + {} = {partition} != {} shots",
+                    run.tier0_shots,
+                    run.predecoded_shots,
+                    run.clustered_shots,
+                    run.residual_shots,
+                    run.estimate.shots
+                );
+                return ExitCode::from(3);
+            }
+            let defect_sum: u64 = run.defect_histogram.iter().sum();
+            if defect_sum != run.estimate.shots as u64 {
+                eprintln!(
+                    "perf_smoke: error: defect histogram sums to {defect_sum}, \
                  expected {} shots at d={d}",
-                run.estimate.shots
-            );
-            return ExitCode::from(3);
-        }
-        let cluster_sum: u64 = run.cluster_size_histogram.iter().sum();
-        if cluster_sum != run.clusters_total {
-            eprintln!(
-                "perf_smoke: error: cluster-size histogram sums to {cluster_sum}, \
+                    run.estimate.shots
+                );
+                return ExitCode::from(3);
+            }
+            let cluster_sum: u64 = run.cluster_size_histogram.iter().sum();
+            if cluster_sum != run.clusters_total {
+                eprintln!(
+                    "perf_smoke: error: cluster-size histogram sums to {cluster_sum}, \
                  expected clusters_total = {} at d={d}",
-                run.clusters_total
-            );
-            return ExitCode::from(3);
-        }
-        // The phase timers partition each chunk's wall clock per worker, so
-        // their sum across workers can never exceed workers × run wall
-        // (5% slack for timer granularity).
-        let phase_sum = run.sample_seconds
-            + run.extract_seconds
-            + run.predecode_seconds
-            + run.cluster_seconds
-            + run.decode_seconds;
-        if phase_sum > run.threads as f64 * run.wall_seconds * 1.05 {
-            eprintln!(
-                "perf_smoke: error: phase timers exceed the wall budget: \
+                    run.clusters_total
+                );
+                return ExitCode::from(3);
+            }
+            // The phase timers partition each chunk's wall clock per worker, so
+            // their sum across workers can never exceed workers × run wall
+            // (5% slack for timer granularity).
+            let phase_sum = run.sample_seconds
+                + run.extract_seconds
+                + run.predecode_seconds
+                + run.cluster_seconds
+                + run.decode_seconds;
+            if phase_sum > run.threads as f64 * run.wall_seconds * 1.05 {
+                eprintln!(
+                    "perf_smoke: error: phase timers exceed the wall budget: \
                  {phase_sum:.6}s over {} × {:.6}s — timing attribution is broken",
-                run.threads, run.wall_seconds
-            );
-            return ExitCode::from(1);
+                    run.threads, run.wall_seconds
+                );
+                return ExitCode::from(1);
+            }
+            let snap = sink.snapshot();
+            let tier1 = snap
+                .hist(Hist::PredecodeShot)
+                .cloned()
+                .unwrap_or_else(|| HistSnapshot::empty(Hist::PredecodeShot.name()));
+            let cluster_hist = snap
+                .hist(Hist::ClusterShot)
+                .cloned()
+                .unwrap_or_else(|| HistSnapshot::empty(Hist::ClusterShot.name()));
+            let tier2 = snap.decode_shot_hist();
+            if rows > 0 {
+                configs.push_str(",\n");
+            }
+            rows += 1;
+            write!(
+                configs,
+                concat!(
+                    "    {{\"d\": {}, \"p\": {}, \"rounds\": {}, \"threads\": {}, ",
+                    "\"shots\": {}, \"failures\": {}, \"shots_per_sec\": {:.1}, ",
+                    "\"wall_seconds\": {:.6}, \"sample_seconds\": {:.6}, ",
+                    "\"extract_seconds\": {:.6}, \"predecode_seconds\": {:.6}, ",
+                    "\"cluster_seconds\": {:.6}, ",
+                    "\"decode_seconds\": {:.6}, \"tier0_shots\": {}, ",
+                    "\"predecoded_shots\": {}, \"predecoded_defects\": {}, ",
+                    "\"clustered_shots\": {}, \"clustered_defects\": {}, ",
+                    "\"clusters_total\": {}, ",
+                    "\"cluster_gate_on\": {}, \"cluster_gate_off\": {}, ",
+                    "\"residual_shots\": {}, \"reweight_seconds\": {:.6}, ",
+                    "\"epochs\": {}, ",
+                    "{}{}{}",
+                    "\"defect_histogram\": [{}], ",
+                    "\"cluster_size_histogram\": [{}]}}"
+                ),
+                d,
+                p,
+                d,
+                run.threads,
+                run.estimate.shots,
+                run.estimate.failures,
+                run.shots_per_sec(),
+                run.wall_seconds,
+                run.sample_seconds,
+                run.extract_seconds,
+                run.predecode_seconds,
+                run.cluster_seconds,
+                run.decode_seconds,
+                run.tier0_shots,
+                run.predecoded_shots,
+                run.predecoded_defects,
+                run.clustered_shots,
+                run.clustered_defects,
+                run.clusters_total,
+                run.cluster_gate_on,
+                run.cluster_gate_off,
+                run.residual_shots,
+                run.reweight_seconds,
+                run.epochs,
+                percentile_fields("tier1", &tier1),
+                percentile_fields("cluster", &cluster_hist),
+                percentile_fields("tier2", &tier2),
+                histogram_body(&run.defect_histogram),
+                histogram_body(&run.cluster_size_histogram),
+            )
+            .expect("write to string");
         }
-        let snap = sink.snapshot();
-        let tier1 = snap
-            .hist(Hist::PredecodeShot)
-            .cloned()
-            .unwrap_or_else(|| HistSnapshot::empty(Hist::PredecodeShot.name()));
-        let cluster_hist = snap
-            .hist(Hist::ClusterShot)
-            .cloned()
-            .unwrap_or_else(|| HistSnapshot::empty(Hist::ClusterShot.name()));
-        let tier2 = snap.decode_shot_hist();
-        if i > 0 {
-            configs.push_str(",\n");
-        }
-        write!(
-            configs,
-            concat!(
-                "    {{\"d\": {}, \"p\": {}, \"rounds\": {}, \"threads\": {}, ",
-                "\"shots\": {}, \"failures\": {}, \"shots_per_sec\": {:.1}, ",
-                "\"wall_seconds\": {:.6}, \"sample_seconds\": {:.6}, ",
-                "\"extract_seconds\": {:.6}, \"predecode_seconds\": {:.6}, ",
-                "\"cluster_seconds\": {:.6}, ",
-                "\"decode_seconds\": {:.6}, \"tier0_shots\": {}, ",
-                "\"predecoded_shots\": {}, \"predecoded_defects\": {}, ",
-                "\"clustered_shots\": {}, \"clustered_defects\": {}, ",
-                "\"clusters_total\": {}, ",
-                "\"residual_shots\": {}, \"reweight_seconds\": {:.6}, ",
-                "\"epochs\": {}, ",
-                "{}{}{}",
-                "\"defect_histogram\": [{}], ",
-                "\"cluster_size_histogram\": [{}]}}"
-            ),
-            d,
-            p,
-            d,
-            run.threads,
-            run.estimate.shots,
-            run.estimate.failures,
-            run.shots_per_sec(),
-            run.wall_seconds,
-            run.sample_seconds,
-            run.extract_seconds,
-            run.predecode_seconds,
-            run.cluster_seconds,
-            run.decode_seconds,
-            run.tier0_shots,
-            run.predecoded_shots,
-            run.predecoded_defects,
-            run.clustered_shots,
-            run.clustered_defects,
-            run.clusters_total,
-            run.residual_shots,
-            run.reweight_seconds,
-            run.epochs,
-            percentile_fields("tier1", &tier1),
-            percentile_fields("cluster", &cluster_hist),
-            percentile_fields("tier2", &tier2),
-            histogram_body(&run.defect_histogram),
-            histogram_body(&run.cluster_size_histogram),
-        )
-        .expect("write to string");
     }
 
     let json = format!(

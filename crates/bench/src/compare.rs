@@ -97,13 +97,40 @@ fn validate_report(text: &str) -> Result<(), CompareError> {
     Ok(())
 }
 
+/// Finds the baseline fragment matching a new config row. Rows are keyed
+/// by `(d, threads)` — perf_smoke writes one row per distance per thread
+/// count — but a side that carries no `threads` field (a pre-scaling-row
+/// baseline) matches on `d` alone, so old baselines keep comparing
+/// cleanly.
+fn matching_fragment<'a>(old_json: &'a str, new_frag: &str) -> Option<&'a str> {
+    let d = field_num(new_frag, "d")?;
+    let threads = field_num(new_frag, "threads");
+    config_fragments(old_json).into_iter().find(|f| {
+        if field_num(f, "d") != Some(d) {
+            return false;
+        }
+        match (threads, field_num(f, "threads")) {
+            (Some(new_t), Some(old_t)) => new_t == old_t,
+            _ => true,
+        }
+    })
+}
+
 /// Renders the per-config speedup table of this run's JSON against a vetted
 /// baseline (old/new decode seconds and shots-per-second, with ratios).
+/// Rows match on `(d, threads)` via [`matching_fragment`].
 pub fn compare_table(new_json: &str, old_json: &str) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>4} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}\n",
-        "d", "old decode s", "new decode s", "speedup", "old shots/s", "new shots/s", "speedup"
+        "{:>4} {:>4} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}\n",
+        "d",
+        "thr",
+        "old decode s",
+        "new decode s",
+        "speedup",
+        "old shots/s",
+        "new shots/s",
+        "speedup"
     ));
     for new_frag in config_fragments(new_json) {
         let (Some(d), Some(nd), Some(nt)) = (
@@ -113,9 +140,7 @@ pub fn compare_table(new_json: &str, old_json: &str) -> String {
         ) else {
             continue;
         };
-        let old_frag = config_fragments(old_json)
-            .into_iter()
-            .find(|f| field_num(f, "d") == Some(d));
+        let old_frag = matching_fragment(old_json, new_frag);
         let (od, ot) = match old_frag {
             Some(f) => (
                 field_num(f, "decode_seconds"),
@@ -130,8 +155,11 @@ pub fn compare_table(new_json: &str, old_json: &str) -> String {
             _ => "-".to_string(),
         };
         out.push_str(&format!(
-            "{:>4} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}\n",
+            "{:>4} {:>4} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}\n",
             d as usize,
+            field_num(new_frag, "threads")
+                .map(|t| format!("{}", t as usize))
+                .unwrap_or("-".into()),
             od.map(|v| format!("{v:.3}")).unwrap_or("-".into()),
             format!("{nd:.3}"),
             ratio(od, nd, false),
@@ -153,10 +181,7 @@ pub fn regression_warnings(new_json: &str, old_json: &str, warn_ratio: f64) -> V
         let Some(d) = field_num(new_frag, "d") else {
             continue;
         };
-        let Some(old_frag) = config_fragments(old_json)
-            .into_iter()
-            .find(|f| field_num(f, "d") == Some(d))
-        else {
+        let Some(old_frag) = matching_fragment(old_json, new_frag) else {
             continue;
         };
         for key in ["decode_seconds", "tier1_p99_us", "tier2_p99_us"] {

@@ -58,7 +58,7 @@ use crate::decode::{Decoder, LerEstimate, SampleOptions};
 use crate::error::{EngineError, ValidationError};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::graph::MatchingGraph;
-use crate::predecode::Predecoder;
+use crate::predecode::{ClusterGate, Predecoder, CLUSTER_GATE_MIN_MEAN_DEFECTS};
 use crate::reference::ReferenceUnionFind;
 use caliqec_obs::{Counter, Event, EventKind, Gauge, Hist, ObsSink, WorkerObs};
 use caliqec_stab::{
@@ -113,6 +113,15 @@ pub trait DecoderFactory: Sync {
     /// to enable it.
     fn cluster_tier(&self) -> Option<ClusterTier> {
         None
+    }
+
+    /// How the engine should gate the cluster tier by defect density.
+    /// Meaningful only when [`DecoderFactory::cluster_tier`] returns one;
+    /// [`ClusterGate::Auto`] lets the engine skip the decomposition for
+    /// batches whose mean defect count is below
+    /// [`CLUSTER_GATE_MIN_MEAN_DEFECTS`].
+    fn cluster_gate(&self) -> ClusterGate {
+        ClusterGate::Off
     }
 
     /// The matching graph backing this factory's decoders, if the factory
@@ -228,6 +237,44 @@ impl EpochSchedule {
     }
 }
 
+/// Options for rare-event (importance-sampled) estimation via
+/// [`LerEngine::estimate_rare`].
+#[derive(Clone, Debug)]
+pub struct RareOptions {
+    /// Rate boost factor β: every fault channel fires at
+    /// `min(β · p, ½)` (never below its nominal rate). `1.0` degenerates
+    /// to the plain unweighted sampler bit for bit.
+    pub boost_beta: f64,
+    /// Target relative CI half-width: the run stops at the first chunk
+    /// boundary where the 95% CI half-width of the weighted LER estimate
+    /// is at most `target_rse · estimate` (once `min_shots` have been
+    /// decoded). `≤ 0` disables CI stopping — the run consumes the full
+    /// shot budget, exactly like [`SampleOptions`] with no failure cap.
+    pub target_rse: f64,
+    /// Minimum shots before the CI stopping rule may fire (also the whole
+    /// budget when `max_shots` is 0).
+    pub min_shots: usize,
+    /// Shot budget ceiling (0 = `min_shots` is the whole budget).
+    pub max_shots: usize,
+    /// Nominal per-channel rates: overrides compose with β exactly like a
+    /// calibration-epoch reweight
+    /// ([`CompiledCircuit::boosted_with_rates`]). Identity = the compiled
+    /// circuit's own rates.
+    pub rates: RateTable,
+}
+
+impl Default for RareOptions {
+    fn default() -> RareOptions {
+        RareOptions {
+            boost_beta: 4.0,
+            target_rse: 0.1,
+            min_shots: 10_000,
+            max_shots: 0,
+            rates: RateTable::identity(),
+        }
+    }
+}
+
 /// The deterministic work schedule shared by the parallel engine and the
 /// serial reference path.
 #[derive(Clone, Copy, Debug)]
@@ -240,6 +287,12 @@ struct ChunkPlan {
     max_batches: usize,
     /// Failure budget (0 = run the full batch budget).
     max_failures: usize,
+    /// Relative-CI stopping target for rare-event runs (≤ 0 disables; see
+    /// [`RareOptions::target_rse`]). Resolved at chunk granularity like
+    /// `max_failures`, so the cut is thread-count independent.
+    target_rse: f64,
+    /// Batches that must complete before the CI rule may fire.
+    min_ci_batches: usize,
 }
 
 impl ChunkPlan {
@@ -259,6 +312,25 @@ impl ChunkPlan {
             num_chunks: max_batches.div_ceil(chunk_batches),
             max_batches,
             max_failures: options.max_failures,
+            target_rse: 0.0,
+            min_ci_batches: 0,
+        }
+    }
+
+    /// The schedule for a rare-event run: identical batch/chunk geometry
+    /// to [`ChunkPlan::new`] over the same `(min_shots, max_shots)` — so a
+    /// β=1 rare run replays a plain run's chunk schedule bit for bit —
+    /// plus the CI stopping rule in place of the failure budget.
+    fn rare(options: &RareOptions) -> ChunkPlan {
+        let base = ChunkPlan::new(SampleOptions {
+            min_shots: options.min_shots,
+            max_failures: 0,
+            max_shots: options.max_shots,
+        });
+        ChunkPlan {
+            target_rse: options.target_rse.max(0.0),
+            min_ci_batches: options.min_shots.div_ceil(BATCH).max(1),
+            ..base
         }
     }
 
@@ -284,6 +356,9 @@ struct SampleScratch {
     wide: WideFrameState,
     events: [BatchEvents; LANES],
     sparse: SparseBatch,
+    /// Per-lane log-likelihood ratios for weighted (boosted) sampling;
+    /// untouched on plain runs.
+    llr: Box<[[f64; BATCH]; LANES]>,
 }
 
 impl SampleScratch {
@@ -293,6 +368,7 @@ impl SampleScratch {
             wide: WideFrameState::new(compiled),
             events: std::array::from_fn(|_| BatchEvents::default()),
             sparse: SparseBatch::new(),
+            llr: Box::new([[0.0; BATCH]; LANES]),
         }
     }
 }
@@ -326,6 +402,25 @@ pub const LADDER_RUNGS: usize = 3;
 struct ChunkResult {
     batches: usize,
     failures: usize,
+    /// Whether the chunk sampled under boosted rates with per-shot
+    /// likelihood weights. On plain chunks the weighted sums below are
+    /// filled from the integer counters (weight ≡ 1) — exactly, since
+    /// every count fits in f64 — so downstream ESS/CI accounting is
+    /// uniform across both kinds of run.
+    weighted: bool,
+    /// Σ wₛ over the chunk's shots (= shot count when unweighted).
+    sum_w: f64,
+    /// Σ wₛ² (= shot count when unweighted).
+    sum_w2: f64,
+    /// Σ wₛ over failing shots (= `failures` when unweighted).
+    sum_wf: f64,
+    /// Σ wₛ² over failing shots (= `failures` when unweighted).
+    sum_w2f: f64,
+    /// Batches the cluster-density gate ran the decomposition for (0 when
+    /// no cluster tier was armed).
+    cluster_gate_on: usize,
+    /// Batches the gate diverted to the monolithic path.
+    cluster_gate_off: usize,
     tier0_shots: usize,
     predecoded_shots: usize,
     predecoded_defects: usize,
@@ -487,6 +582,7 @@ fn run_chunk<D: Decoder>(
     decoder: &mut D,
     mut predecoder: Option<&mut Predecoder>,
     mut cluster: Option<&mut ClusterTier>,
+    gate: ClusterGate,
     scratch: &mut SampleScratch,
     plan: &ChunkPlan,
     chunk: usize,
@@ -496,6 +592,18 @@ fn run_chunk<D: Decoder>(
 ) -> ChunkResult {
     let batches = plan.batches_in(chunk);
     let first_batch = plan.first_batch(chunk) as u64;
+    // Boosted programs sample under importance weights: the weighted
+    // sampler variants fill per-lane LLR buffers, and every shot's weight
+    // is folded into the Σw/Σw² accumulators below. Retries re-run the
+    // same boosted program with the same seeds, so a degraded chunk
+    // reproduces identical weights.
+    let weighted = compiled.is_boosted();
+    let mut sum_w = 0.0f64;
+    let mut sum_w2 = 0.0f64;
+    let mut sum_wf = 0.0f64;
+    let mut sum_w2f = 0.0f64;
+    let mut cluster_gate_on = 0usize;
+    let mut cluster_gate_off = 0usize;
     let mut failures = 0usize;
     let mut tier0_shots = 0usize;
     let mut predecoded_shots = 0usize;
@@ -522,6 +630,7 @@ fn run_chunk<D: Decoder>(
         wide,
         events: lane_events,
         sparse,
+        llr,
     } = scratch;
     let mut b = 0usize;
     while b < batches {
@@ -535,17 +644,25 @@ fn run_chunk<D: Decoder>(
             let mut rngs: [StdRng; LANES] = std::array::from_fn(|l| {
                 StdRng::seed_from_u64(chunk_seed(base_seed, first_batch + (b + l) as u64))
             });
-            compiled.sample_batches_wide_into(wide, &mut rngs, lane_events);
+            if weighted {
+                compiled.sample_batches_wide_weighted_into(wide, &mut rngs, lane_events, llr);
+            } else {
+                compiled.sample_batches_wide_into(wide, &mut rngs, lane_events);
+            }
         } else {
             for (l, ev) in lane_events[..lanes].iter_mut().enumerate() {
                 let mut rng =
                     StdRng::seed_from_u64(chunk_seed(base_seed, first_batch + (b + l) as u64));
-                compiled.sample_batch_into(state, &mut rng, ev);
+                if weighted {
+                    compiled.sample_batch_weighted_into(state, &mut rng, ev, &mut llr[l]);
+                } else {
+                    compiled.sample_batch_into(state, &mut rng, ev);
+                }
             }
         }
         sample_seconds += t0.elapsed().as_secs_f64();
         b += lanes;
-        for events in lane_events[..lanes].iter() {
+        for (l, events) in lane_events[..lanes].iter().enumerate() {
             let t1 = Instant::now();
             sparse.extract(events);
             // Tier dispatch: tier 0 (empty defect list — identity correction,
@@ -555,13 +672,17 @@ fn run_chunk<D: Decoder>(
             // used to pay for all of them).
             dense.clear();
             cand.clear();
+            let mut failed = 0u64;
+            let mut batch_defects = 0usize;
             for s in 0..BATCH {
                 let defects = sparse.defect_count(s);
                 defect_histogram[defect_hist_bucket(defects)] += 1;
+                batch_defects += defects;
                 if defects == 0 {
                     tier0_shots += 1;
                     if sparse.observables(s) != 0 {
                         failures += 1;
+                        failed |= 1u64 << s;
                     }
                 } else if has_pre && defects <= Predecoder::MAX_CERT_DEFECTS {
                     cand.push(s as u32);
@@ -584,6 +705,7 @@ fn run_chunk<D: Decoder>(
                             predecoded_defects += sparse.defect_count(s);
                             if mask != sparse.observables(s) {
                                 failures += 1;
+                                failed |= 1u64 << s;
                             }
                         } else {
                             uncertified.push(s as u32);
@@ -594,7 +716,27 @@ fn run_chunk<D: Decoder>(
             }
             let t3 = Instant::now();
             predecode_seconds += (t3 - t2).as_secs_f64();
-            if let Some(clu) = cluster.as_deref_mut() {
+            // Defect-density gate: below the threshold, the flood
+            // decomposition costs more than the monolithic decodes it
+            // replaces, so `Auto` diverts sparse batches to the merge path.
+            // Both paths decode every shot exactly, so gating never changes
+            // the failure count — only where the time goes.
+            let run_cluster = cluster.is_some()
+                && match gate {
+                    ClusterGate::On => true,
+                    ClusterGate::Off => false,
+                    ClusterGate::Auto => {
+                        batch_defects as f64 / BATCH as f64 >= CLUSTER_GATE_MIN_MEAN_DEFECTS
+                    }
+                };
+            if cluster.is_some() {
+                if run_cluster {
+                    cluster_gate_on += 1;
+                } else {
+                    cluster_gate_off += 1;
+                }
+            }
+            if let Some(clu) = cluster.as_deref_mut().filter(|_| run_cluster) {
                 // Dense shots: flood-decompose, peel certified clusters, decode
                 // the residual union in one full-decoder call, XOR the masks.
                 // Phase time is summed per shot (decomposition vs decoding), so
@@ -629,6 +771,7 @@ fn run_chunk<D: Decoder>(
                     }
                     if mask != sparse.observables(s) {
                         failures += 1;
+                        failed |= 1u64 << s;
                     }
                 }
                 // The predecoder-declined candidates still decode monolithically
@@ -639,6 +782,7 @@ fn run_chunk<D: Decoder>(
                     let d0 = Instant::now();
                     if decoder.decode(sparse.defects(s)) != sparse.observables(s) {
                         failures += 1;
+                        failed |= 1u64 << s;
                     }
                     decode_seconds += d0.elapsed().as_secs_f64();
                     shot_t = obs.record_since(decode_hist, shot_t);
@@ -673,6 +817,7 @@ fn run_chunk<D: Decoder>(
                     } as usize;
                     if decoder.decode(sparse.defects(s)) != sparse.observables(s) {
                         failures += 1;
+                        failed |= 1u64 << s;
                     }
                     shot_t = obs.record_since(decode_hist, shot_t);
                 }
@@ -680,11 +825,41 @@ fn run_chunk<D: Decoder>(
                 residual_shots += dense.len() + uncertified.len();
             }
             extract_seconds += (t2 - t1).as_secs_f64();
+            if weighted {
+                // Loop-tail bookkeeping: charged to no phase timer, so the
+                // phase-sum ≤ wall-clock invariant survives the weighted path.
+                for (s, lr) in llr[l].iter().enumerate() {
+                    let w = lr.exp();
+                    sum_w += w;
+                    sum_w2 += w * w;
+                    if failed >> s & 1 == 1 {
+                        sum_wf += w;
+                        sum_w2f += w * w;
+                    }
+                }
+            }
         }
+    }
+    if !weighted {
+        // Plain chunks carry unit weights; filling the sums from the integer
+        // counters keeps the CI/ESS arithmetic uniform and exact (u64 shot
+        // counts of this size round-trip through f64 losslessly).
+        let n = (batches * BATCH) as f64;
+        sum_w = n;
+        sum_w2 = n;
+        sum_wf = failures as f64;
+        sum_w2f = failures as f64;
     }
     ChunkResult {
         batches,
         failures,
+        weighted,
+        sum_w,
+        sum_w2,
+        sum_wf,
+        sum_w2f,
+        cluster_gate_on,
+        cluster_gate_off,
         tier0_shots,
         predecoded_shots,
         predecoded_defects,
@@ -721,6 +896,7 @@ fn attempt_chunk<D: Decoder>(
     decoder: &mut D,
     predecoder: Option<&mut Predecoder>,
     cluster: Option<&mut ClusterTier>,
+    gate: ClusterGate,
     scratch: &mut SampleScratch,
     plan: &ChunkPlan,
     chunk: usize,
@@ -780,6 +956,7 @@ fn attempt_chunk<D: Decoder>(
             decoder,
             predecoder,
             cluster,
+            gate,
             scratch,
             plan,
             chunk,
@@ -888,9 +1065,37 @@ pub struct EngineRun {
     pub stall_faults: usize,
     /// Fault events that were graph-validation failures.
     pub graph_faults: usize,
+    /// Effective sample size of the included prefix, `(Σw)² / Σw²`. Equals
+    /// `estimate.shots` exactly on plain (unweighted) runs.
+    pub ess: f64,
+    /// 95% confidence-interval half-width on [`EngineRun::ler`] (normal
+    /// approximation over per-shot weighted failure indicators).
+    pub ci_halfwidth: f64,
+    /// Importance-sampling boost factor the run sampled under (1 for plain
+    /// Monte Carlo).
+    pub boost_beta: f64,
+    /// Likelihood-weighted failure mass over the included prefix. Equals
+    /// `estimate.failures` exactly on plain runs.
+    pub weighted_failures: f64,
+    /// Batches the defect-density gate sent through the cluster
+    /// decomposition (counted only while a cluster tier was armed).
+    pub cluster_gate_on: usize,
+    /// Batches the gate diverted to the monolithic decode path.
+    pub cluster_gate_off: usize,
 }
 
 impl EngineRun {
+    /// The logical error rate estimate: likelihood-weighted failure mass
+    /// over shots. Bit-identical to `estimate.per_shot()` on plain runs
+    /// (the weighted sums are filled from the integer counters there); the
+    /// unbiased importance-sampling estimator on boosted runs.
+    pub fn ler(&self) -> f64 {
+        if self.estimate.shots == 0 {
+            return 0.0;
+        }
+        self.weighted_failures / self.estimate.shots as f64
+    }
+
     /// Decoded-shot throughput (shots per wall-clock second).
     pub fn shots_per_sec(&self) -> f64 {
         if self.wall_seconds <= 0.0 {
@@ -937,6 +1142,8 @@ struct Shared {
     panic_faults: usize,
     stall_faults: usize,
     graph_faults: usize,
+    cluster_gate_on: usize,
+    cluster_gate_off: usize,
 }
 
 impl Shared {
@@ -969,6 +1176,8 @@ impl Shared {
             panic_faults: 0,
             stall_faults: 0,
             graph_faults: 0,
+            cluster_gate_on: 0,
+            cluster_gate_off: 0,
         }
     }
 
@@ -980,6 +1189,46 @@ impl Shared {
                 Some(r) => {
                     failures += r.failures;
                     if failures >= max_failures {
+                        self.cut = Some(k);
+                        return;
+                    }
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Recomputes the target-relative-CI cut over the completed prefix.
+    ///
+    /// Like [`Shared::recompute_cut`], the cut is a pure function of the
+    /// deterministic chunk prefix: it fires at the first chunk index where
+    /// the prefix spans at least `plan.min_ci_batches` batches, the
+    /// weighted estimate is nonzero, and the 95% CI half-width has fallen
+    /// to `plan.target_rse` of the estimate — so any thread count stops at
+    /// the same place. Plain chunks fill their weighted sums from the
+    /// integer counters, which makes this the plain-MC shots-to-target-CI
+    /// stopping rule when `boost_beta == 1`.
+    fn recompute_ci_cut(&mut self, plan: &ChunkPlan) {
+        let mut n = 0.0f64;
+        let mut sum_wf = 0.0f64;
+        let mut sum_w2f = 0.0f64;
+        let mut batches = 0usize;
+        for (k, res) in self.results.iter().enumerate() {
+            match res {
+                Some(r) => {
+                    n += (r.batches * BATCH) as f64;
+                    sum_wf += r.sum_wf;
+                    sum_w2f += r.sum_w2f;
+                    batches += r.batches;
+                    if batches < plan.min_ci_batches {
+                        continue;
+                    }
+                    let p_hat = sum_wf / n;
+                    if p_hat <= 0.0 {
+                        continue;
+                    }
+                    let var = (sum_w2f / n - p_hat * p_hat).max(0.0) / n;
+                    if 1.96 * var.sqrt() <= plan.target_rse * p_hat {
                         self.cut = Some(k);
                         return;
                     }
@@ -1117,7 +1366,130 @@ impl LerEngine {
         compiled.validate()?;
         factory.validate()?;
         let started = Instant::now();
-        let plan = ChunkPlan::new(options);
+        self.run_plan(
+            compiled,
+            factory,
+            ChunkPlan::new(options),
+            base_seed,
+            started,
+            1.0,
+        )
+    }
+
+    /// Rare-event estimation: importance-sampled Monte Carlo with per-shot
+    /// likelihood weights. Infallible wrapper over
+    /// [`LerEngine::try_estimate_rare`].
+    pub fn estimate_rare<F: DecoderFactory>(
+        &self,
+        compiled: &CompiledCircuit,
+        factory: &F,
+        options: RareOptions,
+        base_seed: u64,
+    ) -> EngineRun {
+        self.try_estimate_rare(compiled, factory, options, base_seed)
+            .unwrap_or_else(|e| panic!("engine rare-event run failed: {e}"))
+    }
+
+    /// Rare-event estimation under importance sampling.
+    ///
+    /// Every fault channel samples at the boosted rate `min(β·p, ½)` while
+    /// the sampler accumulates each shot's exact log-likelihood ratio
+    /// against the nominal rates, making `Σ wₛ·failₛ / Σ shots`
+    /// ([`EngineRun::ler`]) an unbiased estimator of the nominal LER with
+    /// far more failing shots to average over. The run stops early at the
+    /// deterministic chunk prefix where the 95% CI half-width falls to
+    /// [`RareOptions::target_rse`] of the estimate (after
+    /// [`RareOptions::min_shots`]); [`EngineRun::ess`] and
+    /// [`EngineRun::ci_halfwidth`] report estimator health.
+    ///
+    /// The determinism contract is unchanged: the same chunk-seed schedule,
+    /// bit-identical results at any thread count, and `boost_beta == 1`
+    /// with identity rates runs the plain sampler itself — byte-identical
+    /// to [`LerEngine::try_estimate`] over the equivalent
+    /// [`SampleOptions`].
+    pub fn try_estimate_rare<F: DecoderFactory>(
+        &self,
+        compiled: &CompiledCircuit,
+        factory: &F,
+        options: RareOptions,
+        base_seed: u64,
+    ) -> Result<EngineRun, EngineError> {
+        compiled.validate()?;
+        factory.validate()?;
+        if !options.boost_beta.is_finite() || options.boost_beta < 1.0 {
+            return Err(EngineError::Options {
+                detail: format!(
+                    "boost_beta must be finite and >= 1 (got {})",
+                    options.boost_beta
+                ),
+            });
+        }
+        if !options.target_rse.is_finite() || options.target_rse < 0.0 {
+            return Err(EngineError::Options {
+                detail: format!(
+                    "target_rse must be finite and >= 0 (got {})",
+                    options.target_rse
+                ),
+            });
+        }
+        let started = Instant::now();
+        let plan = ChunkPlan::rare(&options);
+        if options.boost_beta == 1.0 && options.rates.is_identity() {
+            // β = 1 degenerates to plain Monte Carlo; running the original
+            // compiled program keeps the fast unweighted sampler and makes
+            // the degenerate case bit-identical to `try_estimate`.
+            self.run_plan(compiled, factory, plan, base_seed, started, 1.0)
+        } else {
+            let boosted = compiled.boosted_with_rates(options.boost_beta, &options.rates);
+            self.run_plan(
+                &boosted,
+                factory,
+                plan,
+                base_seed,
+                started,
+                options.boost_beta,
+            )
+        }
+    }
+
+    /// Convenience: compiles `circuit` and runs
+    /// [`LerEngine::estimate_rare`] in one call.
+    pub fn estimate_rare_circuit<F: DecoderFactory>(
+        &self,
+        circuit: &Circuit,
+        factory: &F,
+        options: RareOptions,
+        base_seed: u64,
+    ) -> EngineRun {
+        self.estimate_rare(&CompiledCircuit::new(circuit), factory, options, base_seed)
+    }
+
+    /// Fallible form of [`LerEngine::estimate_rare_circuit`].
+    pub fn try_estimate_rare_circuit<F: DecoderFactory>(
+        &self,
+        circuit: &Circuit,
+        factory: &F,
+        options: RareOptions,
+        base_seed: u64,
+    ) -> Result<EngineRun, EngineError> {
+        circuit.validate()?;
+        self.try_estimate_rare(&CompiledCircuit::new(circuit), factory, options, base_seed)
+    }
+
+    /// Shared engine core: runs `plan` over `compiled` with the factory's
+    /// ladder and returns the assembled run. Both the plain and rare-event
+    /// entry points land here, so a degenerate rare run (β = 1, identity
+    /// rates, `target_rse == 0`) executes byte-identical code to
+    /// [`LerEngine::try_estimate`].
+    fn run_plan<F: DecoderFactory>(
+        &self,
+        compiled: &CompiledCircuit,
+        factory: &F,
+        plan: ChunkPlan,
+        base_seed: u64,
+        started: Instant,
+        boost_beta: f64,
+    ) -> Result<EngineRun, EngineError> {
         let threads = self.threads.min(plan.num_chunks).max(1);
         let faults = self.faults.as_ref();
         let fallback = factory.fallback_graph();
@@ -1154,7 +1526,14 @@ impl LerEngine {
         });
 
         let sh = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
-        assemble_run(sh, &plan, threads, started, 0.0, 1)
+        let run = assemble_run(sh, &plan, threads, started, 0.0, 1, boost_beta)?;
+        if boost_beta != 1.0 || plan.target_rse > 0.0 {
+            // Rare runs publish estimator health; the plain path records
+            // nothing new, keeping its metrics stream unchanged.
+            coord.set(Gauge::Ess, run.ess as u64);
+            coord.flush();
+        }
+        Ok(run)
     }
 
     /// Convenience: compiles `circuit` and estimates in one call.
@@ -1315,6 +1694,7 @@ impl LerEngine {
             started,
             reweight_seconds,
             contexts.len(),
+            1.0,
         )
     }
 }
@@ -1359,16 +1739,38 @@ fn assemble_run(
     started: Instant,
     reweight_seconds: f64,
     epochs: usize,
+    boost_beta: f64,
 ) -> Result<EngineRun, EngineError> {
     if let Some(fatal) = sh.fatal {
         return Err(fatal);
     }
     let included = sh.cut.map_or(plan.num_chunks, |k| k + 1);
     let mut estimate = LerEstimate::default();
+    let mut sum_w = 0.0f64;
+    let mut sum_w2 = 0.0f64;
+    let mut sum_wf = 0.0f64;
+    let mut sum_w2f = 0.0f64;
     for result in sh.results[..included].iter().flatten() {
         estimate.shots += result.batches * BATCH;
         estimate.failures += result.failures;
+        sum_w += result.sum_w;
+        sum_w2 += result.sum_w2;
+        sum_wf += result.sum_wf;
+        sum_w2f += result.sum_w2f;
     }
+    let n = estimate.shots as f64;
+    // ESS ≤ n by Cauchy–Schwarz; the clamp only absorbs f64 rounding.
+    let ess = if sum_w2 > 0.0 {
+        (sum_w * sum_w / sum_w2).min(n)
+    } else {
+        0.0
+    };
+    let ci_halfwidth = if n > 0.0 {
+        let p_hat = sum_wf / n;
+        1.96 * ((sum_w2f / n - p_hat * p_hat).max(0.0) / n).sqrt()
+    } else {
+        0.0
+    };
     Ok(EngineRun {
         estimate,
         threads,
@@ -1398,6 +1800,12 @@ fn assemble_run(
         panic_faults: sh.panic_faults,
         stall_faults: sh.stall_faults,
         graph_faults: sh.graph_faults,
+        ess,
+        ci_halfwidth,
+        boost_beta,
+        weighted_failures: sum_wf,
+        cluster_gate_on: sh.cluster_gate_on,
+        cluster_gate_off: sh.cluster_gate_off,
     })
 }
 
@@ -1425,6 +1833,9 @@ fn observe_chunk_finish(
     if rung > 0 {
         obs.add(Counter::ShotsDegraded, shots);
     }
+    if result.weighted {
+        obs.add(Counter::ShotsWeighted, shots);
+    }
     obs.event(EventKind::ChunkFinish {
         rung: rung as u8,
         shots: shots as u32,
@@ -1437,6 +1848,27 @@ fn observe_chunk_finish(
         predecode_nanos: (result.predecode_seconds * 1e9) as u64,
         decode_nanos: (result.decode_seconds * 1e9) as u64,
     });
+    // Both payloads are deterministic functions of the chunk's own shots,
+    // so the journal stays thread-count independent; plain runs emit
+    // neither event and keep their historic journal byte-for-byte.
+    if result.weighted {
+        let ess = if result.sum_w2 > 0.0 {
+            result.sum_w * result.sum_w / result.sum_w2
+        } else {
+            0.0
+        };
+        obs.event(EventKind::ChunkWeights {
+            sum_w: result.sum_w,
+            sum_wf: result.sum_wf,
+            ess,
+        });
+    }
+    if result.cluster_gate_on + result.cluster_gate_off > 0 {
+        obs.event(EventKind::ClusterGate {
+            on: result.cluster_gate_on as u32,
+            off: result.cluster_gate_off as u32,
+        });
+    }
 }
 
 /// Records the journal entry and counter for one chunk-attempt fault.
@@ -1465,6 +1897,7 @@ fn worker_loop<F: DecoderFactory>(
     let mut decoder = factory.build();
     let mut predecoder = factory.predecoder();
     let mut cluster = factory.cluster_tier();
+    let gate = factory.cluster_gate();
     let mut scratch = SampleScratch::new(compiled);
     loop {
         {
@@ -1502,6 +1935,7 @@ fn worker_loop<F: DecoderFactory>(
                     &mut decoder,
                     predecoder.as_mut(),
                     cluster.as_mut(),
+                    gate,
                     &mut scratch,
                     plan,
                     chunk,
@@ -1519,6 +1953,7 @@ fn worker_loop<F: DecoderFactory>(
                         &mut fresh,
                         None,
                         None,
+                        ClusterGate::Off,
                         &mut scratch,
                         plan,
                         chunk,
@@ -1538,6 +1973,7 @@ fn worker_loop<F: DecoderFactory>(
                             &mut reference,
                             None,
                             None,
+                            ClusterGate::Off,
                             &mut scratch,
                             plan,
                             chunk,
@@ -1640,9 +2076,14 @@ fn merge_chunk(
             {
                 *acc += b;
             }
+            sh.cluster_gate_on += result.cluster_gate_on;
+            sh.cluster_gate_off += result.cluster_gate_off;
             sh.results[chunk] = Some(result);
             if plan.max_failures > 0 && sh.cut.is_none() {
                 sh.recompute_cut(plan.max_failures);
+            }
+            if plan.target_rse > 0.0 && sh.cut.is_none() {
+                sh.recompute_ci_cut(plan);
             }
         }
         Err((fault, rung)) => {
@@ -1723,6 +2164,7 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                         decoder,
                         Some(predecoder),
                         cluster.as_mut(),
+                        ClusterGate::On,
                         &mut scratch,
                         plan,
                         chunk,
@@ -1741,6 +2183,7 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                         &mut fresh,
                         None,
                         None,
+                        ClusterGate::Off,
                         &mut scratch,
                         plan,
                         chunk,
@@ -1759,6 +2202,7 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                         &mut reference,
                         None,
                         None,
+                        ClusterGate::Off,
                         &mut scratch,
                         plan,
                         chunk,
@@ -1823,6 +2267,7 @@ pub fn estimate_ler_seeded<D: Decoder>(
             decoder,
             None,
             None,
+            ClusterGate::Off,
             &mut scratch,
             &plan,
             chunk,
@@ -2076,6 +2521,198 @@ mod tests {
         assert_eq!(again.estimate, run.estimate);
         assert_eq!(again.clustered_shots, run.clustered_shots);
         assert_eq!(again.clusters_total, run.clusters_total);
+    }
+
+    /// β = 1 with identity rates is plain Monte Carlo, bit for bit: same
+    /// estimate, unit weights, ESS equal to the shot count, and the same
+    /// LER from both accessors.
+    #[test]
+    fn rare_beta_one_is_bit_identical_to_plain() {
+        let c = rep_circuit(5, 0.08);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let factory = || UnionFindDecoder::new(graph.clone());
+        let opts = SampleOptions {
+            min_shots: 5_000,
+            ..Default::default()
+        };
+        let plain = LerEngine::new(2).estimate(&compiled, &factory, opts, 42);
+        let rare = LerEngine::new(2).estimate_rare(
+            &compiled,
+            &factory,
+            RareOptions {
+                boost_beta: 1.0,
+                target_rse: 0.0,
+                min_shots: 5_000,
+                ..Default::default()
+            },
+            42,
+        );
+        assert_eq!(rare.estimate, plain.estimate);
+        assert_eq!(rare.chunks_included, plain.chunks_included);
+        assert_eq!(rare.boost_beta, 1.0);
+        assert_eq!(rare.ess, rare.estimate.shots as f64);
+        assert_eq!(rare.weighted_failures, rare.estimate.failures as f64);
+        assert_eq!(rare.ler(), plain.estimate.per_shot());
+        assert_eq!(rare.ler(), plain.ler());
+    }
+
+    /// A boosted run is bit-identical at any thread count: the weighted
+    /// sums are per-chunk and folded in deterministic chunk order, and the
+    /// CI cut is a pure function of the chunk prefix.
+    #[test]
+    fn rare_runs_are_deterministic_across_thread_counts() {
+        let c = rep_circuit(5, 0.02);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let factory = || UnionFindDecoder::new(graph.clone());
+        let options = RareOptions {
+            boost_beta: 4.0,
+            target_rse: 0.1,
+            min_shots: 2_000,
+            max_shots: 50_000,
+            ..Default::default()
+        };
+        let reference = LerEngine::new(1).estimate_rare(&compiled, &factory, options.clone(), 7);
+        assert!(reference.ess > 0.0);
+        for threads in [2, 8] {
+            let run =
+                LerEngine::new(threads).estimate_rare(&compiled, &factory, options.clone(), 7);
+            assert_eq!(run.estimate, reference.estimate, "threads={threads}");
+            assert_eq!(run.chunks_included, reference.chunks_included);
+            assert_eq!(run.weighted_failures, reference.weighted_failures);
+            assert_eq!(run.ess, reference.ess);
+            assert_eq!(run.ci_halfwidth, reference.ci_halfwidth);
+        }
+    }
+
+    /// The importance-sampled estimator is unbiased: a boosted run's
+    /// weighted LER agrees with a plain run of the same budget to within
+    /// their combined confidence intervals, while observing far more raw
+    /// failures, and its ESS sits strictly inside (0, shots).
+    #[test]
+    fn rare_estimate_agrees_with_plain_within_ci() {
+        let c = rep_circuit(3, 0.05);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let factory = || UnionFindDecoder::new(graph.clone());
+        let plain = LerEngine::new(2).estimate(
+            &compiled,
+            &factory,
+            SampleOptions {
+                min_shots: 50_000,
+                ..Default::default()
+            },
+            99,
+        );
+        let rare = LerEngine::new(2).estimate_rare(
+            &compiled,
+            &factory,
+            RareOptions {
+                boost_beta: 6.0,
+                target_rse: 0.0,
+                min_shots: 50_000,
+                ..Default::default()
+            },
+            99,
+        );
+        let p_plain = plain.ler();
+        assert!(p_plain > 0.0, "fixture must fail sometimes");
+        assert!(
+            rare.estimate.failures > plain.estimate.failures,
+            "boosting must surface more raw failures ({} vs {})",
+            rare.estimate.failures,
+            plain.estimate.failures
+        );
+        assert!(rare.ess > 0.0 && rare.ess < rare.estimate.shots as f64);
+        assert!(rare.ci_halfwidth.is_finite() && rare.ci_halfwidth > 0.0);
+        let tolerance = 5.0 * (rare.ci_halfwidth + plain.ci_halfwidth);
+        assert!(
+            (rare.ler() - p_plain).abs() <= tolerance,
+            "IS estimate {} vs plain {} outside 5x combined CI {}",
+            rare.ler(),
+            p_plain,
+            tolerance
+        );
+    }
+
+    /// With a generous shot ceiling and an easy CI target, the run stops at
+    /// a deterministic chunk prefix well short of the budget — the
+    /// rare-event analogue of the failure-budget early stop. β = 1 here, so
+    /// this is also the plain-MC shots-to-target-CI stopping rule.
+    #[test]
+    fn ci_stop_fires_before_the_full_budget() {
+        let c = rep_circuit(3, 0.2);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let factory = || UnionFindDecoder::new(graph.clone());
+        let options = RareOptions {
+            boost_beta: 1.0,
+            target_rse: 0.2,
+            min_shots: 1_000,
+            max_shots: 1_000_000,
+            ..Default::default()
+        };
+        let run = LerEngine::new(4).estimate_rare(&compiled, &factory, options.clone(), 3);
+        assert!(run.estimate.shots >= 1_000);
+        assert!(
+            run.estimate.shots < 1_000_000,
+            "CI stop never fired ({} shots)",
+            run.estimate.shots
+        );
+        let p = run.ler();
+        assert!(run.ci_halfwidth <= 0.2 * p + f64::EPSILON);
+        let serial = LerEngine::new(1).estimate_rare(&compiled, &factory, options, 3);
+        assert_eq!(serial.estimate, run.estimate);
+        assert_eq!(serial.chunks_included, run.chunks_included);
+    }
+
+    /// At d=11, p=1e-3 the mean defect count sits below the gate threshold,
+    /// so `Auto` diverts every batch to the monolithic path — zero
+    /// decompositions — while producing the exact same estimate as the
+    /// forced-on tier (the tier is exact, so gating only moves time).
+    #[test]
+    fn auto_gate_diverts_sparse_batches() {
+        let mem = caliqec_code::memory_circuit(
+            &caliqec_code::rotated_patch(11, 11),
+            &caliqec_code::NoiseModel::uniform(1e-3),
+            11,
+            caliqec_code::MemoryBasis::Z,
+        );
+        let c = mem.circuit;
+        let graph = graph_for_circuit(&c);
+        let compiled = CompiledCircuit::new(&c);
+        let opts = SampleOptions {
+            min_shots: 1_000,
+            ..Default::default()
+        };
+        let build = {
+            let graph = graph.clone();
+            move || UnionFindDecoder::new(graph.clone())
+        };
+        let auto = crate::predecode::Tiered::new(&graph, build.clone())
+            .with_cluster_gate(ClusterGate::Auto);
+        let on = crate::predecode::Tiered::new(&graph, build).with_cluster();
+        let gated = LerEngine::new(2).estimate(&compiled, &auto, opts, 5);
+        let forced = LerEngine::new(2).estimate(&compiled, &on, opts, 5);
+        assert!(gated.cluster_gate_off > 0, "gate never evaluated");
+        assert_eq!(
+            gated.cluster_gate_on, 0,
+            "d=11 density must stay below the gate"
+        );
+        assert_eq!(gated.clustered_shots, 0);
+        assert_eq!(gated.clusters_total, 0);
+        assert_eq!(forced.cluster_gate_on, gated.cluster_gate_off);
+        assert!(forced.clusters_total > 0);
+        assert_eq!(
+            gated.estimate, forced.estimate,
+            "gating must not change failures"
+        );
+        assert_eq!(
+            gated.tier0_shots + gated.predecoded_shots + gated.residual_shots,
+            gated.estimate.shots,
+            "gated-off batches keep the partition invariant"
+        );
     }
 
     #[test]

@@ -85,12 +85,12 @@ pub use cluster::{
 pub use decode::{estimate_ler, graph_for_circuit, Decoder, LerEstimate, SampleOptions};
 pub use engine::{
     defect_hist_bucket, estimate_ler_seeded, CalibrationEpoch, DecoderFactory, EngineRun,
-    EpochSchedule, GraphDecoderFactory, LerEngine, DEFECT_HIST_BUCKETS, LADDER_RUNGS,
+    EpochSchedule, GraphDecoderFactory, LerEngine, RareOptions, DEFECT_HIST_BUCKETS, LADDER_RUNGS,
 };
 pub use error::{EngineError, ValidationError};
 pub use faults::{poison_weights, FaultKind, FaultPlan, Injection};
 pub use graph::{Edge, MatchingGraph, NodeId};
 pub use mwpm::MwpmDecoder;
-pub use predecode::{Predecoder, Tiered};
+pub use predecode::{ClusterGate, Predecoder, Tiered, CLUSTER_GATE_MIN_MEAN_DEFECTS};
 pub use reference::ReferenceUnionFind;
 pub use unionfind::UnionFindDecoder;

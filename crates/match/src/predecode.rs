@@ -763,6 +763,35 @@ impl Predecoder {
     }
 }
 
+/// Gating policy for the dense-regime cluster tier.
+///
+/// The tier's flood decomposition has a fixed per-shot cost that only pays
+/// off when shots are dense enough for certified clusters to peel real
+/// decoder work away (at d=11, p=1e-3 the decomposition costs more wall
+/// time than the full-decoder calls it saves; at d≥15 it wins). `Auto`
+/// makes the call per 64-shot batch from the batch's mean defect count —
+/// a deterministic function of the sampled syndrome stream, so gating
+/// never perturbs the engine's thread-count-independence, and since the
+/// tier is exact (certified clusters peel provably-identical corrections)
+/// the gate never changes a failure count either.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClusterGate {
+    /// No cluster tier: dense shots decode monolithically.
+    #[default]
+    Off,
+    /// Always decompose dense shots, regardless of density.
+    On,
+    /// Decompose only batches whose mean defect count clears
+    /// [`CLUSTER_GATE_MIN_MEAN_DEFECTS`].
+    Auto,
+}
+
+/// Minimum mean defects per shot (over one 64-shot batch) for the `Auto`
+/// cluster gate to run the decomposition. Calibrated from BENCH_decode.json:
+/// d=11, p=1e-3 averages ≈20 defects/shot and loses wall time to the tier,
+/// while d=15 (≈40) and d=21 (≈95) win.
+pub const CLUSTER_GATE_MIN_MEAN_DEFECTS: f64 = 28.0;
+
 /// [`DecoderFactory`] adapter enabling the two-tier fast path: workers get
 /// a shared-table [`Predecoder`] in front of the wrapped factory's decoder.
 ///
@@ -783,8 +812,8 @@ pub struct Tiered<F> {
     fallback: Option<MatchingGraph>,
     /// Opt-in dense-regime cluster tier (see [`crate::ClusterTier`]):
     /// shots too dense for the predecoder are flood-decomposed and decoded
-    /// per cluster instead of monolithically.
-    cluster: bool,
+    /// per cluster instead of monolithically, subject to the gate.
+    cluster: ClusterGate,
 }
 
 impl<F: DecoderFactory> Tiered<F> {
@@ -796,7 +825,7 @@ impl<F: DecoderFactory> Tiered<F> {
             factory,
             predecoder: Some(Predecoder::new(graph)),
             fallback: Some(graph.clone()),
-            cluster: false,
+            cluster: ClusterGate::Off,
         }
     }
 
@@ -820,7 +849,7 @@ impl<F: DecoderFactory> Tiered<F> {
             factory,
             predecoder: None,
             fallback: None,
-            cluster: false,
+            cluster: ClusterGate::Off,
         }
     }
 
@@ -831,14 +860,22 @@ impl<F: DecoderFactory> Tiered<F> {
         self
     }
 
-    /// Enables the dense-regime cluster tier (rung 0 only): shots with more
-    /// defects than [`Predecoder::MAX_CERT_DEFECTS`] are flood-decomposed
-    /// into independent clusters, certified clusters are peeled locally,
-    /// and only the uncertified remainder reaches the full decoder. The
-    /// tier shares the predecoder's certification tables, so this is a
-    /// no-op on a [`Tiered::without_predecode`] adapter.
-    pub fn with_cluster(mut self) -> Tiered<F> {
-        self.cluster = true;
+    /// Enables the dense-regime cluster tier unconditionally (rung 0
+    /// only): shots with more defects than [`Predecoder::MAX_CERT_DEFECTS`]
+    /// are flood-decomposed into independent clusters, certified clusters
+    /// are peeled locally, and only the uncertified remainder reaches the
+    /// full decoder. The tier shares the predecoder's certification
+    /// tables, so this is a no-op on a [`Tiered::without_predecode`]
+    /// adapter. Equivalent to `with_cluster_gate(ClusterGate::On)`.
+    pub fn with_cluster(self) -> Tiered<F> {
+        self.with_cluster_gate(ClusterGate::On)
+    }
+
+    /// Sets the cluster tier's gating policy (see [`ClusterGate`]).
+    /// `Auto` arms the tier but lets the engine skip the decomposition for
+    /// batches below the density threshold, journaling the decision.
+    pub fn with_cluster_gate(mut self, gate: ClusterGate) -> Tiered<F> {
+        self.cluster = gate;
         self
     }
 }
@@ -855,12 +892,20 @@ impl<F: DecoderFactory> DecoderFactory for Tiered<F> {
     }
 
     fn cluster_tier(&self) -> Option<crate::cluster::ClusterTier> {
-        if self.cluster {
+        if self.cluster != ClusterGate::Off {
             self.predecoder
                 .as_ref()
                 .map(crate::cluster::ClusterTier::from_predecoder)
         } else {
             None
+        }
+    }
+
+    fn cluster_gate(&self) -> ClusterGate {
+        if self.predecoder.is_some() {
+            self.cluster
+        } else {
+            ClusterGate::Off
         }
     }
 

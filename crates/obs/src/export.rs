@@ -60,7 +60,7 @@ pub fn render_summary(snap: &Snapshot) -> String {
             let _ = writeln!(out, "  {name:<18} {value}");
         }
     }
-    out.push_str("latency (p50 / p95 / p99 / mean):\n");
+    out.push_str("latency (p50 / p95 / p99 / max / mean):\n");
     let mut hists: Vec<HistSnapshot> = snap.histograms.clone();
     hists.push(snap.decode_shot_hist());
     for h in &hists {
@@ -69,11 +69,12 @@ pub fn render_summary(snap: &Snapshot) -> String {
         }
         let _ = writeln!(
             out,
-            "  {:<18} {:>10} / {:>10} / {:>10} / {:>10}   (n={})",
+            "  {:<18} {:>10} / {:>10} / {:>10} / {:>10} / {:>10}   (n={})",
             h.name,
             human_nanos(h.quantile_nanos(0.50)),
             human_nanos(h.quantile_nanos(0.95)),
             human_nanos(h.quantile_nanos(0.99)),
+            human_nanos(h.max_nanos as f64),
             human_nanos(h.mean_nanos()),
             h.count
         );
@@ -98,10 +99,11 @@ fn hist_json(h: &HistSnapshot) -> String {
     }
     buckets.push('}');
     format!(
-        "{{\"name\":\"{}\",\"count\":{},\"sum_nanos\":{},\"p50_nanos\":{:.1},\"p95_nanos\":{:.1},\"p99_nanos\":{:.1},\"mean_nanos\":{:.1},\"buckets\":{}}}",
+        "{{\"name\":\"{}\",\"count\":{},\"sum_nanos\":{},\"max_nanos\":{},\"p50_nanos\":{:.1},\"p95_nanos\":{:.1},\"p99_nanos\":{:.1},\"mean_nanos\":{:.1},\"buckets\":{}}}",
         json_escape(h.name),
         h.count,
         h.sum_nanos,
+        h.max_nanos,
         h.quantile_nanos(0.50),
         h.quantile_nanos(0.95),
         h.quantile_nanos(0.99),
@@ -156,6 +158,15 @@ fn event_json(e: &Event) -> String {
         }
         EventKind::Retry { rung } => {
             let _ = write!(fields, ",\"rung\":{rung}");
+        }
+        EventKind::ChunkWeights { sum_w, sum_wf, ess } => {
+            let _ = write!(
+                fields,
+                ",\"sum_w\":{sum_w:.6},\"sum_wf\":{sum_wf:.6},\"ess\":{ess:.3}"
+            );
+        }
+        EventKind::ClusterGate { on, off } => {
+            let _ = write!(fields, ",\"on\":{on},\"off\":{off}");
         }
     }
     format!("{{{fields}}}")
@@ -296,6 +307,29 @@ pub fn render_chrome_trace(snap: &Snapshot) -> String {
                     e.worker,
                     e.chunk,
                     rung
+                ));
+            }
+            EventKind::ChunkWeights { sum_w, sum_wf, ess } => {
+                items.push(format!(
+                    "{{\"name\":\"chunk_weights\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"chunk\":{},\"sum_w\":{:.6},\"sum_wf\":{:.6},\"ess\":{:.3}}}}}",
+                    us(e.t_nanos),
+                    e.run,
+                    e.worker,
+                    e.chunk,
+                    sum_w,
+                    sum_wf,
+                    ess
+                ));
+            }
+            EventKind::ClusterGate { on, off } => {
+                items.push(format!(
+                    "{{\"name\":\"cluster_gate\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"chunk\":{},\"on\":{},\"off\":{}}}}}",
+                    us(e.t_nanos),
+                    e.run,
+                    e.worker,
+                    e.chunk,
+                    on,
+                    off
                 ));
             }
         }

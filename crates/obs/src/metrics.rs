@@ -9,16 +9,20 @@
 //!
 //! Histograms bucket latencies by the binary order of magnitude of the
 //! nanosecond count: bucket `i` covers `[2^i, 2^{i+1})` ns (bucket 0 also
-//! absorbs 0). Forty-eight buckets reach past 2^48 ns ≈ 78 h, far beyond
-//! any chunk. Quantiles are read back with linear interpolation inside the
-//! winning bucket, so p50/p95/p99 resolve to ~±50% of the true value —
-//! plenty for "did tier-2 p99 regress 3×" questions, at the cost of one
-//! `leading_zeros` and one relaxed increment per sample.
+//! absorbs 0). Sixty-four buckets cover the full `u64` nanosecond range,
+//! so no sample can saturate the top bucket. Quantiles are read back with
+//! linear interpolation inside the winning bucket, clamped to the exact
+//! running maximum, so p50/p95/p99 resolve to ~±50% of the true value —
+//! plenty for "did tier-2 p99 regress 3×" questions — and a sparse
+//! histogram (one sample pinning every quantile to its bucket's upper
+//! bound) can no longer report above the largest sample seen. Cost: one
+//! `leading_zeros`, two relaxed increments, and one relaxed `fetch_max`
+//! per sample.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of log-scaled latency buckets per histogram.
-pub const HIST_BUCKETS: usize = 48;
+pub const HIST_BUCKETS: usize = 64;
 
 /// Maps a nanosecond latency to its histogram bucket: the binary order of
 /// magnitude, saturated to the last bucket.
@@ -41,10 +45,15 @@ pub fn bucket_lo(i: usize) -> u64 {
     }
 }
 
-/// Exclusive upper bound of bucket `i` in nanoseconds.
+/// Exclusive upper bound of bucket `i` in nanoseconds (the last bucket
+/// saturates to `u64::MAX`, since its true bound `2^64` is unrepresentable).
 #[inline]
 pub fn bucket_hi(i: usize) -> u64 {
-    1u64 << (i + 1)
+    if i >= 63 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
 }
 
 /// Monotone event counters. Closed set: adding a counter is a code change,
@@ -79,11 +88,14 @@ pub enum Counter {
     Retries,
     /// Per-epoch graph reweights performed before workers launched.
     EpochReweights,
+    /// Shots sampled under boosted (importance-sampled) rates, carrying
+    /// per-shot likelihood weights.
+    ShotsWeighted,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 14] = [
         Counter::RunsStarted,
         Counter::ChunksStarted,
         Counter::ChunksFinished,
@@ -97,6 +109,7 @@ impl Counter {
         Counter::FaultsGraph,
         Counter::Retries,
         Counter::EpochReweights,
+        Counter::ShotsWeighted,
     ];
 
     /// Stable snake-case name used by every exporter.
@@ -115,6 +128,7 @@ impl Counter {
             Counter::FaultsGraph => "faults_graph",
             Counter::Retries => "retries",
             Counter::EpochReweights => "epoch_reweights",
+            Counter::ShotsWeighted => "shots_weighted",
         }
     }
 }
@@ -130,11 +144,19 @@ pub enum Gauge {
     ChunksPlanned,
     /// Calibration epochs active during the run.
     Epochs,
+    /// Effective sample size of the latest rare-event run, rounded down
+    /// (equal to the shot count on plain unweighted runs).
+    Ess,
 }
 
 impl Gauge {
     /// Every gauge, in export order.
-    pub const ALL: [Gauge; 3] = [Gauge::Workers, Gauge::ChunksPlanned, Gauge::Epochs];
+    pub const ALL: [Gauge; 4] = [
+        Gauge::Workers,
+        Gauge::ChunksPlanned,
+        Gauge::Epochs,
+        Gauge::Ess,
+    ];
 
     /// Stable snake-case name used by every exporter.
     pub fn name(self) -> &'static str {
@@ -142,6 +164,7 @@ impl Gauge {
             Gauge::Workers => "workers",
             Gauge::ChunksPlanned => "chunks_planned",
             Gauge::Epochs => "epochs",
+            Gauge::Ess => "ess",
         }
     }
 }
@@ -205,6 +228,7 @@ struct HistShard {
     buckets: [AtomicU64; HIST_BUCKETS],
     count: AtomicU64,
     sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
 }
 
 impl HistShard {
@@ -213,6 +237,7 @@ impl HistShard {
             buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
             count: AtomicU64::new(0),
             sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
         }
     }
 }
@@ -270,6 +295,7 @@ impl Shard {
         hs.buckets[latency_bucket(nanos)].fetch_add(1, Ordering::Relaxed);
         hs.count.fetch_add(1, Ordering::Relaxed);
         hs.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        hs.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 }
 
@@ -285,6 +311,10 @@ pub struct HistSnapshot {
     pub count: u64,
     /// Sum of all recorded latencies in nanoseconds.
     pub sum_nanos: u64,
+    /// Exact largest sample in nanoseconds (0 for an empty histogram).
+    /// Quantiles clamp to it, so a sparse histogram never reports a
+    /// percentile above the worst latency actually observed.
+    pub max_nanos: u64,
 }
 
 impl HistSnapshot {
@@ -295,11 +325,13 @@ impl HistSnapshot {
             buckets: [0; HIST_BUCKETS],
             count: 0,
             sum_nanos: 0,
+            max_nanos: 0,
         }
     }
 
     /// Sums several histograms into one view named `name` (e.g. the three
-    /// per-rung decode histograms into one tier-2 histogram).
+    /// per-rung decode histograms into one tier-2 histogram). The exact
+    /// maxima merge by max.
     pub fn merged(name: &'static str, parts: &[&HistSnapshot]) -> HistSnapshot {
         let mut out = HistSnapshot::empty(name);
         for p in parts {
@@ -308,13 +340,17 @@ impl HistSnapshot {
             }
             out.count += p.count;
             out.sum_nanos += p.sum_nanos;
+            out.max_nanos = out.max_nanos.max(p.max_nanos);
         }
         out
     }
 
     /// The `q`-quantile latency in nanoseconds (`q` in `[0, 1]`), linearly
-    /// interpolated inside the winning bucket. Returns 0 for an empty
-    /// histogram.
+    /// interpolated inside the winning bucket and clamped to the exact
+    /// running maximum (no quantile can exceed the largest sample — in
+    /// particular a single-sample histogram reports that sample exactly
+    /// instead of pinning every quantile to its bucket's upper bound).
+    /// Returns 0 for an empty histogram.
     pub fn quantile_nanos(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -330,11 +366,11 @@ impl HistSnapshot {
                 let into = (target - seen as f64) / b as f64;
                 let lo = bucket_lo(i) as f64;
                 let hi = bucket_hi(i) as f64;
-                return lo + into * (hi - lo);
+                return (lo + into * (hi - lo)).min(self.max_nanos as f64);
             }
             seen = next;
         }
-        bucket_hi(HIST_BUCKETS - 1) as f64
+        (bucket_hi(HIST_BUCKETS - 1) as f64).min(self.max_nanos as f64)
     }
 
     /// Mean latency in nanoseconds (0 for an empty histogram).
@@ -387,6 +423,7 @@ pub(crate) fn merge_shards(
                 }
                 out.count += hs.count.load(Ordering::Relaxed);
                 out.sum_nanos += hs.sum_nanos.load(Ordering::Relaxed);
+                out.max_nanos = out.max_nanos.max(hs.max_nanos.load(Ordering::Relaxed));
             }
             out
         })
@@ -422,11 +459,28 @@ mod tests {
         h.buckets[10] = 100;
         h.count = 100;
         h.sum_nanos = 100 * 1024;
+        h.max_nanos = 1024;
         let p50 = h.quantile_nanos(0.5);
         assert!((1024.0..2048.0).contains(&p50), "{p50}");
         let p99 = h.quantile_nanos(0.99);
         assert!(p99 >= p50, "{p99} < {p50}");
         assert!((h.mean_nanos() - 1024.0).abs() < 1e-9);
+    }
+
+    /// Regression: a single sample used to pin p50 == p95 == p99 to its
+    /// bucket's upper bound (the d=21 `cluster_p50_us == 65.536` artifact);
+    /// the exact running max caps every quantile at the true sample.
+    #[test]
+    fn sparse_histograms_clamp_quantiles_to_exact_max() {
+        let shard = std::sync::Arc::new(Shard::new());
+        shard.record(Hist::ClusterShot, 43_000);
+        let (_, _, hists) = merge_shards(&[shard]);
+        let h = hists.iter().find(|h| h.name == "cluster_shot").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max_nanos, 43_000);
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile_nanos(q), 43_000.0, "q={q}");
+        }
     }
 
     #[test]

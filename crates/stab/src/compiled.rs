@@ -14,9 +14,11 @@
 //! [`BatchEvents`] — a property the differential tests rely on.
 
 use crate::circuit::{Basis, Circuit, Gate1, Gate2, Noise1, Noise2, Op};
+use crate::dem::ErrorSource;
 use crate::error::{check_probability, check_qubit_index, CircuitError};
 use crate::frame::{bernoulli_mask_with, for_each_set_bit, BatchEvents, BATCH};
 use crate::pauli::Pauli;
+use crate::rates::RateTable;
 use crate::sim::two_qubit_pauli;
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
@@ -67,6 +69,49 @@ fn l1p(p: f64) -> f64 {
     (-p).ln_1p()
 }
 
+/// The boosted fire rate of one channel: `min(β·p, ½)`, never below the
+/// nominal rate (a channel already at or past ½ keeps its nominal rate —
+/// down-boosting deterministic or near-deterministic channels would trade
+/// rare-event variance for common-event variance).
+#[inline]
+fn boost_rate(p: f64, beta: f64) -> f64 {
+    let b = (beta * p).min(0.5);
+    if b > p {
+        b
+    } else {
+        p
+    }
+}
+
+/// Log-likelihood-ratio terms of one channel boosted from nominal rate `p`
+/// to sampled rate `b`: `(delta, keep)` with `keep = ln((1−p)/(1−b))` (the
+/// per-shot constant charged whether or not the channel fires) and
+/// `delta = ln(p/b) − keep` (the correction added when it does fire). An
+/// un-boosted channel contributes exactly zero to both, so β = 1 yields an
+/// identically-zero log-weight.
+#[inline]
+fn llr_terms(p: f64, b: f64) -> (f64, f64) {
+    if p == b {
+        return (0.0, 0.0);
+    }
+    let keep = l1p(p) - l1p(b);
+    (p.ln() - b.ln() - keep, keep)
+}
+
+/// Per-noise-site importance-sampling tables carried by a boosted
+/// [`CompiledCircuit`]: one `delta` entry per noise site (every noise
+/// instruction and every measurement, in program order) plus the per-shot
+/// constant `base = Σ keep` — see [`llr_terms`]. The weighted samplers
+/// accumulate `llr[shot] = base + Σ_{fired sites} delta[site]`, the exact
+/// log of `P_nominal(shot) / P_boosted(shot)` (conditional Pauli-choice
+/// draws are unchanged by boosting, so only fire bits contribute).
+#[derive(Clone, Debug)]
+struct LlrTables {
+    delta: Vec<f64>,
+    base: f64,
+    beta: f64,
+}
+
 /// A [`Circuit`] compiled for repeated batch sampling.
 ///
 /// Immutable after construction and shareable by `&` across threads; pair
@@ -107,6 +152,9 @@ pub struct CompiledCircuit {
     /// Measurement-record indices XORed into each observable (contributions
     /// from multiple `Observable` ops with the same index are concatenated).
     obs_meas: Vec<u32>,
+    /// Importance-sampling tables, present only on programs produced by
+    /// [`CompiledCircuit::boosted`] / [`CompiledCircuit::boosted_with_rates`].
+    llr: Option<LlrTables>,
 }
 
 impl CompiledCircuit {
@@ -214,7 +262,104 @@ impl CompiledCircuit {
             det_meas,
             obs_offsets,
             obs_meas,
+            llr: None,
         }
+    }
+
+    /// Recompiles this program with every noise channel's fire rate boosted
+    /// to `min(β · p, ½)` (never below nominal — see module notes on
+    /// down-boosting), carrying the per-channel log-likelihood-ratio tables
+    /// the weighted samplers need to weight each shot back to the nominal
+    /// rates. β = 1 leaves every rate untouched and every ratio term
+    /// exactly zero, so the boosted program samples bit-identically to the
+    /// original with log-weight ≡ 0.
+    ///
+    /// Panics unless `beta` is finite and ≥ 1.
+    pub fn boosted(&self, beta: f64) -> CompiledCircuit {
+        self.boosted_with_rates(beta, &RateTable::identity())
+    }
+
+    /// [`CompiledCircuit::boosted`] with calibration-epoch composition: each
+    /// noise site's *nominal* rate is looked up in `rates` by its
+    /// [`ErrorSource`] (falling back to the compiled rate when absent), then
+    /// boosted. The recorded likelihood ratios weight shots back to the
+    /// table's rates, so importance sampling composes with per-epoch
+    /// reweighting: an identity table reduces to [`CompiledCircuit::boosted`].
+    pub fn boosted_with_rates(&self, beta: f64, rates: &RateTable) -> CompiledCircuit {
+        assert!(
+            beta.is_finite() && beta >= 1.0,
+            "boost beta must be finite and >= 1, got {beta}"
+        );
+        let mut out = self.clone();
+        let mut delta = Vec::new();
+        let mut base = 0.0f64;
+        for instr in &mut out.instrs {
+            // One (nominal rate, mutable compiled rate, mutable ln(1-p))
+            // triple per noise site, in the exact program order the
+            // samplers walk — the `delta` table is indexed by that order.
+            let site = match instr {
+                Instr::Meas {
+                    q, flip, l1p: lp, ..
+                } => {
+                    let nominal = rates.get(&ErrorSource::MeasureFlip(*q)).unwrap_or(*flip);
+                    Some((nominal, flip, lp))
+                }
+                Instr::NoiseX { q, p, l1p: lp } => {
+                    let nominal = rates
+                        .get(&ErrorSource::Noise1(Noise1::XError, *q))
+                        .unwrap_or(*p);
+                    Some((nominal, p, lp))
+                }
+                Instr::NoiseY { q, p, l1p: lp } => {
+                    let nominal = rates
+                        .get(&ErrorSource::Noise1(Noise1::YError, *q))
+                        .unwrap_or(*p);
+                    Some((nominal, p, lp))
+                }
+                Instr::NoiseZ { q, p, l1p: lp } => {
+                    let nominal = rates
+                        .get(&ErrorSource::Noise1(Noise1::ZError, *q))
+                        .unwrap_or(*p);
+                    Some((nominal, p, lp))
+                }
+                Instr::Dep1 { q, p, l1p: lp } => {
+                    let nominal = rates
+                        .get(&ErrorSource::Noise1(Noise1::Depolarize1, *q))
+                        .unwrap_or(*p);
+                    Some((nominal, p, lp))
+                }
+                Instr::Dep2 { a, b, p, l1p: lp } => {
+                    let nominal = rates
+                        .get(&ErrorSource::Noise2(Noise2::Depolarize2, *a, *b))
+                        .unwrap_or(*p);
+                    Some((nominal, p, lp))
+                }
+                _ => None,
+            };
+            if let Some((nominal, rate, lp)) = site {
+                let boosted = boost_rate(nominal, beta);
+                let (d, keep) = llr_terms(nominal, boosted);
+                delta.push(d);
+                base += keep;
+                *rate = boosted;
+                *lp = l1p(boosted);
+            }
+        }
+        out.llr = Some(LlrTables { delta, base, beta });
+        out
+    }
+
+    /// The boost factor this program was compiled with (1.0 for plain,
+    /// un-boosted programs).
+    pub fn boost_beta(&self) -> f64 {
+        self.llr.as_ref().map_or(1.0, |t| t.beta)
+    }
+
+    /// Whether this program carries importance-sampling tables (i.e. came
+    /// from [`CompiledCircuit::boosted`]) and supports the weighted
+    /// samplers.
+    pub fn is_boosted(&self) -> bool {
+        self.llr.is_some()
     }
 
     /// Number of qubits.
@@ -486,6 +631,192 @@ impl CompiledCircuit {
         events
     }
 
+    /// [`Self::sample_batch_into`] on a boosted program, additionally
+    /// filling `llr[s]` with shot `s`'s log-likelihood ratio against the
+    /// nominal rates (`exp(llr[s])` is the shot's importance weight). RNG
+    /// draws happen in exactly the same order as the unweighted path — the
+    /// ratio accumulation consumes none — so a β = 1 boosted program
+    /// produces bit-identical events with `llr ≡ 0`.
+    ///
+    /// Panics if the program carries no tables (see
+    /// [`CompiledCircuit::boosted`]).
+    pub fn sample_batch_weighted_into<R: Rng>(
+        &self,
+        state: &mut FrameState,
+        rng: &mut R,
+        events: &mut BatchEvents,
+        llr: &mut [f64; BATCH],
+    ) {
+        let tables = self
+            .llr
+            .as_ref()
+            .expect("weighted sampling needs a boosted program (CompiledCircuit::boosted)");
+        debug_assert_eq!(state.x.len(), self.num_qubits, "state/circuit mismatch");
+        state.x.fill(0);
+        state.z.fill(0);
+        state.meas.fill(0);
+        let x = &mut state.x[..];
+        let z = &mut state.z[..];
+        let meas = &mut state.meas[..];
+        let mut meas_cursor = 0usize;
+        llr.fill(tables.base);
+        let mut site = 0usize;
+        for instr in &self.instrs {
+            match *instr {
+                Instr::H(q) => {
+                    let q = q as usize;
+                    std::mem::swap(&mut x[q], &mut z[q]);
+                }
+                Instr::SGate(q) => {
+                    let q = q as usize;
+                    z[q] ^= x[q];
+                }
+                Instr::Cx(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    x[b] ^= x[a];
+                    z[a] ^= z[b];
+                }
+                Instr::Cz(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    let (xa, xb) = (x[a], x[b]);
+                    z[a] ^= xb;
+                    z[b] ^= xa;
+                }
+                Instr::Swap(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    x.swap(a, b);
+                    z.swap(a, b);
+                }
+                Instr::Reset(q) => {
+                    let q = q as usize;
+                    x[q] = 0;
+                    z[q] = 0;
+                }
+                Instr::Meas {
+                    q,
+                    basis,
+                    flip,
+                    l1p,
+                } => {
+                    let q = q as usize;
+                    let mut flips = match basis {
+                        Basis::Z => x[q],
+                        Basis::X => z[q],
+                    };
+                    let mut fired = 0u64;
+                    if flip > 0.0 {
+                        fired = bernoulli_mask_with(flip, l1p, rng);
+                        flips ^= fired;
+                    }
+                    let d = tables.delta[site];
+                    site += 1;
+                    if d != 0.0 {
+                        for_each_set_bit(fired, |s| llr[s as usize] += d);
+                    }
+                    meas[meas_cursor] = flips;
+                    meas_cursor += 1;
+                    // Collapse decorrelates the conjugate frame component:
+                    // re-randomize it so later anticommutation is harmless.
+                    match basis {
+                        Basis::Z => z[q] = rng.random::<u64>(),
+                        Basis::X => x[q] = rng.random::<u64>(),
+                    }
+                }
+                Instr::NoiseX { q, p, l1p } => {
+                    let fired = bernoulli_mask_with(p, l1p, rng);
+                    x[q as usize] ^= fired;
+                    let d = tables.delta[site];
+                    site += 1;
+                    if d != 0.0 {
+                        for_each_set_bit(fired, |s| llr[s as usize] += d);
+                    }
+                }
+                Instr::NoiseY { q, p, l1p } => {
+                    let fired = bernoulli_mask_with(p, l1p, rng);
+                    x[q as usize] ^= fired;
+                    z[q as usize] ^= fired;
+                    let d = tables.delta[site];
+                    site += 1;
+                    if d != 0.0 {
+                        for_each_set_bit(fired, |s| llr[s as usize] += d);
+                    }
+                }
+                Instr::NoiseZ { q, p, l1p } => {
+                    let fired = bernoulli_mask_with(p, l1p, rng);
+                    z[q as usize] ^= fired;
+                    let d = tables.delta[site];
+                    site += 1;
+                    if d != 0.0 {
+                        for_each_set_bit(fired, |s| llr[s as usize] += d);
+                    }
+                }
+                Instr::Dep1 { q, p, l1p } => {
+                    let q = q as usize;
+                    let fired = bernoulli_mask_with(p, l1p, rng);
+                    // The Pauli-choice draws are conditionally uniform and
+                    // unchanged by boosting, so only the fire bits weigh in.
+                    for_each_set_bit(fired, |s| {
+                        let bit = 1u64 << s;
+                        match Pauli::NON_IDENTITY[rng.random_range(0..3)] {
+                            Pauli::X => x[q] ^= bit,
+                            Pauli::Z => z[q] ^= bit,
+                            Pauli::Y => {
+                                x[q] ^= bit;
+                                z[q] ^= bit;
+                            }
+                            Pauli::I => unreachable!(),
+                        }
+                    });
+                    let d = tables.delta[site];
+                    site += 1;
+                    if d != 0.0 {
+                        for_each_set_bit(fired, |s| llr[s as usize] += d);
+                    }
+                }
+                Instr::Dep2 { a, b, p, l1p } => {
+                    let (a, b) = (a as usize, b as usize);
+                    let fired = bernoulli_mask_with(p, l1p, rng);
+                    for_each_set_bit(fired, |s| {
+                        let bit = 1u64 << s;
+                        let (pa, pb) = two_qubit_pauli(rng.random_range(0..15));
+                        for (q, pq) in [(a, pa), (b, pb)] {
+                            if pq.has_x() {
+                                x[q] ^= bit;
+                            }
+                            if pq.has_z() {
+                                z[q] ^= bit;
+                            }
+                        }
+                    });
+                    let d = tables.delta[site];
+                    site += 1;
+                    if d != 0.0 {
+                        for_each_set_bit(fired, |s| llr[s as usize] += d);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(site, tables.delta.len(), "noise-site walk out of sync");
+        // Detector/observable tables are resolved after the sweep, exactly
+        // like the unweighted path (no RNG draws).
+        events.detectors.clear();
+        events
+            .detectors
+            .extend(self.det_offsets.windows(2).map(|w| {
+                self.det_meas[w[0] as usize..w[1] as usize]
+                    .iter()
+                    .fold(0u64, |acc, &m| acc ^ meas[m as usize])
+            }));
+        events.observables.clear();
+        events
+            .observables
+            .extend(self.obs_offsets.windows(2).map(|w| {
+                self.obs_meas[w[0] as usize..w[1] as usize]
+                    .iter()
+                    .fold(0u64, |acc, &m| acc ^ meas[m as usize])
+            }));
+    }
+
     /// Samples [`LANES`] independent [`BATCH`]-shot batches in lockstep —
     /// the word-level wide path behind the LER engine's dense configs.
     ///
@@ -651,6 +982,247 @@ impl CompiledCircuit {
         // Resolve the detector/observable tables once, fanning each word
         // out to its lane's events (the narrow path's contract: tables
         // consume no RNG draws).
+        for ev in events.iter_mut() {
+            ev.detectors.clear();
+            ev.observables.clear();
+        }
+        for w in self.det_offsets.windows(2) {
+            let acc = self.det_meas[w[0] as usize..w[1] as usize].iter().fold(
+                [0u64; LANES],
+                |mut acc, &m| {
+                    let row = &meas[m as usize];
+                    for l in 0..LANES {
+                        acc[l] ^= row[l];
+                    }
+                    acc
+                },
+            );
+            for (l, ev) in events.iter_mut().enumerate() {
+                ev.detectors.push(acc[l]);
+            }
+        }
+        for w in self.obs_offsets.windows(2) {
+            let acc = self.obs_meas[w[0] as usize..w[1] as usize].iter().fold(
+                [0u64; LANES],
+                |mut acc, &m| {
+                    let row = &meas[m as usize];
+                    for l in 0..LANES {
+                        acc[l] ^= row[l];
+                    }
+                    acc
+                },
+            );
+            for (l, ev) in events.iter_mut().enumerate() {
+                ev.observables.push(acc[l]);
+            }
+        }
+    }
+
+    /// [`Self::sample_batches_wide_into`] on a boosted program, filling
+    /// `llr[l][s]` with the log-likelihood ratio of lane `l`'s shot `s`.
+    /// Lane `l` is bit-identical to a narrow
+    /// [`Self::sample_batch_weighted_into`] replay with `rngs[l]`, events
+    /// and ratios both — the lockstep walk shares one delta-table cursor
+    /// across lanes, advancing it once per noise site.
+    ///
+    /// Panics if the program carries no tables (see
+    /// [`CompiledCircuit::boosted`]).
+    pub fn sample_batches_wide_weighted_into<R: Rng>(
+        &self,
+        state: &mut WideFrameState,
+        rngs: &mut [R; LANES],
+        events: &mut [BatchEvents; LANES],
+        llr: &mut [[f64; BATCH]; LANES],
+    ) {
+        let tables = self
+            .llr
+            .as_ref()
+            .expect("weighted sampling needs a boosted program (CompiledCircuit::boosted)");
+        debug_assert_eq!(state.x.len(), self.num_qubits, "state/circuit mismatch");
+        state.x.fill([0; LANES]);
+        state.z.fill([0; LANES]);
+        state.meas.fill([0; LANES]);
+        let x = &mut state.x[..];
+        let z = &mut state.z[..];
+        let meas = &mut state.meas[..];
+        let mut meas_cursor = 0usize;
+        for lane in llr.iter_mut() {
+            lane.fill(tables.base);
+        }
+        let mut site = 0usize;
+        for instr in &self.instrs {
+            match *instr {
+                Instr::H(q) => {
+                    let q = q as usize;
+                    std::mem::swap(&mut x[q], &mut z[q]);
+                }
+                Instr::SGate(q) => {
+                    let q = q as usize;
+                    for l in 0..LANES {
+                        z[q][l] ^= x[q][l];
+                    }
+                }
+                Instr::Cx(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    let (xa, zb) = (x[a], z[b]);
+                    for (xb, s) in x[b].iter_mut().zip(xa) {
+                        *xb ^= s;
+                    }
+                    for (za, s) in z[a].iter_mut().zip(zb) {
+                        *za ^= s;
+                    }
+                }
+                Instr::Cz(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    let (xa, xb) = (x[a], x[b]);
+                    for l in 0..LANES {
+                        z[a][l] ^= xb[l];
+                    }
+                    for l in 0..LANES {
+                        z[b][l] ^= xa[l];
+                    }
+                }
+                Instr::Swap(a, b) => {
+                    let (a, b) = (a as usize, b as usize);
+                    x.swap(a, b);
+                    z.swap(a, b);
+                }
+                Instr::Reset(q) => {
+                    let q = q as usize;
+                    x[q] = [0; LANES];
+                    z[q] = [0; LANES];
+                }
+                Instr::Meas {
+                    q,
+                    basis,
+                    flip,
+                    l1p,
+                } => {
+                    let q = q as usize;
+                    let mut flips = match basis {
+                        Basis::Z => x[q],
+                        Basis::X => z[q],
+                    };
+                    let mut fired = [0u64; LANES];
+                    if flip > 0.0 {
+                        for (l, rng) in rngs.iter_mut().enumerate() {
+                            fired[l] = bernoulli_mask_with(flip, l1p, rng);
+                            flips[l] ^= fired[l];
+                        }
+                    }
+                    let d = tables.delta[site];
+                    site += 1;
+                    if d != 0.0 {
+                        for (l, lane) in llr.iter_mut().enumerate() {
+                            for_each_set_bit(fired[l], |s| lane[s as usize] += d);
+                        }
+                    }
+                    meas[meas_cursor] = flips;
+                    meas_cursor += 1;
+                    // Collapse decorrelates the conjugate frame component:
+                    // re-randomize it so later anticommutation is harmless.
+                    let conj = match basis {
+                        Basis::Z => &mut z[q],
+                        Basis::X => &mut x[q],
+                    };
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        conj[l] = rng.random::<u64>();
+                    }
+                }
+                Instr::NoiseX { q, p, l1p } => {
+                    let q = q as usize;
+                    let d = tables.delta[site];
+                    site += 1;
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        let fired = bernoulli_mask_with(p, l1p, rng);
+                        x[q][l] ^= fired;
+                        if d != 0.0 {
+                            for_each_set_bit(fired, |s| llr[l][s as usize] += d);
+                        }
+                    }
+                }
+                Instr::NoiseY { q, p, l1p } => {
+                    let q = q as usize;
+                    let d = tables.delta[site];
+                    site += 1;
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        let fired = bernoulli_mask_with(p, l1p, rng);
+                        x[q][l] ^= fired;
+                        z[q][l] ^= fired;
+                        if d != 0.0 {
+                            for_each_set_bit(fired, |s| llr[l][s as usize] += d);
+                        }
+                    }
+                }
+                Instr::NoiseZ { q, p, l1p } => {
+                    let q = q as usize;
+                    let d = tables.delta[site];
+                    site += 1;
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        let fired = bernoulli_mask_with(p, l1p, rng);
+                        z[q][l] ^= fired;
+                        if d != 0.0 {
+                            for_each_set_bit(fired, |s| llr[l][s as usize] += d);
+                        }
+                    }
+                }
+                Instr::Dep1 { q, p, l1p } => {
+                    let q = q as usize;
+                    let d = tables.delta[site];
+                    site += 1;
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        let fired = bernoulli_mask_with(p, l1p, rng);
+                        if fired == 0 {
+                            continue;
+                        }
+                        for_each_set_bit(fired, |s| {
+                            let bit = 1u64 << s;
+                            match Pauli::NON_IDENTITY[rng.random_range(0..3)] {
+                                Pauli::X => x[q][l] ^= bit,
+                                Pauli::Z => z[q][l] ^= bit,
+                                Pauli::Y => {
+                                    x[q][l] ^= bit;
+                                    z[q][l] ^= bit;
+                                }
+                                Pauli::I => unreachable!(),
+                            }
+                        });
+                        if d != 0.0 {
+                            for_each_set_bit(fired, |s| llr[l][s as usize] += d);
+                        }
+                    }
+                }
+                Instr::Dep2 { a, b, p, l1p } => {
+                    let (a, b) = (a as usize, b as usize);
+                    let d = tables.delta[site];
+                    site += 1;
+                    for (l, rng) in rngs.iter_mut().enumerate() {
+                        let fired = bernoulli_mask_with(p, l1p, rng);
+                        if fired == 0 {
+                            continue;
+                        }
+                        for_each_set_bit(fired, |s| {
+                            let bit = 1u64 << s;
+                            let (pa, pb) = two_qubit_pauli(rng.random_range(0..15));
+                            for (q, pq) in [(a, pa), (b, pb)] {
+                                if pq.has_x() {
+                                    x[q][l] ^= bit;
+                                }
+                                if pq.has_z() {
+                                    z[q][l] ^= bit;
+                                }
+                            }
+                        });
+                        if d != 0.0 {
+                            for_each_set_bit(fired, |s| llr[l][s as usize] += d);
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(site, tables.delta.len(), "noise-site walk out of sync");
+        // Resolve the detector/observable tables once, fanning each word
+        // out to its lane's events (no RNG draws, like the narrow path).
         for ev in events.iter_mut() {
             ev.detectors.clear();
             ev.observables.clear();
@@ -1035,5 +1607,181 @@ mod tests {
             compiled.validate(),
             Err(crate::CircuitError::RecordOutOfRange { record: 5, .. })
         ));
+    }
+
+    #[test]
+    fn boosted_beta_one_is_bitwise_identical_and_weightless() {
+        // β=1 never changes a rate, so the boosted program must replay the
+        // plain sampler's RNG stream bit-for-bit with llr ≡ 0 — this is the
+        // identity the engine's weight ≡ 1 fast path rests on. kitchen_sink
+        // includes p up to 0.2 and a flip=0 measurement, covering the
+        // rate-untouched special case at every instruction kind.
+        let c = kitchen_sink();
+        let plain = CompiledCircuit::new(&c);
+        let boosted = plain.boosted(1.0);
+        assert_eq!(boosted.boost_beta(), 1.0);
+        let mut state_a = FrameState::new(&plain);
+        let mut state_b = FrameState::new(&boosted);
+        let mut weighted = BatchEvents::default();
+        let mut llr = [0.0f64; BATCH];
+        for seed in 0..8 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            for _ in 0..3 {
+                let ev = plain.sample_batch(&mut state_a, &mut rng_a);
+                boosted.sample_batch_weighted_into(
+                    &mut state_b,
+                    &mut rng_b,
+                    &mut weighted,
+                    &mut llr,
+                );
+                assert_eq!(ev.detectors, weighted.detectors, "seed {seed}");
+                assert_eq!(ev.observables, weighted.observables, "seed {seed}");
+                assert!(
+                    llr.iter().all(|&v| v == 0.0),
+                    "seed {seed}: llr not exactly 0"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_weighted_matches_narrow_weighted() {
+        // Same lockstep contract as the unweighted wide sampler, extended to
+        // the ratio accumulators: lane l's events AND llr must equal a
+        // narrow weighted replay with rngs[l].
+        let c = kitchen_sink();
+        let boosted = CompiledCircuit::new(&c).boosted(2.5);
+        let mut wide = WideFrameState::new(&boosted);
+        let mut narrow = FrameState::new(&boosted);
+        let mut narrow_ev = BatchEvents::default();
+        let mut narrow_llr = [0.0f64; BATCH];
+        for seed in 0..6 {
+            let mut wide_rngs: [StdRng; LANES] =
+                std::array::from_fn(|l| StdRng::seed_from_u64(chunk_seed(seed, l as u64)));
+            let mut narrow_rngs: [StdRng; LANES] =
+                std::array::from_fn(|l| StdRng::seed_from_u64(chunk_seed(seed, l as u64)));
+            let mut wide_events: [BatchEvents; LANES] = Default::default();
+            let mut wide_llr = [[0.0f64; BATCH]; LANES];
+            for batch in 0..3 {
+                boosted.sample_batches_wide_weighted_into(
+                    &mut wide,
+                    &mut wide_rngs,
+                    &mut wide_events,
+                    &mut wide_llr,
+                );
+                for (l, rng) in narrow_rngs.iter_mut().enumerate() {
+                    boosted.sample_batch_weighted_into(
+                        &mut narrow,
+                        rng,
+                        &mut narrow_ev,
+                        &mut narrow_llr,
+                    );
+                    assert_eq!(
+                        narrow_ev.detectors, wide_events[l].detectors,
+                        "seed {seed} lane {l} batch {batch} detectors"
+                    );
+                    assert_eq!(
+                        narrow_ev.observables, wide_events[l].observables,
+                        "seed {seed} lane {l} batch {batch} observables"
+                    );
+                    assert_eq!(
+                        narrow_llr, wide_llr[l],
+                        "seed {seed} lane {l} batch {batch} llr"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn importance_weights_are_unbiased() {
+        // One qubit, one X channel at p, observable = its measurement: the
+        // raw flip probability is exactly p. Sampling at β·p and averaging
+        // w·flip must recover p — the estimator the engine builds on.
+        let p = 0.02;
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        c.noise1(Noise1::XError, p, &[0]);
+        let m = c.measure(0, Basis::Z, 0.0);
+        c.observable(0, &[m]);
+        let boosted = CompiledCircuit::new(&c).boosted(8.0);
+        assert!(boosted.is_boosted());
+        let mut state = FrameState::new(&boosted);
+        let mut ev = BatchEvents::default();
+        let mut llr = [0.0f64; BATCH];
+        let mut rng = StdRng::seed_from_u64(0xD1CE);
+        let (mut sum_wf, mut shots) = (0.0f64, 0u64);
+        for _ in 0..4000 {
+            boosted.sample_batch_weighted_into(&mut state, &mut rng, &mut ev, &mut llr);
+            let flips = ev.observables[0];
+            for (s, lr) in llr.iter().enumerate() {
+                if flips >> s & 1 == 1 {
+                    sum_wf += lr.exp();
+                }
+            }
+            shots += BATCH as u64;
+        }
+        let est = sum_wf / shots as f64;
+        assert!(
+            (est - p).abs() < 0.15 * p,
+            "weighted estimate {est} vs true {p}"
+        );
+    }
+
+    #[test]
+    fn rate_table_boosting_composes() {
+        // boosted_with_rates treats the RateTable as the nominal truth: at
+        // β=1 the program fires at the table's rates with llr ≡ 0 (an
+        // epoch reweight, no importance sampling); at β>1 the weighted
+        // estimator still recovers the table rate.
+        let mut c = Circuit::new(1);
+        c.reset(Basis::Z, &[0]);
+        c.noise1(Noise1::XError, 0.05, &[0]);
+        let m = c.measure(0, Basis::Z, 0.0);
+        c.observable(0, &[m]);
+        let compiled = CompiledCircuit::new(&c);
+        let mut table = RateTable::identity();
+        table.set(ErrorSource::Noise1(Noise1::XError, 0), 0.2);
+
+        let run = |prog: &CompiledCircuit, seed: u64| {
+            let mut state = FrameState::new(prog);
+            let mut ev = BatchEvents::default();
+            let mut llr = [0.0f64; BATCH];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (mut raw, mut weighted, mut shots) = (0u64, 0.0f64, 0u64);
+            let mut llr_all_zero = true;
+            for _ in 0..2000 {
+                prog.sample_batch_weighted_into(&mut state, &mut rng, &mut ev, &mut llr);
+                let flips = ev.observables[0];
+                raw += flips.count_ones() as u64;
+                for (s, lr) in llr.iter().enumerate() {
+                    llr_all_zero &= *lr == 0.0;
+                    if flips >> s & 1 == 1 {
+                        weighted += lr.exp();
+                    }
+                }
+                shots += BATCH as u64;
+            }
+            (
+                raw as f64 / shots as f64,
+                weighted / shots as f64,
+                llr_all_zero,
+            )
+        };
+
+        // β=1: pure reweight — fires at 0.2, no ratio terms.
+        let (raw, weighted, zero) = run(&compiled.boosted_with_rates(1.0, &table), 11);
+        assert!(zero, "β=1 reweight must leave llr exactly 0");
+        assert!((raw - 0.2).abs() < 0.01, "raw rate {raw} vs table 0.2");
+        assert!((weighted - 0.2).abs() < 0.01);
+
+        // β=2: fires at 0.4, weighted estimate recovers the table's 0.2.
+        let (raw, weighted, _) = run(&compiled.boosted_with_rates(2.0, &table), 12);
+        assert!((raw - 0.4).abs() < 0.01, "boosted raw rate {raw} vs 0.4");
+        assert!(
+            (weighted - 0.2).abs() < 0.015,
+            "weighted estimate {weighted} vs nominal 0.2"
+        );
     }
 }

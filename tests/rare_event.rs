@@ -1,0 +1,172 @@
+//! Workspace-level validation of the rare-event (importance-sampled) LER
+//! engine: β = 1 must reproduce the plain engine's golden fingerprints bit
+//! for bit at any thread count, boosted runs must be thread-count
+//! deterministic, and a property test checks that the importance-sampled
+//! estimate agrees with plain Monte Carlo within their combined confidence
+//! intervals across a range of boost factors.
+
+use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+use caliqec_match::{
+    graph_for_circuit, LerEngine, RareOptions, SampleOptions, Tiered, UnionFindDecoder,
+};
+use caliqec_stab::{Basis, Circuit, CompiledCircuit, Noise1};
+use proptest::prelude::*;
+
+/// Distance-n repetition code, single round, X noise (mirrors the decoder
+/// test fixtures).
+fn rep_circuit(n: usize, p: f64) -> Circuit {
+    let data: Vec<u32> = (0..n as u32).collect();
+    let anc: Vec<u32> = (n as u32..(2 * n - 1) as u32).collect();
+    let mut c = Circuit::new(2 * n - 1);
+    c.reset(Basis::Z, &(0..(2 * n - 1) as u32).collect::<Vec<_>>());
+    c.noise1(Noise1::XError, p, &data);
+    for i in 0..n - 1 {
+        c.cx(data[i], anc[i]);
+        c.cx(data[i + 1], anc[i]);
+    }
+    let ms: Vec<_> = anc.iter().map(|&a| c.measure(a, Basis::Z, 0.0)).collect();
+    for m in &ms {
+        c.detector(&[*m]);
+    }
+    let md = c.measure(data[0], Basis::Z, 0.0);
+    c.observable(0, &[md]);
+    c
+}
+
+/// β = 1 with identity rates must reproduce the plain engine's golden
+/// surface-code fingerprints exactly — same recorded `(shots, failures)`
+/// at the pinned seed (mirroring `golden_engine_fingerprints_cluster_on_off`),
+/// unit weights, and ESS equal to the shot count — at every thread count.
+#[test]
+fn beta_one_reproduces_golden_fingerprints_at_any_thread_count() {
+    // (d, p, min_shots, golden shots, golden failures)
+    const GOLDENS: [(usize, f64, usize, usize, usize); 2] =
+        [(7, 3e-3, 4_096, 4_096, 10), (11, 1e-3, 2_048, 2_048, 0)];
+    for (d, p, min_shots, want_shots, want_failures) in GOLDENS {
+        let mem = memory_circuit(
+            &rotated_patch(d, d),
+            &NoiseModel::uniform(p),
+            d,
+            MemoryBasis::Z,
+        );
+        let compiled = CompiledCircuit::new(&mem.circuit);
+        let graph = graph_for_circuit(&mem.circuit);
+        let factory = Tiered::new(&graph, {
+            let graph = graph.clone();
+            move || UnionFindDecoder::new(graph.clone())
+        });
+        let plain = LerEngine::new(2).estimate(
+            &compiled,
+            &factory,
+            SampleOptions {
+                min_shots,
+                ..Default::default()
+            },
+            0xF1E1D,
+        );
+        assert_eq!(
+            (plain.estimate.shots, plain.estimate.failures),
+            (want_shots, want_failures),
+            "d={d}: plain golden fingerprint drifted"
+        );
+        for threads in [1, 2, 8] {
+            let rare = LerEngine::new(threads).estimate_rare(
+                &compiled,
+                &factory,
+                RareOptions {
+                    boost_beta: 1.0,
+                    target_rse: 0.0,
+                    min_shots,
+                    ..Default::default()
+                },
+                0xF1E1D,
+            );
+            assert_eq!(
+                rare.estimate, plain.estimate,
+                "d={d} threads={threads}: beta=1 must be bit-identical to plain"
+            );
+            assert_eq!(rare.ess, rare.estimate.shots as f64, "d={d}: unit weights");
+            assert_eq!(rare.weighted_failures, rare.estimate.failures as f64);
+            assert_eq!(rare.boost_beta, 1.0);
+        }
+    }
+}
+
+/// Boosted rare-event runs (β > 1, CI stopping armed) are bit-identical
+/// across thread counts 1/2/8: estimate, weighted failure mass, ESS, CI
+/// half-width, and the stopping prefix.
+#[test]
+fn boosted_runs_are_bit_identical_across_thread_counts() {
+    let c = rep_circuit(5, 0.02);
+    let compiled = CompiledCircuit::new(&c);
+    let graph = graph_for_circuit(&c);
+    let factory = || UnionFindDecoder::new(graph.clone());
+    let options = RareOptions {
+        boost_beta: 4.0,
+        target_rse: 0.1,
+        min_shots: 2_000,
+        max_shots: 100_000,
+        ..Default::default()
+    };
+    let reference = LerEngine::new(1).estimate_rare(&compiled, &factory, options.clone(), 0xBEE);
+    assert!(reference.ess > 0.0);
+    assert!(reference.ci_halfwidth.is_finite());
+    for threads in [2, 8] {
+        let run =
+            LerEngine::new(threads).estimate_rare(&compiled, &factory, options.clone(), 0xBEE);
+        assert_eq!(run.estimate, reference.estimate, "threads={threads}");
+        assert_eq!(run.chunks_included, reference.chunks_included);
+        assert_eq!(run.weighted_failures, reference.weighted_failures);
+        assert_eq!(run.ess, reference.ess);
+        assert_eq!(run.ci_halfwidth, reference.ci_halfwidth);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Across random small repetition codes, physical rates high enough to
+    /// measure plainly, and a sweep of boost factors, the importance-sampled
+    /// estimate agrees with plain Monte Carlo within 5× their combined 95%
+    /// CI half-widths, and the estimator health invariants hold
+    /// (0 < ESS ≤ shots, finite CI).
+    #[test]
+    fn is_estimate_agrees_with_plain_within_ci(
+        n in 2usize..=3,
+        p in 0.03f64..0.15,
+        beta in prop_oneof![Just(1.5f64), Just(2.0), Just(4.0), Just(8.0)],
+        seed in 0u64..1_000,
+    ) {
+        let c = rep_circuit(2 * n - 1, p);
+        let compiled = CompiledCircuit::new(&c);
+        let graph = graph_for_circuit(&c);
+        let factory = || UnionFindDecoder::new(graph.clone());
+        let shots = 20_000;
+        let plain = LerEngine::new(2).estimate(
+            &compiled,
+            &factory,
+            SampleOptions { min_shots: shots, ..Default::default() },
+            seed,
+        );
+        let rare = LerEngine::new(2).estimate_rare(
+            &compiled,
+            &factory,
+            RareOptions {
+                boost_beta: beta,
+                target_rse: 0.0,
+                min_shots: shots,
+                ..Default::default()
+            },
+            seed,
+        );
+        prop_assert!(rare.ess > 0.0);
+        prop_assert!(rare.ess <= rare.estimate.shots as f64);
+        prop_assert!(rare.ci_halfwidth.is_finite());
+        let tolerance = 5.0 * (rare.ci_halfwidth + plain.ci_halfwidth) + 1e-12;
+        prop_assert!(
+            (rare.ler() - plain.ler()).abs() <= tolerance,
+            "beta={} IS estimate {} vs plain {} outside tolerance {}",
+            beta, rare.ler(), plain.ler(), tolerance
+        );
+    }
+}
