@@ -1,0 +1,302 @@
+//! Deterministic load generator for the streaming decode service: drives
+//! `caliqec_match::StreamingDecoder` through open-loop arrival schedules
+//! and writes the degradation profile to a JSON file (`BENCH_stream.json`
+//! at the repo root by default), stamped with the current git commit.
+//!
+//! Three scenarios, all from fixed seeds:
+//!
+//! - `steady`: paced arrivals with a generous queue bound and no deadline
+//!   — the service must decode every window (no shed, no rejection).
+//! - `overload`: every tenant floods windows back-to-back into a short
+//!   queue under an armed deadline — arrival far exceeds sustained
+//!   capacity, so the service must shed via the declared ladder and/or
+//!   reject at admission while keeping the ingested = decoded + shed +
+//!   deferred partition exact.
+//! - `bursty`: one tenant floods (a `burst` injection) while the others
+//!   stay paced — any backpressure rejections land on the bursty tenant
+//!   while the well-behaved tenants keep decoding.
+//!
+//! Decode masks are deterministic in `(tenant, window, seed)`; only
+//! latency quantiles and shed/reject counts vary run to run, and those
+//! are what this binary exists to track.
+//!
+//! Flags: `--tenants N` (default 8), `--windows W` per tenant (default
+//! 32), `--workers T` (default 4), `--distance D` (default 3),
+//! `--deadline-us U` for the overload/bursty scenarios (default 500),
+//! `--out PATH`, `--label TEXT`.
+//!
+//! Exit codes: 0 success, 1 accounting-contract violation, 4 cannot
+//! write the report.
+
+use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+use caliqec_match::{
+    graph_for_circuit, loopback_serve, FaultPlan, LoopbackOptions, MatchingGraph, ServiceHealth,
+    StreamConfig, TenantSpec, Tiered, UnionFindDecoder,
+};
+use caliqec_obs::ObsSink;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Best-effort current commit hash; "unknown" outside a git checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+type Factory = Tiered<Box<dyn Fn() -> UnionFindDecoder + Send + Sync>>;
+
+fn tenant_specs(graph: &MatchingGraph, tenants: usize) -> Vec<TenantSpec<Factory>> {
+    (0..tenants)
+        .map(|_| {
+            let g = graph.clone();
+            let factory: Box<dyn Fn() -> UnionFindDecoder + Send + Sync> =
+                Box::new(move || UnionFindDecoder::new(g.clone()));
+            TenantSpec {
+                factory: Tiered::new(graph, factory),
+                detectors: graph.num_detectors(),
+            }
+        })
+        .collect()
+}
+
+struct Scenario {
+    name: &'static str,
+    config: StreamConfig,
+    opts: LoopbackOptions,
+}
+
+struct Outcome {
+    name: &'static str,
+    health: ServiceHealth,
+    shots_scored: u64,
+    failures: u64,
+    windows_rejected: u64,
+    violations: Vec<String>,
+}
+
+fn main() -> ExitCode {
+    let tenants = caliqec_bench::usize_from_args("tenants", 8);
+    let windows = caliqec_bench::usize_from_args("windows", 32) as u64;
+    let workers = caliqec_bench::usize_from_args("workers", 4);
+    let d = caliqec_bench::usize_from_args("distance", 3);
+    let deadline_us = caliqec_bench::usize_from_args("deadline-us", 500) as u64;
+    let out = caliqec_bench::string_from_args("out", "BENCH_stream.json");
+    let label = caliqec_bench::string_from_args("label", "");
+    let seed = 0x57E4_u64;
+
+    let mem = memory_circuit(
+        &rotated_patch(d, d),
+        &NoiseModel::uniform(2e-3),
+        d,
+        MemoryBasis::Z,
+    );
+    let graph = graph_for_circuit(&mem.circuit);
+    let circuits: Vec<_> = (0..tenants).map(|_| mem.circuit.clone()).collect();
+    let deadline = Duration::from_micros(deadline_us.max(1));
+
+    let scenarios = [
+        Scenario {
+            name: "steady",
+            config: StreamConfig {
+                workers,
+                queue_bound: (windows as usize).max(1),
+                deadline: None,
+                ..StreamConfig::default()
+            },
+            opts: LoopbackOptions {
+                windows_per_tenant: windows,
+                rounds_per_window: d.min(graph.num_detectors()),
+                gap: Duration::from_micros(50),
+                base_seed: seed,
+            },
+        },
+        Scenario {
+            name: "overload",
+            config: StreamConfig {
+                workers,
+                queue_bound: 2,
+                deadline: Some(deadline),
+                ..StreamConfig::default()
+            },
+            opts: LoopbackOptions {
+                windows_per_tenant: windows,
+                rounds_per_window: d.min(graph.num_detectors()),
+                gap: Duration::ZERO,
+                base_seed: seed,
+            },
+        },
+        Scenario {
+            name: "bursty",
+            config: StreamConfig {
+                workers,
+                queue_bound: 2,
+                deadline: Some(deadline),
+                faults: Some(FaultPlan::new().burst_arrival_at(0)),
+                ..StreamConfig::default()
+            },
+            opts: LoopbackOptions {
+                windows_per_tenant: windows,
+                rounds_per_window: d.min(graph.num_detectors()),
+                gap: Duration::from_micros(50),
+                base_seed: seed,
+            },
+        },
+    ];
+
+    let mut outcomes = Vec::new();
+    for sc in scenarios {
+        eprintln!(
+            "stream_load: {} — {tenants} tenants x {windows} windows, {workers} workers...",
+            sc.name
+        );
+        let specs = tenant_specs(&graph, tenants);
+        let (report, driver) =
+            match loopback_serve(specs, &circuits, sc.config, &sc.opts, ObsSink::enabled()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("stream_load: error: {} failed validation: {e}", sc.name);
+                    return ExitCode::from(1);
+                }
+            };
+        let h = report.health;
+        let mut violations = Vec::new();
+        if h.rounds_pending() != 0 {
+            violations.push(format!("{} rounds pending after drain", h.rounds_pending()));
+        }
+        for t in &h.tenants {
+            if t.rounds_decoded + t.rounds_shed + t.rounds_deferred != t.rounds_ingested {
+                violations.push(format!(
+                    "tenant {} partition broken: {} + {} + {} != {}",
+                    t.tenant, t.rounds_decoded, t.rounds_shed, t.rounds_deferred, t.rounds_ingested
+                ));
+            }
+        }
+        if sc.name == "steady"
+            && (h.windows_shed + h.windows_deferred > 0 || driver.windows_rejected > 0)
+        {
+            violations.push(format!(
+                "steady scenario degraded: {} shed, {} deferred, {} rejected",
+                h.windows_shed, h.windows_deferred, driver.windows_rejected
+            ));
+        }
+        eprintln!(
+            "stream_load: {}: decoded {} / shed {} / deferred {} windows, {} rejected, \
+             p99 {:.0}us, {} failures / {} shots",
+            sc.name,
+            h.windows_decoded,
+            h.windows_shed,
+            h.windows_deferred,
+            driver.windows_rejected,
+            h.round_latency_p99_us,
+            driver.failures,
+            driver.shots_scored,
+        );
+        outcomes.push(Outcome {
+            name: sc.name,
+            health: h,
+            shots_scored: driver.shots_scored,
+            failures: driver.failures,
+            windows_rejected: driver.windows_rejected,
+            violations,
+        });
+    }
+
+    let json = report_json(&label, tenants, windows, workers, d, &outcomes);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("stream_load: error: writing {out}: {e}");
+        return ExitCode::from(4);
+    }
+    eprintln!("stream_load: wrote {out}");
+
+    let violations: Vec<&String> = outcomes.iter().flat_map(|o| o.violations.iter()).collect();
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for v in violations {
+            eprintln!("stream_load: violation: {v}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn report_json(
+    label: &str,
+    tenants: usize,
+    windows: u64,
+    workers: usize,
+    d: usize,
+    outcomes: &[Outcome],
+) -> String {
+    let mut body = String::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        let h = &o.health;
+        let (ing, dec, shed, def, rej) = h.tenants.iter().fold((0, 0, 0, 0, 0), |a, t| {
+            (
+                a.0 + t.rounds_ingested,
+                a.1 + t.rounds_decoded,
+                a.2 + t.rounds_shed,
+                a.3 + t.rounds_deferred,
+                a.4 + t.rounds_rejected,
+            )
+        });
+        write!(
+            body,
+            concat!(
+                "    {{\"scenario\": \"{}\", \"windows_decoded\": {}, ",
+                "\"windows_shed\": {}, \"windows_deferred\": {}, ",
+                "\"windows_rejected\": {}, \"wedges\": {}, \"retries\": {}, ",
+                "\"queue_peak\": {}, \"rounds_ingested\": {}, ",
+                "\"rounds_decoded\": {}, \"rounds_shed\": {}, ",
+                "\"rounds_deferred\": {}, \"rounds_rejected\": {}, ",
+                "\"partition_ok\": {}, \"shots_scored\": {}, \"failures\": {}, ",
+                "\"round_latency_us\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}}}}"
+            ),
+            o.name,
+            h.windows_decoded,
+            h.windows_shed,
+            h.windows_deferred,
+            o.windows_rejected,
+            h.wedges,
+            h.retries,
+            h.queue_peak,
+            ing,
+            dec,
+            shed,
+            def,
+            rej,
+            o.violations.is_empty(),
+            o.shots_scored,
+            o.failures,
+            h.round_latency_p50_us,
+            h.round_latency_p95_us,
+            h.round_latency_p99_us,
+        )
+        .expect("write to string");
+    }
+    format!(
+        concat!(
+            "{{\n  \"commit\": \"{}\",\n  \"label\": \"{}\",\n",
+            "  \"tenants\": {},\n  \"windows_per_tenant\": {},\n",
+            "  \"workers\": {},\n  \"distance\": {},\n",
+            "  \"scenarios\": [\n{}\n  ]\n}}\n"
+        ),
+        git_commit(),
+        label.replace('"', "'"),
+        tenants,
+        windows,
+        workers,
+        d,
+        body,
+    )
+}

@@ -9,6 +9,12 @@
 //!                      [--trace-csv FILE] [--metrics-out FILE] [--trace-out FILE]
 //!                      [--prom-out FILE]
 //! caliqec draw         [--distance D] [--lattice square|heavy-hex] [--hole R,C ...]
+//! caliqec serve        [--tenants N] [--distance D] [--windows W] [--rounds R]
+//!                      [--workers T] [--queue-bound Q] [--deadline-us U]
+//!                      [--gap-us G] [--seed S] [--p P] [--cluster]
+//!                      [--cluster-gate-threshold X] [--strict] [--faults SPEC]
+//!                      [--health-out FILE] [--metrics-out FILE] [--prom-out FILE]
+//! caliqec stream-smoke [same flags; tiny-budget preset]
 //! caliqec help
 //! ```
 //!
@@ -23,7 +29,10 @@ use caliqec_code::{
     code_distance, data_coord, draw_layout, DeformInstruction, DeformedPatch, Lattice,
 };
 use caliqec_device::{DeviceConfig, DeviceModel};
-use caliqec_match::FaultPlan;
+use caliqec_match::{
+    graph_for_circuit, loopback_serve, FaultPlan, LoopbackOptions, StreamConfig, TenantSpec,
+    Tiered, UnionFindDecoder,
+};
 use caliqec_obs::{
     render_chrome_trace, render_json, render_prometheus, render_summary, verbosity, ObsSink,
     Verbosity,
@@ -237,16 +246,16 @@ fn fault_plan_from(args: &Args) -> Result<Option<FaultPlan>, CliError> {
     FaultPlan::from_env().map_err(|e| CliError::Usage(format!("CALIQEC_FAULTS: {e}")))
 }
 
-/// Silences the default panic hook for the engine's named worker threads
-/// while faults are armed, so injected (caught and retried) panics don't
-/// spray backtraces over the trace output. Panics on any other thread
-/// still print normally.
+/// Silences the default panic hook for the engine's and the streaming
+/// service's named worker threads while faults are armed, so injected
+/// (caught and retried) panics don't spray backtraces over the trace
+/// output. Panics on any other thread still print normally.
 fn quiet_worker_panics() {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let worker = std::thread::current()
             .name()
-            .is_some_and(|n| n.starts_with("caliqec-ler-"));
+            .is_some_and(|n| n.starts_with("caliqec-ler-") || n.starts_with("caliqec-stream-"));
         if !worker {
             default_hook(info);
         }
@@ -469,6 +478,181 @@ fn cmd_draw(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The decoder factory type the streaming service multiplexes: one
+/// [`Tiered`] union-find stack per tenant, boxed so every tenant shares a
+/// nameable factory type regardless of its captured graph.
+type ServeFactory = Tiered<Box<dyn Fn() -> UnionFindDecoder + Send + Sync>>;
+
+/// `caliqec serve` / `caliqec stream-smoke`: run the streaming decode
+/// service against deterministic loopback tenants. `smoke` shrinks the
+/// defaults to a tiny budget suitable for CI.
+fn cmd_serve(args: &Args, smoke: bool) -> Result<(), CliError> {
+    use caliqec_code::{memory_circuit, rotated_patch, MemoryBasis, NoiseModel};
+
+    let tenants = args
+        .usize_or("tenants", if smoke { 2 } else { 4 })
+        .map_err(CliError::Usage)?;
+    if tenants == 0 {
+        return Err(CliError::Validation("--tenants must be positive".into()));
+    }
+    let d = args
+        .usize_or("distance", 3)
+        .map_err(CliError::Usage)
+        .and_then(|d| {
+            if d < 2 {
+                Err(CliError::Validation(format!(
+                    "--distance must be at least 2, got {d}"
+                )))
+            } else {
+                Ok(d)
+            }
+        })?;
+    let windows = args
+        .u64_or("windows", if smoke { 8 } else { 64 })
+        .map_err(CliError::Usage)?;
+    let rounds = args.usize_or("rounds", d).map_err(CliError::Usage)?;
+    let workers = args
+        .usize_or("workers", if smoke { 2 } else { 4 })
+        .map_err(CliError::Usage)?;
+    if workers == 0 {
+        return Err(CliError::Validation("--workers must be positive".into()));
+    }
+    let queue_bound = args.usize_or("queue-bound", 4).map_err(CliError::Usage)?;
+    if queue_bound == 0 {
+        return Err(CliError::Validation(
+            "--queue-bound must be positive".into(),
+        ));
+    }
+    let deadline_us = args.u64_or("deadline-us", 0).map_err(CliError::Usage)?;
+    let gap_us = args.u64_or("gap-us", 0).map_err(CliError::Usage)?;
+    let seed = args.u64_or("seed", 0).map_err(CliError::Usage)?;
+    let p = args.f64_or("p", 3e-3).map_err(CliError::Usage)?;
+    if !(p.is_finite() && p > 0.0 && p < 0.5) {
+        return Err(CliError::Validation(format!(
+            "--p wants a probability in (0, 0.5), got {p}"
+        )));
+    }
+    let gate_threshold = args
+        .f64_or(
+            "cluster-gate-threshold",
+            caliqec_match::CLUSTER_GATE_MIN_MEAN_DEFECTS,
+        )
+        .map_err(CliError::Usage)?;
+    let strict = args.flags.contains_key("strict");
+    let faults = fault_plan_from(args)?;
+    if faults.is_some() {
+        quiet_worker_panics();
+    }
+    let want_obs = ["health-out", "metrics-out", "prom-out"]
+        .iter()
+        .any(|k| args.flags.contains_key(*k));
+    let sink = ObsSink::new(want_obs);
+
+    // One loopback tenant per logical patch: same code, per-tenant seed.
+    let mem = memory_circuit(
+        &rotated_patch(d, d),
+        &NoiseModel::uniform(p),
+        d,
+        MemoryBasis::Z,
+    );
+    let graph = graph_for_circuit(&mem.circuit);
+    if rounds == 0 || rounds > graph.num_detectors() {
+        return Err(CliError::Validation(format!(
+            "--rounds must be in 1..={} for distance {d}",
+            graph.num_detectors()
+        )));
+    }
+    let specs: Vec<TenantSpec<ServeFactory>> = (0..tenants)
+        .map(|_| {
+            let g = graph.clone();
+            let factory: Box<dyn Fn() -> UnionFindDecoder + Send + Sync> =
+                Box::new(move || UnionFindDecoder::new(g.clone()));
+            let mut tiered = Tiered::new(&graph, factory);
+            if args.flags.contains_key("cluster") {
+                tiered = tiered.with_cluster();
+            }
+            TenantSpec {
+                factory: tiered.with_cluster_gate_threshold(gate_threshold),
+                detectors: graph.num_detectors(),
+            }
+        })
+        .collect();
+    let circuits: Vec<_> = (0..tenants).map(|_| mem.circuit.clone()).collect();
+    let config = StreamConfig {
+        workers,
+        queue_bound,
+        deadline: (deadline_us > 0).then(|| std::time::Duration::from_micros(deadline_us)),
+        faults,
+        ..StreamConfig::default()
+    };
+    let opts = LoopbackOptions {
+        windows_per_tenant: windows,
+        rounds_per_window: rounds,
+        gap: std::time::Duration::from_micros(gap_us),
+        base_seed: seed,
+    };
+    let (report, driver) = loopback_serve(specs, &circuits, config, &opts, sink.clone())
+        .map_err(|e| CliError::Validation(e.to_string()))?;
+    let h = &report.health;
+    println!(
+        "serve: {tenants} tenants x {windows} windows (d={d}, {rounds} rounds/window), \
+         {workers} workers, queue bound {queue_bound}"
+    );
+    println!(
+        "decoded {} / shed {} / deferred {} windows; wedges {}, retries {}, queue peak {}",
+        h.windows_decoded, h.windows_shed, h.windows_deferred, h.wedges, h.retries, h.queue_peak
+    );
+    println!(
+        "round latency us: p50 {:.1}, p95 {:.1}, p99 {:.1}",
+        h.round_latency_p50_us, h.round_latency_p95_us, h.round_latency_p99_us
+    );
+    println!("tenant  ingested  decoded  shed  deferred  rejected");
+    for t in &h.tenants {
+        println!(
+            "{:>6}  {:>8}  {:>7}  {:>4}  {:>8}  {:>8}",
+            t.tenant,
+            t.rounds_ingested,
+            t.rounds_decoded,
+            t.rounds_shed,
+            t.rounds_deferred,
+            t.rounds_rejected
+        );
+    }
+    println!(
+        "scored {} shots, {} logical failures; {} windows rejected by backpressure",
+        driver.shots_scored, driver.failures, driver.windows_rejected
+    );
+    // The accounting invariant is part of the service contract: surface a
+    // violation as a runtime error, never silently.
+    if h.rounds_pending() != 0 {
+        return Err(CliError::Runtime(format!(
+            "accounting violation: {} rounds ingested but never disposed",
+            h.rounds_pending()
+        )));
+    }
+    if let Some(path) = args.flags.get("health-out") {
+        write_text(path, &h.to_json())?;
+    }
+    if sink.is_enabled() {
+        let snap = sink.snapshot();
+        if let Some(path) = args.flags.get("metrics-out") {
+            write_text(path, &render_json(&snap))?;
+        }
+        if let Some(path) = args.flags.get("prom-out") {
+            write_text(path, &render_prometheus(&snap))?;
+        }
+    }
+    let degraded = h.windows_shed + h.windows_deferred + h.wedges > 0
+        || h.tenants.iter().any(|t| t.rounds_rejected > 0);
+    if strict && degraded {
+        return Err(CliError::Degraded(format!(
+            "--strict: service degraded ({} shed, {} deferred, {} wedges, {} windows rejected)",
+            h.windows_shed, h.windows_deferred, h.wedges, driver.windows_rejected
+        )));
+    }
+    Ok(())
+}
+
 const HELP: &str = "\
 caliqec — in-situ qubit calibration for surface-code QEC
 
@@ -518,6 +702,27 @@ USAGE:
       level when the flag is absent.
   caliqec draw [--distance D] [--lattice square|heavy-hex] [--hole R,C ...]
       Render a (deformed) patch as ASCII art.
+  caliqec serve [--tenants N] [--distance D] [--windows W] [--rounds R]
+                [--workers T] [--queue-bound Q] [--deadline-us U] [--gap-us G]
+                [--seed S] [--p P] [--cluster] [--cluster-gate-threshold X]
+                [--strict] [--faults SPEC] [--health-out FILE]
+                [--metrics-out FILE] [--prom-out FILE] [--quiet]
+      Run the streaming decode service against deterministic loopback
+      tenants: each tenant replays a distance-D memory circuit round by
+      round from seed chunk_seed(S, tenant) and the shared worker pool
+      decodes the reassembled windows. --queue-bound Q bounds each
+      tenant's ingress queue (full queues reject windows — backpressure);
+      --deadline-us U arms the three-rung shed ladder (0 disables it);
+      --gap-us G paces the open-loop arrival schedule. --faults SPEC (or
+      CALIQEC_FAULTS) adds streaming injections slowtenant@T, delay@W,
+      burst@T, wedge@W on top of the batch kinds. --health-out writes the
+      ServiceHealth JSON snapshot (per-tenant round accounting + latency
+      quantiles); --metrics-out / --prom-out export the observability
+      sink. --strict exits 5 when any window was shed, deferred,
+      rejected, or wedged. The ingested = decoded + shed + deferred
+      round partition is asserted on every run.
+  caliqec stream-smoke [same flags]
+      `serve` with a tiny-budget preset (2 tenants, 8 windows) for CI.
   caliqec help
 
 EXIT CODES:
@@ -549,6 +754,8 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&args),
         "simulate" => cmd_simulate(&args),
         "draw" => cmd_draw(&args),
+        "serve" => cmd_serve(&args, false),
+        "stream-smoke" => cmd_serve(&args, true),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())

@@ -119,9 +119,19 @@ pub trait DecoderFactory: Sync {
     /// Meaningful only when [`DecoderFactory::cluster_tier`] returns one;
     /// [`ClusterGate::Auto`] lets the engine skip the decomposition for
     /// batches whose mean defect count is below
-    /// [`CLUSTER_GATE_MIN_MEAN_DEFECTS`].
+    /// [`DecoderFactory::cluster_gate_threshold`].
     fn cluster_gate(&self) -> ClusterGate {
         ClusterGate::Off
+    }
+
+    /// Mean defects per shot at which [`ClusterGate::Auto`] fires the
+    /// cluster tier for a batch. Defaults to the workspace-tuned
+    /// [`CLUSTER_GATE_MIN_MEAN_DEFECTS`]; deployments with a different
+    /// dense/sparse crossover (or a shed fast path that wants the cluster
+    /// tier earlier) override it via
+    /// [`crate::Tiered::with_cluster_gate_threshold`].
+    fn cluster_gate_threshold(&self) -> f64 {
+        CLUSTER_GATE_MIN_MEAN_DEFECTS
     }
 
     /// The matching graph backing this factory's decoders, if the factory
@@ -542,6 +552,267 @@ fn record_reweight(coord: &mut WorkerObs, epoch: u32, started: Option<Instant>) 
     }
 }
 
+/// Per-window decode statistics accumulated by [`decode_window_masks`].
+///
+/// The batch engine accumulates one of these per chunk (every batch in the
+/// chunk sums into the same struct); the streaming service accumulates one
+/// per decoded window. All fields are deterministic functions of the
+/// window's syndrome content and the decoder configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowStats {
+    /// Shots with an empty defect list (identity correction, no decoder).
+    pub tier0_shots: usize,
+    /// Shots certified by the tier-1 predecoder.
+    pub predecoded_shots: usize,
+    /// Defects on those certified shots.
+    pub predecoded_defects: usize,
+    /// Shots that reached a full-decoder call.
+    pub residual_shots: usize,
+    /// Dense shots fully resolved by the cluster tier.
+    pub clustered_shots: usize,
+    /// Defects peeled by certified clusters.
+    pub clustered_defects: usize,
+    /// Flood clusters decomposed.
+    pub clusters_total: u64,
+    /// Cluster-size histogram ([`cluster_hist_bucket`] buckets).
+    pub cluster_size_histogram: [u64; CLUSTER_HIST_BUCKETS],
+    /// Per-shot defect-count histogram ([`defect_hist_bucket`] buckets).
+    pub defect_histogram: [u64; DEFECT_HIST_BUCKETS],
+    /// Time inside the tier-dispatch classification scan (the batch engine
+    /// charges this to `extract_seconds`, preserving its historical phase
+    /// partition).
+    pub classify_seconds: f64,
+    /// Predecoder certification time.
+    pub predecode_seconds: f64,
+    /// Flood-decomposition time.
+    pub cluster_seconds: f64,
+    /// Full-decoder time.
+    pub decode_seconds: f64,
+}
+
+impl Default for WindowStats {
+    fn default() -> WindowStats {
+        WindowStats {
+            tier0_shots: 0,
+            predecoded_shots: 0,
+            predecoded_defects: 0,
+            residual_shots: 0,
+            clustered_shots: 0,
+            clustered_defects: 0,
+            clusters_total: 0,
+            cluster_size_histogram: [0; CLUSTER_HIST_BUCKETS],
+            defect_histogram: [0; DEFECT_HIST_BUCKETS],
+            classify_seconds: 0.0,
+            predecode_seconds: 0.0,
+            cluster_seconds: 0.0,
+            decode_seconds: 0.0,
+        }
+    }
+}
+
+/// Per-call outcome of [`decode_window_masks`]: the window facts that are
+/// not additive across windows.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowOutcome {
+    /// Total defects across the window's shots.
+    pub defects: usize,
+    /// Whether the defect-density gate ran the cluster decomposition for
+    /// this window (always `false` without an armed cluster tier).
+    pub cluster_ran: bool,
+}
+
+/// Reusable shot-classification scratch for [`decode_window_masks`]:
+/// tier-dispatch index lists whose capacity persists across windows.
+#[derive(Clone, Debug, Default)]
+pub struct WindowScratch {
+    /// Shots past the certification bound, straight to the full decoder.
+    dense: Vec<u32>,
+    /// Predecoder candidates.
+    cand: Vec<u32>,
+    /// Candidates the predecoder declined.
+    uncertified: Vec<u32>,
+}
+
+/// Decodes one extracted 64-shot window into per-shot predicted observable
+/// masks — the tier-dispatch core shared by the batch engine
+/// ([`LerEngine`]) and the streaming service ([`crate::StreamingDecoder`]).
+///
+/// `masks[s]` receives the decoder stack's predicted observable mask for
+/// shot `s`: `0` for an empty syndrome, the certified mask for a
+/// predecoded shot, the peel-XOR-residual mask on the cluster path, and
+/// the full decoder's mask otherwise. Callers that know the ground truth
+/// (the batch engine, which sampled the observables alongside the
+/// detectors) XOR against it to count failures; callers that don't (a
+/// streaming service fed detector events only) forward the masks as
+/// corrections. The mask of every shot is a deterministic function of
+/// `(window contents, decoder configuration)` — nothing here depends on
+/// wall clock or thread interleaving.
+///
+/// Tier accounting accumulates into `stats` (additive across windows);
+/// per-window facts return in the [`WindowOutcome`]. The density `gate`
+/// compares the window's mean defect count against `gate_threshold`
+/// (see [`DecoderFactory::cluster_gate_threshold`]).
+#[allow(clippy::too_many_arguments)]
+pub fn decode_window_masks<D: Decoder>(
+    decoder: &mut D,
+    predecoder: Option<&mut Predecoder>,
+    cluster: Option<&mut ClusterTier>,
+    gate: ClusterGate,
+    gate_threshold: f64,
+    sparse: &SparseBatch,
+    scratch: &mut WindowScratch,
+    obs: &mut WorkerObs,
+    decode_hist: Hist,
+    stats: &mut WindowStats,
+    masks: &mut [u64; BATCH],
+) -> WindowOutcome {
+    let WindowScratch {
+        dense,
+        cand,
+        uncertified,
+    } = scratch;
+    let has_pre = predecoder.is_some();
+    // Tier dispatch: tier 0 (empty defect list — identity correction) is
+    // resolved here; shots past the certification bound go straight to
+    // `dense` (at d ≥ 15 this is nearly every shot, and the predecoder
+    // phase used to pay for all of them).
+    let t1 = Instant::now();
+    dense.clear();
+    cand.clear();
+    let mut window_defects = 0usize;
+    for (s, mask) in masks.iter_mut().enumerate() {
+        let defects = sparse.defect_count(s);
+        stats.defect_histogram[defect_hist_bucket(defects)] += 1;
+        window_defects += defects;
+        if defects == 0 {
+            stats.tier0_shots += 1;
+            *mask = 0;
+        } else if has_pre && defects <= Predecoder::MAX_CERT_DEFECTS {
+            cand.push(s as u32);
+        } else {
+            dense.push(s as u32);
+        }
+    }
+    let t2 = Instant::now();
+    stats.classify_seconds += (t2 - t1).as_secs_f64();
+    uncertified.clear();
+    if let Some(pre) = predecoder {
+        // Dense configs leave `cand` empty for almost every window;
+        // skipping the pass entirely avoids paying the per-shot timer
+        // setup just to report a tier that never fired.
+        if !cand.is_empty() {
+            let mut shot_t = obs.clock();
+            for &s in cand.iter() {
+                let s = s as usize;
+                if let Some(mask) = pre.predecode(sparse.defects(s)) {
+                    stats.predecoded_shots += 1;
+                    stats.predecoded_defects += sparse.defect_count(s);
+                    masks[s] = mask;
+                } else {
+                    uncertified.push(s as u32);
+                }
+                shot_t = obs.record_since(Hist::PredecodeShot, shot_t);
+            }
+        }
+    }
+    let t3 = Instant::now();
+    stats.predecode_seconds += (t3 - t2).as_secs_f64();
+    // Defect-density gate: below the threshold, the flood decomposition
+    // costs more than the monolithic decodes it replaces, so `Auto`
+    // diverts sparse windows to the merge path. Both paths decode every
+    // shot exactly, so gating never changes a mask — only where the time
+    // goes.
+    let cluster_ran = cluster.is_some()
+        && match gate {
+            ClusterGate::On => true,
+            ClusterGate::Off => false,
+            ClusterGate::Auto => window_defects as f64 / BATCH as f64 >= gate_threshold,
+        };
+    if let Some(clu) = cluster.filter(|_| cluster_ran) {
+        // Dense shots: flood-decompose, peel certified clusters, decode
+        // the residual union in one full-decoder call, XOR the masks.
+        // Phase time is summed per shot (decomposition vs decoding), so
+        // loop-tail bookkeeping is charged to neither and the timers
+        // stay below wall clock.
+        for &s in dense.iter() {
+            let s = s as usize;
+            let c0 = Instant::now();
+            let out = clu.decompose(sparse.defects(s));
+            let c1 = Instant::now();
+            stats.cluster_seconds += (c1 - c0).as_secs_f64();
+            stats.clusters_total += out.clusters as u64;
+            for &size in clu.cluster_sizes() {
+                stats.cluster_size_histogram[cluster_hist_bucket(size as usize)] += 1;
+            }
+            stats.clustered_defects += out.peeled_defects as usize;
+            let mut mask = out.mask;
+            if out.fully_peeled() {
+                stats.clustered_shots += 1;
+                if obs.enabled() {
+                    obs.record(Hist::ClusterShot, (c1 - c0).as_nanos() as u64);
+                }
+            } else {
+                stats.residual_shots += 1;
+                let d0 = Instant::now();
+                mask ^= decoder.decode(clu.residual_defects());
+                let d1 = Instant::now();
+                stats.decode_seconds += (d1 - d0).as_secs_f64();
+                if obs.enabled() {
+                    obs.record(decode_hist, (d1 - d0).as_nanos() as u64);
+                }
+            }
+            masks[s] = mask;
+        }
+        // The predecoder-declined candidates still decode monolithically
+        // (they are at most MAX_CERT_DEFECTS defects — not dense).
+        let mut shot_t = obs.clock();
+        for &s in uncertified.iter() {
+            let s = s as usize;
+            let d0 = Instant::now();
+            masks[s] = decoder.decode(sparse.defects(s));
+            stats.decode_seconds += d0.elapsed().as_secs_f64();
+            shot_t = obs.record_since(decode_hist, shot_t);
+        }
+        stats.residual_shots += uncertified.len();
+    } else {
+        // Decode dense ∪ uncertified in ascending shot order (both lists
+        // are ascending — a two-pointer merge preserves the historic
+        // decode order exactly).
+        let mut shot_t = obs.clock();
+        let (mut i, mut j) = (0usize, 0usize);
+        loop {
+            let s = match (dense.get(i), uncertified.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    if a < b {
+                        i += 1;
+                        a
+                    } else {
+                        j += 1;
+                        b
+                    }
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => break,
+            } as usize;
+            masks[s] = decoder.decode(sparse.defects(s));
+            shot_t = obs.record_since(decode_hist, shot_t);
+        }
+        stats.decode_seconds += (t3.elapsed()).as_secs_f64();
+        stats.residual_shots += dense.len() + uncertified.len();
+    }
+    WindowOutcome {
+        defects: window_defects,
+        cluster_ran,
+    }
+}
+
 /// Samples and decodes one chunk from its deterministic seed.
 ///
 /// The phases are timed separately and *partition* the chunk's wall time:
@@ -583,6 +854,7 @@ fn run_chunk<D: Decoder>(
     mut predecoder: Option<&mut Predecoder>,
     mut cluster: Option<&mut ClusterTier>,
     gate: ClusterGate,
+    gate_threshold: f64,
     scratch: &mut SampleScratch,
     plan: &ChunkPlan,
     chunk: usize,
@@ -605,26 +877,11 @@ fn run_chunk<D: Decoder>(
     let mut cluster_gate_on = 0usize;
     let mut cluster_gate_off = 0usize;
     let mut failures = 0usize;
-    let mut tier0_shots = 0usize;
-    let mut predecoded_shots = 0usize;
-    let mut predecoded_defects = 0usize;
-    let mut residual_shots = 0usize;
-    let mut clustered_shots = 0usize;
-    let mut clustered_defects = 0usize;
-    let mut clusters_total = 0u64;
-    let mut cluster_size_histogram = [0u64; CLUSTER_HIST_BUCKETS];
-    let mut defect_histogram = [0u64; DEFECT_HIST_BUCKETS];
+    let mut stats = WindowStats::default();
+    let mut masks = [0u64; BATCH];
     let mut sample_seconds = 0.0;
     let mut extract_seconds = 0.0;
-    let mut predecode_seconds = 0.0;
-    let mut cluster_seconds = 0.0;
-    let mut decode_seconds = 0.0;
-    // Dense shots go straight to the full decoder; `cand` holds the
-    // predecoder candidates, whose failures land in `uncertified`.
-    let mut dense: Vec<u32> = Vec::with_capacity(BATCH);
-    let mut cand: Vec<u32> = Vec::with_capacity(BATCH);
-    let mut uncertified: Vec<u32> = Vec::with_capacity(BATCH);
-    let has_pre = predecoder.is_some();
+    let mut window_scratch = WindowScratch::default();
     let SampleScratch {
         state,
         wide,
@@ -665,166 +922,37 @@ fn run_chunk<D: Decoder>(
         for (l, events) in lane_events[..lanes].iter().enumerate() {
             let t1 = Instant::now();
             sparse.extract(events);
-            // Tier dispatch: tier 0 (empty defect list — identity correction,
-            // the prediction is the frame's observable word itself) is resolved
-            // here; shots past the certification bound go straight to `dense`
-            // (at d ≥ 15 this is nearly every shot, and the predecoder phase
-            // used to pay for all of them).
-            dense.clear();
-            cand.clear();
-            let mut failed = 0u64;
-            let mut batch_defects = 0usize;
-            for s in 0..BATCH {
-                let defects = sparse.defect_count(s);
-                defect_histogram[defect_hist_bucket(defects)] += 1;
-                batch_defects += defects;
-                if defects == 0 {
-                    tier0_shots += 1;
-                    if sparse.observables(s) != 0 {
-                        failures += 1;
-                        failed |= 1u64 << s;
-                    }
-                } else if has_pre && defects <= Predecoder::MAX_CERT_DEFECTS {
-                    cand.push(s as u32);
-                } else {
-                    dense.push(s as u32);
-                }
-            }
-            let t2 = Instant::now();
-            uncertified.clear();
-            if let Some(pre) = predecoder.as_deref_mut() {
-                // Dense configs leave `cand` empty for almost every batch;
-                // skipping the pass entirely avoids paying the per-shot timer
-                // setup just to report a tier that never fired.
-                if !cand.is_empty() {
-                    let mut shot_t = obs.clock();
-                    for &s in &cand {
-                        let s = s as usize;
-                        if let Some(mask) = pre.predecode(sparse.defects(s)) {
-                            predecoded_shots += 1;
-                            predecoded_defects += sparse.defect_count(s);
-                            if mask != sparse.observables(s) {
-                                failures += 1;
-                                failed |= 1u64 << s;
-                            }
-                        } else {
-                            uncertified.push(s as u32);
-                        }
-                        shot_t = obs.record_since(Hist::PredecodeShot, shot_t);
-                    }
-                }
-            }
-            let t3 = Instant::now();
-            predecode_seconds += (t3 - t2).as_secs_f64();
-            // Defect-density gate: below the threshold, the flood
-            // decomposition costs more than the monolithic decodes it
-            // replaces, so `Auto` diverts sparse batches to the merge path.
-            // Both paths decode every shot exactly, so gating never changes
-            // the failure count — only where the time goes.
-            let run_cluster = cluster.is_some()
-                && match gate {
-                    ClusterGate::On => true,
-                    ClusterGate::Off => false,
-                    ClusterGate::Auto => {
-                        batch_defects as f64 / BATCH as f64 >= CLUSTER_GATE_MIN_MEAN_DEFECTS
-                    }
-                };
+            extract_seconds += t1.elapsed().as_secs_f64();
+            let outcome = decode_window_masks(
+                decoder,
+                predecoder.as_deref_mut(),
+                cluster.as_deref_mut(),
+                gate,
+                gate_threshold,
+                sparse,
+                &mut window_scratch,
+                obs,
+                decode_hist,
+                &mut stats,
+                &mut masks,
+            );
             if cluster.is_some() {
-                if run_cluster {
+                if outcome.cluster_ran {
                     cluster_gate_on += 1;
                 } else {
                     cluster_gate_off += 1;
                 }
             }
-            if let Some(clu) = cluster.as_deref_mut().filter(|_| run_cluster) {
-                // Dense shots: flood-decompose, peel certified clusters, decode
-                // the residual union in one full-decoder call, XOR the masks.
-                // Phase time is summed per shot (decomposition vs decoding), so
-                // loop-tail bookkeeping is charged to neither and the timers
-                // stay below wall clock.
-                for &s in &dense {
-                    let s = s as usize;
-                    let c0 = Instant::now();
-                    let out = clu.decompose(sparse.defects(s));
-                    let c1 = Instant::now();
-                    cluster_seconds += (c1 - c0).as_secs_f64();
-                    clusters_total += out.clusters as u64;
-                    for &size in clu.cluster_sizes() {
-                        cluster_size_histogram[cluster_hist_bucket(size as usize)] += 1;
-                    }
-                    clustered_defects += out.peeled_defects as usize;
-                    let mut mask = out.mask;
-                    if out.fully_peeled() {
-                        clustered_shots += 1;
-                        if obs.enabled() {
-                            obs.record(Hist::ClusterShot, (c1 - c0).as_nanos() as u64);
-                        }
-                    } else {
-                        residual_shots += 1;
-                        let d0 = Instant::now();
-                        mask ^= decoder.decode(clu.residual_defects());
-                        let d1 = Instant::now();
-                        decode_seconds += (d1 - d0).as_secs_f64();
-                        if obs.enabled() {
-                            obs.record(decode_hist, (d1 - d0).as_nanos() as u64);
-                        }
-                    }
-                    if mask != sparse.observables(s) {
-                        failures += 1;
-                        failed |= 1u64 << s;
-                    }
+            // Score the predicted masks against the sampled ground truth.
+            // Every tier's mask is exactly what the pre-refactor inline
+            // comparison used, so the failure count is bit-identical.
+            let mut failed = 0u64;
+            for (s, &mask) in masks.iter().enumerate() {
+                if mask != sparse.observables(s) {
+                    failures += 1;
+                    failed |= 1u64 << s;
                 }
-                // The predecoder-declined candidates still decode monolithically
-                // (they are at most MAX_CERT_DEFECTS defects — not dense).
-                let mut shot_t = obs.clock();
-                for &s in &uncertified {
-                    let s = s as usize;
-                    let d0 = Instant::now();
-                    if decoder.decode(sparse.defects(s)) != sparse.observables(s) {
-                        failures += 1;
-                        failed |= 1u64 << s;
-                    }
-                    decode_seconds += d0.elapsed().as_secs_f64();
-                    shot_t = obs.record_since(decode_hist, shot_t);
-                }
-                residual_shots += uncertified.len();
-            } else {
-                // Decode dense ∪ uncertified in ascending shot order (both lists
-                // are ascending — a two-pointer merge preserves the historic
-                // decode order exactly).
-                let mut shot_t = obs.clock();
-                let (mut i, mut j) = (0usize, 0usize);
-                loop {
-                    let s = match (dense.get(i), uncertified.get(j)) {
-                        (Some(&a), Some(&b)) => {
-                            if a < b {
-                                i += 1;
-                                a
-                            } else {
-                                j += 1;
-                                b
-                            }
-                        }
-                        (Some(&a), None) => {
-                            i += 1;
-                            a
-                        }
-                        (None, Some(&b)) => {
-                            j += 1;
-                            b
-                        }
-                        (None, None) => break,
-                    } as usize;
-                    if decoder.decode(sparse.defects(s)) != sparse.observables(s) {
-                        failures += 1;
-                        failed |= 1u64 << s;
-                    }
-                    shot_t = obs.record_since(decode_hist, shot_t);
-                }
-                decode_seconds += (t3.elapsed()).as_secs_f64();
-                residual_shots += dense.len() + uncertified.len();
             }
-            extract_seconds += (t2 - t1).as_secs_f64();
             if weighted {
                 // Loop-tail bookkeeping: charged to no phase timer, so the
                 // phase-sum ≤ wall-clock invariant survives the weighted path.
@@ -860,20 +988,22 @@ fn run_chunk<D: Decoder>(
         sum_w2f,
         cluster_gate_on,
         cluster_gate_off,
-        tier0_shots,
-        predecoded_shots,
-        predecoded_defects,
-        residual_shots,
-        clustered_shots,
-        clustered_defects,
-        clusters_total,
-        cluster_size_histogram,
-        defect_histogram,
+        tier0_shots: stats.tier0_shots,
+        predecoded_shots: stats.predecoded_shots,
+        predecoded_defects: stats.predecoded_defects,
+        residual_shots: stats.residual_shots,
+        clustered_shots: stats.clustered_shots,
+        clustered_defects: stats.clustered_defects,
+        clusters_total: stats.clusters_total,
+        cluster_size_histogram: stats.cluster_size_histogram,
+        defect_histogram: stats.defect_histogram,
         sample_seconds,
-        extract_seconds,
-        predecode_seconds,
-        cluster_seconds,
-        decode_seconds,
+        // The tier-dispatch classification scan is syndrome accounting,
+        // charged to the extract phase as it always was.
+        extract_seconds: extract_seconds + stats.classify_seconds,
+        predecode_seconds: stats.predecode_seconds,
+        cluster_seconds: stats.cluster_seconds,
+        decode_seconds: stats.decode_seconds,
     }
 }
 
@@ -897,6 +1027,7 @@ fn attempt_chunk<D: Decoder>(
     predecoder: Option<&mut Predecoder>,
     cluster: Option<&mut ClusterTier>,
     gate: ClusterGate,
+    gate_threshold: f64,
     scratch: &mut SampleScratch,
     plan: &ChunkPlan,
     chunk: usize,
@@ -948,6 +1079,15 @@ fn attempt_chunk<D: Decoder>(
                     return Err(ChunkFault::Panicked(panic_message(payload)));
                 }
             }
+            // Streaming injections are the StreamingDecoder's business; the
+            // batch engine filters them out at the injection lookup, so they
+            // can never reach here.
+            FaultKind::SlowTenant
+            | FaultKind::DelayedArrival
+            | FaultKind::BurstArrival
+            | FaultKind::WorkerWedge => {
+                unreachable!("streaming fault {kind} reached the batch engine")
+            }
         }
     }
     std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -957,6 +1097,7 @@ fn attempt_chunk<D: Decoder>(
             predecoder,
             cluster,
             gate,
+            gate_threshold,
             scratch,
             plan,
             chunk,
@@ -1830,6 +1971,16 @@ fn observe_chunk_finish(
         obs.add(Counter::ShotsCluster, result.clustered_shots as u64);
     }
     let shots = (result.batches * BATCH) as u64;
+    // Per-rung chunk counters mirror `EngineRun::rung_chunks` into the
+    // exporters, so degradation is visible on `--prom-out` too.
+    obs.add(
+        match rung {
+            0 => Counter::ChunksRung0,
+            1 => Counter::ChunksRung1,
+            _ => Counter::ChunksRung2,
+        },
+        1,
+    );
     if rung > 0 {
         obs.add(Counter::ShotsDegraded, shots);
     }
@@ -1898,6 +2049,7 @@ fn worker_loop<F: DecoderFactory>(
     let mut predecoder = factory.predecoder();
     let mut cluster = factory.cluster_tier();
     let gate = factory.cluster_gate();
+    let gate_threshold = factory.cluster_gate_threshold();
     let mut scratch = SampleScratch::new(compiled);
     loop {
         {
@@ -1922,7 +2074,9 @@ fn worker_loop<F: DecoderFactory>(
         let mut rung = 0usize;
         let outcome: Result<(ChunkResult, usize), (ChunkFault, usize)> = loop {
             let injected = if rung == 0 {
-                faults.and_then(|p| p.injection(chunk))
+                faults
+                    .and_then(|p| p.injection(chunk))
+                    .filter(|k| !k.is_streaming())
             } else {
                 None
             };
@@ -1936,6 +2090,7 @@ fn worker_loop<F: DecoderFactory>(
                     predecoder.as_mut(),
                     cluster.as_mut(),
                     gate,
+                    gate_threshold,
                     &mut scratch,
                     plan,
                     chunk,
@@ -1954,6 +2109,7 @@ fn worker_loop<F: DecoderFactory>(
                         None,
                         None,
                         ClusterGate::Off,
+                        CLUSTER_GATE_MIN_MEAN_DEFECTS,
                         &mut scratch,
                         plan,
                         chunk,
@@ -1974,6 +2130,7 @@ fn worker_loop<F: DecoderFactory>(
                             None,
                             None,
                             ClusterGate::Off,
+                            CLUSTER_GATE_MIN_MEAN_DEFECTS,
                             &mut scratch,
                             plan,
                             chunk,
@@ -2143,7 +2300,9 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
         let mut rung = 0usize;
         let outcome: Result<(ChunkResult, usize), (ChunkFault, usize)> = loop {
             let injected = if rung == 0 {
-                faults.and_then(|p| p.injection(chunk))
+                faults
+                    .and_then(|p| p.injection(chunk))
+                    .filter(|k| !k.is_streaming())
             } else {
                 None
             };
@@ -2165,6 +2324,7 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                         Some(predecoder),
                         cluster.as_mut(),
                         ClusterGate::On,
+                        CLUSTER_GATE_MIN_MEAN_DEFECTS,
                         &mut scratch,
                         plan,
                         chunk,
@@ -2184,6 +2344,7 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                         None,
                         None,
                         ClusterGate::Off,
+                        CLUSTER_GATE_MIN_MEAN_DEFECTS,
                         &mut scratch,
                         plan,
                         chunk,
@@ -2203,6 +2364,7 @@ fn epoch_worker_loop<F: GraphDecoderFactory>(
                         None,
                         None,
                         ClusterGate::Off,
+                        CLUSTER_GATE_MIN_MEAN_DEFECTS,
                         &mut scratch,
                         plan,
                         chunk,
@@ -2268,6 +2430,7 @@ pub fn estimate_ler_seeded<D: Decoder>(
             None,
             None,
             ClusterGate::Off,
+            CLUSTER_GATE_MIN_MEAN_DEFECTS,
             &mut scratch,
             &plan,
             chunk,

@@ -37,6 +37,23 @@ pub enum FaultKind {
     /// call (simulates a flood-decomposition bug). The retry rung carries
     /// no cluster tier, so recovery decodes the same chunk monolithically.
     ClusterPanic,
+    /// Streaming only: a tenant stalls between rounds (simulates a slow
+    /// control-system feed). The chunk index names the tenant; the stall
+    /// delays that tenant's next round by the plan's stall sleep.
+    SlowTenant,
+    /// Streaming only: a window's admission timestamp is backdated past the
+    /// decode deadline (simulates delayed round arrival), forcing the shed
+    /// ladder to fire deterministically. The chunk index names the window.
+    DelayedArrival,
+    /// Streaming only: a burst of windows arrives at once for one tenant
+    /// (simulates a bursty feed catching up after a gap). The chunk index
+    /// names the tenant.
+    BurstArrival,
+    /// Streaming only: a worker wedges (sleeps past the wedge deadline)
+    /// while holding a window, so the watchdog must detect it and the
+    /// window must be retried with the same seed. The chunk index names
+    /// the window.
+    WorkerWedge,
 }
 
 impl fmt::Display for FaultKind {
@@ -47,8 +64,27 @@ impl fmt::Display for FaultKind {
             FaultKind::CorruptDefects => "corrupt",
             FaultKind::BadWeights => "badweights",
             FaultKind::ClusterPanic => "cluster",
+            FaultKind::SlowTenant => "slowtenant",
+            FaultKind::DelayedArrival => "delay",
+            FaultKind::BurstArrival => "burst",
+            FaultKind::WorkerWedge => "wedge",
         };
         f.write_str(name)
+    }
+}
+
+impl FaultKind {
+    /// True for the streaming-service injections, which the batch engine's
+    /// worker loops must ignore (they only make sense inside
+    /// [`StreamingDecoder`](crate::StreamingDecoder)).
+    pub fn is_streaming(self) -> bool {
+        matches!(
+            self,
+            FaultKind::SlowTenant
+                | FaultKind::DelayedArrival
+                | FaultKind::BurstArrival
+                | FaultKind::WorkerWedge
+        )
     }
 }
 
@@ -141,6 +177,42 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a slow-tenant stall for streaming tenant `tenant`.
+    pub fn slow_tenant_at(mut self, tenant: usize) -> FaultPlan {
+        self.injections.push(Injection {
+            chunk: tenant,
+            kind: FaultKind::SlowTenant,
+        });
+        self
+    }
+
+    /// Schedules a delayed-arrival injection for streaming window `window`.
+    pub fn delayed_arrival_at(mut self, window: usize) -> FaultPlan {
+        self.injections.push(Injection {
+            chunk: window,
+            kind: FaultKind::DelayedArrival,
+        });
+        self
+    }
+
+    /// Schedules a burst-arrival injection for streaming tenant `tenant`.
+    pub fn burst_arrival_at(mut self, tenant: usize) -> FaultPlan {
+        self.injections.push(Injection {
+            chunk: tenant,
+            kind: FaultKind::BurstArrival,
+        });
+        self
+    }
+
+    /// Schedules a worker wedge while decoding streaming window `window`.
+    pub fn worker_wedge_at(mut self, window: usize) -> FaultPlan {
+        self.injections.push(Injection {
+            chunk: window,
+            kind: FaultKind::WorkerWedge,
+        });
+        self
+    }
+
     /// Overrides the stall sleep / deadline pair (sleep must exceed the
     /// deadline for the injection to register as a timeout).
     pub fn with_stall_timing(mut self, sleep: Duration, deadline: Duration) -> FaultPlan {
@@ -179,8 +251,11 @@ impl FaultPlan {
 
     /// Parses the `CALIQEC_FAULTS` syntax: a comma-separated list of
     /// `kind@chunk` entries, where `kind` is one of `panic`, `stall`,
-    /// `corrupt`, `badweights`, `cluster` — e.g. `"panic@2,corrupt@0"`.
-    /// Empty entries are skipped, so a trailing comma is harmless.
+    /// `corrupt`, `badweights`, `cluster`, or a streaming kind
+    /// `slowtenant`, `delay`, `burst`, `wedge` — e.g. `"panic@2,corrupt@0"`.
+    /// For streaming kinds the index names a tenant (`slowtenant`, `burst`)
+    /// or a window (`delay`, `wedge`) rather than a chunk. Empty entries
+    /// are skipped, so a trailing comma is harmless.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new();
         for entry in spec.split(',') {
@@ -201,10 +276,15 @@ impl FaultPlan {
                 "corrupt" => FaultKind::CorruptDefects,
                 "badweights" => FaultKind::BadWeights,
                 "cluster" => FaultKind::ClusterPanic,
+                "slowtenant" => FaultKind::SlowTenant,
+                "delay" => FaultKind::DelayedArrival,
+                "burst" => FaultKind::BurstArrival,
+                "wedge" => FaultKind::WorkerWedge,
                 other => {
                     return Err(format!(
                         "unknown fault kind '{other}' (expected \
-                         panic|stall|corrupt|badweights|cluster)"
+                         panic|stall|corrupt|badweights|cluster|\
+                         slowtenant|delay|burst|wedge)"
                     ))
                 }
             };
@@ -339,5 +419,32 @@ mod tests {
         assert_eq!(FaultKind::Panic.to_string(), "panic");
         assert_eq!(FaultKind::BadWeights.to_string(), "badweights");
         assert_eq!(FaultKind::ClusterPanic.to_string(), "cluster");
+        assert_eq!(FaultKind::SlowTenant.to_string(), "slowtenant");
+        assert_eq!(FaultKind::DelayedArrival.to_string(), "delay");
+        assert_eq!(FaultKind::BurstArrival.to_string(), "burst");
+        assert_eq!(FaultKind::WorkerWedge.to_string(), "wedge");
+    }
+
+    #[test]
+    fn streaming_kinds_parse_and_classify() {
+        let parsed = FaultPlan::parse("slowtenant@0,delay@1,burst@2,wedge@3").unwrap();
+        let built = FaultPlan::new()
+            .slow_tenant_at(0)
+            .delayed_arrival_at(1)
+            .burst_arrival_at(2)
+            .worker_wedge_at(3);
+        assert_eq!(parsed, built);
+        for inj in parsed.injections() {
+            assert!(inj.kind.is_streaming());
+        }
+        for kind in [
+            FaultKind::Panic,
+            FaultKind::Stall,
+            FaultKind::CorruptDefects,
+            FaultKind::BadWeights,
+            FaultKind::ClusterPanic,
+        ] {
+            assert!(!kind.is_streaming());
+        }
     }
 }

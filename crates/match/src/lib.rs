@@ -76,6 +76,7 @@ mod graph;
 mod mwpm;
 mod predecode;
 mod reference;
+mod stream;
 mod unionfind;
 
 pub use caliqec_obs as obs;
@@ -84,8 +85,9 @@ pub use cluster::{
 };
 pub use decode::{estimate_ler, graph_for_circuit, Decoder, LerEstimate, SampleOptions};
 pub use engine::{
-    defect_hist_bucket, estimate_ler_seeded, CalibrationEpoch, DecoderFactory, EngineRun,
-    EpochSchedule, GraphDecoderFactory, LerEngine, RareOptions, DEFECT_HIST_BUCKETS, LADDER_RUNGS,
+    decode_window_masks, defect_hist_bucket, estimate_ler_seeded, CalibrationEpoch, DecoderFactory,
+    EngineRun, EpochSchedule, GraphDecoderFactory, LerEngine, RareOptions, WindowOutcome,
+    WindowScratch, WindowStats, DEFECT_HIST_BUCKETS, LADDER_RUNGS,
 };
 pub use error::{EngineError, ValidationError};
 pub use faults::{poison_weights, FaultKind, FaultPlan, Injection};
@@ -93,4 +95,8 @@ pub use graph::{Edge, MatchingGraph, NodeId};
 pub use mwpm::MwpmDecoder;
 pub use predecode::{ClusterGate, Predecoder, Tiered, CLUSTER_GATE_MIN_MEAN_DEFECTS};
 pub use reference::ReferenceUnionFind;
+pub use stream::{
+    loopback_serve, Disposition, LoopbackOptions, LoopbackReport, PushOutcome, ServiceHealth,
+    StreamConfig, StreamReport, StreamingDecoder, TenantHealth, TenantSpec, WindowResult,
+};
 pub use unionfind::UnionFindDecoder;

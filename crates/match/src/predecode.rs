@@ -814,6 +814,9 @@ pub struct Tiered<F> {
     /// shots too dense for the predecoder are flood-decomposed and decoded
     /// per cluster instead of monolithically, subject to the gate.
     cluster: ClusterGate,
+    /// Mean defects per shot at which [`ClusterGate::Auto`] fires,
+    /// defaulting to [`CLUSTER_GATE_MIN_MEAN_DEFECTS`].
+    gate_threshold: f64,
 }
 
 impl<F: DecoderFactory> Tiered<F> {
@@ -826,6 +829,7 @@ impl<F: DecoderFactory> Tiered<F> {
             predecoder: Some(Predecoder::new(graph)),
             fallback: Some(graph.clone()),
             cluster: ClusterGate::Off,
+            gate_threshold: CLUSTER_GATE_MIN_MEAN_DEFECTS,
         }
     }
 
@@ -850,6 +854,7 @@ impl<F: DecoderFactory> Tiered<F> {
             predecoder: None,
             fallback: None,
             cluster: ClusterGate::Off,
+            gate_threshold: CLUSTER_GATE_MIN_MEAN_DEFECTS,
         }
     }
 
@@ -876,6 +881,18 @@ impl<F: DecoderFactory> Tiered<F> {
     /// batches below the density threshold, journaling the decision.
     pub fn with_cluster_gate(mut self, gate: ClusterGate) -> Tiered<F> {
         self.cluster = gate;
+        self
+    }
+
+    /// Overrides the mean-defects-per-shot threshold at which the `Auto`
+    /// gate fires (default [`CLUSTER_GATE_MIN_MEAN_DEFECTS`]). Non-finite
+    /// or negative thresholds are clamped to 0 (gate always fires).
+    pub fn with_cluster_gate_threshold(mut self, threshold: f64) -> Tiered<F> {
+        self.gate_threshold = if threshold.is_finite() && threshold > 0.0 {
+            threshold
+        } else {
+            0.0
+        };
         self
     }
 }
@@ -907,6 +924,10 @@ impl<F: DecoderFactory> DecoderFactory for Tiered<F> {
         } else {
             ClusterGate::Off
         }
+    }
+
+    fn cluster_gate_threshold(&self) -> f64 {
+        self.gate_threshold
     }
 
     fn validate(&self) -> Result<(), crate::error::ValidationError> {

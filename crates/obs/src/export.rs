@@ -168,6 +168,26 @@ fn event_json(e: &Event) -> String {
         EventKind::ClusterGate { on, off } => {
             let _ = write!(fields, ",\"on\":{on},\"off\":{off}");
         }
+        EventKind::Shed {
+            patch,
+            window,
+            rung,
+        } => {
+            let _ = write!(
+                fields,
+                ",\"patch\":{patch},\"window\":{window},\"rung\":{rung}"
+            );
+        }
+        EventKind::Wedge {
+            worker,
+            patch,
+            window,
+        } => {
+            let _ = write!(
+                fields,
+                ",\"wedged_worker\":{worker},\"patch\":{patch},\"window\":{window}"
+            );
+        }
     }
     format!("{{{fields}}}")
 }
@@ -330,6 +350,36 @@ pub fn render_chrome_trace(snap: &Snapshot) -> String {
                     e.chunk,
                     on,
                     off
+                ));
+            }
+            EventKind::Shed {
+                patch,
+                window,
+                rung,
+            } => {
+                items.push(format!(
+                    "{{\"name\":\"shed (rung {})\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"patch\":{},\"window\":{}}}}}",
+                    rung,
+                    us(e.t_nanos),
+                    e.run,
+                    e.worker,
+                    patch,
+                    window
+                ));
+            }
+            EventKind::Wedge {
+                worker,
+                patch,
+                window,
+            } => {
+                items.push(format!(
+                    "{{\"name\":\"wedge\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"wedged_worker\":{},\"patch\":{},\"window\":{}}}}}",
+                    us(e.t_nanos),
+                    e.run,
+                    e.worker,
+                    worker,
+                    patch,
+                    window
                 ));
             }
         }

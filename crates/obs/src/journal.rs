@@ -126,6 +126,26 @@ pub enum EventKind {
         /// Batches the gate diverted to the monolithic decode path.
         off: u32,
     },
+    /// A streaming window missed its deadline and was moved down the shed
+    /// ladder (1 = predecode/cluster fast path, 2 = declared deferred).
+    Shed {
+        /// Tenant patch the window belongs to.
+        patch: u32,
+        /// Window index within the tenant's stream.
+        window: u32,
+        /// Shed-ladder rung the window was handled on.
+        rung: u8,
+    },
+    /// The streaming watchdog declared a worker wedged (heartbeat stale
+    /// past the wedge deadline while a window was checked out).
+    Wedge {
+        /// Wedged worker index.
+        worker: u32,
+        /// Tenant patch of the window the worker held.
+        patch: u32,
+        /// Window index the worker held.
+        window: u32,
+    },
 }
 
 impl EventKind {
@@ -140,6 +160,8 @@ impl EventKind {
             EventKind::Retry { .. } => "retry",
             EventKind::ChunkWeights { .. } => "chunk_weights",
             EventKind::ClusterGate { .. } => "cluster_gate",
+            EventKind::Shed { .. } => "shed",
+            EventKind::Wedge { .. } => "wedge",
         }
     }
 }

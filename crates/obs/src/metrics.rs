@@ -91,11 +91,36 @@ pub enum Counter {
     /// Shots sampled under boosted (importance-sampled) rates, carrying
     /// per-shot likelihood weights.
     ShotsWeighted,
+    /// Chunks that finished on the pristine rung 0.
+    ChunksRung0,
+    /// Chunks that finished on rung 1 (fresh decoder, no predecode).
+    ChunksRung1,
+    /// Chunks that finished on rung 2 (reference decoder on the fallback
+    /// graph).
+    ChunksRung2,
+    /// Rounds admitted into a streaming tenant's ingress queue.
+    RoundsIngested,
+    /// Rounds decoded at full fidelity by the streaming service (rung 0 of
+    /// the shed ladder).
+    RoundsDecoded,
+    /// Rounds shed to the predecode/cluster-only fast path (rung 1 of the
+    /// shed ladder) after missing their deadline.
+    RoundsShed,
+    /// Rounds declared deferred (rung 2 of the shed ladder): no correction
+    /// produced, honestly accounted instead of silently dropped.
+    RoundsDeferred,
+    /// Rounds refused at admission by backpressure (ingress queue at its
+    /// configured bound). Rejected rounds are *not* counted as ingested.
+    RoundsRejected,
+    /// Same-seed deterministic window retries after a worker fault or wedge.
+    StreamRetries,
+    /// Wedged-worker detections by the streaming watchdog.
+    WorkerWedges,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 24] = [
         Counter::RunsStarted,
         Counter::ChunksStarted,
         Counter::ChunksFinished,
@@ -110,6 +135,16 @@ impl Counter {
         Counter::Retries,
         Counter::EpochReweights,
         Counter::ShotsWeighted,
+        Counter::ChunksRung0,
+        Counter::ChunksRung1,
+        Counter::ChunksRung2,
+        Counter::RoundsIngested,
+        Counter::RoundsDecoded,
+        Counter::RoundsShed,
+        Counter::RoundsDeferred,
+        Counter::RoundsRejected,
+        Counter::StreamRetries,
+        Counter::WorkerWedges,
     ];
 
     /// Stable snake-case name used by every exporter.
@@ -129,6 +164,16 @@ impl Counter {
             Counter::Retries => "retries",
             Counter::EpochReweights => "epoch_reweights",
             Counter::ShotsWeighted => "shots_weighted",
+            Counter::ChunksRung0 => "chunks_rung0",
+            Counter::ChunksRung1 => "chunks_rung1",
+            Counter::ChunksRung2 => "chunks_rung2",
+            Counter::RoundsIngested => "rounds_ingested",
+            Counter::RoundsDecoded => "rounds_decoded",
+            Counter::RoundsShed => "rounds_shed",
+            Counter::RoundsDeferred => "rounds_deferred",
+            Counter::RoundsRejected => "rounds_rejected",
+            Counter::StreamRetries => "stream_retries",
+            Counter::WorkerWedges => "worker_wedges",
         }
     }
 }
@@ -147,15 +192,22 @@ pub enum Gauge {
     /// Effective sample size of the latest rare-event run, rounded down
     /// (equal to the shot count on plain unweighted runs).
     Ess,
+    /// Tenant patches registered with the streaming service.
+    StreamTenants,
+    /// High-water mark of any single tenant's ingress queue depth, in
+    /// windows (never exceeds the configured queue bound).
+    StreamQueuePeak,
 }
 
 impl Gauge {
     /// Every gauge, in export order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 6] = [
         Gauge::Workers,
         Gauge::ChunksPlanned,
         Gauge::Epochs,
         Gauge::Ess,
+        Gauge::StreamTenants,
+        Gauge::StreamQueuePeak,
     ];
 
     /// Stable snake-case name used by every exporter.
@@ -165,6 +217,8 @@ impl Gauge {
             Gauge::ChunksPlanned => "chunks_planned",
             Gauge::Epochs => "epochs",
             Gauge::Ess => "ess",
+            Gauge::StreamTenants => "stream_tenants",
+            Gauge::StreamQueuePeak => "stream_queue_peak",
         }
     }
 }
@@ -194,11 +248,17 @@ pub enum Hist {
     ChunkWall,
     /// Time to build one epoch's reweighted graph + predecoder tables.
     EpochReweight,
+    /// Streaming round latency: enqueue at admission to disposition
+    /// (decoded, shed, or deferred). Includes queueing delay, so this is
+    /// the service-level p99 the deadline budget is judged against.
+    RoundLatency,
+    /// Pure decode time of one streaming window (excludes queueing).
+    WindowDecode,
 }
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 7] = [
+    pub const ALL: [Hist; 9] = [
         Hist::PredecodeShot,
         Hist::DecodeShotRung0,
         Hist::DecodeShotRung1,
@@ -206,6 +266,8 @@ impl Hist {
         Hist::ClusterShot,
         Hist::ChunkWall,
         Hist::EpochReweight,
+        Hist::RoundLatency,
+        Hist::WindowDecode,
     ];
 
     /// Stable snake-case name used by every exporter.
@@ -218,6 +280,8 @@ impl Hist {
             Hist::ClusterShot => "cluster_shot",
             Hist::ChunkWall => "chunk_wall",
             Hist::EpochReweight => "epoch_reweight",
+            Hist::RoundLatency => "round_latency",
+            Hist::WindowDecode => "window_decode",
         }
     }
 }
@@ -265,6 +329,8 @@ impl Shard {
             counters: [const { AtomicU64::new(0) }; Counter::ALL.len()],
             gauges: [const { AtomicU64::new(0) }; Gauge::ALL.len()],
             hists: [
+                HistShard::new(),
+                HistShard::new(),
                 HistShard::new(),
                 HistShard::new(),
                 HistShard::new(),

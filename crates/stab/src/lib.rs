@@ -56,6 +56,7 @@ mod frame;
 mod pauli;
 mod rates;
 mod sim;
+mod stream;
 mod tableau;
 mod text;
 
@@ -74,5 +75,6 @@ pub use sim::{
     check_deterministic_detectors, noiseless_shot, simulate_shot, NondeterministicDetector,
     ShotResult,
 };
+pub use stream::{round_bounds, RoundStream, WindowBuilder, WindowError};
 pub use tableau::Tableau;
 pub use text::{from_stim_text, to_stim_text, ParseCircuitError};

@@ -116,6 +116,7 @@ fn every_injection_kind_recovers_bit_identically() {
             FaultKind::Panic | FaultKind::CorruptDefects | FaultKind::ClusterPanic => (1, 0, 0),
             FaultKind::Stall => (0, 1, 0),
             FaultKind::BadWeights => (0, 0, 1),
+            streaming => unreachable!("batch chaos suite injected {streaming}"),
         };
         assert_eq!(
             (chaos.panic_faults, chaos.stall_faults, chaos.graph_faults),

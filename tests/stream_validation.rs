@@ -1,0 +1,409 @@
+//! Validation suite for the streaming decode service: golden replay
+//! (mask bit-identity across worker counts), a backpressure property
+//! test (queues stay bounded and every ingested round is accounted
+//! for), chaos recovery for each streaming fault kind with matching
+//! journal evidence, and a deterministic overload acceptance run that
+//! sheds through the declared ladder while keeping the round partition
+//! exact.
+
+use caliqec_match::{
+    graph_for_circuit, loopback_serve, Disposition, FaultKind, FaultPlan, LoopbackOptions,
+    PushOutcome, StreamConfig, StreamingDecoder, TenantSpec, Tiered, UnionFindDecoder,
+};
+use caliqec_obs::{EventKind, ObsSink};
+use caliqec_stab::{Basis, Circuit, Noise1, BATCH};
+use proptest::prelude::*;
+use std::time::Duration;
+
+type Factory = Tiered<Box<dyn Fn() -> UnionFindDecoder + Send + Sync>>;
+
+/// A 5-qubit repetition-code round: two Z-checks, one logical readout.
+/// Small on purpose — the suite exercises the service's scheduling and
+/// accounting, not decode throughput.
+fn rep_circuit(p: f64) -> Circuit {
+    let mut c = Circuit::new(5);
+    c.reset(Basis::Z, &[0, 1, 2, 3, 4]);
+    c.noise1(Noise1::XError, p, &[0, 1, 2]);
+    c.cx(0, 3);
+    c.cx(1, 3);
+    c.cx(1, 4);
+    c.cx(2, 4);
+    let m0 = c.measure(3, Basis::Z, 0.0);
+    let m1 = c.measure(4, Basis::Z, 0.0);
+    c.detector(&[m0]);
+    c.detector(&[m1]);
+    let md = c.measure(0, Basis::Z, 0.0);
+    c.observable(0, &[md]);
+    c
+}
+
+fn tenant_for(c: &Circuit) -> TenantSpec<Factory> {
+    let graph = graph_for_circuit(c);
+    let g = graph.clone();
+    let factory: Box<dyn Fn() -> UnionFindDecoder + Send + Sync> =
+        Box::new(move || UnionFindDecoder::new(g.clone()));
+    TenantSpec {
+        detectors: graph.num_detectors(),
+        factory: Tiered::new(&graph, factory),
+    }
+}
+
+fn fleet(n: usize) -> (Vec<TenantSpec<Factory>>, Vec<Circuit>) {
+    let circuits: Vec<Circuit> = (0..n)
+        .map(|t| rep_circuit(0.01 + 0.01 * t as f64))
+        .collect();
+    let tenants = circuits.iter().map(tenant_for).collect();
+    (tenants, circuits)
+}
+
+/// Flattens a report into comparable (tenant, window, disposition, masks)
+/// rows.
+fn mask_rows(report: &caliqec_match::StreamReport) -> Vec<(usize, u64, Disposition, [u64; BATCH])> {
+    report
+        .tenants
+        .iter()
+        .enumerate()
+        .flat_map(|(t, rs)| {
+            rs.iter()
+                .map(move |r| (t, r.window, r.disposition, r.masks))
+        })
+        .collect()
+}
+
+/// Golden replay: the same (tenant, window, seed) stream must produce
+/// bit-identical masks no matter how many workers race over the queue.
+/// Deadline is off and the queue bound exceeds the total window count, so
+/// scheduling jitter cannot shed or reject anything.
+#[test]
+fn golden_replay_masks_identical_at_worker_counts_1_2_8() {
+    let run_with = |workers: usize| {
+        let (tenants, circuits) = fleet(3);
+        let config = StreamConfig {
+            workers,
+            queue_bound: 64,
+            deadline: None,
+            ..StreamConfig::default()
+        };
+        let opts = LoopbackOptions {
+            windows_per_tenant: 12,
+            rounds_per_window: 2,
+            gap: Duration::ZERO,
+            base_seed: 0x601D,
+        };
+        let (report, driver) =
+            loopback_serve(tenants, &circuits, config, &opts, ObsSink::disabled()).unwrap();
+        assert_eq!(driver.windows_rejected, 0, "workers={workers}");
+        assert_eq!(report.health.windows_decoded, 36, "workers={workers}");
+        mask_rows(&report)
+    };
+    let one = run_with(1);
+    assert_eq!(one.len(), 36);
+    assert_eq!(one, run_with(2), "1 worker vs 2 workers");
+    assert_eq!(one, run_with(8), "1 worker vs 8 workers");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Backpressure property: for arbitrary queue bounds, worker counts,
+    /// and flood lengths, (a) an admitted window never leaves a tenant's
+    /// queue deeper than the bound, (b) every rejection reports a depth at
+    /// the bound, and (c) after a drain the ingested rounds partition
+    /// exactly into decoded + shed + deferred with rejections accounted
+    /// separately — no silent drops.
+    #[test]
+    fn backpressure_bounds_queues_and_partitions_rounds(
+        queue_bound in 1usize..4,
+        workers in 1usize..4,
+        pushes in 1usize..48,
+        seed in 0u64..1_000,
+    ) {
+        let (tenants, _) = fleet(2);
+        let config = StreamConfig {
+            workers,
+            queue_bound,
+            ..StreamConfig::default()
+        };
+        let service = StreamingDecoder::start(tenants, config, ObsSink::disabled()).unwrap();
+        let mut word = seed;
+        let mut rejected = 0u64;
+        for i in 0..pushes {
+            // Cheap deterministic syndrome words (xorshift); every push
+            // closes a one-round window on tenant 0.
+            word ^= word << 13;
+            word ^= word >> 7;
+            word ^= word << 17;
+            match service.push_round(0, &[word, word.rotate_left(19)]).unwrap() {
+                PushOutcome::Rejected { queue_depth } => {
+                    prop_assert!(queue_depth >= queue_bound, "push {i}");
+                    rejected += 1;
+                }
+                PushOutcome::Admitted { .. } => {}
+                PushOutcome::Buffered { .. } => unreachable!("single-round window"),
+            }
+            let health = service.health();
+            for t in &health.tenants {
+                prop_assert!(
+                    t.queue_depth <= queue_bound,
+                    "tenant {} depth {} over bound {queue_bound}",
+                    t.tenant,
+                    t.queue_depth,
+                );
+            }
+        }
+        service.drain();
+        let report = service.shutdown();
+        let t0 = &report.health.tenants[0];
+        prop_assert_eq!(t0.rounds_rejected, rejected);
+        prop_assert_eq!(t0.rounds_ingested + t0.rounds_rejected, pushes as u64);
+        prop_assert_eq!(
+            t0.rounds_decoded + t0.rounds_shed + t0.rounds_deferred,
+            t0.rounds_ingested
+        );
+        prop_assert_eq!(report.health.rounds_pending(), 0);
+        // The idle tenant saw nothing.
+        prop_assert_eq!(report.health.tenants[1].rounds_ingested, 0);
+    }
+}
+
+/// An injected arrival delay (`delay@W` backdates window `W` past twice
+/// the deadline) must land on shed rung 2: declared deferred with zero
+/// masks and a matching `shed` journal event, never silently dropped.
+#[test]
+fn chaos_delayed_arrival_defers_with_journal_evidence() {
+    let (tenants, circuits) = fleet(2);
+    let sink = ObsSink::enabled();
+    let config = StreamConfig {
+        workers: 2,
+        queue_bound: 64,
+        deadline: Some(Duration::from_millis(50)),
+        faults: Some(FaultPlan::new().delayed_arrival_at(2)),
+        ..StreamConfig::default()
+    };
+    let opts = LoopbackOptions {
+        windows_per_tenant: 4,
+        rounds_per_window: 1,
+        gap: Duration::ZERO,
+        base_seed: 7,
+    };
+    let (report, _) = loopback_serve(tenants, &circuits, config, &opts, sink.clone()).unwrap();
+    // Window 2 of each tenant arrives 3x the deadline late.
+    assert_eq!(report.health.windows_deferred, 2);
+    for rs in &report.tenants {
+        assert_eq!(rs.len(), 4, "deferred windows still produce results");
+        assert_eq!(rs[2].disposition, Disposition::Deferred);
+        assert_eq!(rs[2].masks, [0u64; BATCH]);
+    }
+    let snap = sink.snapshot();
+    let rung2_sheds = snap
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Shed { rung: 2, .. }))
+        .count();
+    assert_eq!(rung2_sheds, 2, "one rung-2 shed event per deferred window");
+    assert_eq!(snap.counter("rounds_deferred"), 2);
+    assert_eq!(
+        snap.counter("rounds_ingested"),
+        snap.counter("rounds_decoded")
+            + snap.counter("rounds_shed")
+            + snap.counter("rounds_deferred")
+    );
+}
+
+/// A wedged worker (`wedge@W` freezes the heartbeat on window `W`) must be
+/// detected by the watchdog, journaled, and recovered by a same-seed retry
+/// that still decodes the window in full.
+#[test]
+fn chaos_worker_wedge_recovers_with_journal_evidence() {
+    let (tenants, circuits) = fleet(2);
+    let sink = ObsSink::enabled();
+    let config = StreamConfig {
+        workers: 2,
+        queue_bound: 64,
+        wedge_deadline: Duration::from_millis(10),
+        faults: Some(FaultPlan::new().worker_wedge_at(1)),
+        ..StreamConfig::default()
+    };
+    let opts = LoopbackOptions {
+        windows_per_tenant: 3,
+        rounds_per_window: 1,
+        gap: Duration::ZERO,
+        base_seed: 7,
+    };
+    let (report, driver) = loopback_serve(tenants, &circuits, config, &opts, sink.clone()).unwrap();
+    assert_eq!(report.health.wedges, 2, "window 1 of each tenant wedges");
+    assert_eq!(report.health.retries, 2);
+    assert_eq!(
+        report.health.windows_decoded, 6,
+        "every window still decodes in full after the retry"
+    );
+    assert_eq!(driver.shots_scored, 6 * BATCH as u64);
+    let snap = sink.snapshot();
+    assert_eq!(snap.counter("worker_wedges"), 2);
+    assert_eq!(snap.counter("stream_retries"), 2);
+    let wedge_events = snap
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Wedge { .. }))
+        .count();
+    assert_eq!(wedge_events, 2, "the watchdog journals each wedge once");
+}
+
+/// A bursting tenant (`burst@T` floods without pacing) colliding with a
+/// wedged worker must be stopped at admission: its backpressure bound
+/// holds, the overflow is rejected (not ingested), and everything that WAS
+/// admitted is still decoded once the wedge clears.
+#[test]
+fn chaos_burst_arrival_is_rejected_at_the_bound_and_recovers() {
+    let (tenants, circuits) = fleet(2);
+    let sink = ObsSink::enabled();
+    let config = StreamConfig {
+        workers: 1,
+        queue_bound: 2,
+        // The wedge pins the only worker on window 0 long past the
+        // driver's flood, so the burst tenant must overflow its bound.
+        wedge_deadline: Duration::from_millis(100),
+        faults: Some(FaultPlan::new().worker_wedge_at(0).burst_arrival_at(0)),
+        ..StreamConfig::default()
+    };
+    let opts = LoopbackOptions {
+        windows_per_tenant: 8,
+        rounds_per_window: 1,
+        gap: Duration::from_millis(2),
+        base_seed: 7,
+    };
+    let (report, driver) = loopback_serve(tenants, &circuits, config, &opts, sink.clone()).unwrap();
+    let t0 = &report.health.tenants[0];
+    assert!(
+        t0.rounds_rejected > 0,
+        "the burst must overflow the wedged queue"
+    );
+    assert_eq!(t0.rounds_ingested + t0.rounds_rejected, 8);
+    assert_eq!(
+        t0.rounds_decoded + t0.rounds_shed + t0.rounds_deferred,
+        t0.rounds_ingested,
+        "rejected rounds are not ingested; admitted rounds all dispose"
+    );
+    assert_eq!(
+        driver.windows_rejected,
+        t0.rounds_rejected + report.health.tenants[1].rounds_rejected
+    );
+    assert!(
+        report.health.wedges >= 1,
+        "the wedge fired and was detected"
+    );
+    assert_eq!(report.health.rounds_pending(), 0);
+    // No deadline armed: whatever was admitted decodes in full.
+    assert_eq!(
+        report.health.windows_shed + report.health.windows_deferred,
+        0
+    );
+}
+
+/// A slow tenant (`slowtenant@T` stalls the feed) must degrade only its
+/// own arrival rate: the service completes cleanly with every window of
+/// every tenant decoded and nothing shed or rejected.
+#[test]
+fn chaos_slow_tenant_completes_cleanly() {
+    let (tenants, circuits) = fleet(2);
+    let config = StreamConfig {
+        workers: 2,
+        queue_bound: 8,
+        faults: Some(
+            FaultPlan::new()
+                .slow_tenant_at(0)
+                .with_stall_timing(Duration::from_millis(5), Duration::from_millis(1)),
+        ),
+        ..StreamConfig::default()
+    };
+    let opts = LoopbackOptions {
+        windows_per_tenant: 4,
+        rounds_per_window: 2,
+        gap: Duration::ZERO,
+        base_seed: 7,
+    };
+    let (report, driver) =
+        loopback_serve(tenants, &circuits, config, &opts, ObsSink::disabled()).unwrap();
+    assert_eq!(driver.windows_rejected, 0);
+    assert_eq!(report.health.windows_decoded, 8);
+    assert_eq!(
+        report.health.windows_shed + report.health.windows_deferred,
+        0
+    );
+    assert_eq!(report.health.rounds_pending(), 0);
+    assert_eq!(driver.shots_scored, 8 * BATCH as u64);
+}
+
+/// Overload acceptance: at least 8 tenants flooding with no pacing
+/// (arrival far above sustained capacity) into short queues under a
+/// microsecond deadline. The service must keep every queue at its bound,
+/// shed through the declared ladder rather than stalling, and account for
+/// every round exactly.
+#[test]
+fn overload_keeps_bounded_queues_and_exact_partition() {
+    let (tenants, circuits) = fleet(8);
+    let sink = ObsSink::enabled();
+    let config = StreamConfig {
+        workers: 2,
+        queue_bound: 2,
+        deadline: Some(Duration::from_micros(1)),
+        ..StreamConfig::default()
+    };
+    let opts = LoopbackOptions {
+        windows_per_tenant: 16,
+        rounds_per_window: 1,
+        gap: Duration::ZERO,
+        base_seed: 0x0EAD,
+    };
+    let (report, driver) = loopback_serve(tenants, &circuits, config, &opts, sink.clone()).unwrap();
+    let h = &report.health;
+    assert!(
+        h.queue_peak <= 8 * 2,
+        "global peak {} exceeds tenants x bound",
+        h.queue_peak
+    );
+    assert!(
+        h.windows_shed + h.windows_deferred > 0,
+        "a microsecond deadline under flood must shed"
+    );
+    let mut pushed = 0u64;
+    for t in &h.tenants {
+        assert_eq!(
+            t.rounds_decoded + t.rounds_shed + t.rounds_deferred,
+            t.rounds_ingested,
+            "tenant {}",
+            t.tenant
+        );
+        pushed += t.rounds_ingested + t.rounds_rejected;
+    }
+    assert_eq!(pushed, 8 * 16, "every pushed round is admitted or rejected");
+    assert_eq!(h.rounds_pending(), 0);
+    assert_eq!(
+        driver.windows_pushed,
+        8 * 16,
+        "the driver offered every window"
+    );
+    // The health snapshot serializes and carries the same partition.
+    let json = h.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"rounds_pending\":0"));
+    let snap = sink.snapshot();
+    assert_eq!(
+        snap.counter("rounds_ingested"),
+        snap.counter("rounds_decoded")
+            + snap.counter("rounds_shed")
+            + snap.counter("rounds_deferred")
+    );
+}
+
+/// The extended `CALIQEC_FAULTS` grammar round-trips the streaming kinds.
+#[test]
+fn streaming_fault_grammar_parses() {
+    let plan = FaultPlan::parse("slowtenant@0,delay@1,burst@2,wedge@3").expect("valid spec");
+    assert_eq!(plan.injections().len(), 4);
+    assert_eq!(plan.injection(0), Some(FaultKind::SlowTenant));
+    assert_eq!(plan.injection(1), Some(FaultKind::DelayedArrival));
+    assert_eq!(plan.injection(2), Some(FaultKind::BurstArrival));
+    assert_eq!(plan.injection(3), Some(FaultKind::WorkerWedge));
+    assert!(plan.injection(0).unwrap().is_streaming());
+}
